@@ -1,0 +1,131 @@
+// Command atomicstore-server runs one storage server of the ring over
+// real TCP. Every server must be started with the same -servers list (the
+// ring order); each serves clients on its own address and holds a
+// connection to its ring successor.
+//
+// Example — a three-server ring on one machine:
+//
+//	atomicstore-server -id 1 -servers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
+//	atomicstore-server -id 2 -servers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
+//	atomicstore-server -id 3 -servers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/tcpnet"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "atomicstore-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id          = flag.Uint("id", 0, "this server's process id (must appear in -servers)")
+		serversFlag = flag.String("servers", "", "comma-separated id=host:port ring membership, in ring order")
+		verbose     = flag.Bool("v", false, "verbose logging")
+		noPiggy     = flag.Bool("no-piggyback", false, "disable write/pre-write piggybacking (ablation)")
+		noElide     = flag.Bool("no-elision", false, "ship full values in write-phase messages (ablation)")
+		noFair      = flag.Bool("no-fairness", false, "FIFO forwarding instead of the nb_msg rule (ablation)")
+	)
+	flag.Parse()
+
+	members, book, err := parseServers(*serversFlag)
+	if err != nil {
+		return err
+	}
+	self := wire.ProcessID(*id)
+	addr, ok := book[self]
+	if !ok {
+		return fmt.Errorf("id %d not present in -servers", *id)
+	}
+
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	ep, err := tcpnet.Listen(self, addr, book, tcpnet.Options{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ep.Close() }()
+
+	srv, err := core.NewServer(core.Config{
+		ID:                  self,
+		Members:             members,
+		DisablePiggyback:    *noPiggy,
+		DisableValueElision: *noElide,
+		DisableFairness:     *noFair,
+		Logger:              logger,
+	}, ep)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	defer srv.Stop()
+	logger.Info("serving", "id", self, "addr", addr, "ring", members)
+	fmt.Printf("atomicstore-server %d listening on %s\n", self, addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	fmt.Println("shutting down")
+	return nil
+}
+
+// parseServers parses "1=host:port,2=host:port" into ring order and an
+// address book.
+func parseServers(s string) ([]wire.ProcessID, tcpnet.AddressBook, error) {
+	if s == "" {
+		return nil, nil, fmt.Errorf("missing -servers")
+	}
+	book := make(tcpnet.AddressBook)
+	var members []wire.ProcessID
+	for _, part := range splitNonEmpty(s, ',') {
+		var id uint
+		var addr string
+		if _, err := fmt.Sscanf(part, "%d=%s", &id, &addr); err != nil {
+			return nil, nil, fmt.Errorf("bad server entry %q (want id=host:port)", part)
+		}
+		pid := wire.ProcessID(id)
+		if _, dup := book[pid]; dup {
+			return nil, nil, fmt.Errorf("duplicate server id %d", id)
+		}
+		book[pid] = addr
+		members = append(members, pid)
+	}
+	return members, book, nil
+}
+
+// splitNonEmpty splits on sep, dropping empty segments.
+func splitNonEmpty(s string, sep rune) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == sep {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

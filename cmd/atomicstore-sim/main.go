@@ -1,0 +1,126 @@
+// Command atomicstore-sim runs a single configuration of the round-based
+// network simulator (the paper's §2 performance model) and prints its
+// metrics — the building block behind atomicstore-bench, exposed for
+// exploring parameters the paper did not sweep.
+//
+// Examples:
+//
+//	atomicstore-sim -algo ring -servers 8 -readers 2 -writers 1
+//	atomicstore-sim -algo ring -servers 4 -writers 2 -no-piggyback
+//	atomicstore-sim -algo quorum -servers 5 -readers 2
+//	atomicstore-sim -algo broadcast -servers 5 -writers 2 -collide
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/netsim"
+	"repro/internal/simstore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "atomicstore-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algo     = flag.String("algo", "ring", "algorithm: ring | quorum | chain | tob | broadcast")
+		servers  = flag.Int("servers", 4, "number of servers")
+		readers  = flag.Int("readers", 1, "reader clients per server")
+		writers  = flag.Int("writers", 1, "writer clients per server")
+		pipeline = flag.Int("pipeline", 8, "outstanding requests per client")
+		rounds   = flag.Int("rounds", 3000, "rounds to simulate")
+		warmup   = flag.Int("warmup", 500, "warmup rounds excluded from metrics")
+		shared   = flag.Bool("shared", false, "one shared network instead of dual client/server networks")
+		collide  = flag.Bool("collide", false, "collision-domain ingress instead of switched")
+		noPiggy  = flag.Bool("no-piggyback", false, "ring: disable piggybacking")
+		noElide  = flag.Bool("no-elision", false, "ring: ship full values in write messages")
+		noFair   = flag.Bool("no-fairness", false, "ring: FIFO forwarding")
+		linkMbps = flag.Float64("link", 100, "link rate in Mbit/s")
+		valBytes = flag.Int("value", 1024, "value size in bytes")
+		overhead = flag.Int("overhead", 128, "per-message overhead in bytes")
+	)
+	flag.Parse()
+
+	cal := netsim.Calibration{LinkRateMbps: *linkMbps, PayloadBytes: *valBytes, OverheadBytes: *overhead}
+	m := &simstore.Metrics{WarmupRounds: *warmup}
+	ids := make([]int, *servers)
+	for i := range ids {
+		ids[i] = i + 1
+	}
+
+	var procs []netsim.Process
+	readTarget := func(i int) int { return ids[i%len(ids)] }
+	writeTarget := readTarget
+	switch *algo {
+	case "ring":
+		cfg := simstore.RingConfig{
+			DisablePiggyback:    *noPiggy,
+			DisableValueElision: *noElide,
+			DisableFairness:     *noFair,
+			SharedNetwork:       *shared,
+		}
+		for _, id := range ids {
+			procs = append(procs, &simstore.RingServer{IDNum: id, Ring: ids, Cal: cal, Cfg: cfg})
+		}
+	case "quorum":
+		for _, id := range ids {
+			procs = append(procs, &simstore.QuorumServer{IDNum: id, Servers: ids, Cal: cal})
+		}
+	case "chain":
+		for _, id := range ids {
+			procs = append(procs, &simstore.ChainServer{IDNum: id, Chain: ids, Cal: cal})
+		}
+		readTarget = func(int) int { return ids[len(ids)-1] } // tail
+		writeTarget = func(int) int { return ids[0] }         // head
+	case "tob":
+		for _, id := range ids {
+			procs = append(procs, &simstore.TOBServer{IDNum: id, Ring: ids, Cal: cal})
+		}
+	case "broadcast":
+		for _, id := range ids {
+			procs = append(procs, &simstore.BroadcastServer{IDNum: id, Servers: ids, Cal: cal})
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	next := 1000
+	for i := 0; i < *servers**readers; i++ {
+		next++
+		procs = append(procs, &simstore.Client{IDNum: next, Server: readTarget(i), Reads: true, Pipeline: *pipeline, Cal: cal, M: m})
+	}
+	for i := 0; i < *servers**writers; i++ {
+		next++
+		procs = append(procs, &simstore.Client{IDNum: next, Server: writeTarget(i), Reads: false, Pipeline: *pipeline, Cal: cal, M: m})
+	}
+
+	ingress := netsim.IngressSerialize
+	if *collide {
+		ingress = netsim.IngressCollide
+	}
+	sim, err := netsim.New(netsim.Config{SharedNetwork: *shared, Ingress: ingress}, procs...)
+	if err != nil {
+		return err
+	}
+	sim.Run(*rounds)
+	m.Finish(*rounds)
+	st := sim.Stats()
+	bb := st.BottleneckBytesPerRound()
+
+	fmt.Printf("algorithm        %s (%d servers, %d rounds, %d warmup)\n", *algo, *servers, *rounds, *warmup)
+	fmt.Printf("read rate        %.3f ops/round   (%.1f Mbit/s)\n", m.ReadRate(), cal.ThroughputMbps(m.ReadRate(), bb))
+	fmt.Printf("write rate       %.3f ops/round   (%.1f Mbit/s)\n", m.WriteRate(), cal.ThroughputMbps(m.WriteRate(), bb))
+	fmt.Printf("read latency     %.1f rounds      (%.3f ms)\n", m.MeanReadLatency(), cal.LatencyMillis(m.MeanReadLatency(), bb))
+	fmt.Printf("write latency    %.1f rounds      (%.3f ms)\n", m.MeanWriteLatency(), cal.LatencyMillis(m.MeanWriteLatency(), bb))
+	fmt.Printf("network          delivered=%d msgs, contentions=%d, retransmissions=%d, max queue=%d\n",
+		st.MessagesDelivered, st.Contentions, st.Retransmissions, st.MaxQueueDepth)
+	fmt.Printf("bottleneck link  %.0f bytes/round (round = %.1f µs at %.0f Mbit/s)\n",
+		bb, cal.RoundSeconds(bb)*1e6, cal.LinkRateMbps)
+	return nil
+}

@@ -1,0 +1,161 @@
+// Command atomicstore is the client CLI for a running TCP cluster: it
+// reads and writes registers and can generate sustained load.
+//
+// Usage:
+//
+//	atomicstore -servers 1=127.0.0.1:7001,... write -object 0 -value hello
+//	atomicstore -servers 1=127.0.0.1:7001,... read  -object 0
+//	atomicstore -servers 1=127.0.0.1:7001,... load  -readers 4 -writers 2 -duration 5s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/tcpnet"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "atomicstore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		serversFlag = flag.String("servers", "", "comma-separated id=host:port list")
+		clientID    = flag.Uint("client-id", 1000, "this client's process id (unique per client)")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-attempt timeout")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		return fmt.Errorf("missing subcommand: write | read | load")
+	}
+
+	servers, book, err := parseServers(*serversFlag)
+	if err != nil {
+		return err
+	}
+	ep := tcpnet.NewClient(wire.ProcessID(*clientID), book, tcpnet.Options{})
+	defer func() { _ = ep.Close() }()
+	cl, err := client.New(ep, client.Options{Servers: servers, AttemptTimeout: *timeout})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cl.Close() }()
+
+	ctx := context.Background()
+	switch flag.Arg(0) {
+	case "write":
+		return doWrite(ctx, cl, flag.Args()[1:])
+	case "read":
+		return doRead(ctx, cl, flag.Args()[1:])
+	case "load":
+		return doLoad(ctx, cl, flag.Args()[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", flag.Arg(0))
+	}
+}
+
+// doWrite performs one write.
+func doWrite(ctx context.Context, cl *client.Client, args []string) error {
+	fs := flag.NewFlagSet("write", flag.ContinueOnError)
+	object := fs.Uint("object", 0, "register object id")
+	value := fs.String("value", "", "value to store")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := cl.Write(ctx, wire.ObjectID(*object), []byte(*value))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ok tag=%s\n", t)
+	return nil
+}
+
+// doRead performs one read.
+func doRead(ctx context.Context, cl *client.Client, args []string) error {
+	fs := flag.NewFlagSet("read", flag.ContinueOnError)
+	object := fs.Uint("object", 0, "register object id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	v, t, err := cl.Read(ctx, wire.ObjectID(*object))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("value=%q tag=%s\n", v, t)
+	return nil
+}
+
+// doLoad generates closed-loop load and reports throughput and latency.
+func doLoad(ctx context.Context, cl *client.Client, args []string) error {
+	fs := flag.NewFlagSet("load", flag.ContinueOnError)
+	var (
+		readers  = fs.Int("readers", 2, "reader goroutine groups")
+		writers  = fs.Int("writers", 1, "writer goroutine groups")
+		conc     = fs.Int("concurrency", 4, "outstanding ops per group")
+		bytes    = fs.Int("bytes", 1024, "value size")
+		duration = fs.Duration("duration", 5*time.Second, "measurement window")
+		object   = fs.Uint("object", 0, "register object id")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := workload.Config{
+		Concurrency: *conc,
+		Object:      wire.ObjectID(*object),
+		ValueBytes:  *bytes,
+		Duration:    *duration,
+	}
+	for i := 0; i < *readers; i++ {
+		cfg.Readers = append(cfg.Readers, cl)
+	}
+	for i := 0; i < *writers; i++ {
+		cfg.Writers = append(cfg.Writers, cl)
+	}
+	res := workload.Run(ctx, cfg)
+	fmt.Printf("reads:  %8.0f ops/s  %7.2f Mbit/s  p50=%v p99=%v\n",
+		res.ReadOpsPerSec, res.ReadMbps, res.ReadLatency.P50, res.ReadLatency.P99)
+	fmt.Printf("writes: %8.0f ops/s  %7.2f Mbit/s  p50=%v p99=%v\n",
+		res.WriteOpsPerSec, res.WriteMbps, res.WriteLatency.P50, res.WriteLatency.P99)
+	if res.Errors > 0 {
+		fmt.Printf("errors: %d\n", res.Errors)
+	}
+	return nil
+}
+
+// parseServers parses "1=host:port,..." preserving ring order.
+func parseServers(s string) ([]wire.ProcessID, tcpnet.AddressBook, error) {
+	if s == "" {
+		return nil, nil, fmt.Errorf("missing -servers")
+	}
+	book := make(tcpnet.AddressBook)
+	var ids []wire.ProcessID
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i != len(s) && s[i] != ',' {
+			continue
+		}
+		part := s[start:i]
+		start = i + 1
+		if part == "" {
+			continue
+		}
+		var id uint
+		var addr string
+		if _, err := fmt.Sscanf(part, "%d=%s", &id, &addr); err != nil {
+			return nil, nil, fmt.Errorf("bad server entry %q", part)
+		}
+		book[wire.ProcessID(id)] = addr
+		ids = append(ids, wire.ProcessID(id))
+	}
+	return ids, book, nil
+}

@@ -1,0 +1,86 @@
+// Quickstart: start a three-server ring in-process, write a value and
+// read it back from every server — demonstrating the write-all-available
+// guarantee: one acknowledged write is durably visible at each server.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. An in-memory network and three storage servers in a ring.
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	members := []wire.ProcessID{1, 2, 3}
+	var servers []*core.Server
+	for _, id := range members {
+		ep, err := net.Register(id)
+		if err != nil {
+			return err
+		}
+		srv, err := core.NewServer(core.Config{ID: id, Members: members}, ep)
+		if err != nil {
+			return err
+		}
+		srv.Start()
+		defer srv.Stop()
+		servers = append(servers, srv)
+	}
+
+	// 2. A client that may contact any server.
+	ep, err := net.Register(100)
+	if err != nil {
+		return err
+	}
+	cl, err := client.New(ep, client.Options{Servers: members, AttemptTimeout: 5 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cl.Close() }()
+
+	ctx := context.Background()
+
+	// 3. Write: the value circulates the ring twice (pre-write, then
+	// write) before the ack — after that every server stores it.
+	t, err := cl.Write(ctx, 0, []byte("hello, ring"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("write acknowledged at tag %s\n", t)
+
+	// 4. Read from each server individually: reads are local — one
+	// round trip, no inter-server traffic — yet always atomic.
+	for _, id := range members {
+		pinnedEP, err := net.Register(200 + id)
+		if err != nil {
+			return err
+		}
+		pinned, err := client.New(pinnedEP, client.Options{
+			Servers: []wire.ProcessID{id},
+			Policy:  client.PolicyPinned,
+		})
+		if err != nil {
+			return err
+		}
+		v, rt, err := pinned.Read(ctx, 0)
+		_ = pinned.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server %d serves %q (tag %s)\n", id, v, rt)
+	}
+	return nil
+}

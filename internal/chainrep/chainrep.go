@@ -1,0 +1,296 @@
+// Package chainrep implements chain replication (van Renesse & Schneider,
+// OSDI 2004), the paper's reference [28] and second baseline. Writes
+// enter at the head of a chain, propagate through every server, and are
+// acknowledged to the client by the tail; reads are served by the tail
+// alone. Updates therefore enjoy the same pipelined high throughput as
+// the ring algorithm — but every read hits the same single server, which
+// is exactly the scalability limitation the paper's locally-served reads
+// remove.
+//
+// This baseline intentionally omits chain reconfiguration on crashes (the
+// original system delegates that to an external master); it exists for
+// functional and performance comparison, not production use.
+package chainrep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/tag"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Server is one chain replica.
+type Server struct {
+	ep    transport.Endpoint
+	chain []wire.ProcessID
+	pos   int
+
+	objects map[wire.ObjectID]*state
+	nextTS  uint64 // head only: write sequence
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+}
+
+// state is per-object replica state.
+type state struct {
+	tag   tag.Tag
+	value []byte
+}
+
+// NewServer creates a chain server. The chain lists every server from
+// head to tail and must be identical everywhere; ep.ID() must appear in
+// it.
+func NewServer(ep transport.Endpoint, chain []wire.ProcessID) (*Server, error) {
+	pos := -1
+	for i, id := range chain {
+		if id == ep.ID() {
+			pos = i
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("chainrep: %d not in chain %v", ep.ID(), chain)
+	}
+	return &Server{
+		ep:      ep,
+		chain:   append([]wire.ProcessID(nil), chain...),
+		pos:     pos,
+		objects: make(map[wire.ObjectID]*state),
+		stopc:   make(chan struct{}),
+	}, nil
+}
+
+// Start launches the server loop.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// Stop terminates the server loop.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stopc) })
+	s.wg.Wait()
+}
+
+func (s *Server) isHead() bool { return s.pos == 0 }
+func (s *Server) isTail() bool { return s.pos == len(s.chain)-1 }
+
+// get returns per-object state, creating it lazily.
+func (s *Server) get(id wire.ObjectID) *state {
+	st, ok := s.objects[id]
+	if !ok {
+		st = &state{}
+		s.objects[id] = st
+	}
+	return st
+}
+
+// loop is the single event loop.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case in := <-s.ep.Inbox():
+			s.handle(in)
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// handle dispatches one inbound frame.
+func (s *Server) handle(in transport.Inbound) {
+	env := in.Frame.Env
+	switch env.Kind {
+	case wire.KindWriteRequest:
+		if !s.isHead() {
+			return // clients must write to the head; drop otherwise
+		}
+		s.nextTS++
+		t := tag.Tag{TS: s.nextTS, ID: uint32(s.ep.ID())}
+		st := s.get(env.Object)
+		st.tag, st.value = t, env.Value
+		fwd := wire.Envelope{
+			Kind:   wire.KindChainForward,
+			Object: env.Object,
+			Tag:    t,
+			Origin: in.From, // the client to acknowledge at the tail
+			ReqID:  env.ReqID,
+			Value:  env.Value,
+		}
+		s.deliverOrForward(fwd)
+	case wire.KindChainForward:
+		st := s.get(env.Object)
+		if env.Tag.After(st.tag) {
+			st.tag, st.value = env.Tag, env.Value
+		}
+		s.deliverOrForward(env)
+	case wire.KindReadRequest:
+		if !s.isTail() {
+			return // reads are served by the tail only
+		}
+		st := s.get(env.Object)
+		ack := wire.Envelope{
+			Kind:   wire.KindReadAck,
+			Object: env.Object,
+			Tag:    st.tag,
+			ReqID:  env.ReqID,
+			Value:  st.value,
+		}
+		_ = s.ep.Send(in.From, wire.NewFrame(ack))
+	default:
+		// Not part of this protocol.
+	}
+}
+
+// deliverOrForward passes a write down the chain, or acknowledges the
+// client when this server is the tail.
+func (s *Server) deliverOrForward(env wire.Envelope) {
+	if s.isTail() {
+		ack := wire.Envelope{
+			Kind:   wire.KindWriteAck,
+			Object: env.Object,
+			Tag:    env.Tag,
+			ReqID:  env.ReqID,
+		}
+		_ = s.ep.Send(env.Origin, wire.NewFrame(ack))
+		return
+	}
+	_ = s.ep.Send(s.chain[s.pos+1], wire.NewFrame(env))
+}
+
+// Client issues operations against a chain: writes to the head, reads to
+// the tail.
+type Client struct {
+	ep    transport.Endpoint
+	chain []wire.ProcessID
+	tmo   time.Duration
+
+	mu       sync.Mutex
+	nextReq  uint64
+	inflight map[uint64]chan wire.Envelope
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+}
+
+// ErrTimeout is returned when the chain does not answer in time.
+var ErrTimeout = errors.New("chainrep: request timed out")
+
+// NewClient creates a chain client. timeout zero means 2s.
+func NewClient(ep transport.Endpoint, chain []wire.ProcessID, timeout time.Duration) (*Client, error) {
+	if len(chain) == 0 {
+		return nil, errors.New("chainrep: empty chain")
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	c := &Client{
+		ep:       ep,
+		chain:    append([]wire.ProcessID(nil), chain...),
+		tmo:      timeout,
+		inflight: make(map[uint64]chan wire.Envelope),
+		stopc:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.receiverLoop()
+	return c, nil
+}
+
+// Close stops the client.
+func (c *Client) Close() error {
+	c.stopOnce.Do(func() { close(c.stopc) })
+	c.wg.Wait()
+	return nil
+}
+
+// Write stores value via the head and waits for the tail's ack.
+func (c *Client) Write(ctx context.Context, object wire.ObjectID, value []byte) (tag.Tag, error) {
+	env := wire.Envelope{
+		Kind:   wire.KindWriteRequest,
+		Object: object,
+		Value:  append([]byte(nil), value...),
+	}
+	reply, err := c.roundTrip(ctx, c.chain[0], env)
+	if err != nil {
+		return tag.Zero, err
+	}
+	return reply.Tag, nil
+}
+
+// Read fetches the value from the tail.
+func (c *Client) Read(ctx context.Context, object wire.ObjectID) ([]byte, tag.Tag, error) {
+	env := wire.Envelope{
+		Kind:   wire.KindReadRequest,
+		Object: object,
+	}
+	reply, err := c.roundTrip(ctx, c.chain[len(c.chain)-1], env)
+	if err != nil {
+		return nil, tag.Zero, err
+	}
+	return reply.Value, reply.Tag, nil
+}
+
+// roundTrip sends one request and waits for its correlated reply.
+func (c *Client) roundTrip(ctx context.Context, to wire.ProcessID, env wire.Envelope) (wire.Envelope, error) {
+	c.mu.Lock()
+	c.nextReq++
+	reqID := c.nextReq
+	ch := make(chan wire.Envelope, 1)
+	c.inflight[reqID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight, reqID)
+		c.mu.Unlock()
+	}()
+
+	env.ReqID = reqID
+	if err := c.ep.Send(to, wire.NewFrame(env)); err != nil {
+		return wire.Envelope{}, fmt.Errorf("chainrep: send: %w", err)
+	}
+	timer := time.NewTimer(c.tmo)
+	defer timer.Stop()
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-timer.C:
+		return wire.Envelope{}, ErrTimeout
+	case <-ctx.Done():
+		return wire.Envelope{}, ctx.Err()
+	case <-c.stopc:
+		return wire.Envelope{}, errors.New("chainrep: client closed")
+	}
+}
+
+// receiverLoop routes replies by request id.
+func (c *Client) receiverLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case in := <-c.ep.Inbox():
+			env := in.Frame.Env
+			if env.Kind != wire.KindWriteAck && env.Kind != wire.KindReadAck {
+				continue
+			}
+			c.mu.Lock()
+			ch := c.inflight[env.ReqID]
+			c.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- env:
+				default:
+				}
+			}
+		case <-c.stopc:
+			return
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package chainrep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+type fixture struct {
+	t     *testing.T
+	net   *transport.MemNetwork
+	chain []wire.ProcessID
+
+	mu   sync.Mutex
+	next wire.ProcessID
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	f := &fixture{t: t, net: transport.NewMemNetwork(transport.MemNetworkOptions{}), next: 1000}
+	for i := 1; i <= n; i++ {
+		f.chain = append(f.chain, wire.ProcessID(i))
+	}
+	for _, id := range f.chain {
+		ep, err := f.net.Register(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(ep, f.chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		t.Cleanup(func() {
+			srv.Stop()
+			_ = ep.Close()
+		})
+	}
+	return f
+}
+
+func (f *fixture) client() *Client {
+	f.t.Helper()
+	f.mu.Lock()
+	f.next++
+	id := f.next
+	f.mu.Unlock()
+	ep, err := f.net.Register(id)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	cl, err := NewClient(ep, f.chain, 5*time.Second)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.t.Cleanup(func() {
+		_ = cl.Close()
+		_ = ep.Close()
+	})
+	return cl
+}
+
+func TestChainWriteThenRead(t *testing.T) {
+	f := newFixture(t, 4)
+	cl := f.client()
+	ctx := context.Background()
+	wtag, err := cl.Write(ctx, 0, []byte("chained"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rtag, err := cl.Read(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "chained" || rtag != wtag {
+		t.Fatalf("read %q tag %s, want tag %s", got, rtag, wtag)
+	}
+}
+
+func TestChainSingleServer(t *testing.T) {
+	f := newFixture(t, 1)
+	cl := f.client()
+	ctx := context.Background()
+	if _, err := cl.Write(ctx, 0, []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := cl.Read(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "solo" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestChainWriteIsDurableBeforeAck(t *testing.T) {
+	// The tail acks only after every server applied: the tail's read
+	// must always reflect an acknowledged write.
+	f := newFixture(t, 5)
+	cl := f.client()
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		v := fmt.Sprintf("v%d", i)
+		if _, err := cl.Write(ctx, 0, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := cl.Read(ctx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != v {
+			t.Fatalf("after writing %q read %q", v, got)
+		}
+	}
+}
+
+func TestChainLinearizableHistory(t *testing.T) {
+	f := newFixture(t, 3)
+	ctx := context.Background()
+	var mu sync.Mutex
+	var ops []checker.Op
+	add := func(op checker.Op) {
+		mu.Lock()
+		op.ID = len(ops)
+		ops = append(ops, op)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		cl := f.client()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				v := fmt.Sprintf("w%d-%d", w, i)
+				start := time.Now().UnixNano()
+				tg, err := cl.Write(ctx, 0, []byte(v))
+				if err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				add(checker.Op{Kind: checker.KindWrite, Value: v, Start: start, End: time.Now().UnixNano(), Tag: tg})
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		cl := f.client()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				start := time.Now().UnixNano()
+				v, tg, err := cl.Read(ctx, 0)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				add(checker.Op{Kind: checker.KindRead, Value: string(v), Start: start, End: time.Now().UnixNano(), Tag: tg})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := checker.CheckTagged(ops); err != nil {
+		t.Fatalf("chain history not atomic: %v", err)
+	}
+}
+
+func TestChainMultiObject(t *testing.T) {
+	f := newFixture(t, 3)
+	cl := f.client()
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := cl.Write(ctx, wire.ObjectID(i), []byte(fmt.Sprintf("o%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		got, _, err := cl.Read(ctx, wire.ObjectID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != fmt.Sprintf("o%d", i) {
+			t.Fatalf("object %d holds %q", i, got)
+		}
+	}
+}

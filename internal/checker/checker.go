@@ -1,0 +1,205 @@
+// Package checker validates that concurrent histories of read and write
+// operations on a register are atomic (linearizable). Two complementary
+// checkers are provided:
+//
+//   - CheckTagged is a fast white-box checker: it uses the version tags the
+//     storage implementation attaches to every acknowledgement and verifies
+//     that real-time order never contradicts tag order. It is sound (never
+//     accepts a non-linearizable tagged history whose tags truthfully name
+//     versions) and runs in O(n log n), so stress tests can validate
+//     hundreds of thousands of operations.
+//
+//   - CheckLinearizable is a black-box search (Wing & Gong style, with
+//     memoization on the decided-set plus register state): it decides
+//     linearizability of a register history from invocation/response times
+//     and values alone, assuming unique write values. It is exponential in
+//     the worst case and intended for small adversarial histories.
+package checker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/tag"
+)
+
+// Kind distinguishes reads from writes.
+type Kind uint8
+
+// Operation kinds.
+const (
+	// KindRead is a read operation; Value is what it returned.
+	KindRead Kind = iota + 1
+	// KindWrite is a write operation; Value is what it wrote.
+	KindWrite
+)
+
+// Op is one client operation in a history.
+type Op struct {
+	// ID identifies the operation in error messages.
+	ID int
+	// Kind says whether this is a read or a write.
+	Kind Kind
+	// Value is the value written (writes) or returned (reads). The
+	// empty string together with a zero Tag denotes the initial value.
+	Value string
+	// Start and End are the invocation and response instants on any
+	// monotonic scale (nanoseconds in practice). End must be >= Start
+	// for complete operations.
+	Start, End int64
+	// Tag is the version stamp from the implementation's ack
+	// (white-box checking only).
+	Tag tag.Tag
+	// Incomplete marks an operation that never received a response
+	// (its effects may or may not have taken place).
+	Incomplete bool
+}
+
+func (o Op) String() string {
+	k := "read"
+	if o.Kind == KindWrite {
+		k = "write"
+	}
+	return fmt.Sprintf("op %d (%s %q tag=%s [%d,%d])", o.ID, k, truncate(o.Value), o.Tag, o.Start, o.End)
+}
+
+func truncate(s string) string {
+	if len(s) > 16 {
+		return s[:16] + "..."
+	}
+	return s
+}
+
+// ErrNotLinearizable is wrapped by every violation the checkers report.
+var ErrNotLinearizable = errors.New("history is not linearizable")
+
+// CheckTagged verifies a tagged history. It checks:
+//
+//  1. distinct writes carry distinct tags, and a write's tag is non-zero;
+//  2. every read returns exactly the value written at its tag (or the
+//     initial value at the zero tag);
+//  3. real-time order is consistent with tag order: if operation A
+//     completes before operation B starts, then tag(B) >= tag(A), strictly
+//     greater when B is a write (a write always creates a newer version);
+//     additionally a read that completes before another read starts must
+//     not observe a newer version than the later read.
+//
+// Incomplete operations are ignored except that incomplete writes
+// register their tag/value pair for rule 2.
+func CheckTagged(history []Op) error {
+	// Rule 1 and the tag→value table.
+	values := map[tag.Tag]string{tag.Zero: ""}
+	taggedWrites := make(map[tag.Tag]int)
+	for _, op := range history {
+		if op.Kind != KindWrite {
+			continue
+		}
+		if !op.Incomplete && op.Tag.IsZero() {
+			return fmt.Errorf("%w: %v acked with zero tag", ErrNotLinearizable, op)
+		}
+		if op.Tag.IsZero() {
+			continue // incomplete write that never got its tag
+		}
+		if taggedWrites[op.Tag]++; taggedWrites[op.Tag] > 1 {
+			return fmt.Errorf("%w: two writes share tag %s", ErrNotLinearizable, op.Tag)
+		}
+		values[op.Tag] = op.Value
+	}
+
+	// Incomplete writes never learned their tag (the client timed out
+	// before the ack); a read may still legitimately observe their value
+	// under a tag we cannot predict. Collect their values so rule 2 can
+	// attribute unknown tags to them.
+	incompleteValues := make(map[string]bool)
+	for _, op := range history {
+		if op.Kind == KindWrite && op.Incomplete && op.Tag.IsZero() {
+			incompleteValues[op.Value] = true
+		}
+	}
+
+	// Rule 2.
+	for _, op := range history {
+		if op.Kind != KindRead || op.Incomplete {
+			continue
+		}
+		want, known := values[op.Tag]
+		if !known {
+			if !incompleteValues[op.Value] {
+				return fmt.Errorf("%w: %v returned a tag no write produced", ErrNotLinearizable, op)
+			}
+			// Bind the unknown tag to the incomplete write's value;
+			// later reads of the same tag must agree.
+			values[op.Tag] = op.Value
+			continue
+		}
+		if op.Value != want {
+			return fmt.Errorf("%w: %v returned %q but tag %s wrote %q",
+				ErrNotLinearizable, op, truncate(op.Value), op.Tag, truncate(want))
+		}
+	}
+
+	// Rule 3: sweep operations by start time, tracking the largest tag
+	// completed so far (and whether a completed read saw it).
+	complete := make([]Op, 0, len(history))
+	for _, op := range history {
+		if !op.Incomplete {
+			complete = append(complete, op)
+		}
+	}
+	type event struct {
+		at    int64
+		op    Op
+		start bool
+	}
+	events := make([]event, 0, 2*len(complete))
+	for _, op := range complete {
+		if op.End < op.Start {
+			return fmt.Errorf("%w: %v ends before it starts", ErrNotLinearizable, op)
+		}
+		events = append(events, event{at: op.Start, op: op, start: true})
+		events = append(events, event{at: op.End, op: op})
+	}
+	// Ends sort before starts at equal instants: if A.End == B.Start the
+	// operations are concurrent under our measurement (both instants
+	// were sampled around the actual events), so we must NOT order A
+	// before B; processing ends first would do exactly that, therefore
+	// starts are processed first on ties.
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].start && !events[j].start
+	})
+
+	var (
+		maxDone     tag.Tag // largest tag of any completed op so far
+		maxDoneOp   Op
+		haveAnyDone bool
+	)
+	for _, ev := range events {
+		op := ev.op
+		if !ev.start {
+			haveAnyDone = true
+			if op.Tag.After(maxDone) {
+				maxDone, maxDoneOp = op.Tag, op
+			}
+			continue
+		}
+		if !haveAnyDone {
+			continue
+		}
+		// An op starting after maxDoneOp completed must observe at
+		// least its version — strictly newer when it is a write, since
+		// every write creates a fresh version.
+		if op.Tag.Less(maxDone) {
+			return fmt.Errorf("%w: %v is behind earlier completed %v",
+				ErrNotLinearizable, op, maxDoneOp)
+		}
+		if op.Kind == KindWrite && !op.Tag.After(maxDone) {
+			return fmt.Errorf("%w: %v does not supersede earlier completed %v",
+				ErrNotLinearizable, op, maxDoneOp)
+		}
+	}
+	return nil
+}

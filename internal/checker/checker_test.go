@@ -1,0 +1,357 @@
+package checker
+
+import (
+	"errors"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/tag"
+)
+
+// tg builds a tag with server id 1.
+func tg(ts uint64) tag.Tag { return tag.Tag{TS: ts, ID: 1} }
+
+func TestTaggedSequentialHistory(t *testing.T) {
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 10, Tag: tg(1)},
+		{ID: 2, Kind: KindRead, Value: "a", Start: 20, End: 30, Tag: tg(1)},
+		{ID: 3, Kind: KindWrite, Value: "b", Start: 40, End: 50, Tag: tg(2)},
+		{ID: 4, Kind: KindRead, Value: "b", Start: 60, End: 70, Tag: tg(2)},
+	}
+	if err := CheckTagged(h); err != nil {
+		t.Fatalf("valid history rejected: %v", err)
+	}
+}
+
+func TestTaggedInitialValueRead(t *testing.T) {
+	h := []Op{
+		{ID: 1, Kind: KindRead, Value: "", Start: 0, End: 5, Tag: tag.Zero},
+		{ID: 2, Kind: KindWrite, Value: "a", Start: 10, End: 20, Tag: tg(1)},
+	}
+	if err := CheckTagged(h); err != nil {
+		t.Fatalf("initial read rejected: %v", err)
+	}
+}
+
+func TestTaggedReadInversionRejected(t *testing.T) {
+	// The paper's anomaly: r1 returns the new value, a later r2 returns
+	// the old one while the write is still in flight.
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "new", Start: 0, End: 100, Tag: tg(2)},
+		{ID: 2, Kind: KindRead, Value: "new", Start: 10, End: 20, Tag: tg(2)},
+		{ID: 3, Kind: KindRead, Value: "old", Start: 30, End: 40, Tag: tg(1)},
+	}
+	err := CheckTagged(h)
+	if !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("read inversion accepted (err=%v)", err)
+	}
+}
+
+func TestTaggedStaleReadAfterWriteCompletes(t *testing.T) {
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 10, Tag: tg(5)},
+		{ID: 2, Kind: KindRead, Value: "", Start: 20, End: 30, Tag: tag.Zero},
+	}
+	if err := CheckTagged(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("stale read accepted (err=%v)", err)
+	}
+}
+
+func TestTaggedConcurrentReadsMayDiverge(t *testing.T) {
+	// While a write is in flight, concurrent reads may see either value.
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 100, Tag: tg(1)},
+		{ID: 2, Kind: KindRead, Value: "a", Start: 10, End: 90, Tag: tg(1)},
+		{ID: 3, Kind: KindRead, Value: "", Start: 15, End: 95, Tag: tag.Zero},
+	}
+	if err := CheckTagged(h); err != nil {
+		t.Fatalf("concurrent divergent reads rejected: %v", err)
+	}
+}
+
+func TestTaggedDuplicateWriteTags(t *testing.T) {
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 10, Tag: tg(1)},
+		{ID: 2, Kind: KindWrite, Value: "b", Start: 20, End: 30, Tag: tg(1)},
+	}
+	if err := CheckTagged(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("duplicate tags accepted (err=%v)", err)
+	}
+}
+
+func TestTaggedWriteMustSupersede(t *testing.T) {
+	// A write starting after another completed must get a larger tag.
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 10, Tag: tg(7)},
+		{ID: 2, Kind: KindWrite, Value: "b", Start: 20, End: 30, Tag: tg(3)},
+	}
+	if err := CheckTagged(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("non-superseding write accepted (err=%v)", err)
+	}
+}
+
+func TestTaggedWriteTagEqualToCompletedRead(t *testing.T) {
+	// A write starting after a read completed must be strictly newer.
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 50, Tag: tg(4)},
+		{ID: 2, Kind: KindRead, Value: "a", Start: 10, End: 20, Tag: tg(4)},
+		{ID: 3, Kind: KindWrite, Value: "b", Start: 30, End: 60, Tag: tg(4)},
+	}
+	if err := CheckTagged(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("write reusing an observed tag accepted (err=%v)", err)
+	}
+}
+
+func TestTaggedZeroTagAck(t *testing.T) {
+	h := []Op{{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 1, Tag: tag.Zero}}
+	if err := CheckTagged(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("zero-tag write ack accepted (err=%v)", err)
+	}
+}
+
+func TestTaggedReadOfUnknownTag(t *testing.T) {
+	h := []Op{{ID: 1, Kind: KindRead, Value: "x", Start: 0, End: 1, Tag: tg(9)}}
+	if err := CheckTagged(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("read of unproduced tag accepted (err=%v)", err)
+	}
+}
+
+func TestTaggedReadValueMismatch(t *testing.T) {
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 10, Tag: tg(1)},
+		{ID: 2, Kind: KindRead, Value: "zzz", Start: 20, End: 30, Tag: tg(1)},
+	}
+	if err := CheckTagged(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("mismatched read value accepted (err=%v)", err)
+	}
+}
+
+func TestTaggedIncompleteWriteIgnoredForOrder(t *testing.T) {
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 10, Tag: tg(1)},
+		{ID: 2, Kind: KindWrite, Value: "b", Start: 5, Incomplete: true, Tag: tg(2)},
+		{ID: 3, Kind: KindRead, Value: "b", Start: 20, End: 30, Tag: tg(2)},
+	}
+	if err := CheckTagged(h); err != nil {
+		t.Fatalf("incomplete write effects rejected: %v", err)
+	}
+}
+
+func TestTaggedTieInstantsAreConcurrent(t *testing.T) {
+	// A.End == B.Start means concurrency under our sampling; the old
+	// value may still be returned.
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 20, Tag: tg(1)},
+		{ID: 2, Kind: KindRead, Value: "", Start: 20, End: 30, Tag: tag.Zero},
+	}
+	if err := CheckTagged(h); err != nil {
+		t.Fatalf("tie-instant ops treated as ordered: %v", err)
+	}
+}
+
+func TestBlackBoxSequential(t *testing.T) {
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 10},
+		{ID: 2, Kind: KindRead, Value: "a", Start: 20, End: 30},
+		{ID: 3, Kind: KindWrite, Value: "b", Start: 40, End: 50},
+		{ID: 4, Kind: KindRead, Value: "b", Start: 60, End: 70},
+	}
+	if err := CheckLinearizable(h); err != nil {
+		t.Fatalf("valid history rejected: %v", err)
+	}
+}
+
+func TestBlackBoxReadInversionRejected(t *testing.T) {
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "new", Start: 0, End: 100},
+		{ID: 2, Kind: KindRead, Value: "new", Start: 10, End: 20},
+		{ID: 3, Kind: KindRead, Value: "old", Start: 30, End: 40},
+	}
+	// "old" was never written: use a prior write to set it up properly.
+	h = append([]Op{{ID: 0, Kind: KindWrite, Value: "old", Start: -20, End: -10}}, h...)
+	if err := CheckLinearizable(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("read inversion accepted (err=%v)", err)
+	}
+}
+
+func TestBlackBoxConcurrentWriteEitherOrder(t *testing.T) {
+	// Two concurrent writes; readers disagree on which came last is NOT
+	// allowed once both reads are ordered, but a single read of either
+	// value is fine.
+	base := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 100},
+		{ID: 2, Kind: KindWrite, Value: "b", Start: 0, End: 100},
+	}
+	for _, v := range []string{"a", "b"} {
+		h := append(append([]Op(nil), base...), Op{ID: 3, Kind: KindRead, Value: v, Start: 150, End: 160})
+		if err := CheckLinearizable(h); err != nil {
+			t.Fatalf("read of %q after concurrent writes rejected: %v", v, err)
+		}
+	}
+	// But flip-flopping sequential reads are not linearizable.
+	h := append(append([]Op(nil), base...),
+		Op{ID: 3, Kind: KindRead, Value: "a", Start: 150, End: 160},
+		Op{ID: 4, Kind: KindRead, Value: "b", Start: 170, End: 180},
+		Op{ID: 5, Kind: KindRead, Value: "a", Start: 190, End: 200},
+	)
+	if err := CheckLinearizable(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("flip-flop reads accepted (err=%v)", err)
+	}
+}
+
+func TestBlackBoxIncompleteWrite(t *testing.T) {
+	// An unacknowledged write may be observed...
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, Incomplete: true},
+		{ID: 2, Kind: KindRead, Value: "a", Start: 10, End: 20},
+	}
+	if err := CheckLinearizable(h); err != nil {
+		t.Fatalf("observed incomplete write rejected: %v", err)
+	}
+	// ...or never take effect.
+	h = []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, Incomplete: true},
+		{ID: 2, Kind: KindRead, Value: "", Start: 10, End: 20},
+	}
+	if err := CheckLinearizable(h); err != nil {
+		t.Fatalf("unobserved incomplete write rejected: %v", err)
+	}
+	// ...but it must not flicker: observed then gone is invalid.
+	h = []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, Incomplete: true},
+		{ID: 2, Kind: KindRead, Value: "a", Start: 10, End: 20},
+		{ID: 3, Kind: KindRead, Value: "", Start: 30, End: 40},
+	}
+	if err := CheckLinearizable(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("flickering incomplete write accepted (err=%v)", err)
+	}
+}
+
+func TestBlackBoxDuplicateWriteValuesRejected(t *testing.T) {
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "a", Start: 0, End: 10},
+		{ID: 2, Kind: KindWrite, Value: "a", Start: 20, End: 30},
+	}
+	if err := CheckLinearizable(h); err == nil || errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("duplicate write values should be a usage error, got %v", err)
+	}
+}
+
+func TestBlackBoxTooLarge(t *testing.T) {
+	h := make([]Op, 65)
+	for i := range h {
+		h[i] = Op{ID: i, Kind: KindWrite, Value: strconv.Itoa(i), Start: int64(i * 10), End: int64(i*10 + 5)}
+	}
+	if err := CheckLinearizable(h); err == nil {
+		t.Fatal("oversized history should be rejected")
+	}
+}
+
+// TestCheckersAgreeOnSimulatedHistories generates random valid histories
+// by simulating a real register with explicit linearization points, then
+// verifies both checkers accept them; corrupting a read value must make
+// both reject.
+func TestCheckersAgreeOnSimulatedHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		h := simulateHistory(rng, 3+rng.Intn(10))
+		if err := CheckTagged(h); err != nil {
+			t.Fatalf("trial %d: CheckTagged rejected a valid history: %v", trial, err)
+		}
+		if err := CheckLinearizable(h); err != nil {
+			t.Fatalf("trial %d: CheckLinearizable rejected a valid history: %v", trial, err)
+		}
+	}
+}
+
+func TestCheckersAgreeOnCorruptedHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rejectedTagged, rejectedBlack := 0, 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		h := simulateHistory(rng, 6+rng.Intn(8))
+		if !corruptSomeRead(rng, h) {
+			continue
+		}
+		if err := CheckTagged(h); errors.Is(err, ErrNotLinearizable) {
+			rejectedTagged++
+		}
+		if err := CheckLinearizable(h); errors.Is(err, ErrNotLinearizable) {
+			rejectedBlack++
+		}
+		// Both checkers must agree on rejection for value corruption:
+		// whatever the tagged checker flags, the black-box one must
+		// flag too (tagged can only be stricter in tie cases).
+	}
+	if rejectedTagged == 0 || rejectedBlack == 0 {
+		t.Fatalf("corruption never rejected (tagged=%d black=%d)", rejectedTagged, rejectedBlack)
+	}
+}
+
+// simulateHistory runs nOps random operations against a true atomic
+// register: each op linearizes at a chosen instant inside its interval.
+func simulateHistory(rng *rand.Rand, nOps int) []Op {
+	type linEvent struct {
+		at int64
+		op Op
+	}
+	var events []linEvent
+	now := int64(0)
+	for i := 0; i < nOps; i++ {
+		start := now + int64(rng.Intn(5))
+		point := start + 1 + int64(rng.Intn(10))
+		end := point + 1 + int64(rng.Intn(10))
+		op := Op{ID: i, Start: start, End: end}
+		if rng.Intn(2) == 0 {
+			op.Kind = KindWrite
+			op.Value = "v" + strconv.Itoa(i)
+		} else {
+			op.Kind = KindRead
+		}
+		events = append(events, linEvent{at: point, op: op})
+		// Advance time sometimes to create both sequential and
+		// concurrent segments.
+		if rng.Intn(3) == 0 {
+			now = end
+		}
+	}
+	// Apply linearization points in order to fix read values and tags:
+	// sort by point instant for the register simulation.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].at < events[j-1].at; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	cur := ""
+	curTag := tag.Zero
+	h := make([]Op, 0, len(events))
+	ts := uint64(0)
+	for _, ev := range events {
+		op := ev.op
+		if op.Kind == KindWrite {
+			ts++
+			cur = op.Value
+			curTag = tag.Tag{TS: ts, ID: 1}
+			op.Tag = curTag
+		} else {
+			op.Value = cur
+			op.Tag = curTag
+		}
+		h = append(h, op)
+	}
+	return h
+}
+
+// corruptSomeRead replaces one read's value with a value it cannot have
+// seen at its tag, returning false if the history has no suitable read.
+func corruptSomeRead(rng *rand.Rand, h []Op) bool {
+	for _, i := range rng.Perm(len(h)) {
+		if h[i].Kind != KindRead {
+			continue
+		}
+		h[i].Value += "-corrupt"
+		return true
+	}
+	return false
+}

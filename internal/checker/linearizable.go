@@ -1,0 +1,130 @@
+package checker
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckLinearizable decides whether a register history is linearizable
+// from timing and values alone (no tags needed). It requires distinct
+// writes to write distinct values (standard for linearizability testing;
+// the workload generators guarantee it). The initial register value is
+// the empty string.
+//
+// Incomplete reads are ignored (they constrain nothing). Incomplete
+// writes may take effect at any point after their invocation, or never;
+// the search decides.
+//
+// The search is a Wing & Gong style exploration with memoization on the
+// (linearized-set, register-state) pair; worst-case exponential, meant
+// for histories up to a few dozen concurrent operations.
+func CheckLinearizable(history []Op) error {
+	ops := make([]Op, 0, len(history))
+	writeValues := make(map[string]int)
+	for _, op := range history {
+		if op.Kind == KindRead && op.Incomplete {
+			continue
+		}
+		if op.Kind == KindWrite {
+			if writeValues[op.Value]++; writeValues[op.Value] > 1 {
+				return fmt.Errorf("checker: duplicate write value %q (unique values required)", truncate(op.Value))
+			}
+			if op.Value == "" {
+				return fmt.Errorf("checker: write of the initial value %q (unique values required)", "")
+			}
+		}
+		if op.Incomplete {
+			op.End = int64(^uint64(0) >> 1) // never constrains real-time order
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) > 64 {
+		return fmt.Errorf("checker: history too large for the black-box search (%d ops, max 64)", len(ops))
+	}
+	// Deterministic exploration order: by start time.
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+
+	s := searcher{ops: ops, visited: make(map[searchKey]bool)}
+	if s.explore(0, "") {
+		return nil
+	}
+	return fmt.Errorf("%w: no valid linearization of %d operations exists", ErrNotLinearizable, len(ops))
+}
+
+// searchKey memoizes a search state: which ops are already linearized and
+// what the register holds. Re-reaching the same pair can never succeed if
+// it failed before.
+type searchKey struct {
+	mask  uint64
+	value string
+}
+
+type searcher struct {
+	ops     []Op
+	visited map[searchKey]bool
+}
+
+// explore attempts to extend a partial linearization. mask marks
+// linearized ops; value is the register content after them.
+func (s *searcher) explore(mask uint64, value string) bool {
+	if s.allCompleteChosen(mask) {
+		return true
+	}
+	key := searchKey{mask: mask, value: value}
+	if s.visited[key] {
+		return false
+	}
+	s.visited[key] = true
+
+	// An unchosen op is a candidate for the next linearization point iff
+	// no other unchosen *complete* op finished before it started (that
+	// op would have to linearize first).
+	minEnd := int64(^uint64(0) >> 1)
+	for i, op := range s.ops {
+		if mask&(1<<uint(i)) != 0 {
+			continue
+		}
+		if op.End < minEnd {
+			minEnd = op.End
+		}
+	}
+	for i, op := range s.ops {
+		if mask&(1<<uint(i)) != 0 {
+			continue
+		}
+		if op.Start > minEnd {
+			continue // something else must linearize first
+		}
+		switch op.Kind {
+		case KindRead:
+			if op.Value != value {
+				continue // cannot read this here
+			}
+			if s.explore(mask|1<<uint(i), value) {
+				return true
+			}
+		case KindWrite:
+			if s.explore(mask|1<<uint(i), op.Value) {
+				return true
+			}
+		}
+	}
+	// Incomplete ops may also simply never take effect: if every
+	// remaining op is incomplete, the partial linearization is complete
+	// (handled by allCompleteChosen at the top of the next call); here
+	// nothing succeeded, so fail this branch.
+	return false
+}
+
+// allCompleteChosen reports whether every complete op is linearized.
+func (s *searcher) allCompleteChosen(mask uint64) bool {
+	for i, op := range s.ops {
+		if op.Incomplete {
+			continue
+		}
+		if mask&(1<<uint(i)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,280 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tag"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// echoServer acks every request immediately with a fixed tag, optionally
+// dropping the first k requests (to exercise retries).
+type echoServer struct {
+	ep   *transport.MemEndpoint
+	drop int
+
+	mu      sync.Mutex
+	served  int
+	dropped int
+	stopc   chan struct{}
+	wg      sync.WaitGroup
+}
+
+func startEchoServer(t *testing.T, net *transport.MemNetwork, id wire.ProcessID, drop int) *echoServer {
+	t.Helper()
+	ep, err := net.Register(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &echoServer{ep: ep, drop: drop, stopc: make(chan struct{})}
+	s.wg.Add(1)
+	go s.loop()
+	t.Cleanup(func() {
+		close(s.stopc)
+		s.wg.Wait()
+		_ = ep.Close()
+	})
+	return s
+}
+
+func (s *echoServer) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case in := <-s.ep.Inbox():
+			env := in.Frame.Env
+			s.mu.Lock()
+			if s.dropped < s.drop {
+				s.dropped++
+				s.mu.Unlock()
+				continue
+			}
+			s.served++
+			s.mu.Unlock()
+			ack := wire.Envelope{ReqID: env.ReqID, Tag: tag.Tag{TS: 1, ID: uint32(s.ep.ID())}}
+			switch env.Kind {
+			case wire.KindWriteRequest:
+				ack.Kind = wire.KindWriteAck
+			case wire.KindReadRequest:
+				ack.Kind = wire.KindReadAck
+				ack.Value = []byte("stored")
+			default:
+				continue
+			}
+			_ = s.ep.Send(in.From, wire.NewFrame(ack))
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+func (s *echoServer) servedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+func newTestClient(t *testing.T, net *transport.MemNetwork, opts Options) *Client {
+	t.Helper()
+	ep, err := net.Register(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.AttemptTimeout == 0 {
+		opts.AttemptTimeout = 200 * time.Millisecond
+	}
+	cl, err := New(ep, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cl.Close()
+		_ = ep.Close()
+	})
+	return cl
+}
+
+func TestClientWriteAndRead(t *testing.T) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	startEchoServer(t, net, 1, 0)
+	cl := newTestClient(t, net, Options{Servers: []wire.ProcessID{1}})
+	ctx := context.Background()
+
+	wt, err := cl.Write(ctx, 0, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.IsZero() {
+		t.Fatal("zero write tag")
+	}
+	v, rt, err := cl.Read(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "stored" || rt.IsZero() {
+		t.Fatalf("read %q tag %s", v, rt)
+	}
+}
+
+func TestClientRetriesAfterTimeout(t *testing.T) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	srv := startEchoServer(t, net, 1, 2) // drop the first two requests
+	cl := newTestClient(t, net, Options{
+		Servers:        []wire.ProcessID{1},
+		AttemptTimeout: 100 * time.Millisecond,
+		MaxAttempts:    5,
+	})
+	_, attempts, err := cl.WriteDetailed(context.Background(), 0, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	if srv.servedCount() != 1 {
+		t.Fatalf("served = %d", srv.servedCount())
+	}
+}
+
+func TestClientFailsOverToNextServer(t *testing.T) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	// Server 1 never answers (not even registered); server 2 answers.
+	startEchoServer(t, net, 2, 0)
+	cl := newTestClient(t, net, Options{
+		Servers:        []wire.ProcessID{1, 2},
+		Policy:         PolicyPinned,
+		AttemptTimeout: 100 * time.Millisecond,
+	})
+	if _, err := cl.Write(context.Background(), 0, []byte("x")); err != nil {
+		t.Fatalf("failover write: %v", err)
+	}
+}
+
+func TestClientRoundRobinCyclesThroughAllServers(t *testing.T) {
+	// Only the last of four servers is alive: every operation must
+	// still succeed within one cycle of retries.
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	startEchoServer(t, net, 4, 0)
+	cl := newTestClient(t, net, Options{
+		Servers:        []wire.ProcessID{1, 2, 3, 4},
+		AttemptTimeout: 50 * time.Millisecond,
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Write(context.Background(), 0, []byte("x")); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+}
+
+func TestClientExhaustsAttempts(t *testing.T) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	cl := newTestClient(t, net, Options{
+		Servers:        []wire.ProcessID{1}, // never registered
+		AttemptTimeout: 30 * time.Millisecond,
+		MaxAttempts:    2,
+	})
+	_, err := cl.Write(context.Background(), 0, []byte("x"))
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestClientRespectsContext(t *testing.T) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	// A registered but silent server keeps the attempt pending until
+	// the context fires.
+	if _, err := net.Register(1); err != nil {
+		t.Fatal(err)
+	}
+	cl := newTestClient(t, net, Options{
+		Servers:        []wire.ProcessID{1},
+		AttemptTimeout: 10 * time.Second,
+		MaxAttempts:    100,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.Write(ctx, 0, []byte("x"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("context deadline not honored promptly")
+	}
+}
+
+func TestClientConcurrentOperations(t *testing.T) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	startEchoServer(t, net, 1, 0)
+	cl := newTestClient(t, net, Options{Servers: []wire.ProcessID{1}, AttemptTimeout: 2 * time.Second})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := cl.Read(context.Background(), 0)
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClientCloseUnblocksOperations(t *testing.T) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	// A registered but silent server: attempts block on the timeout.
+	if _, err := net.Register(1); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := net.Register(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(ep, Options{
+		Servers:        []wire.ProcessID{1},
+		AttemptTimeout: 10 * time.Second,
+		MaxAttempts:    100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Write(context.Background(), 0, []byte("x"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_ = cl.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock the pending operation")
+	}
+	_ = ep.Close()
+}
+
+func TestClientOptionsValidation(t *testing.T) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	ep, err := net.Register(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ep.Close() }()
+	if _, err := New(ep, Options{}); err == nil {
+		t.Fatal("client without servers accepted")
+	}
+}

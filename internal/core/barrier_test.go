@@ -1,0 +1,262 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tag"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// barrierHarness drives a single real server with hand-crafted protocol
+// frames: the test plays the role of the server's ring neighbor (server 2
+// in a two-server ring) and of a client, making the pre-write read
+// barrier deterministic to observe.
+type barrierHarness struct {
+	t      *testing.T
+	net    *transport.MemNetwork
+	srv    *core.Server
+	peer   *transport.MemEndpoint // fake server 2
+	client *transport.MemEndpoint // fake client 99
+}
+
+func newBarrierHarness(t *testing.T, mods ...configMod) *barrierHarness {
+	t.Helper()
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	srvEP, err := net.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := net.Register(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := net.Register(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{ID: 1, Members: []wire.ProcessID{1, 2}}
+	for _, mod := range mods {
+		mod(&cfg)
+	}
+	srv, err := core.NewServer(cfg, srvEP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() {
+		srv.Stop()
+		_ = srvEP.Close()
+	})
+	return &barrierHarness{t: t, net: net, srv: srv, peer: peer, client: cl}
+}
+
+// expectFrame waits for one frame on the endpoint.
+func expectFrame(t *testing.T, ep *transport.MemEndpoint) wire.Frame {
+	t.Helper()
+	select {
+	case in := <-ep.Inbox():
+		return in.Frame
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a frame")
+		return wire.Frame{}
+	}
+}
+
+// expectNoFrame asserts silence on the endpoint for the duration.
+func expectNoFrame(t *testing.T, ep *transport.MemEndpoint, d time.Duration) {
+	t.Helper()
+	select {
+	case in := <-ep.Inbox():
+		t.Fatalf("unexpected frame: %v", &in.Frame.Env)
+	case <-time.After(d):
+	}
+}
+
+// TestReadBarrierBlocksUntilWrite reproduces the paper's Figure 2
+// deterministically: a server that has forwarded a pre_write must delay
+// reads until the corresponding write arrives.
+func TestReadBarrierBlocksUntilWrite(t *testing.T) {
+	h := newBarrierHarness(t)
+	wtag := tag.Tag{TS: 1, ID: 2}
+
+	// Step 1: the fake neighbor (origin 2) sends a pre_write for v2.
+	pw := wire.Envelope{Kind: wire.KindPreWrite, Tag: wtag, Origin: 2, Value: []byte("v2")}
+	if err := h.peer.Send(1, wire.NewFrame(pw)); err != nil {
+		t.Fatal(err)
+	}
+	// The server forwards it to its successor (us) — at that point the
+	// tag is in its pending set.
+	fwd := expectFrame(t, h.peer)
+	if fwd.Env.Kind != wire.KindPreWrite || fwd.Env.Tag != wtag {
+		t.Fatalf("expected forwarded pre_write, got %v", &fwd.Env)
+	}
+
+	// Step 2: a read arrives; it must be parked, not answered.
+	if err := h.client.Send(1, wire.NewFrame(wire.Envelope{Kind: wire.KindReadRequest, ReqID: 1})); err != nil {
+		t.Fatal(err)
+	}
+	expectNoFrame(t, h.client, 100*time.Millisecond)
+
+	// Step 3: the write message for the same tag arrives; the read must
+	// now complete with the new value.
+	w := wire.Envelope{Kind: wire.KindWrite, Tag: wtag, Origin: 2, Value: []byte("v2")}
+	if err := h.peer.Send(1, wire.NewFrame(w)); err != nil {
+		t.Fatal(err)
+	}
+	ack := expectFrame(t, h.client)
+	if ack.Env.Kind != wire.KindReadAck {
+		t.Fatalf("expected read_ack, got %v", &ack.Env)
+	}
+	if string(ack.Env.Value) != "v2" || ack.Env.Tag != wtag {
+		t.Fatalf("read returned %q tag %s, want v2 tag %s", ack.Env.Value, ack.Env.Tag, wtag)
+	}
+}
+
+// TestReadBarrierReleasedByNewerWrite verifies the barrier comparison is
+// ">= highest pending", not equality: a write with a higher tag releases
+// the parked read, and the read returns the newer value.
+func TestReadBarrierReleasedByNewerWrite(t *testing.T) {
+	h := newBarrierHarness(t)
+	low := tag.Tag{TS: 1, ID: 2}
+	high := tag.Tag{TS: 5, ID: 2}
+
+	if err := h.peer.Send(1, wire.NewFrame(wire.Envelope{
+		Kind: wire.KindPreWrite, Tag: low, Origin: 2, Value: []byte("low"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	expectFrame(t, h.peer) // forwarded pre_write(low)
+
+	if err := h.client.Send(1, wire.NewFrame(wire.Envelope{Kind: wire.KindReadRequest, ReqID: 7})); err != nil {
+		t.Fatal(err)
+	}
+	expectNoFrame(t, h.client, 100*time.Millisecond)
+
+	// A write with a strictly higher tag arrives first.
+	if err := h.peer.Send(1, wire.NewFrame(wire.Envelope{
+		Kind: wire.KindWrite, Tag: high, Origin: 2, Value: []byte("high"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	ack := expectFrame(t, h.client)
+	if string(ack.Env.Value) != "high" || ack.Env.Tag != high {
+		t.Fatalf("read returned %q tag %s, want high/%s", ack.Env.Value, ack.Env.Tag, high)
+	}
+}
+
+// TestReadBarrierRepliesStoredValue covers interpretation note 1 of
+// DESIGN.md: when the awaited write has a lower tag than a value applied
+// in the meantime, the read replies with the (newer) stored value, not
+// the awaited write's value.
+func TestReadBarrierRepliesStoredValue(t *testing.T) {
+	h := newBarrierHarness(t)
+	low := tag.Tag{TS: 1, ID: 2}
+	high := tag.Tag{TS: 5, ID: 2}
+
+	// pre_write(low) parks the read.
+	if err := h.peer.Send(1, wire.NewFrame(wire.Envelope{
+		Kind: wire.KindPreWrite, Tag: low, Origin: 2, Value: []byte("low"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	expectFrame(t, h.peer)
+	if err := h.client.Send(1, wire.NewFrame(wire.Envelope{Kind: wire.KindReadRequest, ReqID: 9})); err != nil {
+		t.Fatal(err)
+	}
+	expectNoFrame(t, h.client, 100*time.Millisecond)
+
+	// write(high) arrives and releases the barrier; then write(low)
+	// straggles in. Whatever the order, no read may ever return "low"
+	// after "high" was applied.
+	if err := h.peer.Send(1, wire.NewFrame(wire.Envelope{
+		Kind: wire.KindWrite, Tag: high, Origin: 2, Value: []byte("high"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	ack := expectFrame(t, h.client)
+	if string(ack.Env.Value) != "high" {
+		t.Fatalf("first read returned %q, want high", ack.Env.Value)
+	}
+	if err := h.peer.Send(1, wire.NewFrame(wire.Envelope{
+		Kind: wire.KindWrite, Tag: low, Origin: 2, Value: []byte("low"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	// A subsequent read must still see "high".
+	if err := h.client.Send(1, wire.NewFrame(wire.Envelope{Kind: wire.KindReadRequest, ReqID: 10})); err != nil {
+		t.Fatal(err)
+	}
+	ack2 := expectFrame(t, h.client)
+	if string(ack2.Env.Value) != "high" || ack2.Env.Tag != high {
+		t.Fatalf("stale value resurfaced: %q tag %s", ack2.Env.Value, ack2.Env.Tag)
+	}
+}
+
+// TestPendingOnReceiveParksEarlier verifies the ablation: in
+// PendingOnReceive mode a read parks as soon as the pre_write is
+// received, even if the server has not forwarded it yet.
+func TestPendingOnReceiveParksEarlier(t *testing.T) {
+	h := newBarrierHarness(t, func(c *core.Config) { c.PendingOnReceive = true })
+	wtag := tag.Tag{TS: 1, ID: 2}
+
+	if err := h.peer.Send(1, wire.NewFrame(wire.Envelope{
+		Kind: wire.KindPreWrite, Tag: wtag, Origin: 2, Value: []byte("v"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	// Do not consume the forwarded frame yet; the read must park anyway.
+	if err := h.client.Send(1, wire.NewFrame(wire.Envelope{Kind: wire.KindReadRequest, ReqID: 1})); err != nil {
+		t.Fatal(err)
+	}
+	expectNoFrame(t, h.client, 100*time.Millisecond)
+
+	if err := h.peer.Send(1, wire.NewFrame(wire.Envelope{
+		Kind: wire.KindWrite, Tag: wtag, Origin: 2, Value: []byte("v"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	ack := expectFrame(t, h.client)
+	if string(ack.Env.Value) != "v" {
+		t.Fatalf("read returned %q", ack.Env.Value)
+	}
+}
+
+// TestRingMessageFlowForLocalWrite observes the full pre_write/write
+// cycle of a client write through the ring from the neighbor's vantage
+// point, mirroring the message complexity analysis of §4.1.
+func TestRingMessageFlowForLocalWrite(t *testing.T) {
+	h := newBarrierHarness(t)
+	if err := h.client.Send(1, wire.NewFrame(wire.Envelope{
+		Kind: wire.KindWriteRequest, ReqID: 3, Value: []byte("x"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	// 1. The server initiates: pre_write with origin 1 reaches us.
+	pw := expectFrame(t, h.peer)
+	if pw.Env.Kind != wire.KindPreWrite || pw.Env.Origin != 1 {
+		t.Fatalf("expected pre_write from origin 1, got %v", &pw.Env)
+	}
+	// 2. We forward it back (completing the ring traversal).
+	if err := h.peer.Send(1, wire.NewFrame(pw.Env)); err != nil {
+		t.Fatal(err)
+	}
+	// 3. The server starts the write phase.
+	w := expectFrame(t, h.peer)
+	if w.Env.Kind != wire.KindWrite || w.Env.Tag != pw.Env.Tag {
+		t.Fatalf("expected write for %s, got %v", pw.Env.Tag, &w.Env)
+	}
+	// 4. We forward the write back; the client gets its ack.
+	if err := h.peer.Send(1, wire.NewFrame(w.Env)); err != nil {
+		t.Fatal(err)
+	}
+	ack := expectFrame(t, h.client)
+	if ack.Env.Kind != wire.KindWriteAck || ack.Env.ReqID != 3 {
+		t.Fatalf("expected write_ack req 3, got %v", &ack.Env)
+	}
+	if ack.Env.Tag != pw.Env.Tag {
+		t.Fatalf("ack tag %s != write tag %s", ack.Env.Tag, pw.Env.Tag)
+	}
+}

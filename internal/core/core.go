@@ -1,0 +1,91 @@
+// Package core implements the high-throughput atomic storage algorithm of
+// Guerraoui, Kostić, Levy and Quéma (ICDCS 2007).
+//
+// Servers are organized around a ring and communicate only with their ring
+// successor. A write is disseminated twice around the ring: a pre_write
+// phase announces the new value to every server, then a write phase
+// installs it; the client is acknowledged when the write message returns
+// to the originating server, so a completed write is stored on every
+// available server (write-all-available). A read is served locally by any
+// single server — no inter-server communication — which is what makes read
+// throughput grow linearly with the number of servers. Atomicity under
+// this read-one scheme is preserved by the pre-write barrier: a server
+// that knows of a pre-written-but-not-yet-written value delays its reads
+// until the corresponding write (or a newer one) arrives, preventing the
+// read-inversion anomaly.
+//
+// The ring is resilient to the crash of all but one server: a broken
+// connection to the successor is interpreted as a crash (perfect failure
+// detection, reasonable inside a cluster), the predecessor splices the
+// ring and retransmits its pending pre-writes and its current value, and
+// the alive predecessor of a crashed server adopts the messages the
+// crashed server originated.
+//
+// A fairness rule keeps the ring live under saturation: each server
+// interleaves initiating its own writes with forwarding its predecessor's
+// messages, always serving the origin with the smallest
+// forwarded-message count (nb_msg).
+package core
+
+import (
+	"io"
+	"log/slog"
+
+	"repro/internal/wire"
+)
+
+// Config configures one storage server.
+type Config struct {
+	// ID is this server's process id; it must appear in Members.
+	ID wire.ProcessID
+	// Members is the initial ring membership in ring order. All servers
+	// must be configured with the same order.
+	Members []wire.ProcessID
+
+	// DisablePiggyback turns off bundling a write-phase message with a
+	// pre-write-phase message in one frame (paper §4.2, mechanism (2)).
+	// The zero value — piggybacking on — is the paper's configuration.
+	DisablePiggyback bool
+	// DisableFairness replaces the nb_msg fairness rule with plain FIFO
+	// forwarding that always prefers forwarding over initiating local
+	// writes. This is the strawman the paper argues against (a busy
+	// server's own writers starve); used as an ablation.
+	DisableFairness bool
+	// PendingOnReceive records a pre-write in the pending set when it is
+	// received instead of when it is forwarded (paper line 71 records it
+	// on forward). The receive-time variant is more conservative: reads
+	// may wait longer, atomicity is preserved either way. Ablation knob.
+	PendingOnReceive bool
+	// DisableValueElision makes write-phase ring messages carry the full
+	// value, as in the paper's pseudo-code. By default the value is
+	// elided: every server already stores it in its pending set from the
+	// pre-write phase, and the write phase only needs the tag. Elision
+	// is what makes a completed write cost ~one payload per link instead
+	// of two, matching the paper's measured ~80% of link rate write
+	// throughput (DESIGN.md §3.6).
+	DisableValueElision bool
+
+	// Logger receives debug events; nil discards them.
+	Logger *slog.Logger
+}
+
+// validate checks the configuration.
+func (c *Config) validate() error {
+	if len(c.Members) == 0 {
+		return errNoMembers
+	}
+	for _, m := range c.Members {
+		if m == c.ID {
+			return nil
+		}
+	}
+	return errNotMember
+}
+
+// logger returns the configured logger or a discarding one.
+func (c *Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"repro/internal/wire"
+)
+
+// fairQueue is the forward_queue of the paper together with the nb_msg
+// fairness table (paper §3, lines 53-75). Messages awaiting forwarding are
+// kept per originating server; the queue handler serves the origin with
+// the smallest forwarded-message count, which guarantees that every write
+// operation eventually completes even when the ring is saturated.
+//
+// The queue is confined to the server's event loop and needs no locking.
+type fairQueue struct {
+	// order lists origins in first-seen order, for deterministic
+	// tie-breaking when counts are equal.
+	order []wire.ProcessID
+	// queues holds the per-origin FIFO of envelopes to forward.
+	queues map[wire.ProcessID][]wire.Envelope
+	// nbMsg counts messages forwarded per origin since the last reset
+	// (paper: nb_msg[pj]).
+	nbMsg map[wire.ProcessID]uint64
+	// size is the total number of queued envelopes.
+	size int
+}
+
+// newFairQueue returns an empty queue.
+func newFairQueue() *fairQueue {
+	return &fairQueue{
+		queues: make(map[wire.ProcessID][]wire.Envelope),
+		nbMsg:  make(map[wire.ProcessID]uint64),
+	}
+}
+
+// push appends env to its origin's FIFO.
+func (q *fairQueue) push(env wire.Envelope) {
+	origin := env.Origin
+	if _, seen := q.queues[origin]; !seen {
+		q.queues[origin] = nil
+		q.order = append(q.order, origin)
+	}
+	q.queues[origin] = append(q.queues[origin], env)
+	q.size++
+}
+
+// empty reports whether no envelope is queued.
+func (q *fairQueue) empty() bool { return q.size == 0 }
+
+// len returns the number of queued envelopes.
+func (q *fairQueue) len() int { return q.size }
+
+// count returns nb_msg for the origin.
+func (q *fairQueue) count(origin wire.ProcessID) uint64 { return q.nbMsg[origin] }
+
+// charge increments nb_msg for the origin (a message of theirs was
+// forwarded, or the local server initiated one of its own writes).
+func (q *fairQueue) charge(origin wire.ProcessID) { q.nbMsg[origin]++ }
+
+// resetCounts zeroes the nb_msg table (paper line 55: executed whenever
+// the forward queue is observed empty).
+func (q *fairQueue) resetCounts() {
+	for k := range q.nbMsg {
+		delete(q.nbMsg, k)
+	}
+}
+
+// kindMatch reports whether env is of the requested phase.
+func kindMatch(env *wire.Envelope, k wire.Kind) bool {
+	return k == 0 || env.Kind == k
+}
+
+// selectOrigin returns the queued origin with the smallest nb_msg count
+// that has at least one envelope of the given kind (0 = any kind).
+// includeSelf additionally offers `self` as a candidate with its own
+// count even when self has no queued envelopes (the local server wants to
+// initiate a write, paper line 61). Ties break on first-seen order, with
+// self considered last. The boolean result reports whether any candidate
+// exists.
+func (q *fairQueue) selectOrigin(self wire.ProcessID, includeSelf bool, k wire.Kind) (wire.ProcessID, bool) {
+	best := wire.NoProcess
+	var bestCount uint64
+	found := false
+	for _, origin := range q.order {
+		if !q.hasKind(origin, k) {
+			continue
+		}
+		c := q.nbMsg[origin]
+		if !found || c < bestCount {
+			best, bestCount, found = origin, c, true
+		}
+	}
+	if includeSelf && !found {
+		return self, true
+	}
+	if includeSelf && q.nbMsg[self] < bestCount && !q.hasAny(self) {
+		// Initiating beats forwarding only on a strictly smaller
+		// count; a queued entry of self's already competes above.
+		return self, true
+	}
+	return best, found
+}
+
+// hasAny reports whether the origin has queued envelopes.
+func (q *fairQueue) hasAny(origin wire.ProcessID) bool {
+	return len(q.queues[origin]) > 0
+}
+
+// hasKind reports whether the origin has a queued envelope of kind k
+// (0 = any).
+func (q *fairQueue) hasKind(origin wire.ProcessID, k wire.Kind) bool {
+	for i := range q.queues[origin] {
+		if kindMatch(&q.queues[origin][i], k) {
+			return true
+		}
+	}
+	return false
+}
+
+// peekFirst returns the first envelope of kind k (0 = any) queued for the
+// origin, without removing it.
+func (q *fairQueue) peekFirst(origin wire.ProcessID, k wire.Kind) (wire.Envelope, bool) {
+	for i := range q.queues[origin] {
+		if kindMatch(&q.queues[origin][i], k) {
+			return q.queues[origin][i], true
+		}
+	}
+	return wire.Envelope{}, false
+}
+
+// popFirst removes and returns the first envelope of kind k (0 = any)
+// queued for the origin, preserving the order of the rest.
+func (q *fairQueue) popFirst(origin wire.ProcessID, k wire.Kind) (wire.Envelope, bool) {
+	queue := q.queues[origin]
+	for i := range queue {
+		if kindMatch(&queue[i], k) {
+			env := queue[i]
+			q.queues[origin] = append(queue[:i], queue[i+1:]...)
+			q.size--
+			return env, true
+		}
+	}
+	return wire.Envelope{}, false
+}
+
+// takeOrigin removes and returns every envelope queued for the origin
+// (used when adopting messages of a crashed server).
+func (q *fairQueue) takeOrigin(origin wire.ProcessID) []wire.Envelope {
+	queue := q.queues[origin]
+	if len(queue) == 0 {
+		return nil
+	}
+	q.queues[origin] = nil
+	q.size -= len(queue)
+	return queue
+}
+
+// fifoPop removes and returns the globally oldest queued envelope. It is
+// used by the DisableFairness ablation, which forwards in plain FIFO
+// order. Envelope age is tracked per-origin only, so "oldest" here means:
+// scan origins in first-seen order and pop the head of the first
+// non-empty queue — a strict round-robin-free FIFO approximation that
+// exhibits the starvation the fairness rule prevents.
+func (q *fairQueue) fifoPop() (wire.Envelope, bool) {
+	for _, origin := range q.order {
+		if len(q.queues[origin]) > 0 {
+			return q.popFirst(origin, 0)
+		}
+	}
+	return wire.Envelope{}, false
+}
+
+// fifoPeek is the non-destructive version of fifoPop.
+func (q *fairQueue) fifoPeek() (wire.Envelope, bool) {
+	for _, origin := range q.order {
+		if len(q.queues[origin]) > 0 {
+			return q.peekFirst(origin, 0)
+		}
+	}
+	return wire.Envelope{}, false
+}

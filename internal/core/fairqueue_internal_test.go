@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tag"
+	"repro/internal/wire"
+)
+
+func pwEnv(origin wire.ProcessID, ts uint64) wire.Envelope {
+	return wire.Envelope{
+		Kind:   wire.KindPreWrite,
+		Origin: origin,
+		Tag:    tag.Tag{TS: ts, ID: uint32(origin)},
+	}
+}
+
+func wEnv(origin wire.ProcessID, ts uint64) wire.Envelope {
+	e := pwEnv(origin, ts)
+	e.Kind = wire.KindWrite
+	return e
+}
+
+func TestFairQueuePushPopFIFOPerOrigin(t *testing.T) {
+	q := newFairQueue()
+	q.push(pwEnv(2, 1))
+	q.push(pwEnv(2, 2))
+	q.push(pwEnv(3, 1))
+	if q.len() != 3 {
+		t.Fatalf("len = %d", q.len())
+	}
+	e, ok := q.popFirst(2, 0)
+	if !ok || e.Tag.TS != 1 {
+		t.Fatalf("pop = %v %v", e, ok)
+	}
+	e, ok = q.popFirst(2, 0)
+	if !ok || e.Tag.TS != 2 {
+		t.Fatalf("pop = %v %v", e, ok)
+	}
+	if _, ok := q.popFirst(2, 0); ok {
+		t.Fatal("pop from drained origin succeeded")
+	}
+	if q.len() != 1 {
+		t.Fatalf("len = %d", q.len())
+	}
+}
+
+func TestFairQueueKindFiltering(t *testing.T) {
+	q := newFairQueue()
+	q.push(pwEnv(2, 1))
+	q.push(wEnv(2, 9))
+	q.push(pwEnv(2, 2))
+
+	e, ok := q.popFirst(2, wire.KindWrite)
+	if !ok || e.Kind != wire.KindWrite || e.Tag.TS != 9 {
+		t.Fatalf("pop write = %v %v", e, ok)
+	}
+	// Remaining pre-writes keep their relative order.
+	e, _ = q.popFirst(2, wire.KindPreWrite)
+	if e.Tag.TS != 1 {
+		t.Fatalf("first pre_write has ts %d", e.Tag.TS)
+	}
+	e, _ = q.popFirst(2, wire.KindPreWrite)
+	if e.Tag.TS != 2 {
+		t.Fatalf("second pre_write has ts %d", e.Tag.TS)
+	}
+}
+
+func TestFairQueueSelectsLeastServedOrigin(t *testing.T) {
+	q := newFairQueue()
+	q.push(pwEnv(2, 1))
+	q.push(pwEnv(3, 1))
+	q.charge(2)
+	q.charge(2)
+	q.charge(3)
+	origin, ok := q.selectOrigin(1, false, 0)
+	if !ok || origin != 3 {
+		t.Fatalf("selectOrigin = %d %v, want 3", origin, ok)
+	}
+}
+
+func TestFairQueueTieBreaksByFirstSeen(t *testing.T) {
+	q := newFairQueue()
+	q.push(pwEnv(5, 1))
+	q.push(pwEnv(4, 1))
+	origin, ok := q.selectOrigin(1, false, 0)
+	if !ok || origin != 5 {
+		t.Fatalf("selectOrigin = %d, want first-seen 5", origin)
+	}
+}
+
+func TestFairQueueSelfInitiationPreference(t *testing.T) {
+	q := newFairQueue()
+	q.push(pwEnv(2, 1))
+	q.charge(2) // origin 2 already served once
+	// Self (1) has count 0 and no queued entries: initiation wins.
+	origin, ok := q.selectOrigin(1, true, 0)
+	if !ok || origin != 1 {
+		t.Fatalf("selectOrigin = %d, want self", origin)
+	}
+	// Once self's count matches, forwarding wins ties.
+	q.charge(1)
+	origin, _ = q.selectOrigin(1, true, 0)
+	if origin != 2 {
+		t.Fatalf("selectOrigin = %d, want 2 on tie", origin)
+	}
+}
+
+func TestFairQueueSelectWithoutSelfWhenEmpty(t *testing.T) {
+	q := newFairQueue()
+	if _, ok := q.selectOrigin(1, false, 0); ok {
+		t.Fatal("selection from empty queue should fail")
+	}
+	// With includeSelf the caller may initiate even on an empty queue.
+	origin, ok := q.selectOrigin(1, true, 0)
+	if !ok || origin != 1 {
+		t.Fatalf("selectOrigin = %d %v", origin, ok)
+	}
+}
+
+func TestFairQueueResetCounts(t *testing.T) {
+	q := newFairQueue()
+	q.charge(2)
+	q.charge(3)
+	q.resetCounts()
+	if q.count(2) != 0 || q.count(3) != 0 {
+		t.Fatal("counts survived reset")
+	}
+}
+
+func TestFairQueueTakeOrigin(t *testing.T) {
+	q := newFairQueue()
+	q.push(pwEnv(2, 1))
+	q.push(wEnv(2, 2))
+	q.push(pwEnv(3, 1))
+	got := q.takeOrigin(2)
+	if len(got) != 2 {
+		t.Fatalf("takeOrigin returned %d envelopes", len(got))
+	}
+	if q.len() != 1 {
+		t.Fatalf("len = %d after take", q.len())
+	}
+	if q.takeOrigin(2) != nil {
+		t.Fatal("second take should return nil")
+	}
+}
+
+func TestFairQueueFIFOPopOrder(t *testing.T) {
+	q := newFairQueue()
+	q.push(pwEnv(2, 1))
+	q.push(pwEnv(3, 1))
+	q.push(pwEnv(2, 2))
+	var got []string
+	for {
+		e, ok := q.fifoPop()
+		if !ok {
+			break
+		}
+		got = append(got, fmt.Sprintf("%d/%d", e.Origin, e.Tag.TS))
+	}
+	// First-seen origin drains first in the FIFO ablation.
+	want := []string{"2/1", "2/2", "3/1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fifo order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFairQueueNoStarvation is the liveness property behind paper §4.2:
+// under round-robin arrivals with a saturated link, every origin's
+// messages keep flowing — the gap between any two origins' forwarded
+// counts stays bounded.
+func TestFairQueueNoStarvation(t *testing.T) {
+	prop := func(seed uint32) bool {
+		q := newFairQueue()
+		origins := []wire.ProcessID{2, 3, 4, 5}
+		forwarded := make(map[wire.ProcessID]int)
+		rng := seed
+		next := func(n int) int {
+			rng = rng*1664525 + 1013904223
+			return int(rng>>16) % n
+		}
+		ts := uint64(0)
+		for step := 0; step < 2000; step++ {
+			// Adversarial arrivals: a biased origin floods the queue.
+			arrivals := 1 + next(2)
+			for a := 0; a < arrivals; a++ {
+				var o wire.ProcessID
+				if next(4) < 3 {
+					o = origins[0] // flooder
+				} else {
+					o = origins[1+next(3)]
+				}
+				ts++
+				q.push(pwEnv(o, ts))
+			}
+			// One send slot per step.
+			if origin, ok := q.selectOrigin(1, false, 0); ok {
+				if _, popped := q.popFirst(origin, 0); popped {
+					q.charge(origin)
+					forwarded[origin]++
+				}
+			}
+		}
+		// Every origin that had traffic must have been served.
+		for _, o := range origins[1:] {
+			if forwarded[o] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectStateApplyAndPrune(t *testing.T) {
+	o := newObjectState()
+	if o.apply(tag.Zero, nil) {
+		t.Fatal("zero tag must not apply")
+	}
+	if !o.apply(tag.Tag{TS: 2, ID: 1}, []byte("a")) {
+		t.Fatal("newer tag must apply")
+	}
+	if o.apply(tag.Tag{TS: 1, ID: 9}, []byte("b")) {
+		t.Fatal("older tag must not apply")
+	}
+	if string(o.value) != "a" {
+		t.Fatalf("value = %q", o.value)
+	}
+
+	o.pending[tag.Tag{TS: 1, ID: 1}] = nil
+	o.pending[tag.Tag{TS: 2, ID: 5}] = nil
+	o.pending[tag.Tag{TS: 9, ID: 1}] = nil
+	o.prune(tag.Tag{TS: 2, ID: 5})
+	if len(o.pending) != 1 {
+		t.Fatalf("pending = %v, want only [9/1]", o.pending)
+	}
+	if _, ok := o.pending[tag.Tag{TS: 9, ID: 1}]; !ok {
+		t.Fatal("high pending entry pruned")
+	}
+}
+
+func TestObjectStateReadableNow(t *testing.T) {
+	o := newObjectState()
+	if !o.readableNow() {
+		t.Fatal("empty pending must be readable")
+	}
+	o.pending[tag.Tag{TS: 5, ID: 1}] = nil
+	if o.readableNow() {
+		t.Fatal("pending above stored tag must block reads")
+	}
+	o.apply(tag.Tag{TS: 6, ID: 1}, []byte("newer"))
+	if !o.readableNow() {
+		t.Fatal("stored tag dominating pending must be readable")
+	}
+}
+
+func TestObjectStateParkAndRelease(t *testing.T) {
+	o := newObjectState()
+	o.park(100, 1, tag.Tag{TS: 3, ID: 1})
+	o.park(101, 2, tag.Tag{TS: 5, ID: 1})
+	o.apply(tag.Tag{TS: 3, ID: 1}, []byte("x"))
+	ready := o.releaseReady()
+	if len(ready) != 1 || ready[0].client != 100 {
+		t.Fatalf("releaseReady = %+v", ready)
+	}
+	o.apply(tag.Tag{TS: 7, ID: 2}, []byte("y"))
+	ready = o.releaseReady()
+	if len(ready) != 1 || ready[0].client != 101 {
+		t.Fatalf("releaseReady = %+v", ready)
+	}
+	if len(o.parked) != 0 {
+		t.Fatalf("parked = %+v", o.parked)
+	}
+}
+
+func TestMaxPending(t *testing.T) {
+	o := newObjectState()
+	if !o.maxPending().IsZero() {
+		t.Fatal("empty pending must have zero max")
+	}
+	o.pending[tag.Tag{TS: 2, ID: 1}] = nil
+	o.pending[tag.Tag{TS: 2, ID: 3}] = nil
+	if got := o.maxPending(); got != (tag.Tag{TS: 2, ID: 3}) {
+		t.Fatalf("maxPending = %s", got)
+	}
+}

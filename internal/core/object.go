@@ -1,0 +1,103 @@
+package core
+
+import (
+	"repro/internal/tag"
+	"repro/internal/wire"
+)
+
+// objectState is one server's replica state for a single atomic register
+// (one "read/write object" in the paper's terminology; a deployment can
+// multiplex many objects over the same ring).
+type objectState struct {
+	// value is the locally stored register value (paper: v).
+	value []byte
+	// tag is the version of the stored value (paper: [ts, id]).
+	tag tag.Tag
+	// pending maps the tag of every pre-written-but-not-yet-written
+	// value to that value (paper: pending_write_set). The value is kept
+	// so the crash-recovery rule (paper lines 89-91) can retransmit the
+	// pre-writes the crashed successor may have swallowed.
+	pending map[tag.Tag][]byte
+	// parked holds read requests waiting for their barrier tag to be
+	// written (paper lines 80-82: a reader waits for a write message
+	// with a tag at least as large as the highest pending pre-write).
+	parked []parkedRead
+}
+
+// parkedRead is a client read waiting out the read-inversion barrier.
+type parkedRead struct {
+	client  wire.ProcessID
+	reqID   uint64
+	barrier tag.Tag
+}
+
+// newObjectState returns an empty register replica.
+func newObjectState() *objectState {
+	return &objectState{pending: make(map[tag.Tag][]byte)}
+}
+
+// maxPending returns the highest pending pre-write tag, or the zero tag
+// when nothing is pending (paper: max_lex(pending_write_set)).
+func (o *objectState) maxPending() tag.Tag {
+	var highest tag.Tag
+	for t := range o.pending {
+		highest = highest.Max(t)
+	}
+	return highest
+}
+
+// apply installs (t, v) if it is newer than the stored value and reports
+// whether the stored value changed (paper lines 33-36 and 43-46).
+func (o *objectState) apply(t tag.Tag, v []byte) bool {
+	if !t.After(o.tag) {
+		return false
+	}
+	o.tag = t
+	o.value = v
+	return true
+}
+
+// prune removes every pending entry with tag <= t. The paper removes only
+// the exact tag of the received write (lines 37 and 47); removing the
+// whole prefix is safe — any read barrier at or below t is already
+// satisfied by the stored value — and prevents ghost entries from
+// blocking readers forever when a crash swallowed an in-flight write
+// message (DESIGN.md §3.3).
+func (o *objectState) prune(t tag.Tag) {
+	for pt := range o.pending {
+		if pt.LessEq(t) {
+			delete(o.pending, pt)
+		}
+	}
+}
+
+// readableNow reports whether a read can be served immediately: nothing
+// is pending, or the stored tag already dominates every pending
+// pre-write (DESIGN.md §3.1).
+func (o *objectState) readableNow() bool {
+	if len(o.pending) == 0 {
+		return true
+	}
+	return o.tag.AtLeast(o.maxPending())
+}
+
+// park enqueues a blocked read with its barrier.
+func (o *objectState) park(client wire.ProcessID, reqID uint64, barrier tag.Tag) {
+	o.parked = append(o.parked, parkedRead{client: client, reqID: reqID, barrier: barrier})
+}
+
+// releaseReady removes and returns the parked reads whose barrier the
+// stored tag now satisfies.
+func (o *objectState) releaseReady() []parkedRead {
+	var ready []parkedRead
+	rest := o.parked[:0]
+	for _, pr := range o.parked {
+		if pr.barrier.LessEq(o.tag) {
+			ready = append(ready, pr)
+		} else {
+			rest = append(rest, pr)
+		}
+	}
+	o.parked = rest
+	return ready
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"repro/internal/tag"
+	"repro/internal/wire"
+)
+
+// planItem describes one envelope the next ring frame will carry: either
+// the initiation of a local client write (a fresh pre_write) or the
+// forwarding of a queued message.
+type planItem struct {
+	// initiate is true when the item starts writeQueue[0] as a new
+	// write; env then holds the freshly tagged pre_write.
+	initiate bool
+	// fifo marks an item chosen by the DisableFairness ablation.
+	fifo bool
+	// origin is the fairness origin charged for the item.
+	origin wire.ProcessID
+	// kind is the exact envelope kind, used to pop the same message the
+	// plan selected.
+	kind wire.Kind
+	// env is the envelope to put on the wire.
+	env wire.Envelope
+}
+
+// sendPlan is the queue handler's decision for the next ring send (paper
+// lines 53-75). Planning is free of side effects: the event loop offers
+// the planned frame to the ring sender and only commits the bookkeeping
+// if that offer is the select case that fires.
+type sendPlan struct {
+	ok      bool
+	control bool
+	frame   wire.Frame
+	primary planItem
+	// secondary, when non-nil, is the piggybacked envelope of the
+	// opposite phase (paper §4.2: write messages ride along with
+	// pre-write messages, halving the per-write message count).
+	secondary *planItem
+}
+
+// planRingSend computes the next ring send from current state, without
+// mutating anything.
+func (s *Server) planRingSend() sendPlan {
+	// Crash notices bypass the fairness machinery entirely: ring
+	// reconfiguration must not wait behind data traffic.
+	if len(s.control) > 0 {
+		return sendPlan{ok: true, control: true, frame: wire.NewFrame(s.control[0])}
+	}
+
+	if s.cfg.DisableFairness {
+		return s.planFIFO()
+	}
+
+	// Paper lines 54-58: with an empty forward queue the only possible
+	// action is initiating a local write.
+	if s.fq.empty() {
+		if len(s.writeQueue) == 0 {
+			return sendPlan{}
+		}
+		return s.finishPlan(s.planInitiate())
+	}
+
+	// Paper lines 60-66: pick the origin with the smallest nb_msg; the
+	// local server competes for an initiation slot only when it has
+	// queued client writes.
+	includeSelf := len(s.writeQueue) > 0
+	origin, ok := s.fq.selectOrigin(s.cfg.ID, includeSelf, 0)
+	if !ok {
+		return sendPlan{}
+	}
+	if origin == s.cfg.ID && !s.fq.hasAny(s.cfg.ID) {
+		return s.finishPlan(s.planInitiate())
+	}
+	env, _ := s.fq.peekFirst(origin, 0)
+	return s.finishPlan(planItem{origin: origin, kind: env.Kind, env: env})
+}
+
+// planFIFO is the DisableFairness ablation: forward first (plain FIFO),
+// initiate local writes only when nothing waits to be forwarded. Under
+// saturation the forward queue never empties and local writers starve —
+// the failure mode the paper's fairness rule exists to prevent.
+func (s *Server) planFIFO() sendPlan {
+	if env, ok := s.fq.fifoPeek(); ok {
+		return s.finishPlan(planItem{fifo: true, origin: env.Origin, kind: env.Kind, env: env})
+	}
+	if len(s.writeQueue) > 0 {
+		return s.finishPlan(s.planInitiate())
+	}
+	return sendPlan{}
+}
+
+// planInitiate builds the pre_write that would start writeQueue[0],
+// tagging it above everything this server has seen (paper lines 22-23).
+func (s *Server) planInitiate() planItem {
+	w := s.writeQueue[0]
+	o := s.obj(w.object)
+	highest := o.maxPending().Max(o.tag)
+	t := highest.Next(uint32(s.cfg.ID))
+	return planItem{
+		initiate: true,
+		origin:   s.cfg.ID,
+		kind:     wire.KindPreWrite,
+		env: wire.Envelope{
+			Kind:   wire.KindPreWrite,
+			Object: w.object,
+			Tag:    t,
+			Origin: s.cfg.ID,
+			Value:  w.value,
+		},
+	}
+}
+
+// finishPlan wraps the primary item in a frame and, when piggybacking is
+// enabled, attaches the fairest queued envelope of the opposite phase.
+func (s *Server) finishPlan(prim planItem) sendPlan {
+	plan := sendPlan{ok: true, primary: prim, frame: wire.NewFrame(prim.env)}
+	if s.cfg.DisablePiggyback || prim.fifo {
+		return plan
+	}
+	opposite := wire.KindWrite
+	if prim.env.Kind == wire.KindWrite {
+		opposite = wire.KindPreWrite
+	}
+	origin, ok := s.fq.selectOrigin(s.cfg.ID, false, opposite)
+	if !ok {
+		// An empty pre-write slot can be filled by initiating a queued
+		// local write; without this a saturated server alternates
+		// pre-write and write rounds and write throughput halves.
+		if opposite == wire.KindPreWrite && len(s.writeQueue) > 0 {
+			sec := s.planInitiate()
+			plan.secondary = &sec
+			pb := sec.env
+			plan.frame.Piggyback = &pb
+		}
+		return plan
+	}
+	env, ok := s.fq.peekFirst(origin, opposite)
+	if !ok {
+		return plan
+	}
+	// Never pair the primary with itself (possible when the primary was
+	// selected from the same origin and kind).
+	if !prim.initiate && prim.origin == origin && prim.env.Kind == env.Kind {
+		return plan
+	}
+	sec := planItem{origin: origin, kind: env.Kind, env: env}
+	plan.secondary = &sec
+	pb := env
+	plan.frame.Piggyback = &pb
+	return plan
+}
+
+// commitRingSend applies the bookkeeping for a frame that was just handed
+// to the ring sender. State cannot have changed since planning: the event
+// loop plans and commits within one select iteration.
+func (s *Server) commitRingSend(plan sendPlan) {
+	if plan.control {
+		s.control = s.control[1:]
+		return
+	}
+	s.commitItem(plan.primary)
+	if plan.secondary != nil {
+		s.commitItem(*plan.secondary)
+	}
+	// Paper line 55: the nb_msg table resets whenever the forward queue
+	// is observed empty.
+	if s.fq.empty() {
+		s.fq.resetCounts()
+	}
+}
+
+// commitItem performs the state transitions of sending one envelope.
+func (s *Server) commitItem(it planItem) {
+	if it.initiate {
+		w := s.writeQueue[0]
+		s.writeQueue = s.writeQueue[1:]
+		o := s.obj(it.env.Object)
+		// Paper line 24: the originator records its own pre-write.
+		o.pending[it.env.Tag] = it.env.Value
+		s.myWrites[writeKey{object: it.env.Object, tag: it.env.Tag}] = ownWrite{
+			client: w.client,
+			reqID:  w.reqID,
+			object: w.object,
+			phase:  phasePreWrite,
+		}
+		s.fq.charge(s.cfg.ID) // paper line 26
+		return
+	}
+	var (
+		env wire.Envelope
+		ok  bool
+	)
+	if it.fifo {
+		env, ok = s.fq.fifoPop()
+	} else {
+		env, ok = s.fq.popFirst(it.origin, it.kind)
+	}
+	if !ok {
+		// Unreachable by construction; dropping the plan is safe (the
+		// frame already sent is a duplicate at worst).
+		s.log.Warn("planned envelope vanished", "origin", it.origin, "kind", it.kind)
+		return
+	}
+	if !it.fifo {
+		s.fq.charge(it.origin) // paper line 72
+	}
+	// Paper line 71: a forwarded pre-write joins the pending set (unless
+	// the PendingOnReceive ablation already recorded it at receipt).
+	if env.Kind == wire.KindPreWrite && !s.cfg.PendingOnReceive {
+		s.obj(env.Object).pending[env.Tag] = env.Value
+	}
+}
+
+// pendingBarrier returns the read barrier for an object: the highest
+// pending tag (exported for tests via export_test.go).
+func (s *Server) pendingBarrier(obj wire.ObjectID) tag.Tag {
+	return s.obj(obj).maxPending()
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"repro/internal/wire"
+)
+
+// handleCrash processes a crash notification for a process, whether it
+// came from the local failure detector or from a crash notice gossiped
+// around the ring. Duplicate notifications are no-ops (the ring view
+// deduplicates). Failure reports about clients — whose disconnections the
+// TCP transport cannot distinguish from crashes — are ignored here: only
+// ring members matter.
+func (s *Server) handleCrash(crashed wire.ProcessID) {
+	if crashed == s.cfg.ID || !s.view.Contains(crashed) || !s.view.Alive(crashed) {
+		return
+	}
+	oldSucc := s.view.Successor(s.cfg.ID)
+	s.view.MarkCrashed(crashed)
+	s.log.Info("ring member crashed", "crashed", crashed, "epoch", s.view.Epoch())
+
+	if s.view.AliveCount() == 0 {
+		return // cannot happen while we are alive, but stay defensive
+	}
+
+	// Gossip the crash around the ring so non-adjacent servers update
+	// their view too (the in-memory failure detector notifies everyone
+	// directly; the duplicate notices die out at the first server that
+	// already knows).
+	s.control = append(s.control, wire.Envelope{
+		Kind:   wire.KindCrash,
+		Origin: crashed,
+		Epoch:  s.view.Epoch(),
+	})
+
+	// Paper lines 85-92: the crashed server's ring predecessor splices
+	// the ring and retransmits what the crashed server may have
+	// swallowed.
+	if crashed == oldSucc {
+		s.retransmitAfterSuccessorCrash()
+	}
+
+	// Messages originated by a crashed server would circulate forever;
+	// the alive predecessor of the crashed position adopts them
+	// (DESIGN.md §3.4). Entries already sitting in the forward queue
+	// are converted here; later arrivals are handled at receipt.
+	s.adoptOrphans()
+}
+
+// retransmitAfterSuccessorCrash implements the paper's recovery rule: send
+// the current value as a write message and re-send every pending
+// pre-write to the new successor. Each retransmitted message carries its
+// original origin, so it continues its interrupted journey around the
+// ring and terminates at its originator (or at the originator's adopter),
+// exactly like a first transmission. Combined with prefix pruning of the
+// pending set, this guarantees every server either receives each lost
+// write or a newer one (see the coverage argument in DESIGN.md §3.3-3.4).
+func (s *Server) retransmitAfterSuccessorCrash() {
+	for objID, o := range s.objects {
+		if !o.tag.IsZero() {
+			s.fq.push(wire.Envelope{
+				Kind:   wire.KindWrite,
+				Object: objID,
+				Tag:    o.tag,
+				Origin: wire.ProcessID(o.tag.ID),
+				Value:  o.value,
+			})
+		}
+		for t, v := range o.pending {
+			s.fq.push(wire.Envelope{
+				Kind:   wire.KindPreWrite,
+				Object: objID,
+				Tag:    t,
+				Origin: wire.ProcessID(t.ID),
+				Value:  v,
+			})
+		}
+	}
+}
+
+// adoptOrphans scans the forward queue for messages originated by crashed
+// servers this server is now responsible for: orphaned pre-writes are
+// turned around into their write phase, orphaned writes are absorbed
+// (they were already applied at receipt).
+func (s *Server) adoptOrphans() {
+	for _, origin := range s.deadQueuedOrigins() {
+		if !s.isOrphanAdopter(origin) {
+			continue
+		}
+		for _, env := range s.fq.takeOrigin(origin) {
+			env := env
+			if env.Kind != wire.KindPreWrite {
+				continue // writes were applied on receipt; just absorb
+			}
+			o := s.obj(env.Object)
+			s.applyAndRelease(env.Object, o, env.Tag, env.Value)
+			o.prune(env.Tag)
+			delete(o.pending, env.Tag)
+			s.fq.push(wire.Envelope{
+				Kind:   wire.KindWrite,
+				Object: env.Object,
+				Tag:    env.Tag,
+				Origin: env.Origin,
+				Value:  env.Value,
+			})
+		}
+	}
+}
+
+// deadQueuedOrigins returns the crashed ring members that still have
+// messages in the forward queue.
+func (s *Server) deadQueuedOrigins() []wire.ProcessID {
+	var dead []wire.ProcessID
+	for _, origin := range s.fq.order {
+		if len(s.fq.queues[origin]) == 0 {
+			continue
+		}
+		if s.view.Contains(origin) && !s.view.Alive(origin) {
+			dead = append(dead, origin)
+		}
+	}
+	return dead
+}

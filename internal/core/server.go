@@ -1,0 +1,401 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+
+	"repro/internal/ring"
+	"repro/internal/tag"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Server errors.
+var (
+	errNoMembers = errors.New("core: empty ring membership")
+	errNotMember = errors.New("core: server id not in membership")
+)
+
+// writeIntent is a client write waiting in the write_queue for the
+// fairness rule to let the server initiate it.
+type writeIntent struct {
+	client wire.ProcessID
+	reqID  uint64
+	object wire.ObjectID
+	value  []byte
+}
+
+// writePhase tracks the progress of a write this server originated.
+type writePhase uint8
+
+const (
+	// phasePreWrite: the pre_write message is circling the ring.
+	phasePreWrite writePhase = iota + 1
+	// phaseWrite: the write message is circling the ring.
+	phaseWrite
+)
+
+// ownWrite is the bookkeeping for a write this server originated: which
+// client to acknowledge once the write message completes the ring.
+type ownWrite struct {
+	client wire.ProcessID
+	reqID  uint64
+	object wire.ObjectID
+	phase  writePhase
+}
+
+// writeKey identifies an in-flight own write.
+type writeKey struct {
+	object wire.ObjectID
+	tag    tag.Tag
+}
+
+// outFrame is a frame addressed to a concrete process.
+type outFrame struct {
+	to wire.ProcessID
+	f  wire.Frame
+}
+
+// Server is one storage server of the ring. Create it with NewServer,
+// start its goroutines with Start, and stop them with Stop. All algorithm
+// state is confined to the event-loop goroutine.
+type Server struct {
+	cfg Config
+	ep  transport.Endpoint
+	log *slog.Logger
+
+	view *ring.View
+
+	// objects holds the per-register replica state, created lazily.
+	objects map[wire.ObjectID]*objectState
+	// writeQueue holds client writes not yet initiated (paper:
+	// write_queue).
+	writeQueue []writeIntent
+	// fq is the forward queue plus the nb_msg fairness table.
+	fq *fairQueue
+	// control holds crash notices to disseminate; they bypass fairness.
+	control []wire.Envelope
+	// myWrites tracks writes this server originated, keyed by tag.
+	myWrites map[writeKey]ownWrite
+	// clientPending holds acks waiting for the client-side sender.
+	clientPending []outFrame
+
+	// ringOut and clientOut hand frames to the two sender goroutines,
+	// modelling the paper's two NICs (inter-server network and client
+	// network). Both are unbuffered: at most one frame is in flight per
+	// network, and backpressure reaches the queue handler.
+	ringOut   chan outFrame
+	clientOut chan outFrame
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer builds a server over the given transport endpoint. The
+// endpoint's id must equal cfg.ID.
+func NewServer(cfg Config, ep transport.Endpoint) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ep.ID() != cfg.ID {
+		return nil, fmt.Errorf("core: endpoint id %d != config id %d", ep.ID(), cfg.ID)
+	}
+	view, err := ring.New(cfg.Members)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Server{
+		cfg:       cfg,
+		ep:        ep,
+		log:       cfg.logger().With("server", cfg.ID),
+		view:      view,
+		objects:   make(map[wire.ObjectID]*objectState),
+		fq:        newFairQueue(),
+		myWrites:  make(map[writeKey]ownWrite),
+		ringOut:   make(chan outFrame),
+		clientOut: make(chan outFrame),
+		stopc:     make(chan struct{}),
+	}, nil
+}
+
+// ID returns the server's process id.
+func (s *Server) ID() wire.ProcessID { return s.cfg.ID }
+
+// Start launches the event loop and the two sender goroutines.
+func (s *Server) Start() {
+	s.wg.Add(3)
+	go s.eventLoop()
+	go s.senderLoop(s.ringOut)
+	go s.senderLoop(s.clientOut)
+}
+
+// Stop terminates the server's goroutines. It does not close the
+// transport endpoint; the caller owns it.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stopc) })
+	s.wg.Wait()
+}
+
+// senderLoop drains one of the two outbound channels onto the transport.
+// A send failure is logged and dropped: the failure detector will report
+// the peer and recovery retransmits whatever mattered.
+func (s *Server) senderLoop(ch <-chan outFrame) {
+	defer s.wg.Done()
+	for {
+		select {
+		case of := <-ch:
+			if err := s.ep.Send(of.to, of.f); err != nil {
+				s.log.Debug("send failed", "to", of.to, "err", err)
+			}
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// eventLoop owns all algorithm state. Each iteration either handles one
+// inbound event or commits one outbound send; the ring send offered to
+// the select is (re)planned from current state every iteration, so the
+// fairness decision always reflects the latest queues.
+func (s *Server) eventLoop() {
+	defer s.wg.Done()
+	for {
+		var (
+			ringC   chan outFrame
+			ringOF  outFrame
+			plan    sendPlan
+			clientC chan outFrame
+			cliOF   outFrame
+		)
+		plan = s.planRingSend()
+		if plan.ok {
+			ringC = s.ringOut
+			ringOF = outFrame{to: s.view.Successor(s.cfg.ID), f: plan.frame}
+		}
+		if len(s.clientPending) > 0 {
+			clientC = s.clientOut
+			cliOF = s.clientPending[0]
+		}
+
+		select {
+		case in := <-s.ep.Inbox():
+			s.handleInbound(in)
+		case crashed := <-s.ep.Failures():
+			s.handleCrash(crashed)
+		case ringC <- ringOF:
+			s.commitRingSend(plan)
+		case clientC <- cliOF:
+			s.clientPending = s.clientPending[1:]
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// obj returns the replica state for an object, creating it on first use.
+func (s *Server) obj(id wire.ObjectID) *objectState {
+	o, ok := s.objects[id]
+	if !ok {
+		o = newObjectState()
+		s.objects[id] = o
+	}
+	return o
+}
+
+// handleInbound dispatches one received frame (both envelopes of a
+// piggybacked frame).
+func (s *Server) handleInbound(in transport.Inbound) {
+	for _, env := range in.Frame.Envelopes() {
+		env := env
+		if err := env.Validate(); err != nil {
+			s.log.Debug("dropping invalid envelope", "err", err)
+			continue
+		}
+		switch env.Kind {
+		case wire.KindWriteRequest:
+			s.onWriteRequest(in.From, &env)
+		case wire.KindReadRequest:
+			s.onReadRequest(in.From, &env)
+		case wire.KindPreWrite:
+			s.onPreWrite(&env)
+		case wire.KindWrite:
+			s.onWrite(&env)
+		case wire.KindCrash:
+			s.handleCrash(env.Origin)
+		default:
+			s.log.Debug("dropping unexpected kind", "kind", env.Kind)
+		}
+	}
+}
+
+// onWriteRequest implements paper lines 18-20: queue the client write
+// until the fairness rule lets this server initiate it.
+func (s *Server) onWriteRequest(from wire.ProcessID, env *wire.Envelope) {
+	s.writeQueue = append(s.writeQueue, writeIntent{
+		client: from,
+		reqID:  env.ReqID,
+		object: env.Object,
+		value:  env.Value,
+	})
+}
+
+// onReadRequest implements paper lines 76-84: serve locally when no
+// pre-write is outstanding (or the stored tag already dominates all of
+// them), otherwise park the read behind the highest pending tag.
+func (s *Server) onReadRequest(from wire.ProcessID, env *wire.Envelope) {
+	o := s.obj(env.Object)
+	if o.readableNow() {
+		s.ackRead(from, env.ReqID, env.Object, o)
+		return
+	}
+	o.park(from, env.ReqID, o.maxPending())
+}
+
+// ackRead queues a read_ack with the stored value.
+func (s *Server) ackRead(to wire.ProcessID, reqID uint64, obj wire.ObjectID, o *objectState) {
+	s.clientPending = append(s.clientPending, outFrame{
+		to: to,
+		f: wire.NewFrame(wire.Envelope{
+			Kind:   wire.KindReadAck,
+			Object: obj,
+			Tag:    o.tag,
+			ReqID:  reqID,
+			Value:  o.value,
+		}),
+	})
+}
+
+// applyAndRelease installs (t, v) if newer and releases any parked reads
+// whose barrier is now satisfied.
+func (s *Server) applyAndRelease(objID wire.ObjectID, o *objectState, t tag.Tag, v []byte) {
+	if !o.apply(t, v) {
+		return
+	}
+	for _, pr := range o.releaseReady() {
+		s.ackRead(pr.client, pr.reqID, objID, o)
+	}
+}
+
+// onPreWrite implements paper lines 29-40 plus the crash-adoption rule.
+func (s *Server) onPreWrite(env *wire.Envelope) {
+	o := s.obj(env.Object)
+	key := writeKey{object: env.Object, tag: env.Tag}
+
+	if env.Origin == s.cfg.ID {
+		// My own pre_write completed the ring: every alive server has
+		// seen it. Install the value and start the write phase (paper
+		// lines 33-38).
+		w, ok := s.myWrites[key]
+		if !ok || w.phase != phasePreWrite {
+			return // duplicate from recovery retransmission
+		}
+		w.phase = phaseWrite
+		s.myWrites[key] = w
+		s.applyAndRelease(env.Object, o, env.Tag, env.Value)
+		o.prune(env.Tag)
+		wenv := wire.Envelope{
+			Kind:   wire.KindWrite,
+			Object: env.Object,
+			Tag:    env.Tag,
+			Origin: s.cfg.ID,
+		}
+		if s.cfg.DisableValueElision {
+			wenv.Value = env.Value
+		} else {
+			// Every server holds the value in its pending set from
+			// the pre-write phase; ship only the tag.
+			wenv.Flags = wire.FlagValueElided
+		}
+		s.fq.push(wenv)
+		return
+	}
+
+	if s.isOrphanAdopter(env.Origin) {
+		// The originator crashed and this server is the alive
+		// predecessor of its ring position: the pre_write has, by
+		// construction, traversed every other alive server, so turn it
+		// around into its write phase on the originator's behalf
+		// (DESIGN.md §3.4).
+		s.applyAndRelease(env.Object, o, env.Tag, env.Value)
+		o.prune(env.Tag)
+		s.fq.push(wire.Envelope{
+			Kind:   wire.KindWrite,
+			Object: env.Object,
+			Tag:    env.Tag,
+			Origin: env.Origin,
+			Value:  env.Value,
+		})
+		return
+	}
+
+	if s.cfg.PendingOnReceive {
+		o.pending[env.Tag] = env.Value
+	}
+	s.fq.push(*env)
+}
+
+// resolveWriteValue returns the value a write message installs. Elided
+// writes look the value up in the pending set; when it is absent the tag
+// is necessarily at or below the stored tag (pending entries are only
+// pruned by applied writes), so no apply is needed and ok is false.
+func (s *Server) resolveWriteValue(o *objectState, env *wire.Envelope) ([]byte, bool) {
+	if env.Flags&wire.FlagValueElided == 0 {
+		return env.Value, true
+	}
+	if v, ok := o.pending[env.Tag]; ok {
+		return v, true
+	}
+	if env.Tag.After(o.tag) {
+		// Unreachable by protocol construction (see DESIGN.md §3.6);
+		// surfacing it loudly beats silently serving a wrong value.
+		s.log.Error("elided write without pending value", "tag", env.Tag, "object", env.Object)
+	}
+	return nil, false
+}
+
+// onWrite implements paper lines 41-52 plus the crash-absorption rule.
+func (s *Server) onWrite(env *wire.Envelope) {
+	o := s.obj(env.Object)
+
+	if env.Origin == s.cfg.ID {
+		// My own write completed the ring: acknowledge the client
+		// (paper lines 49-51). Recovery can re-deliver writes whose
+		// bookkeeping is gone; those are absorbed silently.
+		key := writeKey{object: env.Object, tag: env.Tag}
+		if w, ok := s.myWrites[key]; ok && w.phase == phaseWrite {
+			delete(s.myWrites, key)
+			s.clientPending = append(s.clientPending, outFrame{
+				to: w.client,
+				f: wire.NewFrame(wire.Envelope{
+					Kind:   wire.KindWriteAck,
+					Object: env.Object,
+					Tag:    env.Tag,
+					ReqID:  w.reqID,
+				}),
+			})
+		}
+		return
+	}
+
+	if v, ok := s.resolveWriteValue(o, env); ok {
+		s.applyAndRelease(env.Object, o, env.Tag, v)
+	}
+	o.prune(env.Tag)
+	if s.isOrphanAdopter(env.Origin) {
+		return // absorb: the originator is gone, the ring is covered
+	}
+	s.fq.push(*env)
+}
+
+// isOrphanAdopter reports whether origin has crashed and this server is
+// the alive predecessor of its ring position — the server responsible for
+// finishing or absorbing the messages origin originated.
+func (s *Server) isOrphanAdopter(origin wire.ProcessID) bool {
+	if s.view.Alive(origin) || !s.view.Contains(origin) {
+		return false
+	}
+	return s.view.Predecessor(origin) == s.cfg.ID
+}

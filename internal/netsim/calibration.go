@@ -1,0 +1,56 @@
+package netsim
+
+// Calibration converts the simulator's dimensionless rounds into the
+// units the paper's charts use (Mbit/s and milliseconds). The mapping is
+// self-calibrating: a lockstep schedule can run on real hardware exactly
+// as fast as its busiest link allows, so one round corresponds to the
+// time the bottleneck interface needs to push its average per-round
+// bytes through the configured link rate.
+type Calibration struct {
+	// LinkRateMbps is the physical link rate (the paper: 100 Mbit/s
+	// fast ethernet).
+	LinkRateMbps float64
+	// PayloadBytes is the client value size used by the workload.
+	PayloadBytes int
+	// OverheadBytes is the per-message protocol plus network-stack
+	// overhead (envelope header, TCP/IP/ethernet framing).
+	OverheadBytes int
+}
+
+// DefaultCalibration mirrors the paper's testbed: 100 Mbit/s links, 1 KiB
+// values, and ~128 bytes of combined per-message overhead.
+func DefaultCalibration() Calibration {
+	return Calibration{LinkRateMbps: 100, PayloadBytes: 1024, OverheadBytes: 128}
+}
+
+// PayloadFrameBytes is the wire size of a message carrying one payload.
+func (c Calibration) PayloadFrameBytes() int { return c.PayloadBytes + c.OverheadBytes }
+
+// ControlFrameBytes is the wire size of a payload-free message (requests,
+// acks, tag-only writes).
+func (c Calibration) ControlFrameBytes() int { return c.OverheadBytes }
+
+// RoundSeconds returns the wall-clock duration of one round for a run
+// whose busiest interface sent bottleneckBytesPerRound on average.
+func (c Calibration) RoundSeconds(bottleneckBytesPerRound float64) float64 {
+	if bottleneckBytesPerRound <= 0 {
+		return 0
+	}
+	return bottleneckBytesPerRound * 8 / (c.LinkRateMbps * 1e6)
+}
+
+// ThroughputMbps converts an operation completion rate (payload-carrying
+// ops per round) into Mbit/s of useful payload, given the run's
+// bottleneck byte rate.
+func (c Calibration) ThroughputMbps(opsPerRound, bottleneckBytesPerRound float64) float64 {
+	rs := c.RoundSeconds(bottleneckBytesPerRound)
+	if rs == 0 {
+		return 0
+	}
+	return opsPerRound * float64(c.PayloadBytes) * 8 / rs / 1e6
+}
+
+// LatencyMillis converts a latency measured in rounds into milliseconds.
+func (c Calibration) LatencyMillis(rounds, bottleneckBytesPerRound float64) float64 {
+	return rounds * c.RoundSeconds(bottleneckBytesPerRound) * 1e3
+}

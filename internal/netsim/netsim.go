@@ -1,0 +1,313 @@
+// Package netsim is a deterministic, round-based network simulator
+// implementing the performance model of the paper's Section 2: in each
+// round a process (1) computes, (2) sends one message — possibly a
+// multicast — per network interface, and (3) receives at most one message
+// per network interface. Multiple messages arriving at the same interface
+// in the same round contend: they are serialized one per round (the
+// deterministic analogue of ethernet collisions plus retransmission; the
+// number of such contention events is reported in the statistics).
+//
+// The paper's testbed gives every machine two NICs on two switched
+// 100 Mbit/s networks — one for inter-server (ring) traffic and one for
+// client traffic — with an experiment variant where everything shares a
+// single network. The simulator models both: every process has a Server
+// interface and a Client interface, and in shared mode both map onto one
+// physical interface.
+//
+// Rounds translate to wall-clock time and link bandwidth through the
+// Calibration type, which converts ops/round into Mbit/s exactly as the
+// paper's charts report them.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NIC identifies a network interface of a process.
+type NIC uint8
+
+// The two interfaces of the dual-network deployment.
+const (
+	// NICServer carries inter-server (ring, quorum, chain...) traffic.
+	NICServer NIC = iota + 1
+	// NICClient carries request/reply traffic with clients.
+	NICClient
+)
+
+// Message is one simulated network message.
+type Message struct {
+	// From is the sending process id.
+	From int
+	// To is the receiving process id.
+	To int
+	// NIC is the interface of the *receiver* the message arrives on
+	// (and, symmetrically, the sender's egress interface).
+	NIC NIC
+	// Payload is algorithm-defined message content.
+	Payload any
+	// Bytes is the message's size for bandwidth accounting.
+	Bytes int
+}
+
+// Send is an egress request made by a process during its Tick: one
+// logical message, unicast or multicast, on one interface.
+type Send struct {
+	// NIC is the egress interface.
+	NIC NIC
+	// To lists the destination process ids (multicast allowed; it
+	// occupies the sender's interface once but each destination's
+	// ingress separately).
+	To []int
+	// Payload is the message content, shared by all destinations.
+	Payload any
+	// Bytes is the size of the message on the wire.
+	Bytes int
+}
+
+// Process is a simulated algorithm participant. Tick is called once per
+// round with the messages delivered this round (at most one per
+// interface) and returns the sends for this round (at most one per
+// interface; in shared-network mode, at most one in total).
+type Process interface {
+	// ID returns the process id, unique within a simulation.
+	ID() int
+	// Tick advances the process by one round.
+	Tick(round int, delivered []Message) []Send
+}
+
+// IngressPolicy selects what happens when several messages arrive at one
+// interface in the same round.
+type IngressPolicy uint8
+
+// Ingress policies.
+const (
+	// IngressSerialize queues simultaneous arrivals and delivers one
+	// per round — a switched full-duplex network (the default).
+	IngressSerialize IngressPolicy = iota
+	// IngressCollide models the collision-and-retransmission behaviour
+	// the paper's §1 warns about: when k > 1 messages reach one
+	// interface in the same round they collide, and the interface is
+	// jammed — delivering nothing — for the next k rounds while the
+	// senders retransmit. Ring traffic never collides (each link has a
+	// single sender); broadcast-based protocols, whose multicasts
+	// trigger simultaneous replies, degrade sharply.
+	IngressCollide
+)
+
+// Config configures a simulation.
+type Config struct {
+	// SharedNetwork maps both NICs onto one physical interface per
+	// process: one send and one receive per round in total (the paper's
+	// bottom-most experiment in Figure 3).
+	SharedNetwork bool
+	// Ingress selects the contention model; zero is IngressSerialize.
+	Ingress IngressPolicy
+}
+
+// Stats aggregates what happened on the simulated network.
+type Stats struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// MessagesDelivered counts delivered messages.
+	MessagesDelivered int
+	// BytesDelivered sums delivered message sizes.
+	BytesDelivered int
+	// Contentions counts rounds in which more than one message wanted
+	// the same ingress interface (each extra message is one contention
+	// event — the model's stand-in for an ethernet collision).
+	Contentions int
+	// MaxQueueDepth is the deepest any ingress queue got.
+	MaxQueueDepth int
+	// Retransmissions counts the extra delay rounds imposed by the
+	// IngressCollide policy (zero under IngressSerialize).
+	Retransmissions int
+	// EgressBytes sums bytes sent per (process, physical interface).
+	// The busiest interface determines how fast the lockstep schedule
+	// can run on real links (see Calibration).
+	EgressBytes map[IfaceKey]int
+}
+
+// IfaceKey names one physical interface of one process.
+type IfaceKey struct {
+	// Proc is the process id.
+	Proc int
+	// NIC is the physical interface.
+	NIC NIC
+}
+
+// BottleneckBytesPerRound returns the highest average egress byte rate of
+// any interface, in bytes per round. Zero when nothing was sent.
+func (st Stats) BottleneckBytesPerRound() float64 {
+	if st.Rounds == 0 {
+		return 0
+	}
+	max := 0
+	for _, b := range st.EgressBytes {
+		if b > max {
+			max = b
+		}
+	}
+	return float64(max) / float64(st.Rounds)
+}
+
+// Simulator runs processes in lockstep rounds.
+type Simulator struct {
+	cfg   Config
+	procs []Process
+	byID  map[int]Process
+	// ingress queues per (process, physical interface).
+	ingress map[ingressKey][]Message
+	// jammedUntil marks interfaces disabled by a collision until the
+	// given round (IngressCollide only).
+	jammedUntil map[ingressKey]int
+	round       int
+	stats       Stats
+}
+
+type ingressKey struct {
+	proc int
+	nic  NIC
+}
+
+// New creates a simulator over the given processes.
+func New(cfg Config, procs ...Process) (*Simulator, error) {
+	s := &Simulator{
+		cfg:         cfg,
+		procs:       append([]Process(nil), procs...),
+		byID:        make(map[int]Process, len(procs)),
+		ingress:     make(map[ingressKey][]Message),
+		jammedUntil: make(map[ingressKey]int),
+	}
+	s.stats.EgressBytes = make(map[IfaceKey]int)
+	for _, p := range procs {
+		if _, dup := s.byID[p.ID()]; dup {
+			return nil, fmt.Errorf("netsim: duplicate process id %d", p.ID())
+		}
+		s.byID[p.ID()] = p
+	}
+	// Deterministic iteration order regardless of construction order.
+	sort.Slice(s.procs, func(i, j int) bool { return s.procs[i].ID() < s.procs[j].ID() })
+	return s, nil
+}
+
+// MustNew is New for statically correct setups; it panics on error.
+func MustNew(cfg Config, procs ...Process) *Simulator {
+	s, err := New(cfg, procs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Round returns the number of completed rounds.
+func (s *Simulator) Round() int { return s.round }
+
+// Stats returns a copy of the accumulated statistics.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+// physNIC maps a logical interface to the physical one under the
+// configured network topology.
+func (s *Simulator) physNIC(n NIC) NIC {
+	if s.cfg.SharedNetwork {
+		return NICServer
+	}
+	return n
+}
+
+// Run executes n rounds.
+func (s *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Step executes one round: deliver at most one queued message per
+// (process, interface), tick every process, then enqueue its sends.
+func (s *Simulator) Step() {
+	// Phase 1: pick this round's deliveries; jammed interfaces deliver
+	// nothing while their collision clears.
+	delivered := make(map[int][]Message)
+	for _, p := range s.procs {
+		id := p.ID()
+		nics := []NIC{NICServer, NICClient}
+		if s.cfg.SharedNetwork {
+			nics = []NIC{NICServer}
+		}
+		for _, nic := range nics {
+			key := ingressKey{proc: id, nic: nic}
+			if s.round < s.jammedUntil[key] {
+				continue
+			}
+			q := s.ingress[key]
+			if len(q) == 0 {
+				continue
+			}
+			m := q[0]
+			s.ingress[key] = q[1:]
+			delivered[id] = append(delivered[id], m)
+			s.stats.MessagesDelivered++
+			s.stats.BytesDelivered += m.Bytes
+		}
+	}
+
+	// Phase 2: tick processes and collect sends.
+	type egress struct {
+		from int
+		send Send
+	}
+	var sends []egress
+	for _, p := range s.procs {
+		outs := p.Tick(s.round, delivered[p.ID()])
+		seen := make(map[NIC]bool, 2)
+		for _, out := range outs {
+			phys := s.physNIC(out.NIC)
+			if seen[phys] {
+				panic(fmt.Sprintf("netsim: process %d sent twice on one interface in round %d", p.ID(), s.round))
+			}
+			seen[phys] = true
+			s.stats.EgressBytes[IfaceKey{Proc: p.ID(), NIC: phys}] += out.Bytes
+			sends = append(sends, egress{from: p.ID(), send: out})
+		}
+	}
+
+	// Phase 3: enqueue arrivals (deterministically ordered by sender,
+	// then destination) and count ingress contention. Under
+	// IngressCollide, k simultaneous arrivals jam the interface for the
+	// next k rounds while the colliding senders retransmit.
+	arrivals := make(map[ingressKey]int)
+	for _, e := range sends {
+		for _, to := range e.send.To {
+			if _, ok := s.byID[to]; !ok {
+				panic(fmt.Sprintf("netsim: process %d sent to unknown process %d", e.from, to))
+			}
+			key := ingressKey{proc: to, nic: s.physNIC(e.send.NIC)}
+			arrivals[key]++
+			s.ingress[key] = append(s.ingress[key], Message{
+				From:    e.from,
+				To:      to,
+				NIC:     e.send.NIC,
+				Payload: e.send.Payload,
+				Bytes:   e.send.Bytes,
+			})
+			if d := len(s.ingress[key]); d > s.stats.MaxQueueDepth {
+				s.stats.MaxQueueDepth = d
+			}
+		}
+	}
+	for key, n := range arrivals {
+		if n <= 1 {
+			continue
+		}
+		s.stats.Contentions += n - 1
+		if s.cfg.Ingress == IngressCollide {
+			s.stats.Retransmissions += n - 1
+			jam := s.round + 1 + n
+			if jam > s.jammedUntil[key] {
+				s.jammedUntil[key] = jam
+			}
+		}
+	}
+	s.round++
+	s.stats.Rounds = s.round
+}

@@ -1,0 +1,248 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// echoProc replies on the same interface to every delivered message.
+type echoProc struct {
+	id    int
+	seen  []Message
+	sends int
+}
+
+func (p *echoProc) ID() int { return p.id }
+
+func (p *echoProc) Tick(round int, delivered []Message) []Send {
+	p.seen = append(p.seen, delivered...)
+	var out []Send
+	for _, m := range delivered {
+		out = append(out, Send{NIC: m.NIC, To: []int{m.From}, Payload: m.Payload, Bytes: m.Bytes})
+		p.sends++
+	}
+	return out
+}
+
+// pumpProc sends one message per round to a fixed destination.
+type pumpProc struct {
+	id, to int
+	nic    NIC
+	bytes  int
+	sent   int
+}
+
+func (p *pumpProc) ID() int { return p.id }
+
+func (p *pumpProc) Tick(round int, delivered []Message) []Send {
+	p.sent++
+	return []Send{{NIC: p.nic, To: []int{p.to}, Payload: p.sent, Bytes: p.bytes}}
+}
+
+// sinkProc records what it receives.
+type sinkProc struct {
+	id   int
+	seen []Message
+}
+
+func (p *sinkProc) ID() int { return p.id }
+
+func (p *sinkProc) Tick(round int, delivered []Message) []Send {
+	p.seen = append(p.seen, delivered...)
+	return nil
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	a := &sinkProc{id: 1}
+	b := &sinkProc{id: 1}
+	if _, err := New(Config{}, a, b); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+}
+
+func TestDeliveryTakesOneRound(t *testing.T) {
+	src := &pumpProc{id: 1, to: 2, nic: NICServer, bytes: 10}
+	dst := &sinkProc{id: 2}
+	s := MustNew(Config{}, src, dst)
+	s.Step()
+	if len(dst.seen) != 0 {
+		t.Fatal("message delivered in the round it was sent")
+	}
+	s.Step()
+	if len(dst.seen) != 1 {
+		t.Fatalf("got %d messages after two rounds, want 1", len(dst.seen))
+	}
+	if dst.seen[0].From != 1 || dst.seen[0].Bytes != 10 {
+		t.Fatalf("delivered %+v", dst.seen[0])
+	}
+}
+
+func TestIngressSerializesOnePerRound(t *testing.T) {
+	// Three senders to one sink: 3 messages/round arrive, 1/round is
+	// delivered; the rest queue (the paper's receive-at-most-one rule).
+	procs := []Process{&sinkProc{id: 9}}
+	for i := 1; i <= 3; i++ {
+		procs = append(procs, &pumpProc{id: i, to: 9, nic: NICServer, bytes: 1})
+	}
+	s := MustNew(Config{}, procs...)
+	const rounds = 20
+	s.Run(rounds)
+	sink := procs[0].(*sinkProc)
+	if len(sink.seen) != rounds-1 { // first round nothing had arrived yet
+		t.Fatalf("sink received %d messages in %d rounds, want %d", len(sink.seen), rounds, rounds-1)
+	}
+	if s.Stats().Contentions == 0 {
+		t.Fatal("simultaneous arrivals should count contention")
+	}
+	if s.Stats().MaxQueueDepth < 2 {
+		t.Fatalf("queue depth %d, expected backlog", s.Stats().MaxQueueDepth)
+	}
+}
+
+func TestDualNetworksAreIndependent(t *testing.T) {
+	// One process receives on both interfaces in the same round.
+	a := &pumpProc{id: 1, to: 3, nic: NICServer, bytes: 1}
+	b := &pumpProc{id: 2, to: 3, nic: NICClient, bytes: 1}
+	sink := &sinkProc{id: 3}
+	s := MustNew(Config{}, a, b, sink)
+	s.Run(2)
+	if len(sink.seen) != 2 {
+		t.Fatalf("dual-NIC sink received %d messages in round 2, want 2", len(sink.seen))
+	}
+}
+
+func TestSharedNetworkSerializesBothClasses(t *testing.T) {
+	a := &pumpProc{id: 1, to: 3, nic: NICServer, bytes: 1}
+	b := &pumpProc{id: 2, to: 3, nic: NICClient, bytes: 1}
+	sink := &sinkProc{id: 3}
+	s := MustNew(Config{SharedNetwork: true}, a, b, sink)
+	s.Run(2)
+	if len(sink.seen) != 1 {
+		t.Fatalf("shared-NIC sink received %d messages in round 2, want 1", len(sink.seen))
+	}
+}
+
+func TestSharedNetworkEgressLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double egress on a shared interface must panic")
+		}
+	}()
+	p := &doubleSender{id: 1}
+	sink := &sinkProc{id: 2}
+	s := MustNew(Config{SharedNetwork: true}, p, sink)
+	s.Step()
+}
+
+type doubleSender struct{ id int }
+
+func (p *doubleSender) ID() int { return p.id }
+
+func (p *doubleSender) Tick(round int, delivered []Message) []Send {
+	return []Send{
+		{NIC: NICServer, To: []int{2}, Bytes: 1},
+		{NIC: NICClient, To: []int{2}, Bytes: 1},
+	}
+}
+
+func TestMulticastOneEgressManyIngress(t *testing.T) {
+	bcast := &broadcaster{id: 1, dests: []int{2, 3, 4}}
+	sinks := []Process{&sinkProc{id: 2}, &sinkProc{id: 3}, &sinkProc{id: 4}}
+	s := MustNew(Config{}, append(sinks, bcast)...)
+	s.Run(2)
+	for _, p := range sinks {
+		if got := len(p.(*sinkProc).seen); got != 1 {
+			t.Fatalf("sink %d received %d messages, want 1", p.ID(), got)
+		}
+	}
+	// One multicast per round = Bytes counted once on the egress side.
+	if got := s.Stats().EgressBytes[IfaceKey{Proc: 1, NIC: NICServer}]; got != 2*7 {
+		t.Fatalf("egress bytes = %d, want 14", got)
+	}
+}
+
+type broadcaster struct {
+	id    int
+	dests []int
+}
+
+func (p *broadcaster) ID() int { return p.id }
+
+func (p *broadcaster) Tick(round int, delivered []Message) []Send {
+	return []Send{{NIC: NICServer, To: append([]int(nil), p.dests...), Payload: round, Bytes: 7}}
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	pump := &pumpProc{id: 1, to: 2, nic: NICClient, bytes: 5}
+	echo := &echoProc{id: 2}
+	s := MustNew(Config{}, pump, echo)
+	s.Run(10)
+	// Pump's own ingress receives echoes back.
+	if len(echo.seen) == 0 {
+		t.Fatal("echo saw nothing")
+	}
+	st := s.Stats()
+	if st.MessagesDelivered == 0 || st.BytesDelivered == 0 {
+		t.Fatalf("stats not accumulated: %+v", st)
+	}
+}
+
+func TestUnknownDestinationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to unknown process must panic")
+		}
+	}()
+	p := &pumpProc{id: 1, to: 42, nic: NICServer, bytes: 1}
+	s := MustNew(Config{}, p)
+	s.Step()
+}
+
+func TestBottleneckBytesPerRound(t *testing.T) {
+	fast := &pumpProc{id: 1, to: 3, nic: NICServer, bytes: 100}
+	slow := &pumpProc{id: 2, to: 3, nic: NICClient, bytes: 10}
+	sink := &sinkProc{id: 3}
+	s := MustNew(Config{}, fast, slow, sink)
+	s.Run(10)
+	st := s.Stats()
+	if got := st.BottleneckBytesPerRound(); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("bottleneck = %v, want 100", got)
+	}
+}
+
+func TestCalibrationNumbers(t *testing.T) {
+	c := DefaultCalibration()
+	// One payload frame per round on the bottleneck: the round takes
+	// frame-bits / link-rate seconds.
+	rs := c.RoundSeconds(float64(c.PayloadFrameBytes()))
+	wantRS := float64(c.PayloadFrameBytes()) * 8 / 100e6
+	if math.Abs(rs-wantRS) > 1e-12 {
+		t.Fatalf("RoundSeconds = %v, want %v", rs, wantRS)
+	}
+	// An interface streaming one payload per round achieves
+	// payload/(payload+overhead) of the link rate — the paper's ~89%.
+	tput := c.ThroughputMbps(1, float64(c.PayloadFrameBytes()))
+	want := 100 * float64(c.PayloadBytes) / float64(c.PayloadFrameBytes())
+	if math.Abs(tput-want) > 1e-9 {
+		t.Fatalf("ThroughputMbps = %v, want %v", tput, want)
+	}
+	if want < 85 || want > 92 {
+		t.Fatalf("default calibration gives %v Mbit/s for reads, expected ~89", want)
+	}
+	// Latency conversion: 2 rounds in ms.
+	lat := c.LatencyMillis(2, float64(c.PayloadFrameBytes()))
+	if math.Abs(lat-2*rs*1e3) > 1e-12 {
+		t.Fatalf("LatencyMillis = %v", lat)
+	}
+}
+
+func TestZeroRoundsSafe(t *testing.T) {
+	var st Stats
+	if st.BottleneckBytesPerRound() != 0 {
+		t.Fatal("zero-round stats must report zero bottleneck")
+	}
+	c := DefaultCalibration()
+	if c.ThroughputMbps(1, 0) != 0 || c.RoundSeconds(0) != 0 {
+		t.Fatal("zero bottleneck must convert to zero")
+	}
+}

@@ -1,0 +1,298 @@
+// Package quorum implements the "traditional" baseline the paper compares
+// against: a multi-writer multi-reader atomic register in the style of
+// Attiya, Bar-Noy & Dolev (the paper's references [4, 24]), built on
+// majority quorums. Clients coordinate both operations:
+//
+//	Write(v): query a majority for tags, pick max+1 (tie-broken by the
+//	          client id), then store (tag, v) at a majority.
+//	Read():   query a majority for (tag, value), pick the max, write it
+//	          back to a majority, then return it.
+//
+// It tolerates the crash of any minority of servers — strictly weaker
+// resilience than the ring algorithm's n-1 — and every operation costs
+// two round trips to a majority, which is what caps its throughput: each
+// operation occupies an ingress slot at a majority of servers, so adding
+// servers does not add capacity (paper §4.2 and reference [25]).
+package quorum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/tag"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Server is one quorum replica: a passive store answering query and
+// store messages.
+type Server struct {
+	ep  transport.Endpoint
+	mu  sync.Mutex // guards objects; the event loop is single-goroutine
+	obj map[wire.ObjectID]*replica
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+}
+
+// replica is per-object server state.
+type replica struct {
+	tag   tag.Tag
+	value []byte
+}
+
+// NewServer creates a quorum server over an endpoint.
+func NewServer(ep transport.Endpoint) *Server {
+	return &Server{
+		ep:    ep,
+		obj:   make(map[wire.ObjectID]*replica),
+		stopc: make(chan struct{}),
+	}
+}
+
+// Start launches the server loop.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// Stop terminates the server loop.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stopc) })
+	s.wg.Wait()
+}
+
+// get returns the replica state for an object.
+func (s *Server) get(id wire.ObjectID) *replica {
+	r, ok := s.obj[id]
+	if !ok {
+		r = &replica{}
+		s.obj[id] = r
+	}
+	return r
+}
+
+// loop serves queries and stores.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case in := <-s.ep.Inbox():
+			s.handle(in)
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// handle answers one message.
+func (s *Server) handle(in transport.Inbound) {
+	env := in.Frame.Env
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch env.Kind {
+	case wire.KindQuery:
+		r := s.get(env.Object)
+		reply := wire.Envelope{
+			Kind:   wire.KindQueryReply,
+			Object: env.Object,
+			ReqID:  env.ReqID,
+			Tag:    r.tag,
+			Value:  r.value,
+		}
+		_ = s.ep.Send(in.From, wire.NewFrame(reply))
+	case wire.KindStore:
+		r := s.get(env.Object)
+		if env.Tag.After(r.tag) {
+			r.tag = env.Tag
+			r.value = env.Value
+		}
+		ack := wire.Envelope{
+			Kind:   wire.KindStoreAck,
+			Object: env.Object,
+			ReqID:  env.ReqID,
+		}
+		_ = s.ep.Send(in.From, wire.NewFrame(ack))
+	default:
+		// Other kinds are not part of this protocol; drop them.
+	}
+}
+
+// Client errors.
+var (
+	// ErrNoQuorum is returned when a majority did not answer in time.
+	ErrNoQuorum = errors.New("quorum: no majority answered")
+	// ErrClosed is returned for operations on a closed client.
+	ErrClosed = errors.New("quorum: client closed")
+)
+
+// ClientOptions configure a quorum client.
+type ClientOptions struct {
+	// Servers lists all replicas.
+	Servers []wire.ProcessID
+	// PhaseTimeout bounds each phase's wait for a majority; zero means 2s.
+	PhaseTimeout time.Duration
+}
+
+// Client coordinates ABD operations from the client side.
+type Client struct {
+	ep   transport.Endpoint
+	opts ClientOptions
+
+	mu       sync.Mutex
+	nextReq  uint64
+	inflight map[uint64]chan wire.Envelope
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewClient creates a client and starts its receiver loop.
+func NewClient(ep transport.Endpoint, opts ClientOptions) (*Client, error) {
+	if len(opts.Servers) == 0 {
+		return nil, errors.New("quorum: no servers configured")
+	}
+	if opts.PhaseTimeout <= 0 {
+		opts.PhaseTimeout = 2 * time.Second
+	}
+	c := &Client{
+		ep:       ep,
+		opts:     opts,
+		inflight: make(map[uint64]chan wire.Envelope),
+		stopc:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.receiverLoop()
+	return c, nil
+}
+
+// Close stops the client.
+func (c *Client) Close() error {
+	c.stopOnce.Do(func() { close(c.stopc) })
+	c.wg.Wait()
+	return nil
+}
+
+// majority returns the quorum size.
+func (c *Client) majority() int { return len(c.opts.Servers)/2 + 1 }
+
+// phase broadcasts env to all servers and collects a majority of replies
+// of the given kind.
+func (c *Client) phase(ctx context.Context, env wire.Envelope, want wire.Kind) ([]wire.Envelope, error) {
+	c.mu.Lock()
+	c.nextReq++
+	reqID := c.nextReq
+	ch := make(chan wire.Envelope, len(c.opts.Servers))
+	c.inflight[reqID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight, reqID)
+		c.mu.Unlock()
+	}()
+
+	env.ReqID = reqID
+	for _, srv := range c.opts.Servers {
+		// A failed send to a crashed replica is fine: quorums absorb it.
+		_ = c.ep.Send(srv, wire.NewFrame(env))
+	}
+
+	timer := time.NewTimer(c.opts.PhaseTimeout)
+	defer timer.Stop()
+	var got []wire.Envelope
+	for len(got) < c.majority() {
+		select {
+		case reply := <-ch:
+			if reply.Kind == want {
+				got = append(got, reply)
+			}
+		case <-timer.C:
+			return nil, fmt.Errorf("%w (%d/%d)", ErrNoQuorum, len(got), c.majority())
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.stopc:
+			return nil, ErrClosed
+		}
+	}
+	return got, nil
+}
+
+// Write stores value under a fresh tag and returns that tag.
+func (c *Client) Write(ctx context.Context, object wire.ObjectID, value []byte) (tag.Tag, error) {
+	// Phase 1: learn the highest tag from a majority.
+	replies, err := c.phase(ctx, wire.Envelope{Kind: wire.KindQuery, Object: object}, wire.KindQueryReply)
+	if err != nil {
+		return tag.Zero, fmt.Errorf("quorum write query: %w", err)
+	}
+	var highest tag.Tag
+	for _, r := range replies {
+		highest = highest.Max(r.Tag)
+	}
+	next := highest.Next(uint32(c.ep.ID()))
+	// Phase 2: store at a majority.
+	store := wire.Envelope{
+		Kind:   wire.KindStore,
+		Object: object,
+		Tag:    next,
+		Value:  append([]byte(nil), value...),
+	}
+	if _, err := c.phase(ctx, store, wire.KindStoreAck); err != nil {
+		return tag.Zero, fmt.Errorf("quorum write store: %w", err)
+	}
+	return next, nil
+}
+
+// Read returns the freshest value a majority knows, after writing it back
+// so later reads cannot observe an older one (the ABD read write-back,
+// which is exactly what the paper's pre-write phase renders unnecessary).
+func (c *Client) Read(ctx context.Context, object wire.ObjectID) ([]byte, tag.Tag, error) {
+	replies, err := c.phase(ctx, wire.Envelope{Kind: wire.KindQuery, Object: object}, wire.KindQueryReply)
+	if err != nil {
+		return nil, tag.Zero, fmt.Errorf("quorum read query: %w", err)
+	}
+	var best wire.Envelope
+	for _, r := range replies {
+		if r.Tag.AtLeast(best.Tag) {
+			best = r
+		}
+	}
+	writeback := wire.Envelope{
+		Kind:   wire.KindStore,
+		Object: object,
+		Tag:    best.Tag,
+		Value:  best.Value,
+	}
+	if !best.Tag.IsZero() {
+		if _, err := c.phase(ctx, writeback, wire.KindStoreAck); err != nil {
+			return nil, tag.Zero, fmt.Errorf("quorum read write-back: %w", err)
+		}
+	}
+	return best.Value, best.Tag, nil
+}
+
+// receiverLoop routes replies to waiting phases.
+func (c *Client) receiverLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case in := <-c.ep.Inbox():
+			env := in.Frame.Env
+			c.mu.Lock()
+			ch := c.inflight[env.ReqID]
+			c.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- env:
+				default:
+				}
+			}
+		case <-c.stopc:
+			return
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package quorum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+type fixture struct {
+	t       *testing.T
+	net     *transport.MemNetwork
+	servers map[wire.ProcessID]*Server
+	ids     []wire.ProcessID
+
+	mu   sync.Mutex
+	next wire.ProcessID
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	f := &fixture{
+		t:       t,
+		net:     transport.NewMemNetwork(transport.MemNetworkOptions{}),
+		servers: make(map[wire.ProcessID]*Server),
+		next:    1000,
+	}
+	for i := 1; i <= n; i++ {
+		id := wire.ProcessID(i)
+		ep, err := f.net.Register(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(ep)
+		srv.Start()
+		f.servers[id] = srv
+		f.ids = append(f.ids, id)
+		t.Cleanup(func() {
+			srv.Stop()
+			_ = ep.Close()
+		})
+	}
+	return f
+}
+
+func (f *fixture) client() *Client {
+	f.t.Helper()
+	f.mu.Lock()
+	f.next++
+	id := f.next
+	f.mu.Unlock()
+	ep, err := f.net.Register(id)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	cl, err := NewClient(ep, ClientOptions{Servers: f.ids, PhaseTimeout: 5 * time.Second})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.t.Cleanup(func() {
+		_ = cl.Close()
+		_ = ep.Close()
+	})
+	return cl
+}
+
+func TestQuorumWriteThenRead(t *testing.T) {
+	f := newFixture(t, 3)
+	cl := f.client()
+	ctx := context.Background()
+	wtag, err := cl.Write(ctx, 0, []byte("abd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rtag, err := cl.Read(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abd" || rtag != wtag {
+		t.Fatalf("read %q tag %s, want abd tag %s", got, rtag, wtag)
+	}
+}
+
+func TestQuorumReadEmpty(t *testing.T) {
+	f := newFixture(t, 3)
+	got, rtag, err := f.client().Read(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || !rtag.IsZero() {
+		t.Fatalf("empty object returned %q tag %s", got, rtag)
+	}
+}
+
+func TestQuorumToleratesMinorityCrash(t *testing.T) {
+	f := newFixture(t, 5)
+	cl := f.client()
+	ctx := context.Background()
+	if _, err := cl.Write(ctx, 0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	f.net.Crash(2)
+	f.net.Crash(4)
+	if _, err := cl.Write(ctx, 0, []byte("v2")); err != nil {
+		t.Fatalf("write with minority down: %v", err)
+	}
+	got, _, err := cl.Read(ctx, 0)
+	if err != nil {
+		t.Fatalf("read with minority down: %v", err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestQuorumFailsWithoutMajority(t *testing.T) {
+	f := newFixture(t, 3)
+	cl := f.client()
+	// Use a short timeout for the failing phase.
+	cl.opts.PhaseTimeout = 200 * time.Millisecond
+	f.net.Crash(1)
+	f.net.Crash(2)
+	_, err := cl.Write(context.Background(), 0, []byte("x"))
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestQuorumLinearizableUnderConcurrency(t *testing.T) {
+	f := newFixture(t, 5)
+	ctx := context.Background()
+	rec := struct {
+		sync.Mutex
+		ops []checker.Op
+	}{}
+	add := func(op checker.Op) {
+		rec.Lock()
+		op.ID = len(rec.ops)
+		rec.ops = append(rec.ops, op)
+		rec.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		w := w
+		cl := f.client()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				v := fmt.Sprintf("w%d-%d", w, i)
+				start := time.Now().UnixNano()
+				tg, err := cl.Write(ctx, 0, []byte(v))
+				if err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				add(checker.Op{Kind: checker.KindWrite, Value: v, Start: start, End: time.Now().UnixNano(), Tag: tg})
+			}
+		}()
+	}
+	for r := 0; r < 3; r++ {
+		cl := f.client()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				start := time.Now().UnixNano()
+				v, tg, err := cl.Read(ctx, 0)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				add(checker.Op{Kind: checker.KindRead, Value: string(v), Start: start, End: time.Now().UnixNano(), Tag: tg})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := checker.CheckTagged(rec.ops); err != nil {
+		t.Fatalf("quorum history not atomic: %v", err)
+	}
+}
+
+func TestQuorumMultiObject(t *testing.T) {
+	f := newFixture(t, 3)
+	cl := f.client()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Write(ctx, wire.ObjectID(i), []byte(fmt.Sprintf("o%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		got, _, err := cl.Read(ctx, wire.ObjectID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != fmt.Sprintf("o%d", i) {
+			t.Fatalf("object %d holds %q", i, got)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package ring maintains the ring membership view used by the storage
+// algorithm: the initial ordered membership, the set of servers still
+// alive, and the successor/predecessor relations over the alive set. The
+// paper's servers are "organized around a ring and communicate only with
+// their neighbors"; when a server crashes, its predecessor splices it out
+// of the ring (paper §3, lines 85-92).
+package ring
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/wire"
+)
+
+// View is one server's (or client's) view of the ring. It is not safe for
+// concurrent use; the algorithm confines each view to its event loop.
+type View struct {
+	members []wire.ProcessID // initial ring order, immutable
+	index   map[wire.ProcessID]int
+	alive   []bool
+	nAlive  int
+	epoch   uint32
+}
+
+// New builds a view over the given initial membership, in ring order.
+// The membership must be non-empty and free of duplicates.
+func New(members []wire.ProcessID) (*View, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ring: empty membership")
+	}
+	v := &View{
+		members: slices.Clone(members),
+		index:   make(map[wire.ProcessID]int, len(members)),
+		alive:   make([]bool, len(members)),
+		nAlive:  len(members),
+	}
+	for i, id := range v.members {
+		if id == wire.NoProcess {
+			return nil, fmt.Errorf("ring: invalid member id %d", id)
+		}
+		if _, dup := v.index[id]; dup {
+			return nil, fmt.Errorf("ring: duplicate member %d", id)
+		}
+		v.index[id] = i
+		v.alive[i] = true
+	}
+	return v, nil
+}
+
+// MustNew is New for statically correct memberships; it panics on error.
+func MustNew(members []wire.ProcessID) *View {
+	v, err := New(members)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Members returns the initial membership in ring order (a copy).
+func (v *View) Members() []wire.ProcessID { return slices.Clone(v.members) }
+
+// Size returns the initial membership size.
+func (v *View) Size() int { return len(v.members) }
+
+// AliveCount returns the number of servers not known to have crashed.
+func (v *View) AliveCount() int { return v.nAlive }
+
+// AliveMembers returns the alive servers in ring order.
+func (v *View) AliveMembers() []wire.ProcessID {
+	out := make([]wire.ProcessID, 0, v.nAlive)
+	for i, id := range v.members {
+		if v.alive[i] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Epoch returns the number of crashes applied to this view. It is carried
+// on crash notices so duplicates are recognized.
+func (v *View) Epoch() uint32 { return v.epoch }
+
+// Contains reports whether id is part of the initial membership.
+func (v *View) Contains(id wire.ProcessID) bool {
+	_, ok := v.index[id]
+	return ok
+}
+
+// Alive reports whether id is a member not known to have crashed.
+func (v *View) Alive(id wire.ProcessID) bool {
+	i, ok := v.index[id]
+	return ok && v.alive[i]
+}
+
+// MarkCrashed records the crash of id and bumps the epoch. It reports
+// whether the view changed (false for unknown or already-crashed ids).
+func (v *View) MarkCrashed(id wire.ProcessID) bool {
+	i, ok := v.index[id]
+	if !ok || !v.alive[i] {
+		return false
+	}
+	v.alive[i] = false
+	v.nAlive--
+	v.epoch++
+	return true
+}
+
+// Successor returns the first alive server after the position of `of` in
+// ring order. `of` itself does not need to be alive (its position in the
+// initial order anchors the search). When the only alive server is `of`
+// itself, it returns `of` (a one-server ring forwards to itself). It
+// returns NoProcess if `of` is unknown or nothing is alive.
+func (v *View) Successor(of wire.ProcessID) wire.ProcessID {
+	return v.scan(of, +1)
+}
+
+// Predecessor is the mirror of Successor: the first alive server before
+// the position of `of` in ring order. For a crashed `of`, this is the
+// server responsible for splicing the ring and adopting the orphaned
+// messages `of` originated.
+func (v *View) Predecessor(of wire.ProcessID) wire.ProcessID {
+	return v.scan(of, -1)
+}
+
+// scan walks the ring from `of` in the given direction until it finds an
+// alive server, wrapping around and stopping after a full loop.
+func (v *View) scan(of wire.ProcessID, dir int) wire.ProcessID {
+	start, ok := v.index[of]
+	if !ok {
+		return wire.NoProcess
+	}
+	n := len(v.members)
+	for step := 1; step <= n; step++ {
+		i := ((start+dir*step)%n + n) % n
+		if v.alive[i] {
+			return v.members[i]
+		}
+	}
+	return wire.NoProcess
+}
+
+// Clone returns an independent copy of the view.
+func (v *View) Clone() *View {
+	cp := &View{
+		members: slices.Clone(v.members),
+		index:   make(map[wire.ProcessID]int, len(v.index)),
+		alive:   slices.Clone(v.alive),
+		nAlive:  v.nAlive,
+		epoch:   v.epoch,
+	}
+	for id, i := range v.index {
+		cp.index[id] = i
+	}
+	return cp
+}

@@ -1,0 +1,187 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+func ids(xs ...int) []wire.ProcessID {
+	out := make([]wire.ProcessID, len(xs))
+	for i, x := range xs {
+		out[i] = wire.ProcessID(x)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty membership should fail")
+	}
+	if _, err := New(ids(1, 2, 1)); err == nil {
+		t.Error("duplicate member should fail")
+	}
+	if _, err := New(ids(1, 0, 2)); err == nil {
+		t.Error("zero member id should fail")
+	}
+	if _, err := New(ids(3, 1, 2)); err != nil {
+		t.Errorf("valid membership rejected: %v", err)
+	}
+}
+
+func TestSuccessorPredecessorFullRing(t *testing.T) {
+	v := MustNew(ids(1, 2, 3, 4))
+	cases := []struct{ of, succ, pred wire.ProcessID }{
+		{1, 2, 4},
+		{2, 3, 1},
+		{3, 4, 2},
+		{4, 1, 3},
+	}
+	for _, c := range cases {
+		if got := v.Successor(c.of); got != c.succ {
+			t.Errorf("Successor(%d) = %d, want %d", c.of, got, c.succ)
+		}
+		if got := v.Predecessor(c.of); got != c.pred {
+			t.Errorf("Predecessor(%d) = %d, want %d", c.of, got, c.pred)
+		}
+	}
+}
+
+func TestSuccessorSkipsCrashed(t *testing.T) {
+	v := MustNew(ids(1, 2, 3, 4, 5))
+	v.MarkCrashed(2)
+	v.MarkCrashed(3)
+	if got := v.Successor(1); got != 4 {
+		t.Errorf("Successor(1) = %d, want 4", got)
+	}
+	// Anchoring on a crashed position still works: the predecessor of
+	// crashed 3 is 1, which owns 3's orphaned messages.
+	if got := v.Predecessor(3); got != 1 {
+		t.Errorf("Predecessor(3) = %d, want 1", got)
+	}
+	if got := v.Successor(3); got != 4 {
+		t.Errorf("Successor(3) = %d, want 4", got)
+	}
+}
+
+func TestSingleSurvivorIsItsOwnNeighbor(t *testing.T) {
+	v := MustNew(ids(1, 2, 3))
+	v.MarkCrashed(2)
+	v.MarkCrashed(3)
+	if got := v.Successor(1); got != 1 {
+		t.Errorf("Successor(1) = %d, want self", got)
+	}
+	if got := v.Predecessor(1); got != 1 {
+		t.Errorf("Predecessor(1) = %d, want self", got)
+	}
+}
+
+func TestAllCrashed(t *testing.T) {
+	v := MustNew(ids(1, 2))
+	v.MarkCrashed(1)
+	v.MarkCrashed(2)
+	if got := v.Successor(1); got != wire.NoProcess {
+		t.Errorf("Successor = %d, want NoProcess", got)
+	}
+	if v.AliveCount() != 0 {
+		t.Errorf("AliveCount = %d, want 0", v.AliveCount())
+	}
+}
+
+func TestUnknownProcess(t *testing.T) {
+	v := MustNew(ids(1, 2))
+	if got := v.Successor(9); got != wire.NoProcess {
+		t.Errorf("Successor(unknown) = %d", got)
+	}
+	if v.MarkCrashed(9) {
+		t.Error("MarkCrashed(unknown) should be a no-op")
+	}
+	if v.Alive(9) {
+		t.Error("Alive(unknown) should be false")
+	}
+}
+
+func TestMarkCrashedIdempotentAndEpoch(t *testing.T) {
+	v := MustNew(ids(1, 2, 3))
+	if v.Epoch() != 0 {
+		t.Fatalf("initial epoch = %d", v.Epoch())
+	}
+	if !v.MarkCrashed(2) {
+		t.Fatal("first MarkCrashed should report a change")
+	}
+	if v.MarkCrashed(2) {
+		t.Fatal("second MarkCrashed should be a no-op")
+	}
+	if v.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", v.Epoch())
+	}
+	if v.AliveCount() != 2 {
+		t.Fatalf("AliveCount = %d, want 2", v.AliveCount())
+	}
+}
+
+func TestAliveMembersPreservesRingOrder(t *testing.T) {
+	v := MustNew(ids(5, 1, 4, 2))
+	v.MarkCrashed(4)
+	got := v.AliveMembers()
+	want := ids(5, 1, 2)
+	if len(got) != len(want) {
+		t.Fatalf("AliveMembers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AliveMembers = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	v := MustNew(ids(1, 2, 3))
+	c := v.Clone()
+	v.MarkCrashed(2)
+	if !c.Alive(2) {
+		t.Fatal("clone affected by original's MarkCrashed")
+	}
+	if c.Epoch() != 0 {
+		t.Fatalf("clone epoch = %d", c.Epoch())
+	}
+}
+
+// TestSuccessorPredecessorInverse checks that over any alive set, for
+// alive x: Predecessor(Successor(x)) == x when more than one server is
+// alive.
+func TestSuccessorPredecessorInverse(t *testing.T) {
+	prop := func(crashMask uint8) bool {
+		v := MustNew(ids(1, 2, 3, 4, 5, 6, 7))
+		for i := 0; i < 7; i++ {
+			if crashMask&(1<<i) != 0 {
+				v.MarkCrashed(wire.ProcessID(i + 1))
+			}
+		}
+		if v.AliveCount() < 2 {
+			return true
+		}
+		for _, x := range v.AliveMembers() {
+			if v.Predecessor(v.Successor(x)) != x {
+				return false
+			}
+			if v.Successor(v.Predecessor(x)) != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMembersReturnsCopy(t *testing.T) {
+	v := MustNew(ids(1, 2, 3))
+	m := v.Members()
+	m[0] = 99
+	if v.Members()[0] != 1 {
+		t.Fatal("Members() leaked internal slice")
+	}
+}

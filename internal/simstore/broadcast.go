@@ -1,0 +1,142 @@
+package simstore
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// BroadcastServer is the §1 strawman the paper's ring pattern replaces:
+// writes are "simply broadcast to all servers" by the contacted server,
+// which then waits for an ack from everyone (write-all-available, like
+// the ring) before answering the client; reads are local. Under load the
+// acks from n-1 servers converge on the coordinator's interface in the
+// same round — with a collision-domain network (netsim.IngressCollide)
+// they are retransmitted over and over, which is precisely the paper's
+// argument: "a retransmission is thus necessary, in turn causing even
+// more collisions, ultimately harming the throughput of write
+// operations."
+type BroadcastServer struct {
+	IDNum   int
+	Servers []int
+	Cal     netsim.Calibration
+
+	tag Tag
+	val Value
+
+	nextOp int
+	ops    map[int]*bcastOp
+	outbox []netsim.Send
+	acks   []Response
+}
+
+// bcastOp tracks one coordinated write.
+type bcastOp struct {
+	req  Request
+	tag  Tag
+	acks int
+}
+
+// bcastWrite disseminates a write to every server.
+type bcastWrite struct {
+	Coord int
+	OpID  int
+	Tag   Tag
+	Val   Value
+}
+
+// bcastAck confirms storage at one server.
+type bcastAck struct {
+	OpID int
+}
+
+var _ netsim.Process = (*BroadcastServer)(nil)
+
+// ID implements netsim.Process.
+func (s *BroadcastServer) ID() int { return s.IDNum }
+
+// others returns every other server.
+func (s *BroadcastServer) others() []int {
+	out := make([]int, 0, len(s.Servers)-1)
+	for _, id := range s.Servers {
+		if id != s.IDNum {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Tick implements netsim.Process.
+func (s *BroadcastServer) Tick(round int, delivered []netsim.Message) []netsim.Send {
+	if s.ops == nil {
+		s.ops = make(map[int]*bcastOp)
+	}
+	for _, m := range delivered {
+		switch p := m.Payload.(type) {
+		case Request:
+			if p.IsRead {
+				s.acks = append(s.acks, Response{Client: p.Client, Seq: p.Seq, IsRead: true, Val: s.val})
+				continue
+			}
+			s.nextOp++
+			t := Tag{TS: s.tag.TS + 1, ID: s.IDNum}
+			op := &bcastOp{req: p, tag: t, acks: 1} // own replica counts
+			s.ops[s.nextOp] = op
+			if s.tag.Less(t) {
+				s.tag, s.val = t, p.Val
+			}
+			s.outbox = append(s.outbox, netsim.Send{
+				NIC:     netsim.NICServer,
+				To:      s.others(),
+				Payload: bcastWrite{Coord: s.IDNum, OpID: s.nextOp, Tag: t, Val: p.Val},
+				Bytes:   s.Cal.PayloadFrameBytes(),
+			})
+			s.maybeComplete(s.nextOp, op)
+		case bcastWrite:
+			if s.tag.Less(p.Tag) {
+				s.tag, s.val = p.Tag, p.Val
+			}
+			s.outbox = append(s.outbox, netsim.Send{
+				NIC:     netsim.NICServer,
+				To:      []int{p.Coord},
+				Payload: bcastAck{OpID: p.OpID},
+				Bytes:   s.Cal.ControlFrameBytes(),
+			})
+		case bcastAck:
+			op, ok := s.ops[p.OpID]
+			if !ok {
+				continue
+			}
+			op.acks++
+			s.maybeComplete(p.OpID, op)
+		default:
+			panic(fmt.Sprintf("simstore: broadcast server got %T", m.Payload))
+		}
+	}
+	var out []netsim.Send
+	if len(s.outbox) > 0 {
+		out = append(out, s.outbox[0])
+		s.outbox = s.outbox[1:]
+	}
+	if len(s.acks) > 0 {
+		resp := s.acks[0]
+		s.acks = s.acks[1:]
+		out = append(out, netsim.Send{
+			NIC:     netsim.NICClient,
+			To:      []int{resp.Client},
+			Payload: resp,
+			Bytes:   respBytes(s.Cal, resp.IsRead),
+		})
+	}
+	return out
+}
+
+// maybeComplete acknowledges the client once every server stored the
+// write (write-all, like the ring).
+func (s *BroadcastServer) maybeComplete(opID int, op *bcastOp) {
+	if op.acks < len(s.Servers) {
+		return
+	}
+	delete(s.ops, opID)
+	s.acks = append(s.acks, Response{Client: op.req.Client, Seq: op.req.Seq})
+}

@@ -1,0 +1,108 @@
+package simstore
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// ChainServer implements chain replication (van Renesse & Schneider,
+// OSDI 2004 — the paper's reference [28]): writes enter at the head,
+// propagate down the chain, and are acknowledged by the tail; reads are
+// served by the tail alone. Write throughput pipelines at one per round
+// like the ring, but read throughput is pinned to the single tail —
+// the contrast motivating the paper's locally-served reads.
+type ChainServer struct {
+	IDNum int
+	Chain []int
+	Cal   netsim.Calibration
+
+	seq int // head-assigned write sequence
+	val Value
+
+	forward []chainMsg
+	acks    []Response
+}
+
+// chainMsg carries a write down the chain.
+type chainMsg struct {
+	Client int
+	Seq    int
+	Val    Value
+}
+
+var _ netsim.Process = (*ChainServer)(nil)
+
+// ID implements netsim.Process.
+func (s *ChainServer) ID() int { return s.IDNum }
+
+// isHead/isTail locate the server in the chain.
+func (s *ChainServer) isHead() bool { return s.Chain[0] == s.IDNum }
+func (s *ChainServer) isTail() bool { return s.Chain[len(s.Chain)-1] == s.IDNum }
+
+// next returns the chain successor.
+func (s *ChainServer) next() int {
+	for i, id := range s.Chain {
+		if id == s.IDNum {
+			return s.Chain[i+1]
+		}
+	}
+	panic(fmt.Sprintf("simstore: server %d not in chain %v", s.IDNum, s.Chain))
+}
+
+// Tick implements netsim.Process.
+func (s *ChainServer) Tick(round int, delivered []netsim.Message) []netsim.Send {
+	for _, m := range delivered {
+		switch p := m.Payload.(type) {
+		case Request:
+			if p.IsRead {
+				if !s.isTail() {
+					panic("simstore: chain reads must target the tail")
+				}
+				s.acks = append(s.acks, Response{Client: p.Client, Seq: p.Seq, IsRead: true, Val: s.val})
+				continue
+			}
+			if !s.isHead() {
+				panic("simstore: chain writes must target the head")
+			}
+			s.seq++
+			s.val = p.Val
+			if s.isTail() { // one-server chain: head and tail coincide
+				s.acks = append(s.acks, Response{Client: p.Client, Seq: p.Seq})
+				continue
+			}
+			s.forward = append(s.forward, chainMsg{Client: p.Client, Seq: p.Seq, Val: p.Val})
+		case chainMsg:
+			s.val = p.Val
+			if s.isTail() {
+				s.acks = append(s.acks, Response{Client: p.Client, Seq: p.Seq})
+			} else {
+				s.forward = append(s.forward, p)
+			}
+		default:
+			panic(fmt.Sprintf("simstore: chain server got %T", m.Payload))
+		}
+	}
+	var out []netsim.Send
+	if len(s.forward) > 0 && !s.isTail() {
+		msg := s.forward[0]
+		s.forward = s.forward[1:]
+		out = append(out, netsim.Send{
+			NIC:     netsim.NICServer,
+			To:      []int{s.next()},
+			Payload: msg,
+			Bytes:   s.Cal.PayloadFrameBytes(),
+		})
+	}
+	if len(s.acks) > 0 {
+		resp := s.acks[0]
+		s.acks = s.acks[1:]
+		out = append(out, netsim.Send{
+			NIC:     netsim.NICClient,
+			To:      []int{resp.Client},
+			Payload: resp,
+			Bytes:   respBytes(s.Cal, resp.IsRead),
+		})
+	}
+	return out
+}

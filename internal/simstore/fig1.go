@@ -1,0 +1,152 @@
+package simstore
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// This file implements the two motivating algorithms of the paper's
+// Figure 1. Both serve read requests over three servers; the paper runs
+// them in a model where a server receives at most one message per round,
+// so all traffic shares one interface (run these with
+// netsim.Config{SharedNetwork: true}).
+//
+// Algorithm A is the quorum-flavoured strawman: the contacted server
+// consults its ring neighbor before answering (a 2-server "majority" of
+// the 3). Algorithm B answers locally. Both have constant-round latency,
+// but A's helper traffic consumes everyone's ingress slots: A tops out at
+// ~1 operation per round system-wide while B completes one operation per
+// server per round.
+
+// helperQuery is A's consultation request.
+type helperQuery struct {
+	// Coord is the consulting server.
+	Coord int
+	// Seq correlates the reply.
+	Seq int
+}
+
+// helperReply answers a helperQuery.
+type helperReply struct {
+	Seq int
+	Val Value
+}
+
+// AlgoAServer consults one other server per read (Figure 1, left).
+type AlgoAServer struct {
+	IDNum int
+	Ring  []int
+	Cal   netsim.Calibration
+
+	val Value
+
+	nextSeq int
+	waiting map[int]Request // helper seq -> client request
+	outbox  []netsim.Send
+}
+
+var _ netsim.Process = (*AlgoAServer)(nil)
+
+// ID implements netsim.Process.
+func (s *AlgoAServer) ID() int { return s.IDNum }
+
+// neighbor returns the server A consults.
+func (s *AlgoAServer) neighbor() int {
+	for i, id := range s.Ring {
+		if id == s.IDNum {
+			return s.Ring[(i+1)%len(s.Ring)]
+		}
+	}
+	panic(fmt.Sprintf("simstore: server %d not in ring %v", s.IDNum, s.Ring))
+}
+
+// Tick implements netsim.Process.
+func (s *AlgoAServer) Tick(round int, delivered []netsim.Message) []netsim.Send {
+	if s.waiting == nil {
+		s.waiting = make(map[int]Request)
+	}
+	for _, m := range delivered {
+		switch p := m.Payload.(type) {
+		case Request:
+			if !p.IsRead {
+				panic("simstore: algorithm A models reads only")
+			}
+			s.nextSeq++
+			s.waiting[s.nextSeq] = p
+			s.outbox = append(s.outbox, netsim.Send{
+				NIC:     netsim.NICServer,
+				To:      []int{s.neighbor()},
+				Payload: helperQuery{Coord: s.IDNum, Seq: s.nextSeq},
+				Bytes:   s.Cal.ControlFrameBytes(),
+			})
+		case helperQuery:
+			s.outbox = append(s.outbox, netsim.Send{
+				NIC:     netsim.NICServer,
+				To:      []int{p.Coord},
+				Payload: helperReply{Seq: p.Seq, Val: s.val},
+				Bytes:   s.Cal.PayloadFrameBytes(),
+			})
+		case helperReply:
+			req, ok := s.waiting[p.Seq]
+			if !ok {
+				continue
+			}
+			delete(s.waiting, p.Seq)
+			s.outbox = append(s.outbox, netsim.Send{
+				NIC:     netsim.NICClient,
+				To:      []int{req.Client},
+				Payload: Response{Client: req.Client, Seq: req.Seq, IsRead: true, Val: s.val},
+				Bytes:   s.Cal.PayloadFrameBytes(),
+			})
+		default:
+			panic(fmt.Sprintf("simstore: algorithm A got %T", m.Payload))
+		}
+	}
+	// One egress slot per round (shared network).
+	if len(s.outbox) == 0 {
+		return nil
+	}
+	out := s.outbox[0]
+	s.outbox = s.outbox[1:]
+	return []netsim.Send{out}
+}
+
+// AlgoBServer answers reads locally (Figure 1, right).
+type AlgoBServer struct {
+	IDNum int
+	Cal   netsim.Calibration
+
+	val  Value
+	acks []Response
+}
+
+var _ netsim.Process = (*AlgoBServer)(nil)
+
+// ID implements netsim.Process.
+func (s *AlgoBServer) ID() int { return s.IDNum }
+
+// Tick implements netsim.Process.
+func (s *AlgoBServer) Tick(round int, delivered []netsim.Message) []netsim.Send {
+	for _, m := range delivered {
+		req, ok := m.Payload.(Request)
+		if !ok {
+			panic(fmt.Sprintf("simstore: algorithm B got %T", m.Payload))
+		}
+		if !req.IsRead {
+			panic("simstore: algorithm B models reads only")
+		}
+		s.acks = append(s.acks, Response{Client: req.Client, Seq: req.Seq, IsRead: true, Val: s.val})
+	}
+	if len(s.acks) == 0 {
+		return nil
+	}
+	resp := s.acks[0]
+	s.acks = s.acks[1:]
+	return []netsim.Send{{
+		NIC:     netsim.NICClient,
+		To:      []int{resp.Client},
+		Payload: resp,
+		Bytes:   s.Cal.PayloadFrameBytes(),
+	}}
+}

@@ -1,0 +1,200 @@
+package simstore
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// QuorumServer is the traditional majority-quorum baseline (ABD-style,
+// multi-writer): the contacted server coordinates a two-phase protocol,
+// multicasting to all servers and waiting for a majority in each phase.
+// This is the class of algorithms the paper argues cannot scale: every
+// operation consumes an ingress slot at every server (the query
+// multicast) plus a majority of reply slots at the coordinator, so adding
+// servers does not add throughput (see [25] in the paper for the formal
+// version of this argument).
+type QuorumServer struct {
+	IDNum   int
+	Servers []int
+	Cal     netsim.Calibration
+
+	tag Tag
+	val Value
+
+	nextOp int
+	ops    map[int]*quorumOp
+	outbox []netsim.Send
+	acks   []Response
+}
+
+// quorumOp is coordinator-side per-operation state.
+type quorumOp struct {
+	req     Request
+	phase   int // 1: query, 2: store/write-back
+	replies int
+	maxTag  Tag
+	maxVal  Value
+}
+
+// qQuery is a coordinator's message to every server.
+type qQuery struct {
+	Coord int
+	OpID  int
+	Phase int
+	// Store payload (phase 2).
+	Tag Tag
+	Val Value
+}
+
+// qReply answers a qQuery.
+type qReply struct {
+	OpID  int
+	Phase int
+	Tag   Tag
+	Val   Value
+}
+
+var _ netsim.Process = (*QuorumServer)(nil)
+
+// ID implements netsim.Process.
+func (s *QuorumServer) ID() int { return s.IDNum }
+
+// majority returns the quorum size.
+func (s *QuorumServer) majority() int { return len(s.Servers)/2 + 1 }
+
+// others returns every server but this one.
+func (s *QuorumServer) others() []int {
+	out := make([]int, 0, len(s.Servers)-1)
+	for _, id := range s.Servers {
+		if id != s.IDNum {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Tick implements netsim.Process.
+func (s *QuorumServer) Tick(round int, delivered []netsim.Message) []netsim.Send {
+	if s.ops == nil {
+		s.ops = make(map[int]*quorumOp)
+	}
+	for _, m := range delivered {
+		switch p := m.Payload.(type) {
+		case Request:
+			s.startOp(p)
+		case qQuery:
+			s.handleQuery(p)
+		case qReply:
+			s.handleReply(p)
+		default:
+			panic(fmt.Sprintf("simstore: quorum server got %T", m.Payload))
+		}
+	}
+	var out []netsim.Send
+	if len(s.outbox) > 0 {
+		out = append(out, s.outbox[0])
+		s.outbox = s.outbox[1:]
+	}
+	if len(s.acks) > 0 {
+		resp := s.acks[0]
+		s.acks = s.acks[1:]
+		out = append(out, netsim.Send{
+			NIC:     netsim.NICClient,
+			To:      []int{resp.Client},
+			Payload: resp,
+			Bytes:   respBytes(s.Cal, resp.IsRead),
+		})
+	}
+	return out
+}
+
+// startOp begins the two-phase protocol for a client request. Phase 1
+// queries every other server for its tag (and value, for reads); the
+// coordinator's own replica counts as the first reply.
+func (s *QuorumServer) startOp(req Request) {
+	s.nextOp++
+	op := &quorumOp{req: req, phase: 1, replies: 1, maxTag: s.tag, maxVal: s.val}
+	s.ops[s.nextOp] = op
+	s.outbox = append(s.outbox, netsim.Send{
+		NIC:     netsim.NICServer,
+		To:      s.others(),
+		Payload: qQuery{Coord: s.IDNum, OpID: s.nextOp, Phase: 1},
+		Bytes:   s.Cal.ControlFrameBytes(),
+	})
+	s.maybeAdvance(s.nextOp, op)
+}
+
+// handleQuery serves another coordinator's phase message.
+func (s *QuorumServer) handleQuery(q qQuery) {
+	switch q.Phase {
+	case 1:
+		s.outbox = append(s.outbox, netsim.Send{
+			NIC:     netsim.NICServer,
+			To:      []int{q.Coord},
+			Payload: qReply{OpID: q.OpID, Phase: 1, Tag: s.tag, Val: s.val},
+			Bytes:   s.Cal.PayloadFrameBytes(), // carries the value
+		})
+	case 2:
+		if s.tag.Less(q.Tag) {
+			s.tag, s.val = q.Tag, q.Val
+		}
+		s.outbox = append(s.outbox, netsim.Send{
+			NIC:     netsim.NICServer,
+			To:      []int{q.Coord},
+			Payload: qReply{OpID: q.OpID, Phase: 2},
+			Bytes:   s.Cal.ControlFrameBytes(),
+		})
+	}
+}
+
+// handleReply advances the coordinator state machine.
+func (s *QuorumServer) handleReply(r qReply) {
+	op, ok := s.ops[r.OpID]
+	if !ok || op.phase != r.Phase {
+		return
+	}
+	op.replies++
+	if r.Phase == 1 && op.maxTag.Less(r.Tag) {
+		op.maxTag, op.maxVal = r.Tag, r.Val
+	}
+	s.maybeAdvance(r.OpID, op)
+}
+
+// maybeAdvance moves an op to phase 2 or completion once a majority
+// answered the current phase.
+func (s *QuorumServer) maybeAdvance(opID int, op *quorumOp) {
+	if op.replies < s.majority() {
+		return
+	}
+	switch op.phase {
+	case 1:
+		var storeTag Tag
+		var storeVal Value
+		if op.req.IsRead {
+			// Write-back the freshest value read.
+			storeTag, storeVal = op.maxTag, op.maxVal
+		} else {
+			storeTag = Tag{TS: op.maxTag.TS + 1, ID: s.IDNum}
+			storeVal = op.req.Val
+		}
+		op.phase, op.replies = 2, 1
+		op.maxTag, op.maxVal = storeTag, storeVal
+		if s.tag.Less(storeTag) {
+			s.tag, s.val = storeTag, storeVal
+		}
+		s.outbox = append(s.outbox, netsim.Send{
+			NIC:     netsim.NICServer,
+			To:      s.others(),
+			Payload: qQuery{Coord: s.IDNum, OpID: opID, Phase: 2, Tag: storeTag, Val: storeVal},
+			Bytes:   s.Cal.PayloadFrameBytes(),
+		})
+	case 2:
+		delete(s.ops, opID)
+		resp := Response{Client: op.req.Client, Seq: op.req.Seq, IsRead: op.req.IsRead}
+		if op.req.IsRead {
+			resp.Val = op.maxVal
+		}
+		s.acks = append(s.acks, resp)
+	}
+}

@@ -1,0 +1,449 @@
+package simstore
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// ringMsg is one envelope on the simulated ring.
+type ringMsg struct {
+	// IsWrite distinguishes the write phase from the pre-write phase.
+	IsWrite bool
+	// Tag is the write version.
+	Tag Tag
+	// Origin is the server that initiated the write.
+	Origin int
+	// Val is the written value (pre-writes always; writes only when not
+	// elided).
+	Val Value
+	// Elided marks a tag-only write-phase message.
+	Elided bool
+}
+
+// ringFrame is what travels on one ring hop: one message, or two when a
+// write-phase message is piggybacked onto a pre-write-phase one.
+type ringFrame struct {
+	Msgs []ringMsg
+}
+
+// RingConfig configures the simulated paper algorithm.
+type RingConfig struct {
+	// DisablePiggyback sends each ring message in its own frame.
+	DisablePiggyback bool
+	// DisableValueElision ships full values in write-phase messages.
+	DisableValueElision bool
+	// DisableFairness forwards FIFO and only initiates when idle.
+	DisableFairness bool
+	// SharedNetwork must match the simulator's configuration: with a
+	// single physical interface the server may emit only one send per
+	// round, so ring frames and client acks alternate (Figure 3d).
+	SharedNetwork bool
+}
+
+// RingServer is the paper's storage algorithm in the round model.
+type RingServer struct {
+	IDNum int
+	Ring  []int
+	Cal   netsim.Calibration
+	Cfg   RingConfig
+
+	tag     Tag
+	val     Value
+	pending map[Tag]Value
+
+	writeQueue []Request
+	queues     map[int][]ringMsg
+	order      []int
+	nbMsg      map[int]int
+	queued     int
+
+	myWrites map[Tag]myWrite
+	parked   []simParked
+	acks     []Response
+	// preferAck alternates the shared-network egress slot between ring
+	// frames and client acks.
+	preferAck bool
+}
+
+type myWrite struct {
+	req     Request
+	inWrite bool // write phase started
+}
+
+type simParked struct {
+	req     Request
+	barrier Tag
+}
+
+var _ netsim.Process = (*RingServer)(nil)
+
+// ID implements netsim.Process.
+func (s *RingServer) ID() int { return s.IDNum }
+
+// successor returns the next server on the ring.
+func (s *RingServer) successor() int {
+	for i, id := range s.Ring {
+		if id == s.IDNum {
+			return s.Ring[(i+1)%len(s.Ring)]
+		}
+	}
+	panic(fmt.Sprintf("simstore: server %d not in ring %v", s.IDNum, s.Ring))
+}
+
+// Tick implements netsim.Process: handle this round's deliveries, then
+// emit at most one ring frame (fairness + piggybacking) and one client
+// ack.
+func (s *RingServer) Tick(round int, delivered []netsim.Message) []netsim.Send {
+	if s.pending == nil {
+		s.pending = make(map[Tag]Value)
+		s.queues = make(map[int][]ringMsg)
+		s.nbMsg = make(map[int]int)
+		s.myWrites = make(map[Tag]myWrite)
+	}
+	for _, m := range delivered {
+		switch p := m.Payload.(type) {
+		case ringFrame:
+			for _, rm := range p.Msgs {
+				s.handleRing(rm)
+			}
+		case Request:
+			s.handleRequest(p)
+		default:
+			panic(fmt.Sprintf("simstore: ring server got %T", m.Payload))
+		}
+	}
+
+	if s.Cfg.SharedNetwork {
+		return s.sharedEgress()
+	}
+	var out []netsim.Send
+	if send, ok := s.ringSend(); ok {
+		out = append(out, send)
+	}
+	if send, ok := s.ackSend(); ok {
+		out = append(out, send)
+	}
+	return out
+}
+
+// ringSend builds this round's ring frame, if any.
+func (s *RingServer) ringSend() (netsim.Send, bool) {
+	frame, bytes, ok := s.nextRingFrame()
+	if !ok {
+		return netsim.Send{}, false
+	}
+	return netsim.Send{
+		NIC:     netsim.NICServer,
+		To:      []int{s.successor()},
+		Payload: frame,
+		Bytes:   bytes,
+	}, true
+}
+
+// ackSend pops one queued client ack, if any.
+func (s *RingServer) ackSend() (netsim.Send, bool) {
+	if len(s.acks) == 0 {
+		return netsim.Send{}, false
+	}
+	resp := s.acks[0]
+	s.acks = s.acks[1:]
+	return netsim.Send{
+		NIC:     netsim.NICClient,
+		To:      []int{resp.Client},
+		Payload: resp,
+		Bytes:   respBytes(s.Cal, resp.IsRead),
+	}, true
+}
+
+// sharedEgress emits at most one send per round, alternating between
+// client acks and ring frames when both are pending.
+func (s *RingServer) sharedEgress() []netsim.Send {
+	s.preferAck = !s.preferAck
+	if s.preferAck {
+		if send, ok := s.ackSend(); ok {
+			return []netsim.Send{send}
+		}
+		if send, ok := s.ringSend(); ok {
+			return []netsim.Send{send}
+		}
+		return nil
+	}
+	if send, ok := s.ringSend(); ok {
+		return []netsim.Send{send}
+	}
+	if send, ok := s.ackSend(); ok {
+		return []netsim.Send{send}
+	}
+	return nil
+}
+
+// handleRequest implements the client-facing part: queue writes, serve or
+// park reads.
+func (s *RingServer) handleRequest(req Request) {
+	if !req.IsRead {
+		s.writeQueue = append(s.writeQueue, req)
+		return
+	}
+	if barrier, blocked := s.readBarrier(); blocked {
+		s.parked = append(s.parked, simParked{req: req, barrier: barrier})
+		return
+	}
+	s.acks = append(s.acks, Response{Client: req.Client, Seq: req.Seq, IsRead: true, Val: s.val})
+}
+
+// readBarrier reports whether reads must wait, and for which tag.
+func (s *RingServer) readBarrier() (Tag, bool) {
+	var highest Tag
+	for t := range s.pending {
+		if highest.Less(t) {
+			highest = t
+		}
+	}
+	if len(s.pending) == 0 || s.tag.AtLeast(highest) {
+		return Tag{}, false
+	}
+	return highest, true
+}
+
+// apply installs (t, v) if newer and releases satisfied parked reads.
+func (s *RingServer) apply(t Tag, v Value) {
+	if !t.After(s.tag) {
+		return
+	}
+	s.tag, s.val = t, v
+	rest := s.parked[:0]
+	for _, p := range s.parked {
+		if s.tag.AtLeast(p.barrier) {
+			s.acks = append(s.acks, Response{Client: p.req.Client, Seq: p.req.Seq, IsRead: true, Val: s.val})
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	s.parked = rest
+}
+
+// prune drops pending entries at or below t.
+func (s *RingServer) prune(t Tag) {
+	for pt := range s.pending {
+		if !pt.After(t) {
+			delete(s.pending, pt)
+		}
+	}
+}
+
+// handleRing processes one ring envelope (paper lines 29-52).
+func (s *RingServer) handleRing(m ringMsg) {
+	if m.Origin == s.IDNum {
+		if !m.IsWrite {
+			// Own pre-write returned: start the write phase.
+			w, ok := s.myWrites[m.Tag]
+			if !ok || w.inWrite {
+				return
+			}
+			w.inWrite = true
+			s.myWrites[m.Tag] = w
+			s.apply(m.Tag, m.Val)
+			s.prune(m.Tag)
+			s.push(ringMsg{
+				IsWrite: true,
+				Tag:     m.Tag,
+				Origin:  s.IDNum,
+				Val:     m.Val,
+				Elided:  !s.Cfg.DisableValueElision,
+			})
+			return
+		}
+		// Own write returned: acknowledge the client.
+		if w, ok := s.myWrites[m.Tag]; ok && w.inWrite {
+			delete(s.myWrites, m.Tag)
+			s.acks = append(s.acks, Response{Client: w.req.Client, Seq: w.req.Seq})
+		}
+		return
+	}
+	if m.IsWrite {
+		v, haveVal := m.Val, !m.Elided
+		if m.Elided {
+			v, haveVal = s.pending[m.Tag], true
+			if _, ok := s.pending[m.Tag]; !ok {
+				haveVal = false
+			}
+		}
+		if haveVal {
+			s.apply(m.Tag, v)
+		}
+		s.prune(m.Tag)
+	}
+	s.push(m)
+}
+
+// push enqueues a message for forwarding.
+func (s *RingServer) push(m ringMsg) {
+	if _, seen := s.queues[m.Origin]; !seen {
+		s.queues[m.Origin] = nil
+		s.order = append(s.order, m.Origin)
+	}
+	s.queues[m.Origin] = append(s.queues[m.Origin], m)
+	s.queued++
+}
+
+// popFirst removes the first queued message of the given phase from an
+// origin's queue (wantWrite: -1 any, 0 pre-write, 1 write).
+func (s *RingServer) popFirst(origin, wantWrite int) (ringMsg, bool) {
+	q := s.queues[origin]
+	for i, m := range q {
+		if wantWrite == -1 || (wantWrite == 1) == m.IsWrite {
+			s.queues[origin] = append(q[:i], q[i+1:]...)
+			s.queued--
+			return m, true
+		}
+	}
+	return ringMsg{}, false
+}
+
+// hasKind reports whether origin has a queued message of the phase.
+func (s *RingServer) hasKind(origin, wantWrite int) bool {
+	for _, m := range s.queues[origin] {
+		if wantWrite == -1 || (wantWrite == 1) == m.IsWrite {
+			return true
+		}
+	}
+	return false
+}
+
+// selectOrigin picks the least-served origin holding a message of the
+// phase; includeSelf offers initiation.
+func (s *RingServer) selectOrigin(includeSelf bool, wantWrite int) (int, bool) {
+	best, bestCount, found := 0, 0, false
+	for _, origin := range s.order {
+		if !s.hasKind(origin, wantWrite) {
+			continue
+		}
+		c := s.nbMsg[origin]
+		if !found || c < bestCount {
+			best, bestCount, found = origin, c, true
+		}
+	}
+	if includeSelf && !found {
+		return s.IDNum, true
+	}
+	if includeSelf && s.nbMsg[s.IDNum] < bestCount && len(s.queues[s.IDNum]) == 0 {
+		return s.IDNum, true
+	}
+	return best, found
+}
+
+// initiate starts writeQueue[0] (paper lines 21-28).
+func (s *RingServer) initiate() ringMsg {
+	req := s.writeQueue[0]
+	s.writeQueue = s.writeQueue[1:]
+	highest := s.tag
+	for t := range s.pending {
+		if highest.Less(t) {
+			highest = t
+		}
+	}
+	t := Tag{TS: highest.TS + 1, ID: s.IDNum}
+	s.pending[t] = req.Val
+	s.myWrites[t] = myWrite{req: req}
+	s.nbMsg[s.IDNum]++
+	return ringMsg{Tag: t, Origin: s.IDNum, Val: req.Val}
+}
+
+// nextRingFrame runs the queue handler: one frame per round, fairness
+// selection, optional piggybacking of the opposite phase.
+func (s *RingServer) nextRingFrame() (ringFrame, int, bool) {
+	var msgs []ringMsg
+	if s.Cfg.DisableFairness {
+		if m, ok := s.popAnyFIFO(); ok {
+			msgs = append(msgs, m)
+		} else if len(s.writeQueue) > 0 {
+			msgs = append(msgs, s.initiate())
+		}
+	} else {
+		msgs = s.fairSelection()
+	}
+	if len(msgs) == 0 {
+		return ringFrame{}, 0, false
+	}
+	bytes := 0
+	for _, m := range msgs {
+		if m.IsWrite && m.Elided {
+			bytes += s.Cal.ControlFrameBytes()
+		} else {
+			bytes += s.Cal.PayloadFrameBytes()
+		}
+	}
+	return ringFrame{Msgs: msgs}, bytes, true
+}
+
+// fairSelection applies paper lines 53-75 plus piggybacking.
+func (s *RingServer) fairSelection() []ringMsg {
+	var msgs []ringMsg
+	if s.queued == 0 {
+		s.nbMsg = make(map[int]int) // paper line 55
+		if len(s.writeQueue) == 0 {
+			return nil
+		}
+		msgs = append(msgs, s.initiate())
+	} else {
+		origin, ok := s.selectOrigin(len(s.writeQueue) > 0, -1)
+		if !ok {
+			return nil
+		}
+		if origin == s.IDNum && len(s.queues[s.IDNum]) == 0 {
+			msgs = append(msgs, s.initiate())
+		} else {
+			m, _ := s.popFirst(origin, -1)
+			s.nbMsg[origin]++
+			s.forwarded(m)
+			msgs = append(msgs, m)
+		}
+	}
+	if s.Cfg.DisablePiggyback {
+		return msgs
+	}
+	// Piggyback one message of the opposite phase. When the frame's
+	// pre-write slot would stay empty but local client writes are
+	// queued, initiating one fills it — without this, a loaded server
+	// alternates pre-write and write rounds and the write throughput
+	// halves.
+	want := 1
+	if msgs[0].IsWrite {
+		want = 0
+	}
+	if origin, ok := s.selectOrigin(false, want); ok {
+		if m, ok := s.popFirst(origin, want); ok {
+			s.nbMsg[origin]++
+			s.forwarded(m)
+			msgs = append(msgs, m)
+		}
+	} else if want == 0 && len(s.writeQueue) > 0 {
+		msgs = append(msgs, s.initiate())
+	}
+	if s.queued == 0 {
+		s.nbMsg = make(map[int]int)
+	}
+	return msgs
+}
+
+// forwarded applies the on-forward pending rule (paper line 71).
+func (s *RingServer) forwarded(m ringMsg) {
+	if !m.IsWrite {
+		s.pending[m.Tag] = m.Val
+	}
+}
+
+// popAnyFIFO removes the oldest queued message (fairness ablation).
+func (s *RingServer) popAnyFIFO() (ringMsg, bool) {
+	for _, origin := range s.order {
+		if len(s.queues[origin]) > 0 {
+			m, ok := s.popFirst(origin, -1)
+			if ok {
+				s.forwarded(m)
+			}
+			return m, ok
+		}
+	}
+	return ringMsg{}, false
+}

@@ -1,0 +1,229 @@
+// Package simstore implements storage algorithms in the round-based
+// network model of package netsim, instrumented for the throughput and
+// latency measurements of the paper's evaluation (Figures 1, 3 and 4 and
+// the analytical results of Section 4):
+//
+//   - RingServer — the paper's algorithm: ring dissemination with
+//     pre-write/write phases, local reads, fairness, piggybacking.
+//   - AlgoAServer / AlgoBServer — the two motivating algorithms of
+//     Figure 1 (majority-contacting reads vs purely local reads).
+//   - QuorumServer — an ABD-style majority-quorum register (the
+//     "traditional" baseline the paper argues cannot scale).
+//   - ChainServer — chain replication (writes down a chain, reads at the
+//     tail), the paper's [28] comparison.
+//   - TOBServer — storage over a ring total-order broadcast, the paper's
+//     modular-alternative comparison (reads must be ordered too).
+//
+// All algorithms are driven by the same closed-loop Client processes and
+// report into the same Metrics, so the bench harness can sweep server
+// counts and compare series directly.
+package simstore
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// Value identifies a written value in the simulation (values are
+// symbolic; only their identity and size matter to the model).
+type Value struct {
+	// Writer is the client id that wrote the value.
+	Writer int
+	// Seq is the writer-local sequence number.
+	Seq int
+}
+
+// IsZero reports whether v is the initial (never written) value.
+func (v Value) IsZero() bool { return v == Value{} }
+
+// Tag is the simulator's write version, mirroring internal/tag but over
+// ints for convenience inside the model.
+type Tag struct {
+	// TS is the logical timestamp.
+	TS int
+	// ID is the originating server id (tiebreaker).
+	ID int
+}
+
+// Less orders tags lexicographically.
+func (t Tag) Less(o Tag) bool {
+	if t.TS != o.TS {
+		return t.TS < o.TS
+	}
+	return t.ID < o.ID
+}
+
+// AtLeast reports t >= o.
+func (t Tag) AtLeast(o Tag) bool { return !t.Less(o) }
+
+// After reports t > o.
+func (t Tag) After(o Tag) bool { return o.Less(t) }
+
+// Request is a client operation sent to a server.
+type Request struct {
+	// Client is the requesting process id.
+	Client int
+	// Seq correlates the response.
+	Seq int
+	// IsRead distinguishes reads from writes.
+	IsRead bool
+	// Val is the value to write.
+	Val Value
+}
+
+// Response answers a Request.
+type Response struct {
+	// Client and Seq echo the request.
+	Client int
+	Seq    int
+	// IsRead echoes the request kind.
+	IsRead bool
+	// Val is the value read (reads only).
+	Val Value
+}
+
+// Metrics aggregates completions and latencies across all clients of a
+// simulation run. Operations completing before WarmupRounds are excluded,
+// so steady-state throughput is not diluted by pipeline fill.
+type Metrics struct {
+	// WarmupRounds excludes the run-up from the aggregates.
+	WarmupRounds int
+
+	// Reads/Writes count completed operations after warmup.
+	Reads, Writes int
+	// ReadLatency/WriteLatency accumulate latencies in rounds.
+	ReadLatency, WriteLatency float64
+	// measuredRounds is set by Finish.
+	measuredRounds int
+}
+
+// record notes one completed operation.
+func (m *Metrics) record(isRead bool, issued, completed int) {
+	if completed < m.WarmupRounds {
+		return
+	}
+	lat := float64(completed - issued)
+	if isRead {
+		m.Reads++
+		m.ReadLatency += lat
+	} else {
+		m.Writes++
+		m.WriteLatency += lat
+	}
+}
+
+// Finish fixes the measurement window after a run of totalRounds.
+func (m *Metrics) Finish(totalRounds int) {
+	m.measuredRounds = totalRounds - m.WarmupRounds
+	if m.measuredRounds < 0 {
+		m.measuredRounds = 0
+	}
+}
+
+// ReadRate returns completed reads per round in the measurement window.
+func (m *Metrics) ReadRate() float64 {
+	if m.measuredRounds == 0 {
+		return 0
+	}
+	return float64(m.Reads) / float64(m.measuredRounds)
+}
+
+// WriteRate returns completed writes per round in the window.
+func (m *Metrics) WriteRate() float64 {
+	if m.measuredRounds == 0 {
+		return 0
+	}
+	return float64(m.Writes) / float64(m.measuredRounds)
+}
+
+// MeanReadLatency returns the mean read latency in rounds.
+func (m *Metrics) MeanReadLatency() float64 {
+	if m.Reads == 0 {
+		return 0
+	}
+	return m.ReadLatency / float64(m.Reads)
+}
+
+// MeanWriteLatency returns the mean write latency in rounds.
+func (m *Metrics) MeanWriteLatency() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return m.WriteLatency / float64(m.Writes)
+}
+
+// Client is a closed-loop load generator: it keeps Pipeline requests
+// outstanding against one server, alternating kinds according to its
+// read fraction. One simulated Client models one of the paper's client
+// machines (which "emulate multiple clients" by pipelining).
+type Client struct {
+	// IDNum is the process id.
+	IDNum int
+	// Server is the target server's process id.
+	Server int
+	// Reads selects read-only (true) or write-only (false) operation.
+	Reads bool
+	// Pipeline is the number of outstanding requests to maintain.
+	Pipeline int
+	// Cal sizes requests and replies.
+	Cal netsim.Calibration
+	// M receives completions.
+	M *Metrics
+
+	seq      int
+	issuedAt map[int]int
+	inflight int
+}
+
+var _ netsim.Process = (*Client)(nil)
+
+// ID implements netsim.Process.
+func (c *Client) ID() int { return c.IDNum }
+
+// Tick implements netsim.Process.
+func (c *Client) Tick(round int, delivered []netsim.Message) []netsim.Send {
+	if c.issuedAt == nil {
+		c.issuedAt = make(map[int]int)
+	}
+	for _, m := range delivered {
+		resp, ok := m.Payload.(Response)
+		if !ok {
+			panic(fmt.Sprintf("simstore: client %d got %T", c.IDNum, m.Payload))
+		}
+		issued, ok := c.issuedAt[resp.Seq]
+		if !ok {
+			continue
+		}
+		delete(c.issuedAt, resp.Seq)
+		c.inflight--
+		c.M.record(resp.IsRead, issued, round)
+	}
+	// Issue at most one new request per round (one egress).
+	if c.inflight >= c.Pipeline {
+		return nil
+	}
+	c.seq++
+	c.inflight++
+	c.issuedAt[c.seq] = round
+	req := Request{Client: c.IDNum, Seq: c.seq, IsRead: c.Reads}
+	bytes := c.Cal.ControlFrameBytes()
+	if !c.Reads {
+		req.Val = Value{Writer: c.IDNum, Seq: c.seq}
+		bytes = c.Cal.PayloadFrameBytes()
+	}
+	return []netsim.Send{{
+		NIC:     netsim.NICClient,
+		To:      []int{c.Server},
+		Payload: req,
+		Bytes:   bytes,
+	}}
+}
+
+// respBytes returns the wire size of a response.
+func respBytes(cal netsim.Calibration, isRead bool) int {
+	if isRead {
+		return cal.PayloadFrameBytes() // read acks carry the value
+	}
+	return cal.ControlFrameBytes() // write acks are tag-only
+}

@@ -1,0 +1,111 @@
+package simstore
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// TOBServer models the modular alternative the paper discusses and
+// rejects: implement the storage on top of a ring total-order broadcast
+// ([15] — itself the throughput-optimal TOB for this setting). Every
+// operation — including reads, which must be totally ordered for
+// atomicity — circulates the full ring before completing, so reads and
+// writes together share a single pipeline of one operation per round
+// regardless of the number of servers.
+type TOBServer struct {
+	IDNum int
+	Ring  []int
+	Cal   netsim.Calibration
+
+	val Value
+
+	forward []tobMsg
+	acks    []Response
+}
+
+// tobMsg is one totally-ordered operation circulating the ring.
+type tobMsg struct {
+	Origin int
+	Client int
+	Seq    int
+	IsRead bool
+	Val    Value
+}
+
+var _ netsim.Process = (*TOBServer)(nil)
+
+// ID implements netsim.Process.
+func (s *TOBServer) ID() int { return s.IDNum }
+
+// successor returns the ring successor.
+func (s *TOBServer) successor() int {
+	for i, id := range s.Ring {
+		if id == s.IDNum {
+			return s.Ring[(i+1)%len(s.Ring)]
+		}
+	}
+	panic(fmt.Sprintf("simstore: server %d not in ring %v", s.IDNum, s.Ring))
+}
+
+// Tick implements netsim.Process.
+func (s *TOBServer) Tick(round int, delivered []netsim.Message) []netsim.Send {
+	for _, m := range delivered {
+		switch p := m.Payload.(type) {
+		case Request:
+			s.forward = append(s.forward, tobMsg{
+				Origin: s.IDNum,
+				Client: p.Client,
+				Seq:    p.Seq,
+				IsRead: p.IsRead,
+				Val:    p.Val,
+			})
+		case tobMsg:
+			if p.Origin == s.IDNum {
+				// Full circle: the operation is ordered; execute and
+				// acknowledge.
+				if !p.IsRead {
+					s.val = p.Val
+				}
+				resp := Response{Client: p.Client, Seq: p.Seq, IsRead: p.IsRead}
+				if p.IsRead {
+					resp.Val = s.val
+				}
+				s.acks = append(s.acks, resp)
+				continue
+			}
+			if !p.IsRead {
+				s.val = p.Val // apply in ring order as it passes by
+			}
+			s.forward = append(s.forward, p)
+		default:
+			panic(fmt.Sprintf("simstore: tob server got %T", m.Payload))
+		}
+	}
+	var out []netsim.Send
+	if len(s.forward) > 0 {
+		msg := s.forward[0]
+		s.forward = s.forward[1:]
+		bytes := s.Cal.PayloadFrameBytes()
+		if msg.IsRead {
+			bytes = s.Cal.ControlFrameBytes()
+		}
+		out = append(out, netsim.Send{
+			NIC:     netsim.NICServer,
+			To:      []int{s.successor()},
+			Payload: msg,
+			Bytes:   bytes,
+		})
+	}
+	if len(s.acks) > 0 {
+		resp := s.acks[0]
+		s.acks = s.acks[1:]
+		out = append(out, netsim.Send{
+			NIC:     netsim.NICClient,
+			To:      []int{resp.Client},
+			Payload: resp,
+			Bytes:   respBytes(s.Cal, resp.IsRead),
+		})
+	}
+	return out
+}

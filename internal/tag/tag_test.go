@@ -1,0 +1,130 @@
+package tag
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Tag
+		want int
+	}{
+		{"equal zero", Tag{}, Tag{}, 0},
+		{"equal nonzero", Tag{5, 3}, Tag{5, 3}, 0},
+		{"ts dominates", Tag{1, 9}, Tag{2, 0}, -1},
+		{"ts dominates reversed", Tag{2, 0}, Tag{1, 9}, 1},
+		{"id breaks tie", Tag{4, 1}, Tag{4, 2}, -1},
+		{"id breaks tie reversed", Tag{4, 2}, Tag{4, 1}, 1},
+		{"zero before any write", Zero, Tag{1, 0}, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Compare(tc.b); got != tc.want {
+				t.Fatalf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPredicatesAgreeWithCompare(t *testing.T) {
+	f := func(ats, bts uint64, aid, bid uint32) bool {
+		a, b := Tag{ats, aid}, Tag{bts, bid}
+		c := a.Compare(b)
+		return a.Less(b) == (c < 0) &&
+			a.LessEq(b) == (c <= 0) &&
+			a.After(b) == (c > 0) &&
+			a.AtLeast(b) == (c >= 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(ats, bts uint64, aid, bid uint32) bool {
+		a, b := Tag{ats, aid}, Tag{bts, bid}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	// Transitivity and totality over a shuffled deck: sorting by Compare
+	// must produce a unique, stable ascending sequence.
+	rng := rand.New(rand.NewSource(42))
+	tags := make([]Tag, 200)
+	for i := range tags {
+		tags[i] = Tag{TS: uint64(rng.Intn(20)), ID: uint32(rng.Intn(10))}
+	}
+	sorted := append([]Tag(nil), tags...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Less(sorted[i-1]) {
+			t.Fatalf("sort not ascending at %d: %v then %v", i, sorted[i-1], sorted[i])
+		}
+	}
+}
+
+func TestNextAlwaysGreater(t *testing.T) {
+	f := func(ts uint64, id, owner uint32) bool {
+		if ts == ^uint64(0) { // avoid overflow wrap in the property
+			ts--
+		}
+		cur := Tag{ts, id}
+		nxt := cur.Next(owner)
+		return nxt.After(cur) && nxt.ID == owner && nxt.TS == cur.TS+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextDistinctOwnersDistinctTags(t *testing.T) {
+	// Two servers bumping the same observed tag must produce distinct,
+	// totally ordered tags (ties broken by id).
+	base := Tag{7, 0}
+	a, b := base.Next(1), base.Next(2)
+	if a == b {
+		t.Fatal("tags from distinct owners must differ")
+	}
+	if !a.Less(b) {
+		t.Fatalf("expected %v < %v", a, b)
+	}
+}
+
+func TestMax(t *testing.T) {
+	a, b := Tag{3, 1}, Tag{3, 2}
+	if got := a.Max(b); got != b {
+		t.Fatalf("Max = %v, want %v", got, b)
+	}
+	if got := b.Max(a); got != b {
+		t.Fatalf("Max = %v, want %v", got, b)
+	}
+	if got := a.Max(a); got != a {
+		t.Fatalf("Max = %v, want %v", got, a)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() = false")
+	}
+	if (Tag{0, 1}).IsZero() {
+		t.Fatal("Tag{0,1}.IsZero() = true")
+	}
+	if (Tag{1, 0}).IsZero() {
+		t.Fatal("Tag{1,0}.IsZero() = true")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got, want := (Tag{12, 3}).String(), "[12/3]"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

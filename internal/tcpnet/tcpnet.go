@@ -1,0 +1,410 @@
+// Package tcpnet implements the transport.Endpoint abstraction over real
+// TCP connections, mirroring the paper's deployment: every server keeps a
+// TCP connection to its ring successor, clients connect to a server of
+// their choice, and a broken connection is interpreted as a crash of the
+// peer (the perfect failure detector of the paper's cluster model).
+//
+// Connections are created lazily on first send and cached. Each
+// connection has one reader and one writer goroutine; the bounded
+// outbound queue gives senders the same backpressure semantics as the
+// in-memory transport. Acks to clients travel back on the connection the
+// client opened, so clients need no listener.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// handshakeMagic prefixes every connection so that stray connections are
+// rejected early.
+const handshakeMagic = "ATS1"
+
+// Options configure a TCP endpoint.
+type Options struct {
+	// SendQueueCapacity bounds the per-peer outbound queue. Zero means 64.
+	SendQueueCapacity int
+	// InboxCapacity bounds the shared inbox. Zero means 256.
+	InboxCapacity int
+	// DialTimeout bounds a single connection attempt. Zero means 2s.
+	DialTimeout time.Duration
+	// DialRetries is the number of extra attempts after a failed dial,
+	// spaced DialBackoff apart, before Send gives up. Zero means 5.
+	DialRetries int
+	// DialBackoff is the delay between dial attempts. Zero means 50ms.
+	DialBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SendQueueCapacity <= 0 {
+		o.SendQueueCapacity = 64
+	}
+	if o.InboxCapacity <= 0 {
+		o.InboxCapacity = 256
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.DialRetries <= 0 {
+		o.DialRetries = 5
+	}
+	if o.DialBackoff <= 0 {
+		o.DialBackoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// AddressBook maps server process ids to their listen addresses. Clients
+// do not appear in the book; they are reached over the connections they
+// themselves opened.
+type AddressBook map[wire.ProcessID]string
+
+// Endpoint is a TCP-backed transport endpoint.
+type Endpoint struct {
+	id    wire.ProcessID
+	book  AddressBook
+	opts  Options
+	ln    net.Listener
+	inbox chan transport.Inbound
+	fails chan wire.ProcessID
+
+	downOnce sync.Once
+	down     chan struct{}
+
+	mu     sync.Mutex
+	peers  map[wire.ProcessID]*peer
+	extras []*peer // duplicate conns from simultaneous dials: read-only
+	failed map[wire.ProcessID]bool
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// Listen starts a server endpoint accepting connections on addr. The
+// address book must contain every server, including this one (its entry
+// is ignored for dialing).
+func Listen(id wire.ProcessID, addr string, book AddressBook, opts Options) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	e := newEndpoint(id, book, opts)
+	e.ln = ln
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// NewClient creates a dial-only endpoint (no listener) for a client
+// process.
+func NewClient(id wire.ProcessID, book AddressBook, opts Options) *Endpoint {
+	return newEndpoint(id, book, opts)
+}
+
+func newEndpoint(id wire.ProcessID, book AddressBook, opts Options) *Endpoint {
+	opts = opts.withDefaults()
+	bookCopy := make(AddressBook, len(book))
+	for k, v := range book {
+		bookCopy[k] = v
+	}
+	return &Endpoint{
+		id:     id,
+		book:   bookCopy,
+		opts:   opts,
+		inbox:  make(chan transport.Inbound, opts.InboxCapacity),
+		fails:  make(chan wire.ProcessID, 64),
+		down:   make(chan struct{}),
+		peers:  make(map[wire.ProcessID]*peer),
+		failed: make(map[wire.ProcessID]bool),
+	}
+}
+
+// Addr returns the listener address ("" for client endpoints), useful
+// when listening on port 0.
+func (e *Endpoint) Addr() string {
+	if e.ln == nil {
+		return ""
+	}
+	return e.ln.Addr().String()
+}
+
+// ID implements transport.Endpoint.
+func (e *Endpoint) ID() wire.ProcessID { return e.id }
+
+// Inbox implements transport.Endpoint.
+func (e *Endpoint) Inbox() <-chan transport.Inbound { return e.inbox }
+
+// Failures implements transport.Endpoint.
+func (e *Endpoint) Failures() <-chan wire.ProcessID { return e.fails }
+
+// Done implements transport.Endpoint.
+func (e *Endpoint) Done() <-chan struct{} { return e.down }
+
+// Close implements transport.Endpoint: it tears down the listener and
+// every connection. Peers will observe broken connections, which in this
+// model is indistinguishable from a crash — exactly the paper's
+// assumption.
+func (e *Endpoint) Close() error {
+	e.downOnce.Do(func() { close(e.down) })
+	if e.ln != nil {
+		_ = e.ln.Close()
+	}
+	e.mu.Lock()
+	peers := make([]*peer, 0, len(e.peers)+len(e.extras))
+	for _, p := range e.peers {
+		peers = append(peers, p)
+	}
+	peers = append(peers, e.extras...)
+	e.peers = make(map[wire.ProcessID]*peer)
+	e.extras = nil
+	e.mu.Unlock()
+	for _, p := range peers {
+		p.shutdown()
+	}
+	e.wg.Wait()
+	return nil
+}
+
+// Send implements transport.Endpoint.
+func (e *Endpoint) Send(to wire.ProcessID, f wire.Frame) error {
+	select {
+	case <-e.down:
+		return transport.ErrClosed
+	default:
+	}
+	p, err := e.peerFor(to)
+	if err != nil {
+		return err
+	}
+	select {
+	case p.out <- f:
+		return nil
+	case <-p.closed:
+		return fmt.Errorf("%w: %d", transport.ErrPeerDown, to)
+	case <-e.down:
+		return transport.ErrClosed
+	}
+}
+
+// peerFor returns the cached connection for `to`, dialing if necessary.
+func (e *Endpoint) peerFor(to wire.ProcessID) (*peer, error) {
+	e.mu.Lock()
+	if p, ok := e.peers[to]; ok {
+		e.mu.Unlock()
+		return p, nil
+	}
+	if e.failed[to] {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", transport.ErrPeerDown, to)
+	}
+	addr, ok := e.book[to]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d not in address book", transport.ErrUnknownPeer, to)
+	}
+
+	conn, err := e.dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %d at %s: %w", to, addr, err)
+	}
+	if err := writeHandshake(conn, e.id); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("tcpnet: handshake with %d: %w", to, err)
+	}
+	return e.adoptConn(to, conn), nil
+}
+
+// dial attempts to connect with bounded retries.
+func (e *Endpoint) dial(addr string) (net.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt <= e.opts.DialRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(e.opts.DialBackoff):
+			case <-e.down:
+				return nil, transport.ErrClosed
+			}
+		}
+		conn, err := net.DialTimeout("tcp", addr, e.opts.DialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// adoptConn registers a live connection for the peer and starts its
+// reader and writer goroutines. If a connection for the peer already
+// exists (simultaneous dials), the new one is still served for reading
+// but the cached one keeps handling sends.
+func (e *Endpoint) adoptConn(id wire.ProcessID, conn net.Conn) *peer {
+	p := &peer{
+		id:     id,
+		conn:   conn,
+		out:    make(chan wire.Frame, e.opts.SendQueueCapacity),
+		closed: make(chan struct{}),
+	}
+	e.mu.Lock()
+	if existing, ok := e.peers[id]; ok {
+		e.extras = append(e.extras, p)
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(p) // serve inbound on the duplicate, never write
+		return existing
+	}
+	e.peers[id] = p
+	e.mu.Unlock()
+	e.wg.Add(2)
+	go e.readLoop(p)
+	go e.writeLoop(p)
+	return p
+}
+
+// dropPeer removes the peer from the cache and reports its failure once.
+func (e *Endpoint) dropPeer(p *peer) {
+	p.shutdown()
+	e.mu.Lock()
+	first := false
+	if e.peers[p.id] == p {
+		delete(e.peers, p.id)
+	}
+	if !e.failed[p.id] {
+		e.failed[p.id] = true
+		first = true
+	}
+	e.mu.Unlock()
+	select {
+	case <-e.down:
+		return // local teardown; peers are not "crashed"
+	default:
+	}
+	if first {
+		select {
+		case e.fails <- p.id:
+		case <-e.down:
+		}
+	}
+}
+
+// acceptLoop accepts inbound connections and registers them after the
+// handshake identifies the peer.
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			select {
+			case <-e.down:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		from, err := readHandshake(conn)
+		if err != nil {
+			_ = conn.Close()
+			continue
+		}
+		e.adoptConn(from, conn)
+	}
+}
+
+// readLoop decodes frames from the connection into the inbox.
+func (e *Endpoint) readLoop(p *peer) {
+	defer e.wg.Done()
+	r := wire.NewReader(p.conn)
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			e.dropPeer(p)
+			return
+		}
+		select {
+		case e.inbox <- transport.Inbound{From: p.id, Frame: f}:
+		case <-e.down:
+			e.dropPeer(p)
+			return
+		}
+	}
+}
+
+// writeLoop serializes queued frames onto the connection.
+func (e *Endpoint) writeLoop(p *peer) {
+	defer e.wg.Done()
+	w := wire.NewWriter(p.conn)
+	for {
+		select {
+		case f := <-p.out:
+			if err := w.WriteFrame(&f); err != nil {
+				e.dropPeer(p)
+				return
+			}
+		case <-p.closed:
+			return
+		case <-e.down:
+			e.dropPeer(p)
+			return
+		}
+	}
+}
+
+// peer is one live TCP connection with its outbound queue.
+type peer struct {
+	id     wire.ProcessID
+	conn   net.Conn
+	out    chan wire.Frame
+	once   sync.Once
+	closed chan struct{}
+}
+
+// shutdown closes the connection and releases blocked senders.
+func (p *peer) shutdown() {
+	p.once.Do(func() {
+		close(p.closed)
+		_ = p.conn.Close()
+	})
+}
+
+// writeHandshake sends the 8-byte preamble identifying the local process.
+func writeHandshake(conn net.Conn, id wire.ProcessID) error {
+	var buf [8]byte
+	copy(buf[:4], handshakeMagic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(id))
+	_, err := conn.Write(buf[:])
+	return err
+}
+
+// readHandshake consumes and validates the preamble, returning the peer id.
+func readHandshake(conn net.Conn) (wire.ProcessID, error) {
+	var buf [8]byte
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		return 0, err
+	}
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		return 0, err
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		return 0, err
+	}
+	if string(buf[:4]) != handshakeMagic {
+		return 0, fmt.Errorf("tcpnet: bad handshake magic %q", buf[:4])
+	}
+	id := wire.ProcessID(binary.BigEndian.Uint32(buf[4:]))
+	if id == wire.NoProcess {
+		return 0, errors.New("tcpnet: handshake with zero process id")
+	}
+	return id, nil
+}

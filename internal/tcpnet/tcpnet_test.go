@@ -1,0 +1,254 @@
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/tag"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// newCluster starts n server endpoints on loopback and returns them with
+// a shared address book.
+func newCluster(t *testing.T, n int) ([]*Endpoint, AddressBook) {
+	t.Helper()
+	book := make(AddressBook)
+	eps := make([]*Endpoint, n)
+	for i := 0; i < n; i++ {
+		id := wire.ProcessID(i + 1)
+		ep, err := Listen(id, "127.0.0.1:0", book, Options{})
+		if err != nil {
+			t.Fatalf("listen %d: %v", id, err)
+		}
+		eps[i] = ep
+		book[id] = ep.Addr()
+		t.Cleanup(func() { _ = ep.Close() })
+	}
+	// Every endpoint got a copy of the book at creation time; rebuild
+	// them now that all addresses are known.
+	for i, ep := range eps {
+		_ = ep.Close()
+		id := wire.ProcessID(i + 1)
+		ep2, err := Listen(id, book[id], book, Options{})
+		if err != nil {
+			t.Fatalf("relisten %d: %v", id, err)
+		}
+		eps[i] = ep2
+		t.Cleanup(func() { _ = ep2.Close() })
+	}
+	return eps, book
+}
+
+func frame(req uint64) wire.Frame {
+	return wire.NewFrame(wire.Envelope{Kind: wire.KindReadRequest, ReqID: req})
+}
+
+func recvOne(t *testing.T, ep *Endpoint) transport.Inbound {
+	t.Helper()
+	select {
+	case in := <-ep.Inbox():
+		return in
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a frame")
+		return transport.Inbound{}
+	}
+}
+
+func TestServerToServerRoundTrip(t *testing.T) {
+	eps, _ := newCluster(t, 2)
+	if err := eps[0].Send(2, frame(7)); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, eps[1])
+	if in.From != 1 || in.Frame.Env.ReqID != 7 {
+		t.Fatalf("got %+v", in)
+	}
+	// Reply travels back over the same connection pair.
+	if err := eps[1].Send(1, frame(8)); err != nil {
+		t.Fatal(err)
+	}
+	in = recvOne(t, eps[0])
+	if in.From != 2 || in.Frame.Env.ReqID != 8 {
+		t.Fatalf("got %+v", in)
+	}
+}
+
+func TestClientRequestReply(t *testing.T) {
+	eps, book := newCluster(t, 1)
+	cl := NewClient(100, book, Options{})
+	t.Cleanup(func() { _ = cl.Close() })
+
+	if err := cl.Send(1, frame(1)); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, eps[0])
+	if in.From != 100 {
+		t.Fatalf("server saw sender %d", in.From)
+	}
+	// The server replies to the client without the client being in the
+	// address book: the inbound connection is reused.
+	if err := eps[0].Send(100, frame(2)); err != nil {
+		t.Fatal(err)
+	}
+	in = recvOne(t, cl)
+	if in.From != 1 || in.Frame.Env.ReqID != 2 {
+		t.Fatalf("client got %+v", in)
+	}
+}
+
+func TestSendToUnknownPeer(t *testing.T) {
+	_, book := newCluster(t, 1)
+	cl := NewClient(100, book, Options{})
+	t.Cleanup(func() { _ = cl.Close() })
+	err := cl.Send(55, frame(1))
+	if !errors.Is(err, transport.ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestPeerCloseIsDetectedAsFailure(t *testing.T) {
+	eps, _ := newCluster(t, 2)
+	// Establish the connection first.
+	if err := eps[0].Send(2, frame(1)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, eps[1])
+
+	// Closing endpoint 2 models its crash: endpoint 1 must detect it.
+	_ = eps[1].Close()
+	select {
+	case id := <-eps[0].Failures():
+		if id != 2 {
+			t.Fatalf("failure notice for %d, want 2", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no failure notice after peer close")
+	}
+	// Further sends to the failed peer report it down.
+	var err error
+	for i := 0; i < 50; i++ {
+		if err = eps[0].Send(2, frame(2)); err != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err == nil {
+		t.Fatal("send to crashed peer kept succeeding")
+	}
+}
+
+func TestLargePayloadRoundTrip(t *testing.T) {
+	eps, _ := newCluster(t, 2)
+	val := make([]byte, 1<<20)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	env := wire.Envelope{Kind: wire.KindWriteRequest, ReqID: 9, Value: val}
+	if err := eps[0].Send(2, wire.NewFrame(env)); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, eps[1])
+	if len(in.Frame.Env.Value) != len(val) {
+		t.Fatalf("payload size %d, want %d", len(in.Frame.Env.Value), len(val))
+	}
+	for i := 0; i < len(val); i += 4099 {
+		if in.Frame.Env.Value[i] != val[i] {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+func TestPiggybackFrameOverTCP(t *testing.T) {
+	eps, _ := newCluster(t, 2)
+	pb := wire.Envelope{Kind: wire.KindWrite, Origin: 1, Tag: tagOf(3, 1), Value: []byte("old")}
+	f := wire.Frame{
+		Env:       wire.Envelope{Kind: wire.KindPreWrite, Origin: 1, Tag: tagOf(4, 1), Value: []byte("new")},
+		Piggyback: &pb,
+	}
+	if err := eps[0].Send(2, f); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, eps[1])
+	if in.Frame.Piggyback == nil || string(in.Frame.Piggyback.Value) != "old" {
+		t.Fatalf("piggyback lost: %+v", in.Frame)
+	}
+}
+
+func TestManyFramesInOrderPerPeer(t *testing.T) {
+	eps, _ := newCluster(t, 2)
+	const total = 500
+	go func() {
+		for i := 0; i < total; i++ {
+			if err := eps[0].Send(2, frame(uint64(i))); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		in := recvOne(t, eps[1])
+		if in.Frame.Env.ReqID != uint64(i) {
+			t.Fatalf("frame %d arrived with req %d (TCP must be FIFO per conn)", i, in.Frame.Env.ReqID)
+		}
+	}
+}
+
+func TestConcurrentBidirectionalTraffic(t *testing.T) {
+	eps, _ := newCluster(t, 3)
+	const per = 200
+	errCh := make(chan error, 6)
+	for _, src := range eps {
+		src := src
+		go func() {
+			for i := 0; i < per; i++ {
+				for _, dst := range []wire.ProcessID{1, 2, 3} {
+					if dst == src.ID() {
+						continue
+					}
+					if err := src.Send(dst, frame(uint64(i))); err != nil {
+						errCh <- fmt.Errorf("send %d->%d: %w", src.ID(), dst, err)
+						return
+					}
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	counts := make(map[wire.ProcessID]int)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			allDone := true
+			for _, ep := range eps {
+				select {
+				case <-ep.Inbox():
+					counts[ep.ID()]++
+				default:
+				}
+				if counts[ep.ID()] < 2*per {
+					allDone = false
+				}
+			}
+			if allDone {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("incomplete delivery: %v", counts)
+	}
+}
+
+func tagOf(ts uint64, id uint32) tag.Tag {
+	return tag.Tag{TS: ts, ID: id}
+}

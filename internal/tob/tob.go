@@ -1,0 +1,342 @@
+// Package tob implements the modular alternative the paper discusses and
+// rejects: an atomic storage built over a ring total-order broadcast.
+// Every operation — including reads, which must be totally ordered for
+// the storage to be atomic — is broadcast on the ring, sequenced, and
+// executed by every server in the same global order.
+//
+// The concrete TOB is a sequencer-on-a-ring: an unstamped operation is
+// forwarded along the ring to the distinguished sequencer (the first
+// server in ring order), which assigns it a global sequence number; the
+// stamped operation then circulates the full ring, each server executing
+// ops strictly in sequence order. The server that accepted the client's
+// request acknowledges it at its own execution point. All traffic rides
+// ring links only, like the paper's algorithm — but because reads consume
+// ring bandwidth too, total throughput (reads + writes) stays at the
+// one-op-per-round class regardless of the number of servers, which is
+// the paper's argument for not building atomic storage this way (§1 and
+// §4.2).
+//
+// Crash handling is omitted (baseline for comparison, not production).
+package tob
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/tag"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// flagTOBRead marks read operations; flagTOBStamped marks ops that have
+// passed the sequencer.
+const (
+	flagTOBRead    uint8 = 1 << 4
+	flagTOBStamped uint8 = 1 << 5
+)
+
+// Server is one replica of the TOB storage.
+type Server struct {
+	ep   transport.Endpoint
+	ring []wire.ProcessID
+	pos  int
+
+	objects map[wire.ObjectID][]byte
+	// sequencer state (ring[0] only).
+	nextSeq uint64
+	// execution state: ops execute in stamped order.
+	nextExec uint64
+	buffer   map[uint64]wire.Envelope
+	// myOps maps a locally assigned op id to the waiting client.
+	myOps  map[uint64]clientRef
+	nextOp uint64
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+}
+
+// clientRef remembers whom to acknowledge.
+type clientRef struct {
+	client wire.ProcessID
+	reqID  uint64
+	isRead bool
+}
+
+// NewServer creates a TOB storage server. ring[0] is the sequencer.
+func NewServer(ep transport.Endpoint, ring []wire.ProcessID) (*Server, error) {
+	pos := -1
+	for i, id := range ring {
+		if id == ep.ID() {
+			pos = i
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("tob: %d not in ring %v", ep.ID(), ring)
+	}
+	return &Server{
+		ep:       ep,
+		ring:     append([]wire.ProcessID(nil), ring...),
+		pos:      pos,
+		objects:  make(map[wire.ObjectID][]byte),
+		nextExec: 1,
+		buffer:   make(map[uint64]wire.Envelope),
+		myOps:    make(map[uint64]clientRef),
+		stopc:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the server loop.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// Stop terminates the server loop.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stopc) })
+	s.wg.Wait()
+}
+
+// successor returns the ring successor.
+func (s *Server) successor() wire.ProcessID {
+	return s.ring[(s.pos+1)%len(s.ring)]
+}
+
+// isSequencer reports whether this server stamps operations.
+func (s *Server) isSequencer() bool { return s.pos == 0 }
+
+// loop is the single event loop.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case in := <-s.ep.Inbox():
+			s.handle(in)
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// handle dispatches one frame.
+func (s *Server) handle(in transport.Inbound) {
+	env := in.Frame.Env
+	switch env.Kind {
+	case wire.KindWriteRequest, wire.KindReadRequest:
+		s.nextOp++
+		opID := s.nextOp
+		isRead := env.Kind == wire.KindReadRequest
+		s.myOps[opID] = clientRef{client: in.From, reqID: env.ReqID, isRead: isRead}
+		op := wire.Envelope{
+			Kind:   wire.KindTOBOp,
+			Object: env.Object,
+			Origin: s.ep.ID(),
+			ReqID:  opID,
+			Value:  env.Value,
+		}
+		if isRead {
+			op.Flags |= flagTOBRead
+		}
+		s.routeOp(op)
+	case wire.KindTOBOp:
+		s.routeOp(env)
+	default:
+		// Not part of this protocol.
+	}
+}
+
+// routeOp moves an op along: unstamped ops travel to the sequencer,
+// stamped ops circulate and execute.
+func (s *Server) routeOp(op wire.Envelope) {
+	if op.Flags&flagTOBStamped == 0 {
+		if !s.isSequencer() {
+			_ = s.ep.Send(s.successor(), wire.NewFrame(op))
+			return
+		}
+		s.nextSeq++
+		op.Flags |= flagTOBStamped
+		op.Tag = tag.Tag{TS: s.nextSeq, ID: uint32(op.Origin)}
+		s.execute(op)
+		_ = s.ep.Send(s.successor(), wire.NewFrame(op))
+		return
+	}
+	// Stamped op arriving back at the sequencer has completed the ring.
+	if s.isSequencer() {
+		return
+	}
+	s.execute(op)
+	_ = s.ep.Send(s.successor(), wire.NewFrame(op))
+}
+
+// execute buffers the stamped op and applies everything in sequence.
+func (s *Server) execute(op wire.Envelope) {
+	s.buffer[op.Tag.TS] = op
+	for {
+		next, ok := s.buffer[s.nextExec]
+		if !ok {
+			return
+		}
+		delete(s.buffer, s.nextExec)
+		s.nextExec++
+		if next.Flags&flagTOBRead == 0 {
+			s.objects[next.Object] = next.Value
+		}
+		if next.Origin == s.ep.ID() {
+			s.ackClient(next)
+		}
+	}
+}
+
+// ackClient answers the client whose op just executed locally.
+func (s *Server) ackClient(op wire.Envelope) {
+	ref, ok := s.myOps[op.ReqID]
+	if !ok {
+		return
+	}
+	delete(s.myOps, op.ReqID)
+	ack := wire.Envelope{
+		Kind:   wire.KindWriteAck,
+		Object: op.Object,
+		Tag:    op.Tag,
+		ReqID:  ref.reqID,
+	}
+	if ref.isRead {
+		ack.Kind = wire.KindReadAck
+		ack.Value = s.objects[op.Object]
+	}
+	_ = s.ep.Send(ref.client, wire.NewFrame(ack))
+}
+
+// Client issues operations against the TOB storage.
+type Client struct {
+	ep      transport.Endpoint
+	servers []wire.ProcessID
+	tmo     time.Duration
+
+	mu       sync.Mutex
+	nextReq  uint64
+	rr       int
+	inflight map[uint64]chan wire.Envelope
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+}
+
+// ErrTimeout is returned when the storage does not answer in time.
+var ErrTimeout = errors.New("tob: request timed out")
+
+// NewClient creates a TOB storage client. timeout zero means 2s.
+func NewClient(ep transport.Endpoint, servers []wire.ProcessID, timeout time.Duration) (*Client, error) {
+	if len(servers) == 0 {
+		return nil, errors.New("tob: no servers")
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	c := &Client{
+		ep:       ep,
+		servers:  append([]wire.ProcessID(nil), servers...),
+		tmo:      timeout,
+		inflight: make(map[uint64]chan wire.Envelope),
+		stopc:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.receiverLoop()
+	return c, nil
+}
+
+// Close stops the client.
+func (c *Client) Close() error {
+	c.stopOnce.Do(func() { close(c.stopc) })
+	c.wg.Wait()
+	return nil
+}
+
+// Write stores value, returning its global sequence tag.
+func (c *Client) Write(ctx context.Context, object wire.ObjectID, value []byte) (tag.Tag, error) {
+	reply, err := c.roundTrip(ctx, wire.Envelope{
+		Kind:   wire.KindWriteRequest,
+		Object: object,
+		Value:  append([]byte(nil), value...),
+	})
+	if err != nil {
+		return tag.Zero, err
+	}
+	return reply.Tag, nil
+}
+
+// Read returns the value at the read's sequence point.
+func (c *Client) Read(ctx context.Context, object wire.ObjectID) ([]byte, tag.Tag, error) {
+	reply, err := c.roundTrip(ctx, wire.Envelope{
+		Kind:   wire.KindReadRequest,
+		Object: object,
+	})
+	if err != nil {
+		return nil, tag.Zero, err
+	}
+	return reply.Value, reply.Tag, nil
+}
+
+// roundTrip performs one request against a round-robin chosen server.
+func (c *Client) roundTrip(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
+	c.mu.Lock()
+	c.nextReq++
+	reqID := c.nextReq
+	c.rr++
+	server := c.servers[c.rr%len(c.servers)]
+	ch := make(chan wire.Envelope, 1)
+	c.inflight[reqID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight, reqID)
+		c.mu.Unlock()
+	}()
+
+	env.ReqID = reqID
+	if err := c.ep.Send(server, wire.NewFrame(env)); err != nil {
+		return wire.Envelope{}, fmt.Errorf("tob: send: %w", err)
+	}
+	timer := time.NewTimer(c.tmo)
+	defer timer.Stop()
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-timer.C:
+		return wire.Envelope{}, ErrTimeout
+	case <-ctx.Done():
+		return wire.Envelope{}, ctx.Err()
+	case <-c.stopc:
+		return wire.Envelope{}, errors.New("tob: client closed")
+	}
+}
+
+// receiverLoop routes replies by request id.
+func (c *Client) receiverLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case in := <-c.ep.Inbox():
+			env := in.Frame.Env
+			if env.Kind != wire.KindWriteAck && env.Kind != wire.KindReadAck {
+				continue
+			}
+			c.mu.Lock()
+			ch := c.inflight[env.ReqID]
+			c.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- env:
+				default:
+				}
+			}
+		case <-c.stopc:
+			return
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package tob
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+type fixture struct {
+	t    *testing.T
+	net  *transport.MemNetwork
+	ring []wire.ProcessID
+
+	mu   sync.Mutex
+	next wire.ProcessID
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	f := &fixture{t: t, net: transport.NewMemNetwork(transport.MemNetworkOptions{}), next: 1000}
+	for i := 1; i <= n; i++ {
+		f.ring = append(f.ring, wire.ProcessID(i))
+	}
+	for _, id := range f.ring {
+		ep, err := f.net.Register(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(ep, f.ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		t.Cleanup(func() {
+			srv.Stop()
+			_ = ep.Close()
+		})
+	}
+	return f
+}
+
+func (f *fixture) client() *Client {
+	f.t.Helper()
+	f.mu.Lock()
+	f.next++
+	id := f.next
+	f.mu.Unlock()
+	ep, err := f.net.Register(id)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	cl, err := NewClient(ep, f.ring, 5*time.Second)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.t.Cleanup(func() {
+		_ = cl.Close()
+		_ = ep.Close()
+	})
+	return cl
+}
+
+func TestTOBWriteThenRead(t *testing.T) {
+	f := newFixture(t, 3)
+	cl := f.client()
+	ctx := context.Background()
+	if _, err := cl.Write(ctx, 0, []byte("ordered")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := cl.Read(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ordered" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestTOBSequencesAcrossServers(t *testing.T) {
+	// Writes through different servers are totally ordered: a read
+	// after both sees the later one, and sequence tags are unique and
+	// increasing per completion order.
+	f := newFixture(t, 4)
+	ctx := context.Background()
+	cl1, cl2 := f.client(), f.client()
+	t1, err := cl1.Write(ctx, 0, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := cl2.Write(ctx, 0, []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !t2.After(t1) {
+		t.Fatalf("sequential writes got tags %s then %s", t1, t2)
+	}
+	got, _, err := cl1.Read(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "b" {
+		t.Fatalf("read %q, want b", got)
+	}
+}
+
+func TestTOBLinearizableHistory(t *testing.T) {
+	// TOB orders everything, so the black-box checker must accept any
+	// concurrent history it produces (values unique per write).
+	f := newFixture(t, 3)
+	ctx := context.Background()
+	var mu sync.Mutex
+	var ops []checker.Op
+	add := func(op checker.Op) {
+		mu.Lock()
+		op.ID = len(ops)
+		ops = append(ops, op)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		cl := f.client()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				v := fmt.Sprintf("w%d-%d", w, i)
+				start := time.Now().UnixNano()
+				if _, err := cl.Write(ctx, 0, []byte(v)); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				add(checker.Op{Kind: checker.KindWrite, Value: v, Start: start, End: time.Now().UnixNano()})
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		cl := f.client()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				start := time.Now().UnixNano()
+				v, _, err := cl.Read(ctx, 0)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				add(checker.Op{Kind: checker.KindRead, Value: string(v), Start: start, End: time.Now().UnixNano()})
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := checker.CheckLinearizable(ops); err != nil {
+		t.Fatalf("tob history not linearizable: %v", err)
+	}
+}
+
+func TestTOBMultiObject(t *testing.T) {
+	f := newFixture(t, 3)
+	cl := f.client()
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := cl.Write(ctx, wire.ObjectID(i), []byte(fmt.Sprintf("o%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		got, _, err := cl.Read(ctx, wire.ObjectID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != fmt.Sprintf("o%d", i) {
+			t.Fatalf("object %d holds %q", i, got)
+		}
+	}
+}
+
+func TestTOBSingleServer(t *testing.T) {
+	f := newFixture(t, 1)
+	cl := f.client()
+	ctx := context.Background()
+	if _, err := cl.Write(ctx, 0, []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := cl.Read(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "solo" {
+		t.Fatalf("read %q", got)
+	}
+}

@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// DefaultInboxCapacity is the per-endpoint inbox buffer used when the
+// network option is zero. It is deliberately small: the fairness
+// mechanism of the storage algorithm only engages when links exert
+// backpressure, exactly as a saturated NIC would.
+const DefaultInboxCapacity = 64
+
+// MemNetworkOptions configure an in-memory network.
+type MemNetworkOptions struct {
+	// InboxCapacity is the per-endpoint inbound buffer. Zero means
+	// DefaultInboxCapacity.
+	InboxCapacity int
+}
+
+// MemNetwork is an in-memory message hub connecting endpoints by process
+// id. It supports injected crashes, which are reported to every other
+// endpoint through the perfect failure detector channel — modelling the
+// paper's cluster where a broken TCP connection reliably indicates a
+// crash.
+type MemNetwork struct {
+	opts MemNetworkOptions
+
+	mu        sync.Mutex
+	endpoints map[wire.ProcessID]*MemEndpoint
+}
+
+// NewMemNetwork returns an empty in-memory network.
+func NewMemNetwork(opts MemNetworkOptions) *MemNetwork {
+	if opts.InboxCapacity <= 0 {
+		opts.InboxCapacity = DefaultInboxCapacity
+	}
+	return &MemNetwork{
+		opts:      opts,
+		endpoints: make(map[wire.ProcessID]*MemEndpoint),
+	}
+}
+
+// Register attaches a new endpoint for the given process id.
+func (n *MemNetwork) Register(id wire.ProcessID) (*MemEndpoint, error) {
+	if id == wire.NoProcess {
+		return nil, fmt.Errorf("transport: cannot register %v", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.endpoints[id]; dup {
+		return nil, fmt.Errorf("transport: process %d already registered", id)
+	}
+	ep := &MemEndpoint{
+		net:      n,
+		id:       id,
+		inbox:    make(chan Inbound, n.opts.InboxCapacity),
+		failures: make(chan wire.ProcessID, 64),
+		down:     make(chan struct{}),
+	}
+	n.endpoints[id] = ep
+	return ep, nil
+}
+
+// Crash simulates the crash of a process: its endpoint stops accepting
+// and delivering messages and every other endpoint receives a failure
+// notification. Crashing an unknown or already-down process is a no-op.
+func (n *MemNetwork) Crash(id wire.ProcessID) {
+	n.mu.Lock()
+	victim := n.endpoints[id]
+	if victim == nil {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.endpoints, id)
+	others := make([]*MemEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		others = append(others, ep)
+	}
+	n.mu.Unlock()
+
+	victim.shutdown()
+	for _, ep := range others {
+		ep.notifyFailure(id)
+	}
+}
+
+// lookup returns the live endpoint for id, or nil.
+func (n *MemNetwork) lookup(id wire.ProcessID) *MemEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.endpoints[id]
+}
+
+// remove detaches an endpoint without failure notifications.
+func (n *MemNetwork) remove(id wire.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, id)
+}
+
+// MemEndpoint is an in-memory Endpoint.
+type MemEndpoint struct {
+	net      *MemNetwork
+	id       wire.ProcessID
+	inbox    chan Inbound
+	failures chan wire.ProcessID
+
+	downOnce sync.Once
+	down     chan struct{}
+}
+
+var _ Endpoint = (*MemEndpoint)(nil)
+
+// ID implements Endpoint.
+func (e *MemEndpoint) ID() wire.ProcessID { return e.id }
+
+// Inbox implements Endpoint.
+func (e *MemEndpoint) Inbox() <-chan Inbound { return e.inbox }
+
+// Failures implements Endpoint.
+func (e *MemEndpoint) Failures() <-chan wire.ProcessID { return e.failures }
+
+// Done implements Endpoint.
+func (e *MemEndpoint) Done() <-chan struct{} { return e.down }
+
+// Send implements Endpoint. Self-sends are allowed (a one-server ring
+// forwards to itself).
+func (e *MemEndpoint) Send(to wire.ProcessID, f wire.Frame) error {
+	select {
+	case <-e.down:
+		return ErrClosed
+	default:
+	}
+	dst := e.net.lookup(to)
+	if dst == nil {
+		return fmt.Errorf("%w: %d", ErrPeerDown, to)
+	}
+	inb := Inbound{From: e.id, Frame: f}
+	select {
+	case dst.inbox <- inb:
+		return nil
+	case <-dst.down:
+		return fmt.Errorf("%w: %d", ErrPeerDown, to)
+	case <-e.down:
+		return ErrClosed
+	}
+}
+
+// Close implements Endpoint: it detaches silently (no failure notices).
+func (e *MemEndpoint) Close() error {
+	e.net.remove(e.id)
+	e.shutdown()
+	return nil
+}
+
+// shutdown marks the endpoint down, releasing blocked senders/receivers.
+func (e *MemEndpoint) shutdown() {
+	e.downOnce.Do(func() { close(e.down) })
+}
+
+// notifyFailure enqueues a failure-detector notification, dropping it if
+// the endpoint is already down.
+func (e *MemEndpoint) notifyFailure(id wire.ProcessID) {
+	select {
+	case e.failures <- id:
+	case <-e.down:
+	}
+}

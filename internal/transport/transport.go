@@ -1,0 +1,56 @@
+// Package transport defines the point-to-point messaging abstraction the
+// storage algorithm runs on, and provides an in-memory implementation with
+// crash injection and a perfect failure detector. The paper's cluster
+// model (reliable bi-directional channels, perfect failure detection via
+// broken TCP connections) maps onto this interface; package tcpnet
+// provides the real-TCP implementation of the same interface.
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/wire"
+)
+
+// Transport errors.
+var (
+	// ErrPeerDown is returned by Send when the destination has crashed.
+	ErrPeerDown = errors.New("transport: peer down")
+	// ErrClosed is returned when the local endpoint is closed or crashed.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrUnknownPeer is returned when the destination was never registered.
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+)
+
+// Inbound is a received frame together with its sender.
+type Inbound struct {
+	// From is the process that sent the frame.
+	From wire.ProcessID
+	// Frame is the received frame.
+	Frame wire.Frame
+}
+
+// Endpoint is one process's attachment to the network. Implementations
+// must make Send safe for concurrent use; Inbox and Failures each deliver
+// to however many readers the owner chooses (the algorithm uses one).
+type Endpoint interface {
+	// ID returns the process id this endpoint is registered under.
+	ID() wire.ProcessID
+	// Send delivers a frame to the destination process. It blocks when
+	// the destination's inbox is full (backpressure), and returns
+	// ErrPeerDown if the destination crashed, ErrClosed if the local
+	// endpoint is closed.
+	Send(to wire.ProcessID, f wire.Frame) error
+	// Inbox returns the channel of received frames. It is never closed
+	// while the endpoint is open; after Close or a local crash, readers
+	// should select on Done as well.
+	Inbox() <-chan Inbound
+	// Failures returns the perfect-failure-detector channel: each crash
+	// of another process is reported exactly once.
+	Failures() <-chan wire.ProcessID
+	// Done is closed when the endpoint is closed or crashed.
+	Done() <-chan struct{}
+	// Close detaches the endpoint without signalling a failure to
+	// other processes (used for orderly test teardown).
+	Close() error
+}

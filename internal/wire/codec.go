@@ -1,0 +1,214 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/tag"
+)
+
+// Binary layout (big endian):
+//
+//	frame header:
+//	  uint32  total length of the rest of the frame
+//	  uint8   envelope count (1 or 2)
+//	per envelope:
+//	  uint8   kind
+//	  uint8   flags
+//	  uint32  object
+//	  uint64  tag.ts
+//	  uint32  tag.id
+//	  uint32  origin
+//	  uint32  epoch
+//	  uint64  reqID
+//	  uint32  value length, followed by the value bytes
+const (
+	frameHeaderSize    = 4 + 1
+	envelopeHeaderSize = 1 + 1 + 4 + 8 + 4 + 4 + 4 + 8 + 4
+)
+
+// MaxValueSize bounds a single register value; larger values must be
+// chunked by the application. It also bounds decoder allocations so a
+// corrupt length prefix cannot trigger a huge allocation.
+const MaxValueSize = 16 << 20
+
+// MaxFrameSize is the largest frame the codec will encode or decode.
+const MaxFrameSize = frameHeaderSize + 2*(envelopeHeaderSize+MaxValueSize)
+
+// Codec errors.
+var (
+	// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+	ErrFrameTooLarge = errors.New("wire: frame too large")
+	// ErrCorruptFrame is returned when a frame fails structural checks.
+	ErrCorruptFrame = errors.New("wire: corrupt frame")
+)
+
+// AppendEnvelope encodes env onto buf and returns the extended slice.
+func AppendEnvelope(buf []byte, env *Envelope) []byte {
+	buf = append(buf, byte(env.Kind), env.Flags)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(env.Object))
+	buf = binary.BigEndian.AppendUint64(buf, env.Tag.TS)
+	buf = binary.BigEndian.AppendUint32(buf, env.Tag.ID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(env.Origin))
+	buf = binary.BigEndian.AppendUint32(buf, env.Epoch)
+	buf = binary.BigEndian.AppendUint64(buf, env.ReqID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(env.Value)))
+	buf = append(buf, env.Value...)
+	return buf
+}
+
+// AppendFrame encodes f onto buf and returns the extended slice.
+func AppendFrame(buf []byte, f *Frame) ([]byte, error) {
+	if len(f.Env.Value) > MaxValueSize ||
+		(f.Piggyback != nil && len(f.Piggyback.Value) > MaxValueSize) {
+		return nil, ErrFrameTooLarge
+	}
+	count := byte(1)
+	if f.Piggyback != nil {
+		count = 2
+	}
+	body := make([]byte, 0, f.WireSize()-4)
+	body = append(body, count)
+	body = AppendEnvelope(body, &f.Env)
+	if f.Piggyback != nil {
+		body = AppendEnvelope(body, f.Piggyback)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	return buf, nil
+}
+
+// decodeEnvelope consumes one envelope from data, returning the remainder.
+func decodeEnvelope(data []byte) (Envelope, []byte, error) {
+	if len(data) < envelopeHeaderSize {
+		return Envelope{}, nil, fmt.Errorf("%w: truncated envelope header", ErrCorruptFrame)
+	}
+	var env Envelope
+	env.Kind = Kind(data[0])
+	env.Flags = data[1]
+	env.Object = ObjectID(binary.BigEndian.Uint32(data[2:6]))
+	env.Tag = tag.Tag{
+		TS: binary.BigEndian.Uint64(data[6:14]),
+		ID: binary.BigEndian.Uint32(data[14:18]),
+	}
+	env.Origin = ProcessID(binary.BigEndian.Uint32(data[18:22]))
+	env.Epoch = binary.BigEndian.Uint32(data[22:26])
+	env.ReqID = binary.BigEndian.Uint64(data[26:34])
+	vlen := binary.BigEndian.Uint32(data[34:38])
+	if vlen > MaxValueSize {
+		return Envelope{}, nil, fmt.Errorf("%w: value length %d", ErrFrameTooLarge, vlen)
+	}
+	if !env.Kind.isValid() {
+		return Envelope{}, nil, fmt.Errorf("%w: unknown kind %d", ErrCorruptFrame, uint8(env.Kind))
+	}
+	data = data[envelopeHeaderSize:]
+	if uint32(len(data)) < vlen {
+		return Envelope{}, nil, fmt.Errorf("%w: truncated value", ErrCorruptFrame)
+	}
+	if vlen > 0 {
+		env.Value = append([]byte(nil), data[:vlen]...)
+	}
+	return env, data[vlen:], nil
+}
+
+// DecodeFrameBody decodes the body of a frame (everything after the
+// uint32 length prefix).
+func DecodeFrameBody(body []byte) (Frame, error) {
+	if len(body) < 1 {
+		return Frame{}, fmt.Errorf("%w: empty body", ErrCorruptFrame)
+	}
+	count := body[0]
+	if count != 1 && count != 2 {
+		return Frame{}, fmt.Errorf("%w: envelope count %d", ErrCorruptFrame, count)
+	}
+	rest := body[1:]
+	var (
+		f   Frame
+		err error
+	)
+	f.Env, rest, err = decodeEnvelope(rest)
+	if err != nil {
+		return Frame{}, err
+	}
+	if count == 2 {
+		var pb Envelope
+		pb, rest, err = decodeEnvelope(rest)
+		if err != nil {
+			return Frame{}, err
+		}
+		f.Piggyback = &pb
+	}
+	if len(rest) != 0 {
+		return Frame{}, fmt.Errorf("%w: %d trailing bytes", ErrCorruptFrame, len(rest))
+	}
+	return f, nil
+}
+
+// Writer serializes frames onto an io.Writer with length-prefixed framing.
+// It is not safe for concurrent use; callers serialize through a single
+// sender goroutine (which the transports do).
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer emitting frames to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// WriteFrame encodes f and flushes it to the underlying writer.
+func (fw *Writer) WriteFrame(f *Frame) error {
+	var err error
+	fw.buf, err = AppendFrame(fw.buf[:0], f)
+	if err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(fw.buf); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	if err := fw.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush frame: %w", err)
+	}
+	return nil
+}
+
+// Reader decodes length-prefixed frames from an io.Reader. It is not safe
+// for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader returns a Reader consuming frames from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// ReadFrame reads and decodes the next frame. It returns io.EOF when the
+// stream ends cleanly on a frame boundary and io.ErrUnexpectedEOF when it
+// ends mid-frame.
+func (fr *Reader) ReadFrame() (Frame, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(fr.r, lenbuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("wire: read frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n > MaxFrameSize {
+		return Frame{}, fmt.Errorf("%w: body length %d", ErrFrameTooLarge, n)
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	body := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		return Frame{}, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	return DecodeFrameBody(body)
+}

@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tag"
+)
+
+func sampleEnvelopes() []Envelope {
+	return []Envelope{
+		{Kind: KindWriteRequest, Object: 0, ReqID: 42, Value: []byte("payload")},
+		{Kind: KindWriteAck, ReqID: 42, Tag: tag.Tag{TS: 10, ID: 2}},
+		{Kind: KindReadRequest, Object: 3, ReqID: 7},
+		{Kind: KindReadAck, ReqID: 7, Tag: tag.Tag{TS: 10, ID: 2}, Value: []byte{0, 1, 2, 255}},
+		{Kind: KindPreWrite, Object: 1, Origin: 4, Epoch: 2, Tag: tag.Tag{TS: 99, ID: 4}, Value: bytes.Repeat([]byte("x"), 1024)},
+		{Kind: KindWrite, Origin: 5, Tag: tag.Tag{TS: 100, ID: 5}},
+		{Kind: KindCrash, Origin: 6, Epoch: 3},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, env := range sampleEnvelopes() {
+		env := env
+		f := NewFrame(env)
+		buf, err := AppendFrame(nil, &f)
+		if err != nil {
+			t.Fatalf("encode %v: %v", &env, err)
+		}
+		got, err := DecodeFrameBody(buf[4:])
+		if err != nil {
+			t.Fatalf("decode %v: %v", &env, err)
+		}
+		if !reflect.DeepEqual(normalize(f), normalize(got)) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", f, got)
+		}
+	}
+}
+
+// normalize maps empty and nil values to nil so DeepEqual compares
+// semantic content.
+func normalize(f Frame) Frame {
+	if len(f.Env.Value) == 0 {
+		f.Env.Value = nil
+	}
+	if f.Piggyback != nil && len(f.Piggyback.Value) == 0 {
+		pb := *f.Piggyback
+		pb.Value = nil
+		f.Piggyback = &pb
+	}
+	return f
+}
+
+func TestPiggybackFrameRoundTrip(t *testing.T) {
+	pb := Envelope{Kind: KindWrite, Origin: 2, Tag: tag.Tag{TS: 4, ID: 2}, Value: []byte("old")}
+	f := Frame{
+		Env:       Envelope{Kind: KindPreWrite, Origin: 3, Tag: tag.Tag{TS: 5, ID: 3}, Value: []byte("new")},
+		Piggyback: &pb,
+	}
+	buf, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrameBody(buf[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Piggyback == nil {
+		t.Fatal("piggyback lost in round trip")
+	}
+	if !reflect.DeepEqual(normalize(f), normalize(got)) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", f, got)
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	prop := func(kindSel uint8, obj uint32, ts uint64, id, origin, epoch uint32, reqID uint64, val []byte) bool {
+		kinds := []Kind{KindWriteRequest, KindWriteAck, KindReadRequest,
+			KindReadAck, KindPreWrite, KindWrite, KindCrash}
+		env := Envelope{
+			Kind:   kinds[int(kindSel)%len(kinds)],
+			Object: ObjectID(obj),
+			Tag:    tag.Tag{TS: ts, ID: id},
+			Origin: ProcessID(origin),
+			Epoch:  epoch,
+			ReqID:  reqID,
+			Value:  val,
+		}
+		f := NewFrame(env)
+		buf, err := AppendFrame(nil, &f)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeFrameBody(buf[4:])
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalize(f), normalize(got))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderWriterStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	envs := sampleEnvelopes()
+	for _, env := range envs {
+		f := NewFrame(env)
+		if err := w.WriteFrame(&f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i := range envs {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		want := normalize(NewFrame(envs[i]))
+		if !reflect.DeepEqual(want, normalize(got)) {
+			t.Fatalf("frame %d mismatch:\n in: %+v\nout: %+v", i, want, got)
+		}
+	}
+	if _, err := r.ReadFrame(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestReaderTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	f := NewFrame(Envelope{Kind: KindWriteRequest, ReqID: 1, Value: []byte("hello")})
+	if err := w.WriteFrame(&f); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 3, 5, len(full) - 1} {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := r.ReadFrame(); err == nil {
+			t.Errorf("cut=%d: expected error on truncated stream", cut)
+		}
+	}
+}
+
+func TestReaderRejectsHugeFrame(t *testing.T) {
+	var raw [4]byte
+	raw[0] = 0xFF
+	raw[1] = 0xFF
+	raw[2] = 0xFF
+	raw[3] = 0xFF
+	r := NewReader(bytes.NewReader(raw[:]))
+	if _, err := r.ReadFrame(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestDecodeFrameBodyCorruption(t *testing.T) {
+	f := NewFrame(Envelope{Kind: KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 1, ID: 1}, Value: []byte("v")})
+	buf, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := buf[4:]
+
+	t.Run("empty body", func(t *testing.T) {
+		if _, err := DecodeFrameBody(nil); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad count", func(t *testing.T) {
+		bad := append([]byte(nil), body...)
+		bad[0] = 7
+		if _, err := DecodeFrameBody(bad); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad kind", func(t *testing.T) {
+		bad := append([]byte(nil), body...)
+		bad[1] = 200
+		if _, err := DecodeFrameBody(bad); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		bad := append(append([]byte(nil), body...), 0xAB)
+		if _, err := DecodeFrameBody(bad); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		if _, err := DecodeFrameBody(body[:5]); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}

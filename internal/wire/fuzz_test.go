@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tag"
+)
+
+// FuzzDecodeFrameBody throws arbitrary bytes at the decoder: it must
+// never panic, never over-allocate, and must round-trip anything it
+// accepts.
+func FuzzDecodeFrameBody(f *testing.F) {
+	// Seed with valid frames of each kind.
+	for _, env := range []Envelope{
+		{Kind: KindWriteRequest, ReqID: 1, Value: []byte("v")},
+		{Kind: KindPreWrite, Origin: 2, Tag: tag.Tag{TS: 3, ID: 2}, Value: []byte("payload")},
+		{Kind: KindWrite, Origin: 2, Tag: tag.Tag{TS: 3, ID: 2}, Flags: FlagValueElided},
+		{Kind: KindCrash, Origin: 4, Epoch: 1},
+	} {
+		env := env
+		frame := NewFrame(env)
+		buf, err := AppendFrame(nil, &frame)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[4:])
+	}
+	pb := Envelope{Kind: KindWrite, Origin: 1, Tag: tag.Tag{TS: 9, ID: 1}}
+	withPB := Frame{Env: Envelope{Kind: KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 10, ID: 1}, Value: []byte("x")}, Piggyback: &pb}
+	buf, err := AppendFrame(nil, &withPB)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf[4:])
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		frame, err := DecodeFrameBody(body)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Anything accepted must re-encode and decode to the same frame.
+		out, err := AppendFrame(nil, &frame)
+		if err != nil {
+			t.Fatalf("accepted frame failed to encode: %v", err)
+		}
+		again, err := DecodeFrameBody(out[4:])
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		b1, err := AppendFrame(nil, &again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, b1) {
+			t.Fatal("decode/encode not idempotent")
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/tag"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindWriteRequest: "write_request",
+		KindWriteAck:     "write_ack",
+		KindReadRequest:  "read_request",
+		KindReadAck:      "read_ack",
+		KindPreWrite:     "pre_write",
+		KindWrite:        "write",
+		KindCrash:        "crash",
+		Kind(99):         "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint8(k), got, want)
+		}
+	}
+}
+
+func TestEnvelopeValidate(t *testing.T) {
+	valid := []Envelope{
+		{Kind: KindWriteRequest, ReqID: 1, Value: []byte("x")},
+		{Kind: KindWriteAck, ReqID: 1, Tag: tag.Tag{TS: 1, ID: 1}},
+		{Kind: KindReadRequest, ReqID: 2},
+		{Kind: KindReadAck, ReqID: 2, Value: []byte("x")},
+		{Kind: KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 1, ID: 1}, Value: []byte("x")},
+		{Kind: KindWrite, Origin: 2, Tag: tag.Tag{TS: 3, ID: 2}},
+		{Kind: KindCrash, Origin: 3},
+	}
+	for _, env := range valid {
+		env := env
+		if err := env.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", &env, err)
+		}
+	}
+	invalid := []Envelope{
+		{Kind: 0},
+		{Kind: Kind(42)},
+		{Kind: KindPreWrite, Tag: tag.Tag{TS: 1, ID: 1}}, // no origin
+		{Kind: KindPreWrite, Origin: 1},                  // zero tag
+		{Kind: KindWrite, Origin: 1},                     // zero tag
+		{Kind: KindWrite, Tag: tag.Tag{TS: 1, ID: 1}},    // no origin
+		{Kind: KindCrash},                                // no subject
+	}
+	for _, env := range invalid {
+		env := env
+		if err := env.Validate(); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", &env)
+		}
+	}
+}
+
+func TestEnvelopeClone(t *testing.T) {
+	orig := Envelope{Kind: KindWrite, Origin: 1, Tag: tag.Tag{TS: 1, ID: 1}, Value: []byte("abc")}
+	c := orig.Clone()
+	c.Value[0] = 'z'
+	if orig.Value[0] != 'a' {
+		t.Fatal("Clone shares the value slice")
+	}
+}
+
+func TestEnvelopeIsRing(t *testing.T) {
+	ring := []Kind{KindPreWrite, KindWrite, KindCrash}
+	for _, k := range ring {
+		if !(&Envelope{Kind: k}).IsRing() {
+			t.Errorf("%s should be a ring kind", k)
+		}
+	}
+	nonRing := []Kind{KindWriteRequest, KindWriteAck, KindReadRequest, KindReadAck}
+	for _, k := range nonRing {
+		if (&Envelope{Kind: k}).IsRing() {
+			t.Errorf("%s should not be a ring kind", k)
+		}
+	}
+}
+
+func TestFrameValidatePiggybackRules(t *testing.T) {
+	ringEnv := Envelope{Kind: KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 1, ID: 1}}
+	writeEnv := Envelope{Kind: KindWrite, Origin: 2, Tag: tag.Tag{TS: 2, ID: 2}}
+	clientEnv := Envelope{Kind: KindReadAck, ReqID: 9}
+
+	ok := Frame{Env: ringEnv, Piggyback: &writeEnv}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("ring+ring piggyback should validate: %v", err)
+	}
+	bad := Frame{Env: clientEnv, Piggyback: &writeEnv}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("client frame with piggyback should not validate")
+	}
+}
+
+func TestFrameEnvelopes(t *testing.T) {
+	e1 := Envelope{Kind: KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 1, ID: 1}}
+	e2 := Envelope{Kind: KindWrite, Origin: 1, Tag: tag.Tag{TS: 1, ID: 1}}
+	f := NewFrame(e1)
+	if got := f.Envelopes(); len(got) != 1 || got[0].Kind != KindPreWrite {
+		t.Fatalf("Envelopes() = %v", got)
+	}
+	f.Piggyback = &e2
+	if got := f.Envelopes(); len(got) != 2 || got[1].Kind != KindWrite {
+		t.Fatalf("Envelopes() = %v", got)
+	}
+}
+
+func TestEnvelopeStringMentionsKindAndTag(t *testing.T) {
+	e := Envelope{Kind: KindPreWrite, Object: 7, Origin: 3, Tag: tag.Tag{TS: 9, ID: 3}, Value: []byte("abc")}
+	s := e.String()
+	for _, want := range []string{"pre_write", "[9/3]", "obj=7", "|v|=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	pb := Envelope{Kind: KindWrite, Origin: 1, Tag: tag.Tag{TS: 1, ID: 1}, Value: []byte("world")}
+	frames := []Frame{
+		{Env: Envelope{Kind: KindReadRequest, ReqID: 1}},
+		{Env: Envelope{Kind: KindPreWrite, Origin: 2, Tag: tag.Tag{TS: 5, ID: 2}, Value: []byte("hello")}, Piggyback: &pb},
+	}
+	for _, f := range frames {
+		f := f
+		buf, err := AppendFrame(nil, &f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(buf), f.WireSize(); got != want {
+			t.Errorf("encoded %d bytes, WireSize() = %d", got, want)
+		}
+	}
+}
+
+func TestAppendFrameRejectsOversizedValue(t *testing.T) {
+	f := Frame{Env: Envelope{Kind: KindWriteRequest, Value: make([]byte, MaxValueSize+1)}}
+	if _, err := AppendFrame(nil, &f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tag"
+	"repro/internal/wire"
+)
+
+// fakeStorage is an in-memory Storage with configurable latency and
+// failure injection.
+type fakeStorage struct {
+	mu      sync.Mutex
+	tagTS   uint64
+	value   []byte
+	latency time.Duration
+	failN   int // fail the first N operations
+}
+
+func (f *fakeStorage) Read(ctx context.Context, _ wire.ObjectID) ([]byte, tag.Tag, error) {
+	if err := f.maybeFail(); err != nil {
+		return nil, tag.Zero, err
+	}
+	f.sleep(ctx)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]byte(nil), f.value...), tag.Tag{TS: f.tagTS, ID: 1}, nil
+}
+
+func (f *fakeStorage) Write(ctx context.Context, _ wire.ObjectID, v []byte) (tag.Tag, error) {
+	if err := f.maybeFail(); err != nil {
+		return tag.Zero, err
+	}
+	f.sleep(ctx)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tagTS++
+	f.value = append([]byte(nil), v...)
+	return tag.Tag{TS: f.tagTS, ID: 1}, nil
+}
+
+func (f *fakeStorage) maybeFail() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failN > 0 {
+		f.failN--
+		return errors.New("injected failure")
+	}
+	return nil
+}
+
+func (f *fakeStorage) sleep(ctx context.Context) {
+	if f.latency > 0 {
+		sleepCtx(ctx, f.latency)
+	}
+}
+
+func TestRunMixedWorkload(t *testing.T) {
+	st := &fakeStorage{}
+	res := Run(context.Background(), Config{
+		Readers:     []Storage{st},
+		Writers:     []Storage{st},
+		Concurrency: 2,
+		ValueBytes:  64,
+		Duration:    300 * time.Millisecond,
+		Warmup:      50 * time.Millisecond,
+	})
+	if res.ReadOps == 0 || res.WriteOps == 0 {
+		t.Fatalf("no ops recorded: %+v", res)
+	}
+	if res.ReadOpsPerSec <= 0 || res.WriteOpsPerSec <= 0 {
+		t.Fatalf("rates not computed: %+v", res)
+	}
+	if res.ReadLatency.Count == 0 || res.WriteLatency.Count == 0 {
+		t.Fatal("latency histograms empty")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors: %d", res.Errors)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	st := &fakeStorage{failN: 25}
+	res := Run(context.Background(), Config{
+		Writers:     []Storage{st},
+		Concurrency: 1,
+		Duration:    200 * time.Millisecond,
+		Warmup:      20 * time.Millisecond,
+	})
+	if res.Errors == 0 {
+		t.Fatal("injected failures not counted")
+	}
+}
+
+func TestRunReadOnly(t *testing.T) {
+	st := &fakeStorage{}
+	res := Run(context.Background(), Config{
+		Readers:  []Storage{st},
+		Duration: 150 * time.Millisecond,
+		Warmup:   20 * time.Millisecond,
+	})
+	if res.WriteOps != 0 {
+		t.Fatalf("write ops in read-only run: %d", res.WriteOps)
+	}
+	if res.ReadOps == 0 {
+		t.Fatal("no reads recorded")
+	}
+}
+
+func TestRunHonorsParentContext(t *testing.T) {
+	st := &fakeStorage{latency: 10 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	Run(ctx, Config{
+		Readers:  []Storage{st},
+		Duration: 10 * time.Second,
+		Warmup:   10 * time.Millisecond,
+	})
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("Run did not stop when the parent context was canceled")
+	}
+}
+
+func TestMakeValueUniqueAndSized(t *testing.T) {
+	a := makeValue(64, 1)
+	b := makeValue(64, 2)
+	if len(a) != 64 || len(b) != 64 {
+		t.Fatalf("sizes %d/%d", len(a), len(b))
+	}
+	if string(a) == string(b) {
+		t.Fatal("values not unique per sequence")
+	}
+	small := makeValue(4, 3)
+	if len(small) != 4 {
+		t.Fatalf("small size %d", len(small))
+	}
+}
+
+func TestWorkloadAgainstRealMeter(t *testing.T) {
+	// Throughput math sanity: ~1ms latency, 1 client, concurrency 1
+	// gives roughly 1000/s ± scheduling noise.
+	st := &fakeStorage{latency: time.Millisecond}
+	res := Run(context.Background(), Config{
+		Readers:     []Storage{st},
+		Concurrency: 1,
+		Duration:    300 * time.Millisecond,
+		Warmup:      30 * time.Millisecond,
+	})
+	if res.ReadOpsPerSec < 100 || res.ReadOpsPerSec > 2000 {
+		t.Fatalf("read rate %v implausible for 1ms ops", res.ReadOpsPerSec)
+	}
+}
