@@ -18,6 +18,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/simstore"
 	"repro/internal/tag"
+	"repro/internal/tcpnet"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
@@ -283,8 +284,8 @@ func BenchmarkAsyncMixedContention(b *testing.B) {
 	b.ReportMetric(res.WriteOpsPerSec, "writes/s")
 }
 
-// BenchmarkWireCodec measures frame encode/decode (the hot path of the
-// TCP transport).
+// BenchmarkWireCodec measures the allocating frame encode/decode (the
+// seed's hot path, kept as the baseline for the pooled variants below).
 func BenchmarkWireCodec(b *testing.B) {
 	val := make([]byte, 1024)
 	pb := wire.Envelope{Kind: wire.KindWrite, Origin: 2, Tag: tag.Tag{TS: 9, ID: 2}, Flags: wire.FlagValueElided}
@@ -305,6 +306,67 @@ func BenchmarkWireCodec(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(f.WireSize()))
+}
+
+// BenchmarkWireEncode measures the pooled encoder: AppendTo into a
+// reused buffer must run at 0 allocs/op in steady state. The loop lives
+// in internal/bench so the BENCH_hotpath.json report measures the
+// identical thing.
+func BenchmarkWireEncode(b *testing.B) { bench.WireEncodeLoop(b) }
+
+// BenchmarkWireEncodeDecodePooled measures the full pooled round trip:
+// AppendTo plus the aliasing DecodeFrom into a reused Frame — the
+// request/ack path of the TCP transport — at 0 allocs/op.
+func BenchmarkWireEncodeDecodePooled(b *testing.B) { bench.WireRoundTripLoop(b) }
+
+// BenchmarkTCPEcho measures end-to-end message throughput over loopback
+// TCP, comparing the coalescing writer against the flush-per-frame
+// baseline (the acceptance bar is coalesced >= 1.5x unbatched).
+func BenchmarkTCPEcho(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		opts tcpnet.Options
+	}{
+		{"coalesced", tcpnet.Options{}},
+		{"unbatched", tcpnet.Options{DisableCoalescing: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			// 256-byte payloads keep the echo syscall-bound, isolating
+			// the writer's coalescing from loopback memory bandwidth.
+			rate, err := bench.TCPEchoThroughput(tc.opts, b.N, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(256)
+			b.ReportMetric(rate, "msgs/s")
+		})
+	}
+}
+
+// BenchmarkMultiObjectThroughput measures aggregate multi-object
+// read/write throughput on the real implementation, sharded read path
+// versus the inline baseline.
+func BenchmarkMultiObjectThroughput(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mod  func(*coreConfig)
+	}{
+		{"sharded", nil},
+		{"inline", func(c *coreConfig) { c.ReadConcurrency = -1 }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var reads, writes float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				reads, writes, err = bench.MultiObjectThroughput(context.Background(), 3, 8, 300*time.Millisecond, tc.mod)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(reads, "reads/s")
+			b.ReportMetric(writes, "writes/s")
+		})
+	}
 }
 
 // runAsync drives the real implementation for a short measured window.

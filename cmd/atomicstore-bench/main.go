@@ -9,6 +9,8 @@
 //	atomicstore-bench -fig fig3a # run one experiment
 //	atomicstore-bench -list      # list experiment ids
 //	atomicstore-bench -async     # include the (slower) async validation
+//	atomicstore-bench -hotpath   # run the transport/codec microbenchmarks
+//	                             # and write BENCH_hotpath.json
 package main
 
 import (
@@ -30,12 +32,20 @@ func main() {
 
 func run() error {
 	var (
-		fig      = flag.String("fig", "", "run a single experiment by id (see -list)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		async    = flag.Bool("async", false, "also run the async validation on the real implementation")
-		duration = flag.Duration("async-duration", 2*time.Second, "measurement window per async data point")
+		fig        = flag.String("fig", "", "run a single experiment by id (see -list)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		async      = flag.Bool("async", false, "also run the async validation on the real implementation")
+		duration   = flag.Duration("async-duration", 2*time.Second, "measurement window per async data point")
+		hotpath    = flag.Bool("hotpath", false, "run the hot-path microbenchmarks and write the JSON report")
+		hotpathOut = flag.String("hotpath-out", "BENCH_hotpath.json", "where -hotpath writes its report")
+		echoMsgs   = flag.Int("hotpath-echo-msgs", 60000, "messages per TCP echo measurement")
+		moWindow   = flag.Duration("hotpath-window", time.Second, "measurement window per multi-object data point")
 	)
 	flag.Parse()
+
+	if *hotpath {
+		return runHotpath(*hotpathOut, *echoMsgs, *moWindow)
+	}
 
 	experiments := bench.All()
 	if *list {
@@ -74,6 +84,29 @@ func run() error {
 	if !matched {
 		return fmt.Errorf("unknown experiment %q (try -list)", *fig)
 	}
+	return nil
+}
+
+// runHotpath runs the transport/codec microbenchmarks, prints a summary,
+// and writes the JSON report tracked across PRs.
+func runHotpath(out string, echoMsgs int, window time.Duration) error {
+	rep, err := bench.RunHotpath(context.Background(), echoMsgs, window)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== hotpath — transport/codec microbenchmarks ==\n\n")
+	fmt.Printf("wire codec:   encode %.1f ns/op (%d allocs), round trip %.1f ns/op (%d allocs), %.0f MB/s\n",
+		rep.Wire.EncodeNsPerOp, rep.Wire.EncodeAllocsPerOp,
+		rep.Wire.RoundTripNsPerOp, rep.Wire.RoundTripAllocsPerOp, rep.Wire.MBPerSec)
+	fmt.Printf("tcp echo:     coalesced %.0f msgs/s, unbatched %.0f msgs/s, speedup %.2fx\n",
+		rep.TCPEcho.CoalescedMsgsPerSec, rep.TCPEcho.UnbatchedMsgsPerSec, rep.TCPEcho.Speedup)
+	fmt.Printf("multi-object: sharded %.0f reads/s (%.0f writes/s), inline %.0f reads/s, speedup %.2fx\n",
+		rep.MultiObject.ShardedReadsPerSec, rep.MultiObject.ShardedWritesPerSec,
+		rep.MultiObject.InlineReadsPerSec, rep.MultiObject.ReadSpeedup)
+	if err := rep.WriteJSON(out); err != nil {
+		return err
+	}
+	fmt.Printf("\nreport written to %s\n", out)
 	return nil
 }
 

@@ -1,0 +1,353 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tag"
+	"repro/internal/tcpnet"
+	"repro/internal/wire"
+)
+
+// HotpathReport captures the transport/codec microbenchmarks tracked
+// across PRs in BENCH_hotpath.json (regenerate with
+// `atomicstore-bench -hotpath`). The three sections mirror the three
+// hot-path optimizations: the pooled codec, the coalescing TCP writer,
+// and the sharded per-object server state.
+type HotpathReport struct {
+	// GoVersion and GoMaxProcs identify the measuring host well enough
+	// to compare runs.
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	Wire        WireCodecStats   `json:"wire_codec"`
+	TCPEcho     TCPEchoStats     `json:"tcp_echo"`
+	MultiObject MultiObjectStats `json:"multi_object"`
+}
+
+// WireCodecStats reports the pooled encode/decode round trip.
+type WireCodecStats struct {
+	// EncodeNsPerOp and EncodeAllocsPerOp measure Frame.AppendTo into a
+	// reused buffer (1 KiB payload plus elided piggyback).
+	EncodeNsPerOp     float64 `json:"encode_ns_per_op"`
+	EncodeAllocsPerOp int64   `json:"encode_allocs_per_op"`
+	// RoundTripNsPerOp and RoundTripAllocsPerOp add the aliasing
+	// DecodeFrom into a reused Frame. Steady state must be 0 allocs.
+	RoundTripNsPerOp     float64 `json:"round_trip_ns_per_op"`
+	RoundTripAllocsPerOp int64   `json:"round_trip_allocs_per_op"`
+	// MBPerSec is the round-trip encode+decode goodput.
+	MBPerSec float64 `json:"mb_per_sec"`
+}
+
+// TCPEchoStats compares the coalescing writer against the
+// flush-per-frame baseline on a loopback echo.
+type TCPEchoStats struct {
+	Messages            int     `json:"messages"`
+	PayloadBytes        int     `json:"payload_bytes"`
+	CoalescedMsgsPerSec float64 `json:"coalesced_msgs_per_sec"`
+	UnbatchedMsgsPerSec float64 `json:"unbatched_msgs_per_sec"`
+	// Speedup is coalesced/unbatched; the acceptance bar is >= 1.5.
+	Speedup float64 `json:"speedup"`
+}
+
+// MultiObjectStats compares multi-object read throughput of the sharded
+// server (read-path workers + shard locks) against the inline
+// single-goroutine baseline.
+type MultiObjectStats struct {
+	Servers             int     `json:"servers"`
+	Objects             int     `json:"objects"`
+	Seconds             float64 `json:"seconds"`
+	ShardedReadsPerSec  float64 `json:"sharded_reads_per_sec"`
+	ShardedWritesPerSec float64 `json:"sharded_writes_per_sec"`
+	InlineReadsPerSec   float64 `json:"inline_reads_per_sec"`
+	// ReadSpeedup is sharded/inline read throughput.
+	ReadSpeedup float64 `json:"read_speedup"`
+}
+
+// HotpathFrame builds the canonical hot-path frame: a 1 KiB pre-write
+// with an elided write piggybacked, the steady-state shape of a
+// saturated ring link. The wire benchmarks in bench_test.go and the
+// JSON report measure this same frame.
+func HotpathFrame() wire.Frame {
+	pb := wire.Envelope{Kind: wire.KindWrite, Origin: 2, Tag: tag.Tag{TS: 9, ID: 2}, Flags: wire.FlagValueElided}
+	return wire.Frame{
+		Env:       wire.Envelope{Kind: wire.KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 10, ID: 1}, Value: make([]byte, 1024)},
+		Piggyback: &pb,
+	}
+}
+
+// WireEncodeLoop is the body of BenchmarkWireEncode: the pooled encoder
+// (AppendTo into a reused buffer), 0 allocs/op in steady state. Shared
+// between `go test -bench` and the JSON report so both measure the same
+// thing.
+func WireEncodeLoop(b *testing.B) {
+	f := HotpathFrame()
+	b.ReportAllocs()
+	b.SetBytes(int64(f.WireSize()))
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = f.AppendTo(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// WireRoundTripLoop is the body of BenchmarkWireEncodeDecodePooled: the
+// full pooled round trip (AppendTo plus the aliasing DecodeFrom into a
+// reused Frame), 0 allocs/op in steady state.
+func WireRoundTripLoop(b *testing.B) {
+	f := HotpathFrame()
+	b.ReportAllocs()
+	b.SetBytes(int64(f.WireSize()))
+	var (
+		buf []byte
+		dec wire.Frame
+	)
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = f.AppendTo(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.DecodeFrom(buf[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MeasureWireCodec runs the pooled codec microbenchmarks.
+func MeasureWireCodec() WireCodecStats {
+	enc := testing.Benchmark(WireEncodeLoop)
+	rt := testing.Benchmark(WireRoundTripLoop)
+	f := HotpathFrame()
+	nsPerOp := float64(rt.NsPerOp())
+	mbps := 0.0
+	if nsPerOp > 0 {
+		mbps = float64(f.WireSize()) / nsPerOp * 1e9 / 1e6
+	}
+	return WireCodecStats{
+		EncodeNsPerOp:        float64(enc.NsPerOp()),
+		EncodeAllocsPerOp:    enc.AllocsPerOp(),
+		RoundTripNsPerOp:     nsPerOp,
+		RoundTripAllocsPerOp: rt.AllocsPerOp(),
+		MBPerSec:             mbps,
+	}
+}
+
+// TCPEchoThroughput measures round-trip message throughput over a real
+// loopback TCP connection: a client floods `msgs` frames at a server
+// that echoes every frame back. Returns completed round trips per
+// second.
+func TCPEchoThroughput(opts tcpnet.Options, msgs, payloadBytes int) (float64, error) {
+	srv, err := tcpnet.Listen(1, "127.0.0.1:0", tcpnet.AddressBook{}, opts)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	cl := tcpnet.NewClient(100, tcpnet.AddressBook{1: srv.Addr()}, opts)
+	defer cl.Close()
+
+	go func() {
+		for {
+			select {
+			case in := <-srv.Inbox():
+				if err := srv.Send(in.From, in.Frame); err != nil {
+					return
+				}
+			case <-srv.Done():
+				return
+			}
+		}
+	}()
+
+	f := wire.NewFrame(wire.Envelope{Kind: wire.KindWriteRequest, ReqID: 1, Value: make([]byte, payloadBytes)})
+	recvDone := make(chan error, 1)
+	go func() {
+		deadline := time.After(2 * time.Minute)
+		for i := 0; i < msgs; i++ {
+			select {
+			case <-cl.Inbox():
+			case <-deadline:
+				recvDone <- fmt.Errorf("bench: echo stalled after %d/%d messages", i, msgs)
+				return
+			}
+		}
+		recvDone <- nil
+	}()
+	// The sender runs in its own goroutine: if the echo path wedges, the
+	// receiver's stall error must win, not a Send blocked on a full
+	// pipeline — the deferred Closes then release the sender.
+	sendErr := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		for i := 0; i < msgs; i++ {
+			if err := cl.Send(1, f); err != nil {
+				sendErr <- fmt.Errorf("bench: echo send %d: %w", i, err)
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+	if err := <-recvDone; err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if err := <-sendErr; err != nil {
+		return 0, err
+	}
+	return float64(msgs) / elapsed.Seconds(), nil
+}
+
+// MeasureTCPEcho compares the coalescing writer with the
+// flush-per-frame baseline.
+func MeasureTCPEcho(msgs, payloadBytes int) (TCPEchoStats, error) {
+	coalesced, err := TCPEchoThroughput(tcpnet.Options{}, msgs, payloadBytes)
+	if err != nil {
+		return TCPEchoStats{}, err
+	}
+	unbatched, err := TCPEchoThroughput(tcpnet.Options{DisableCoalescing: true}, msgs, payloadBytes)
+	if err != nil {
+		return TCPEchoStats{}, err
+	}
+	st := TCPEchoStats{
+		Messages:            msgs,
+		PayloadBytes:        payloadBytes,
+		CoalescedMsgsPerSec: coalesced,
+		UnbatchedMsgsPerSec: unbatched,
+	}
+	if unbatched > 0 {
+		st.Speedup = coalesced / unbatched
+	}
+	return st, nil
+}
+
+// MultiObjectThroughput drives independent closed-loop read/write load
+// over `objects` registers on one async cluster and returns aggregate
+// reads/s and writes/s. Each object gets one writer and two readers,
+// spread over the servers round-robin.
+func MultiObjectThroughput(ctx context.Context, servers, objects int, duration time.Duration, mod func(*core.Config)) (readsPerSec, writesPerSec float64, err error) {
+	cluster, err := NewAsyncCluster(servers, mod)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cluster.Close()
+
+	var (
+		reads, writes atomic.Uint64
+		wg            sync.WaitGroup
+	)
+	runCtx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+	value := make([]byte, 1024)
+	for obj := 0; obj < objects; obj++ {
+		obj := obj
+		pin := cluster.Members[obj%len(cluster.Members)]
+		wcl, err := cluster.NewClient(pin)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer wcl.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				if _, err := wcl.Write(runCtx, wire.ObjectID(obj), value); err == nil {
+					writes.Add(1)
+				}
+			}
+		}()
+		for r := 0; r < 2; r++ {
+			rcl, err := cluster.NewClient(pin)
+			if err != nil {
+				return 0, 0, err
+			}
+			defer rcl.Close()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for runCtx.Err() == nil {
+					if _, _, err := rcl.Read(runCtx, wire.ObjectID(obj)); err == nil {
+						reads.Add(1)
+					}
+				}
+			}()
+		}
+	}
+	start := time.Now()
+	<-runCtx.Done()
+	elapsed := time.Since(start).Seconds()
+	cancel()
+	wg.Wait()
+	return float64(reads.Load()) / elapsed, float64(writes.Load()) / elapsed, nil
+}
+
+// MeasureMultiObject compares the sharded read path with the inline
+// baseline on the same multi-object workload.
+func MeasureMultiObject(ctx context.Context, duration time.Duration) (MultiObjectStats, error) {
+	const servers, objects = 3, 8
+	shardedR, shardedW, err := MultiObjectThroughput(ctx, servers, objects, duration, nil)
+	if err != nil {
+		return MultiObjectStats{}, err
+	}
+	inlineR, _, err := MultiObjectThroughput(ctx, servers, objects, duration, func(c *core.Config) {
+		c.ReadConcurrency = -1
+	})
+	if err != nil {
+		return MultiObjectStats{}, err
+	}
+	st := MultiObjectStats{
+		Servers:             servers,
+		Objects:             objects,
+		Seconds:             duration.Seconds(),
+		ShardedReadsPerSec:  shardedR,
+		ShardedWritesPerSec: shardedW,
+		InlineReadsPerSec:   inlineR,
+	}
+	if inlineR > 0 {
+		st.ReadSpeedup = shardedR / inlineR
+	}
+	return st, nil
+}
+
+// RunHotpath runs every hot-path benchmark and assembles the report.
+func RunHotpath(ctx context.Context, echoMsgs int, multiObjDuration time.Duration) (HotpathReport, error) {
+	rep := HotpathReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Wire:       MeasureWireCodec(),
+	}
+	// 256-byte payloads sit between the ring's tiny elided-write frames
+	// and full 1 KiB values; at this size the echo is syscall-bound, so
+	// it isolates what coalescing actually buys. (At 1 KiB loopback
+	// memory bandwidth starts to dominate and the comparison gets noisy.)
+	echo, err := MeasureTCPEcho(echoMsgs, 256)
+	if err != nil {
+		return rep, err
+	}
+	rep.TCPEcho = echo
+	mo, err := MeasureMultiObject(ctx, multiObjDuration)
+	if err != nil {
+		return rep, err
+	}
+	rep.MultiObject = mo
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, indented for diff-friendliness.
+func (r HotpathReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

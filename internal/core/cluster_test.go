@@ -423,3 +423,77 @@ func TestManyObjectsConcurrently(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestShardedReadPathConfigurations pins the read-path configuration at
+// its extremes — inline reads (the pre-sharding behavior), a single
+// worker, and a wide pool over a tiny shard table — and checks a mixed
+// multi-object workload stays linearizable per object under each. Run
+// with -race this asserts the sharded concurrency contract: read
+// workers and the event loop may only meet through shard locks.
+func TestShardedReadPathConfigurations(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mod  configMod
+	}{
+		{"inlineReads", func(c *core.Config) { c.ReadConcurrency = -1 }},
+		{"oneWorker", func(c *core.Config) { c.ReadConcurrency = 1 }},
+		{"widePoolTinyShards", func(c *core.Config) { c.ReadConcurrency = 8; c.ObjectShards = 2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newCluster(t, 3, tc.mod)
+			ctx := ctxT(t)
+			const objects = 4
+			var recs [objects]struct {
+				sync.Mutex
+				ops []checker.Op
+			}
+			add := func(obj int, op checker.Op) {
+				recs[obj].Lock()
+				op.ID = len(recs[obj].ops)
+				recs[obj].ops = append(recs[obj].ops, op)
+				recs[obj].Unlock()
+			}
+			var wg sync.WaitGroup
+			for obj := 0; obj < objects; obj++ {
+				obj := obj
+				wcl := c.newClient(client.Options{})
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 10; i++ {
+						v := fmt.Sprintf("o%d-%d", obj, i)
+						start := time.Now().UnixNano()
+						tg, err := wcl.Write(ctx, wire.ObjectID(obj), []byte(v))
+						if err != nil {
+							t.Errorf("write: %v", err)
+							return
+						}
+						add(obj, checker.Op{Kind: checker.KindWrite, Value: v, Start: start, End: time.Now().UnixNano(), Tag: tg})
+					}
+				}()
+				for r := 0; r < 2; r++ {
+					rcl := c.newClient(client.Options{})
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < 10; i++ {
+							start := time.Now().UnixNano()
+							v, tg, err := rcl.Read(ctx, wire.ObjectID(obj))
+							if err != nil {
+								t.Errorf("read: %v", err)
+								return
+							}
+							add(obj, checker.Op{Kind: checker.KindRead, Value: string(v), Start: start, End: time.Now().UnixNano(), Tag: tg})
+						}
+					}()
+				}
+			}
+			wg.Wait()
+			for obj := range recs {
+				if err := checker.CheckTagged(recs[obj].ops); err != nil {
+					t.Fatalf("object %d history not atomic: %v", obj, err)
+				}
+			}
+		})
+	}
+}

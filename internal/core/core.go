@@ -30,6 +30,7 @@ package core
 import (
 	"io"
 	"log/slog"
+	"runtime"
 
 	"repro/internal/wire"
 )
@@ -65,8 +66,32 @@ type Config struct {
 	// throughput (DESIGN.md §3.6).
 	DisableValueElision bool
 
+	// ReadConcurrency is the number of read-path workers serving client
+	// reads off the event loop under per-object shard locks. Zero means
+	// min(GOMAXPROCS, 4); negative disables the pool, keeping reads
+	// inline on the event loop (the pre-sharding behavior).
+	ReadConcurrency int
+	// ObjectShards is the fanout of the sharded per-object state,
+	// rounded up to a power of two. Zero means shard.DefaultShards.
+	ObjectShards int
+
 	// Logger receives debug events; nil discards them.
 	Logger *slog.Logger
+}
+
+// readWorkers resolves ReadConcurrency to a worker count.
+func (c *Config) readWorkers() int {
+	if c.ReadConcurrency < 0 {
+		return 0
+	}
+	if c.ReadConcurrency > 0 {
+		return c.ReadConcurrency
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	return n
 }
 
 // validate checks the configuration.

@@ -93,8 +93,9 @@ func (s *Server) planFIFO() sendPlan {
 // tagging it above everything this server has seen (paper lines 22-23).
 func (s *Server) planInitiate() planItem {
 	w := s.writeQueue[0]
-	o := s.obj(w.object)
+	sh, o := s.lockedObj(w.object)
 	highest := o.maxPending().Max(o.tag)
+	sh.Unlock()
 	t := highest.Next(uint32(s.cfg.ID))
 	return planItem{
 		initiate: true,
@@ -174,9 +175,10 @@ func (s *Server) commitItem(it planItem) {
 	if it.initiate {
 		w := s.writeQueue[0]
 		s.writeQueue = s.writeQueue[1:]
-		o := s.obj(it.env.Object)
+		sh, o := s.lockedObj(it.env.Object)
 		// Paper line 24: the originator records its own pre-write.
 		o.pending[it.env.Tag] = it.env.Value
+		sh.Unlock()
 		s.myWrites[writeKey{object: it.env.Object, tag: it.env.Tag}] = ownWrite{
 			client: w.client,
 			reqID:  w.reqID,
@@ -207,12 +209,16 @@ func (s *Server) commitItem(it planItem) {
 	// Paper line 71: a forwarded pre-write joins the pending set (unless
 	// the PendingOnReceive ablation already recorded it at receipt).
 	if env.Kind == wire.KindPreWrite && !s.cfg.PendingOnReceive {
-		s.obj(env.Object).pending[env.Tag] = env.Value
+		sh, o := s.lockedObj(env.Object)
+		o.pending[env.Tag] = env.Value
+		sh.Unlock()
 	}
 }
 
 // pendingBarrier returns the read barrier for an object: the highest
 // pending tag (exported for tests via export_test.go).
 func (s *Server) pendingBarrier(obj wire.ObjectID) tag.Tag {
-	return s.obj(obj).maxPending()
+	sh, o := s.lockedObj(obj)
+	defer sh.Unlock()
+	return o.maxPending()
 }

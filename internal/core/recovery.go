@@ -55,7 +55,10 @@ func (s *Server) handleCrash(crashed wire.ProcessID) {
 // pending set, this guarantees every server either receives each lost
 // write or a newer one (see the coverage argument in DESIGN.md §3.3-3.4).
 func (s *Server) retransmitAfterSuccessorCrash() {
-	for objID, o := range s.objects {
+	// Range holds each shard's lock while its objects are visited, which
+	// freezes read workers on those objects for the duration — crash
+	// recovery is rare enough that simplicity wins.
+	s.objects.Range(func(objID wire.ObjectID, o *objectState) bool {
 		if !o.tag.IsZero() {
 			s.fq.push(wire.Envelope{
 				Kind:   wire.KindWrite,
@@ -74,7 +77,8 @@ func (s *Server) retransmitAfterSuccessorCrash() {
 				Value:  v,
 			})
 		}
-	}
+		return true
+	})
 }
 
 // adoptOrphans scans the forward queue for messages originated by crashed
@@ -91,10 +95,11 @@ func (s *Server) adoptOrphans() {
 			if env.Kind != wire.KindPreWrite {
 				continue // writes were applied on receipt; just absorb
 			}
-			o := s.obj(env.Object)
+			sh, o := s.lockedObj(env.Object)
 			s.applyAndRelease(env.Object, o, env.Tag, env.Value)
 			o.prune(env.Tag)
 			delete(o.pending, env.Tag)
+			sh.Unlock()
 			s.fq.push(wire.Envelope{
 				Kind:   wire.KindWrite,
 				Object: env.Object,

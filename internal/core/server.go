@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/ring"
+	"repro/internal/shard"
 	"repro/internal/tag"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -59,8 +60,16 @@ type outFrame struct {
 }
 
 // Server is one storage server of the ring. Create it with NewServer,
-// start its goroutines with Start, and stop them with Stop. All algorithm
-// state is confined to the event-loop goroutine.
+// start its goroutines with Start, and stop them with Stop.
+//
+// Concurrency contract: ring-wide algorithm state (the write queue, the
+// forward queue and its fairness table, the view, the in-flight write
+// bookkeeping) is confined to the event-loop goroutine. Per-object
+// replica state lives in a sharded map: the event loop and the
+// read-path workers both take the object's shard lock around every
+// access, so client reads of different objects are served in parallel
+// across cores — the paper's scalable operation — without ever racing
+// the write path on the same object.
 type Server struct {
 	cfg Config
 	ep  transport.Endpoint
@@ -68,8 +77,10 @@ type Server struct {
 
 	view *ring.View
 
-	// objects holds the per-register replica state, created lazily.
-	objects map[wire.ObjectID]*objectState
+	// objects holds the per-register replica state, created lazily and
+	// sharded by ObjectID hash. Every access to an objectState happens
+	// under its shard's lock.
+	objects *shard.Map[wire.ObjectID, *objectState]
 	// writeQueue holds client writes not yet initiated (paper:
 	// write_queue).
 	writeQueue []writeIntent
@@ -89,9 +100,22 @@ type Server struct {
 	ringOut   chan outFrame
 	clientOut chan outFrame
 
+	// readc feeds client reads to the read-path workers; created by
+	// Start when the worker pool is enabled. When it is nil (pool
+	// disabled, or handlers driven directly in tests) reads are handled
+	// inline by the event loop, the seed's behavior.
+	readc chan readReq
+
 	stopOnce sync.Once
 	stopc    chan struct{}
 	wg       sync.WaitGroup
+}
+
+// readReq is one client read dispatched to the read-path workers.
+type readReq struct {
+	from   wire.ProcessID
+	reqID  uint64
+	object wire.ObjectID
 }
 
 // NewServer builds a server over the given transport endpoint. The
@@ -112,7 +136,7 @@ func NewServer(cfg Config, ep transport.Endpoint) (*Server, error) {
 		ep:        ep,
 		log:       cfg.logger().With("server", cfg.ID),
 		view:      view,
-		objects:   make(map[wire.ObjectID]*objectState),
+		objects:   shard.New[wire.ObjectID, *objectState](cfg.ObjectShards),
 		fq:        newFairQueue(),
 		myWrites:  make(map[writeKey]ownWrite),
 		ringOut:   make(chan outFrame),
@@ -124,8 +148,17 @@ func NewServer(cfg Config, ep transport.Endpoint) (*Server, error) {
 // ID returns the server's process id.
 func (s *Server) ID() wire.ProcessID { return s.cfg.ID }
 
-// Start launches the event loop and the two sender goroutines.
+// Start launches the event loop, the two sender goroutines, and the
+// read-path workers.
 func (s *Server) Start() {
+	workers := s.cfg.readWorkers()
+	if workers > 0 {
+		s.readc = make(chan readReq, 4*workers)
+		s.wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go s.readWorker()
+		}
+	}
 	s.wg.Add(3)
 	go s.eventLoop()
 	go s.senderLoop(s.ringOut)
@@ -195,14 +228,62 @@ func (s *Server) eventLoop() {
 	}
 }
 
+// lockedObj returns the replica state for an object with its shard
+// locked, creating the state on first use. The caller unlocks the shard
+// when done with the objectState.
+func (s *Server) lockedObj(id wire.ObjectID) (*shard.Shard[wire.ObjectID, *objectState], *objectState) {
+	sh := s.objects.Shard(id)
+	sh.Lock()
+	return sh, sh.GetOrCreate(id, newObjectState)
+}
+
 // obj returns the replica state for an object, creating it on first use.
+// It takes and releases the shard lock; the returned pointer is only
+// safe to use without further locking while no other goroutine touches
+// object state (the internal test harnesses that drive handlers
+// synchronously).
 func (s *Server) obj(id wire.ObjectID) *objectState {
-	o, ok := s.objects[id]
-	if !ok {
-		o = newObjectState()
-		s.objects[id] = o
-	}
+	sh, o := s.lockedObj(id)
+	sh.Unlock()
 	return o
+}
+
+// readWorker serves dispatched client reads off the event loop.
+func (s *Server) readWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case rr := <-s.readc:
+			s.serveRead(rr)
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// serveRead answers one client read, sending the ack directly on the
+// client network (a blocked client connection stalls one worker, never
+// the event loop).
+func (s *Server) serveRead(rr readReq) {
+	sh, o := s.lockedObj(rr.object)
+	if !o.readableNow() {
+		// Park behind the pre-write barrier; applyAndRelease acks it
+		// when the corresponding write (or a newer one) lands.
+		o.park(rr.from, rr.reqID, o.maxPending())
+		sh.Unlock()
+		return
+	}
+	env := wire.Envelope{
+		Kind:   wire.KindReadAck,
+		Object: rr.object,
+		Tag:    o.tag,
+		ReqID:  rr.reqID,
+		Value:  o.value,
+	}
+	sh.Unlock()
+	if err := s.ep.Send(rr.from, wire.NewFrame(env)); err != nil {
+		s.log.Debug("read ack send failed", "to", rr.from, "err", err)
+	}
 }
 
 // handleInbound dispatches one received frame (both envelopes of a
@@ -244,9 +325,21 @@ func (s *Server) onWriteRequest(from wire.ProcessID, env *wire.Envelope) {
 
 // onReadRequest implements paper lines 76-84: serve locally when no
 // pre-write is outstanding (or the stored tag already dominates all of
-// them), otherwise park the read behind the highest pending tag.
+// them), otherwise park the read behind the highest pending tag. With
+// the worker pool running, the read is handed off so the event loop
+// stays free for ring traffic; a full dispatch queue falls back to
+// inline handling rather than blocking.
 func (s *Server) onReadRequest(from wire.ProcessID, env *wire.Envelope) {
-	o := s.obj(env.Object)
+	rr := readReq{from: from, reqID: env.ReqID, object: env.Object}
+	if s.readc != nil {
+		select {
+		case s.readc <- rr:
+			return
+		default:
+		}
+	}
+	sh, o := s.lockedObj(env.Object)
+	defer sh.Unlock()
 	if o.readableNow() {
 		s.ackRead(from, env.ReqID, env.Object, o)
 		return
@@ -254,7 +347,8 @@ func (s *Server) onReadRequest(from wire.ProcessID, env *wire.Envelope) {
 	o.park(from, env.ReqID, o.maxPending())
 }
 
-// ackRead queues a read_ack with the stored value.
+// ackRead queues a read_ack with the stored value. The caller holds the
+// object's shard lock.
 func (s *Server) ackRead(to wire.ProcessID, reqID uint64, obj wire.ObjectID, o *objectState) {
 	s.clientPending = append(s.clientPending, outFrame{
 		to: to,
@@ -269,7 +363,9 @@ func (s *Server) ackRead(to wire.ProcessID, reqID uint64, obj wire.ObjectID, o *
 }
 
 // applyAndRelease installs (t, v) if newer and releases any parked reads
-// whose barrier is now satisfied.
+// whose barrier is now satisfied. The caller holds the object's shard
+// lock, which is what makes the park-or-serve decision of a concurrent
+// read worker atomic with respect to this apply.
 func (s *Server) applyAndRelease(objID wire.ObjectID, o *objectState, t tag.Tag, v []byte) {
 	if !o.apply(t, v) {
 		return
@@ -281,7 +377,8 @@ func (s *Server) applyAndRelease(objID wire.ObjectID, o *objectState, t tag.Tag,
 
 // onPreWrite implements paper lines 29-40 plus the crash-adoption rule.
 func (s *Server) onPreWrite(env *wire.Envelope) {
-	o := s.obj(env.Object)
+	sh, o := s.lockedObj(env.Object)
+	defer sh.Unlock()
 	key := writeKey{object: env.Object, tag: env.Tag}
 
 	if env.Origin == s.cfg.ID {
@@ -358,7 +455,8 @@ func (s *Server) resolveWriteValue(o *objectState, env *wire.Envelope) ([]byte, 
 
 // onWrite implements paper lines 41-52 plus the crash-absorption rule.
 func (s *Server) onWrite(env *wire.Envelope) {
-	o := s.obj(env.Object)
+	sh, o := s.lockedObj(env.Object)
+	defer sh.Unlock()
 
 	if env.Origin == s.cfg.ID {
 		// My own write completed the ring: acknowledge the client

@@ -42,7 +42,7 @@ func newStormHarness(t *testing.T, seed int64, mods ...func(*Config)) *stormHarn
 // invariants checks the safety conditions after every step.
 func (h *stormHarness) invariants(prevTags map[wire.ObjectID]tag.Tag) {
 	h.t.Helper()
-	for objID, o := range h.s.objects {
+	h.s.objects.Range(func(objID wire.ObjectID, o *objectState) bool {
 		// Stored tags never regress.
 		if prev, ok := prevTags[objID]; ok && o.tag.Less(prev) {
 			h.t.Fatalf("object %d tag regressed: %s -> %s", objID, prev, o.tag)
@@ -63,7 +63,8 @@ func (h *stormHarness) invariants(prevTags map[wire.ObjectID]tag.Tag) {
 				}
 			}
 		}
-	}
+		return true
+	})
 }
 
 // step injects one random event.

@@ -19,9 +19,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/shard"
 	"repro/internal/tag"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -29,54 +31,82 @@ import (
 
 // Server is one quorum replica: a passive store answering query and
 // store messages.
+//
+// Concurrency contract: the shared inbox is drained by a pool of
+// Workers handler goroutines, and per-object state lives in a sharded
+// map. Operations on distinct objects proceed in parallel across cores;
+// operations on the same object serialize on that object's shard lock
+// (each handler holds the lock across its whole read-modify-write, so a
+// store is atomic with respect to concurrent queries). Replies to one
+// client may leave in any order across objects — ABD clients correlate
+// by ReqID, so ordering carries no meaning.
 type Server struct {
-	ep  transport.Endpoint
-	mu  sync.Mutex // guards objects; the event loop is single-goroutine
-	obj map[wire.ObjectID]*replica
+	ep      transport.Endpoint
+	workers int
+	obj     *shard.Map[wire.ObjectID, *replica]
 
 	stopOnce sync.Once
 	stopc    chan struct{}
 	wg       sync.WaitGroup
 }
 
-// replica is per-object server state.
+// ServerOptions tune a quorum server.
+type ServerOptions struct {
+	// Workers is the number of handler goroutines draining the inbox.
+	// Zero means min(GOMAXPROCS, 4); one gives fully serial handling.
+	Workers int
+	// Shards is the object-shard fanout. Zero means shard.DefaultShards.
+	Shards int
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+		if o.Workers > 4 {
+			o.Workers = 4
+		}
+	}
+	return o
+}
+
+// replica is per-object server state, guarded by its shard's lock.
 type replica struct {
 	tag   tag.Tag
 	value []byte
 }
 
-// NewServer creates a quorum server over an endpoint.
+// NewServer creates a quorum server over an endpoint with default
+// options.
 func NewServer(ep transport.Endpoint) *Server {
+	return NewServerOpts(ep, ServerOptions{})
+}
+
+// NewServerOpts creates a quorum server with explicit options.
+func NewServerOpts(ep transport.Endpoint, opts ServerOptions) *Server {
+	opts = opts.withDefaults()
 	return &Server{
-		ep:    ep,
-		obj:   make(map[wire.ObjectID]*replica),
-		stopc: make(chan struct{}),
+		ep:      ep,
+		workers: opts.Workers,
+		obj:     shard.New[wire.ObjectID, *replica](opts.Shards),
+		stopc:   make(chan struct{}),
 	}
 }
 
-// Start launches the server loop.
+// Start launches the handler workers.
 func (s *Server) Start() {
-	s.wg.Add(1)
-	go s.loop()
+	s.wg.Add(s.workers)
+	for i := 0; i < s.workers; i++ {
+		go s.loop()
+	}
 }
 
-// Stop terminates the server loop.
+// Stop terminates the handler workers.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { close(s.stopc) })
 	s.wg.Wait()
 }
 
-// get returns the replica state for an object.
-func (s *Server) get(id wire.ObjectID) *replica {
-	r, ok := s.obj[id]
-	if !ok {
-		r = &replica{}
-		s.obj[id] = r
-	}
-	return r
-}
-
-// loop serves queries and stores.
+// loop serves queries and stores; several loops run concurrently.
 func (s *Server) loop() {
 	defer s.wg.Done()
 	for {
@@ -89,14 +119,16 @@ func (s *Server) loop() {
 	}
 }
 
-// handle answers one message.
+// handle answers one message. The shard lock is held only across the
+// state access; the reply Send happens outside it, so a slow client
+// cannot hold up other objects in the same shard.
 func (s *Server) handle(in transport.Inbound) {
 	env := in.Frame.Env
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch env.Kind {
 	case wire.KindQuery:
-		r := s.get(env.Object)
+		sh := s.obj.Shard(env.Object)
+		sh.Lock()
+		r := sh.GetOrCreate(env.Object, newReplica)
 		reply := wire.Envelope{
 			Kind:   wire.KindQueryReply,
 			Object: env.Object,
@@ -104,13 +136,17 @@ func (s *Server) handle(in transport.Inbound) {
 			Tag:    r.tag,
 			Value:  r.value,
 		}
+		sh.Unlock()
 		_ = s.ep.Send(in.From, wire.NewFrame(reply))
 	case wire.KindStore:
-		r := s.get(env.Object)
+		sh := s.obj.Shard(env.Object)
+		sh.Lock()
+		r := sh.GetOrCreate(env.Object, newReplica)
 		if env.Tag.After(r.tag) {
 			r.tag = env.Tag
 			r.value = env.Value
 		}
+		sh.Unlock()
 		ack := wire.Envelope{
 			Kind:   wire.KindStoreAck,
 			Object: env.Object,
@@ -121,6 +157,9 @@ func (s *Server) handle(in transport.Inbound) {
 		// Other kinds are not part of this protocol; drop them.
 	}
 }
+
+// newReplica builds an empty replica for GetOrCreate.
+func newReplica() *replica { return &replica{} }
 
 // Client errors.
 var (

@@ -205,3 +205,111 @@ func TestQuorumMultiObject(t *testing.T) {
 		}
 	}
 }
+
+// TestQuorumShardedConcurrencyContract exercises the server's real
+// concurrency contract — parallel handler workers over sharded
+// per-object state — under the race detector: many clients hammer many
+// objects at once, every per-object history must stay atomic.
+func TestQuorumShardedConcurrencyContract(t *testing.T) {
+	f := newFixture(t, 3)
+	ctx := context.Background()
+	const objects, writersPerObj, opsPer = 8, 2, 10
+
+	recs := make([]struct {
+		sync.Mutex
+		ops []checker.Op
+	}, objects)
+	add := func(obj int, op checker.Op) {
+		recs[obj].Lock()
+		op.ID = len(recs[obj].ops)
+		recs[obj].ops = append(recs[obj].ops, op)
+		recs[obj].Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for obj := 0; obj < objects; obj++ {
+		obj := obj
+		for w := 0; w < writersPerObj; w++ {
+			w := w
+			cl := f.client()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < opsPer; i++ {
+					v := fmt.Sprintf("o%d-w%d-%d", obj, w, i)
+					start := time.Now().UnixNano()
+					tg, err := cl.Write(ctx, wire.ObjectID(obj), []byte(v))
+					if err != nil {
+						t.Errorf("write obj %d: %v", obj, err)
+						return
+					}
+					add(obj, checker.Op{Kind: checker.KindWrite, Value: v, Start: start, End: time.Now().UnixNano(), Tag: tg})
+				}
+			}()
+		}
+		cl := f.client()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				start := time.Now().UnixNano()
+				v, tg, err := cl.Read(ctx, wire.ObjectID(obj))
+				if err != nil {
+					t.Errorf("read obj %d: %v", obj, err)
+					return
+				}
+				add(obj, checker.Op{Kind: checker.KindRead, Value: string(v), Start: start, End: time.Now().UnixNano(), Tag: tg})
+			}
+		}()
+	}
+	wg.Wait()
+	for obj := range recs {
+		if err := checker.CheckTagged(recs[obj].ops); err != nil {
+			t.Fatalf("object %d history not atomic: %v", obj, err)
+		}
+	}
+}
+
+// TestQuorumSingleWorkerStillWorks pins Workers to 1 (the seed's serial
+// behavior) to keep the degenerate configuration covered.
+func TestQuorumSingleWorkerStillWorks(t *testing.T) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	var ids []wire.ProcessID
+	for i := 1; i <= 3; i++ {
+		id := wire.ProcessID(i)
+		ep, err := net.Register(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServerOpts(ep, ServerOptions{Workers: 1, Shards: 1})
+		srv.Start()
+		ids = append(ids, id)
+		t.Cleanup(func() {
+			srv.Stop()
+			_ = ep.Close()
+		})
+	}
+	ep, err := net.Register(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(ep, ClientOptions{Servers: ids, PhaseTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cl.Close()
+		_ = ep.Close()
+	})
+	ctx := context.Background()
+	if _, err := cl.Write(ctx, 3, []byte("serial")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := cl.Read(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "serial" {
+		t.Fatalf("read %q", got)
+	}
+}

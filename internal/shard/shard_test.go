@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, DefaultShards}, {0, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {64, 64}, {65, 128},
+	} {
+		if got := New[uint32, int](tc.in).NumShards(); got != tc.want {
+			t.Errorf("New(%d).NumShards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBasicOperations(t *testing.T) {
+	m := New[uint32, string](8)
+	s := m.Shard(7)
+	s.Lock()
+	if _, ok := s.Get(7); ok {
+		t.Fatal("empty map reported a value")
+	}
+	s.Put(7, "seven")
+	if v, ok := s.Get(7); !ok || v != "seven" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	v := s.GetOrCreate(7, func() string { return "other" })
+	if v != "seven" {
+		t.Fatalf("GetOrCreate overwrote: %q", v)
+	}
+	s.Delete(7)
+	if _, ok := s.Get(7); ok {
+		t.Fatal("Delete left the value behind")
+	}
+	s.Unlock()
+}
+
+func TestShardIsStable(t *testing.T) {
+	m := New[uint32, int](16)
+	for k := uint32(0); k < 1000; k++ {
+		if m.Shard(k) != m.Shard(k) {
+			t.Fatalf("key %d moved shards", k)
+		}
+	}
+}
+
+func TestKeysSpreadAcrossShards(t *testing.T) {
+	m := New[uint32, int](16)
+	used := make(map[*Shard[uint32, int]]bool)
+	for k := uint32(0); k < 64; k++ {
+		used[m.Shard(k)] = true
+	}
+	// Dense sequential keys must not pile onto a few shards.
+	if len(used) < 12 {
+		t.Fatalf("64 sequential keys hit only %d/16 shards", len(used))
+	}
+}
+
+func TestRangeAndLen(t *testing.T) {
+	m := New[uint32, int](4)
+	for k := uint32(0); k < 100; k++ {
+		s := m.Shard(k)
+		s.Lock()
+		s.Put(k, int(k))
+		s.Unlock()
+	}
+	if n := m.Len(); n != 100 {
+		t.Fatalf("Len = %d, want 100", n)
+	}
+	sum := 0
+	m.Range(func(k uint32, v int) bool {
+		sum += v
+		return true
+	})
+	if want := 99 * 100 / 2; sum != want {
+		t.Fatalf("Range sum = %d, want %d", sum, want)
+	}
+	seen := 0
+	m.Range(func(uint32, int) bool {
+		seen++
+		return false
+	})
+	if seen != 1 {
+		t.Fatalf("Range ignored early stop: visited %d", seen)
+	}
+}
+
+func TestConcurrentShardedWriters(t *testing.T) {
+	m := New[uint32, int](0)
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := uint32(g*perG + i)
+				s := m.Shard(k)
+				s.Lock()
+				s.GetOrCreate(k, func() int { return 0 })
+				v, _ := s.Get(k)
+				s.Put(k, v+1)
+				s.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := m.Len(); n != goroutines*perG {
+		t.Fatalf("Len = %d, want %d", n, goroutines*perG)
+	}
+	m.Range(func(k uint32, v int) bool {
+		if v != 1 {
+			t.Errorf("key %d = %d, want 1", k, v)
+			return false
+		}
+		return true
+	})
+}
+
+func TestShardFillsCacheLine(t *testing.T) {
+	if s := unsafe.Sizeof(Shard[uint32, int]{}); s%64 != 0 {
+		t.Fatalf("Shard size %d is not a multiple of a 64-byte cache line", s)
+	}
+}

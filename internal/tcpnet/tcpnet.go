@@ -9,9 +9,20 @@
 // outbound queue gives senders the same backpressure semantics as the
 // in-memory transport. Acks to clients travel back on the connection the
 // client opened, so clients need no listener.
+//
+// The writer goroutine coalesces: after encoding one frame it keeps
+// draining the per-peer queue into the same buffered writer — up to
+// MaxBatchBytes, optionally waiting FlushInterval for stragglers — and
+// issues a single flush (one syscall) for the whole batch. Under load
+// this amortizes the write syscall over dozens of frames; an idle
+// connection still flushes every frame immediately, so latency is only
+// traded away when FlushInterval is set. Encode scratch space and inbound
+// frame bodies come from the wire package's buffer pool, keeping the
+// per-message path allocation-free in steady state.
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -41,7 +52,25 @@ type Options struct {
 	DialRetries int
 	// DialBackoff is the delay between dial attempts. Zero means 50ms.
 	DialBackoff time.Duration
+	// MaxBatchBytes caps how many encoded bytes the writer coalesces
+	// into one flush. Zero means DefaultMaxBatchBytes. The default was
+	// tuned with BenchmarkTCPEcho (see EXPERIMENTS.md): larger batches
+	// stop paying off once the batch exceeds the socket buffer.
+	MaxBatchBytes int
+	// FlushInterval, when positive, lets a non-full batch wait this long
+	// for more frames before flushing. Zero flushes as soon as the queue
+	// is momentarily empty — no added latency, coalescing only under
+	// load. Most deployments should keep zero; set it only to trade
+	// latency for fewer, larger writes on high-RTT links.
+	FlushInterval time.Duration
+	// DisableCoalescing restores the flush-per-frame writer. Used as the
+	// benchmark baseline; never an optimization.
+	DisableCoalescing bool
 }
+
+// DefaultMaxBatchBytes is the coalescing cap used when
+// Options.MaxBatchBytes is zero: one socket-buffer-sized flush.
+const DefaultMaxBatchBytes = 64 << 10
 
 func (o Options) withDefaults() Options {
 	if o.SendQueueCapacity <= 0 {
@@ -58,6 +87,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DialBackoff <= 0 {
 		o.DialBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = DefaultMaxBatchBytes
 	}
 	return o
 }
@@ -322,10 +354,14 @@ func (e *Endpoint) acceptLoop() {
 	}
 }
 
-// readLoop decodes frames from the connection into the inbox.
+// readLoop decodes frames from the connection into the inbox. The
+// Reader's body buffer comes from the shared pool and goes back when
+// the connection dies; decoded frames copy their values out (the
+// algorithm retains them indefinitely), so they outlive the buffer.
 func (e *Endpoint) readLoop(p *peer) {
 	defer e.wg.Done()
-	r := wire.NewReader(p.conn)
+	r := wire.NewReaderSize(p.conn, 32<<10)
+	defer r.Close()
 	for {
 		f, err := r.ReadFrame()
 		if err != nil {
@@ -341,14 +377,19 @@ func (e *Endpoint) readLoop(p *peer) {
 	}
 }
 
-// writeLoop serializes queued frames onto the connection.
+// writeLoop drains queued frames onto the connection. Each wakeup
+// encodes the first frame, keeps draining the queue into the buffered
+// writer up to MaxBatchBytes (waiting FlushInterval for more when
+// configured), then flushes once for the whole batch.
 func (e *Endpoint) writeLoop(p *peer) {
 	defer e.wg.Done()
-	w := wire.NewWriter(p.conn)
+	bw := bufio.NewWriterSize(p.conn, e.opts.MaxBatchBytes)
+	scratch := wire.GetBuffer()
+	defer func() { wire.PutBuffer(scratch) }()
 	for {
 		select {
 		case f := <-p.out:
-			if err := w.WriteFrame(&f); err != nil {
+			if err := e.writeBatch(p, bw, scratch, f); err != nil {
 				e.dropPeer(p)
 				return
 			}
@@ -359,6 +400,53 @@ func (e *Endpoint) writeLoop(p *peer) {
 			return
 		}
 	}
+}
+
+// writeBatch writes first plus any coalesced followers and flushes once.
+func (e *Endpoint) writeBatch(p *peer, bw *bufio.Writer, scratch *[]byte, first wire.Frame) error {
+	var (
+		timer    *time.Timer
+		deadline <-chan time.Time
+	)
+	if !e.opts.DisableCoalescing && e.opts.FlushInterval > 0 {
+		timer = time.NewTimer(e.opts.FlushInterval)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	f, batched := first, 0
+	for {
+		buf, err := f.AppendTo((*scratch)[:0])
+		if err != nil {
+			return err
+		}
+		*scratch = buf
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		batched += len(buf)
+		if e.opts.DisableCoalescing || batched >= e.opts.MaxBatchBytes {
+			break
+		}
+		if deadline == nil {
+			// No flush timer: coalesce whatever is already queued and
+			// flush the moment the queue runs dry.
+			select {
+			case f = <-p.out:
+				continue
+			default:
+			}
+			break
+		}
+		select {
+		case f = <-p.out:
+			continue
+		case <-deadline:
+		case <-p.closed:
+		case <-e.down:
+		}
+		break
+	}
+	return bw.Flush()
 }
 
 // peer is one live TCP connection with its outbound queue.

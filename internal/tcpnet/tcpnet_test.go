@@ -14,12 +14,17 @@ import (
 // newCluster starts n server endpoints on loopback and returns them with
 // a shared address book.
 func newCluster(t *testing.T, n int) ([]*Endpoint, AddressBook) {
+	return newClusterOpts(t, n, Options{})
+}
+
+// newClusterOpts is newCluster with explicit endpoint options.
+func newClusterOpts(t *testing.T, n int, opts Options) ([]*Endpoint, AddressBook) {
 	t.Helper()
 	book := make(AddressBook)
 	eps := make([]*Endpoint, n)
 	for i := 0; i < n; i++ {
 		id := wire.ProcessID(i + 1)
-		ep, err := Listen(id, "127.0.0.1:0", book, Options{})
+		ep, err := Listen(id, "127.0.0.1:0", book, opts)
 		if err != nil {
 			t.Fatalf("listen %d: %v", id, err)
 		}
@@ -32,7 +37,7 @@ func newCluster(t *testing.T, n int) ([]*Endpoint, AddressBook) {
 	for i, ep := range eps {
 		_ = ep.Close()
 		id := wire.ProcessID(i + 1)
-		ep2, err := Listen(id, book[id], book, Options{})
+		ep2, err := Listen(id, book[id], book, opts)
 		if err != nil {
 			t.Fatalf("relisten %d: %v", id, err)
 		}
@@ -251,4 +256,72 @@ func TestConcurrentBidirectionalTraffic(t *testing.T) {
 
 func tagOf(ts uint64, id uint32) tag.Tag {
 	return tag.Tag{TS: ts, ID: id}
+}
+
+// sendReceiveMany pushes `total` frames from eps[0] to eps[1] and asserts
+// ordered, complete delivery — the invariant every writer variant must keep.
+func sendReceiveMany(t *testing.T, eps []*Endpoint, total int) {
+	t.Helper()
+	go func() {
+		for i := 0; i < total; i++ {
+			if err := eps[0].Send(2, frame(uint64(i))); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		in := recvOne(t, eps[1])
+		if in.Frame.Env.ReqID != uint64(i) {
+			t.Fatalf("frame %d arrived with req %d", i, in.Frame.Env.ReqID)
+		}
+	}
+}
+
+func TestCoalescedWriterKeepsOrder(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"default", Options{}},
+		{"tinyBatch", Options{MaxBatchBytes: 64}},
+		{"flushInterval", Options{FlushInterval: 2 * time.Millisecond}},
+		{"flushIntervalTinyBatch", Options{FlushInterval: time.Millisecond, MaxBatchBytes: 128}},
+		{"unbatched", Options{DisableCoalescing: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eps, _ := newClusterOpts(t, 2, tc.opts)
+			sendReceiveMany(t, eps, 400)
+		})
+	}
+}
+
+func TestCoalescedWriterMixedSizes(t *testing.T) {
+	eps, _ := newClusterOpts(t, 2, Options{MaxBatchBytes: 4096, FlushInterval: time.Millisecond})
+	vals := [][]byte{nil, make([]byte, 1), make([]byte, 1024), make([]byte, 100_000), make([]byte, 3)}
+	for i, v := range vals {
+		for j := range v {
+			v[j] = byte(i + j)
+		}
+	}
+	go func() {
+		for i := 0; i < 100; i++ {
+			v := vals[i%len(vals)]
+			env := wire.Envelope{Kind: wire.KindWriteRequest, ReqID: uint64(i), Value: v}
+			if err := eps[0].Send(2, wire.NewFrame(env)); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		in := recvOne(t, eps[1])
+		want := vals[i%len(vals)]
+		if in.Frame.Env.ReqID != uint64(i) || len(in.Frame.Env.Value) != len(want) {
+			t.Fatalf("frame %d: req=%d |v|=%d want |v|=%d", i, in.Frame.Env.ReqID, len(in.Frame.Env.Value), len(want))
+		}
+		for j := 0; j < len(want); j += 997 {
+			if in.Frame.Env.Value[j] != want[j] {
+				t.Fatalf("frame %d corrupted at %d", i, j)
+			}
+		}
+	}
 }

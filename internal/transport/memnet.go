@@ -18,6 +18,32 @@ type MemNetworkOptions struct {
 	// InboxCapacity is the per-endpoint inbound buffer. Zero means
 	// DefaultInboxCapacity.
 	InboxCapacity int
+	// SendQueueCapacity, when positive, mirrors the TCP transport's
+	// write path so simulated and real deployments share queueing
+	// structure: each destination gets its own bounded outbound queue
+	// drained by its own sender goroutine delivering coalesced runs of
+	// frames (one queue and one writer per peer, as tcpnet has — a slow
+	// destination never delays frames bound elsewhere). Send then
+	// blocks on that per-peer queue instead of on the destination
+	// inbox, and delivery failures after acceptance are silent (the
+	// failure detector reports the peer). Zero keeps the direct
+	// handoff: Send blocks on the destination inbox, the tightest
+	// backpressure (the seed's behavior).
+	SendQueueCapacity int
+	// MaxBatchFrames caps one coalesced delivery run of the sender
+	// goroutine, mirroring tcpnet's MaxBatchBytes. Zero means 32. Only
+	// meaningful with SendQueueCapacity > 0.
+	MaxBatchFrames int
+}
+
+func (o MemNetworkOptions) withDefaults() MemNetworkOptions {
+	if o.InboxCapacity <= 0 {
+		o.InboxCapacity = DefaultInboxCapacity
+	}
+	if o.MaxBatchFrames <= 0 {
+		o.MaxBatchFrames = 32
+	}
+	return o
 }
 
 // MemNetwork is an in-memory message hub connecting endpoints by process
@@ -34,11 +60,8 @@ type MemNetwork struct {
 
 // NewMemNetwork returns an empty in-memory network.
 func NewMemNetwork(opts MemNetworkOptions) *MemNetwork {
-	if opts.InboxCapacity <= 0 {
-		opts.InboxCapacity = DefaultInboxCapacity
-	}
 	return &MemNetwork{
-		opts:      opts,
+		opts:      opts.withDefaults(),
 		endpoints: make(map[wire.ProcessID]*MemEndpoint),
 	}
 }
@@ -59,6 +82,9 @@ func (n *MemNetwork) Register(id wire.ProcessID) (*MemEndpoint, error) {
 		inbox:    make(chan Inbound, n.opts.InboxCapacity),
 		failures: make(chan wire.ProcessID, 64),
 		down:     make(chan struct{}),
+	}
+	if n.opts.SendQueueCapacity > 0 {
+		ep.outqs = make(map[wire.ProcessID]chan wire.Frame)
 	}
 	n.endpoints[id] = ep
 	return ep, nil
@@ -108,6 +134,14 @@ type MemEndpoint struct {
 	inbox    chan Inbound
 	failures chan wire.ProcessID
 
+	// outqs, when non-nil, holds the per-destination bounded outbound
+	// queues of the batching mode (MemNetworkOptions.SendQueueCapacity
+	// > 0), each drained by its own sender goroutine — one queue and
+	// one writer per peer, exactly like tcpnet, so a slow destination
+	// never holds up frames bound elsewhere.
+	outmu sync.Mutex
+	outqs map[wire.ProcessID]chan wire.Frame
+
 	downOnce sync.Once
 	down     chan struct{}
 }
@@ -127,7 +161,9 @@ func (e *MemEndpoint) Failures() <-chan wire.ProcessID { return e.failures }
 func (e *MemEndpoint) Done() <-chan struct{} { return e.down }
 
 // Send implements Endpoint. Self-sends are allowed (a one-server ring
-// forwards to itself).
+// forwards to itself). In batching mode the frame is accepted once the
+// local outbound queue has room; otherwise it is handed directly to the
+// destination inbox.
 func (e *MemEndpoint) Send(to wire.ProcessID, f wire.Frame) error {
 	select {
 	case <-e.down:
@@ -138,6 +174,14 @@ func (e *MemEndpoint) Send(to wire.ProcessID, f wire.Frame) error {
 	if dst == nil {
 		return fmt.Errorf("%w: %d", ErrPeerDown, to)
 	}
+	if e.outqs != nil {
+		select {
+		case e.queueFor(to) <- f:
+			return nil
+		case <-e.down:
+			return ErrClosed
+		}
+	}
 	inb := Inbound{From: e.id, Frame: f}
 	select {
 	case dst.inbox <- inb:
@@ -146,6 +190,59 @@ func (e *MemEndpoint) Send(to wire.ProcessID, f wire.Frame) error {
 		return fmt.Errorf("%w: %d", ErrPeerDown, to)
 	case <-e.down:
 		return ErrClosed
+	}
+}
+
+// queueFor returns the outbound queue for a destination, creating it and
+// its sender goroutine on first use (tcpnet's lazily dialed peer).
+func (e *MemEndpoint) queueFor(to wire.ProcessID) chan wire.Frame {
+	e.outmu.Lock()
+	defer e.outmu.Unlock()
+	q, ok := e.outqs[to]
+	if !ok {
+		q = make(chan wire.Frame, e.net.opts.SendQueueCapacity)
+		e.outqs[to] = q
+		go e.senderLoop(to, q, e.net.opts.MaxBatchFrames)
+	}
+	return q
+}
+
+// senderLoop drains one destination's queue in coalesced runs, mirroring
+// the TCP per-peer writer: wake up for one frame, keep delivering
+// already-queued frames up to the batch cap, then block again.
+func (e *MemEndpoint) senderLoop(to wire.ProcessID, q chan wire.Frame, maxBatch int) {
+	for {
+		select {
+		case f := <-q:
+			e.deliver(to, f)
+			for i := 1; i < maxBatch; i++ {
+				select {
+				case f2 := <-q:
+					e.deliver(to, f2)
+					continue
+				default:
+				}
+				break
+			}
+		case <-e.down:
+			return
+		}
+	}
+}
+
+// deliver pushes one queued frame into its destination inbox. A vanished
+// or crashed destination drops the frame silently — the same fate a
+// TCP-queued frame meets when the connection breaks after Send accepted
+// it; the failure detector carries the news.
+func (e *MemEndpoint) deliver(to wire.ProcessID, f wire.Frame) {
+	dst := e.net.lookup(to)
+	if dst == nil {
+		return
+	}
+	select {
+	case dst.inbox <- Inbound{From: e.id, Frame: f}:
+	case <-dst.down:
+	case <-e.down:
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/tag"
 )
@@ -60,7 +61,9 @@ func AppendEnvelope(buf []byte, env *Envelope) []byte {
 	return buf
 }
 
-// AppendFrame encodes f onto buf and returns the extended slice.
+// AppendFrame encodes f onto buf and returns the extended slice. The
+// length prefix is backfilled in place, so the encoder performs no
+// intermediate allocation: with a reused buf the call is allocation-free.
 func AppendFrame(buf []byte, f *Frame) ([]byte, error) {
 	if len(f.Env.Value) > MaxValueSize ||
 		(f.Piggyback != nil && len(f.Piggyback.Value) > MaxValueSize) {
@@ -70,23 +73,31 @@ func AppendFrame(buf []byte, f *Frame) ([]byte, error) {
 	if f.Piggyback != nil {
 		count = 2
 	}
-	body := make([]byte, 0, f.WireSize()-4)
-	body = append(body, count)
-	body = AppendEnvelope(body, &f.Env)
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, count)
+	buf = AppendEnvelope(buf, &f.Env)
 	if f.Piggyback != nil {
-		body = AppendEnvelope(body, f.Piggyback)
+		buf = AppendEnvelope(buf, f.Piggyback)
 	}
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
-	buf = append(buf, body...)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
 	return buf, nil
 }
 
-// decodeEnvelope consumes one envelope from data, returning the remainder.
-func decodeEnvelope(data []byte) (Envelope, []byte, error) {
+// AppendTo encodes the frame (length prefix included) onto buf and
+// returns the extended slice. It is the allocation-free encoder of the
+// hot path: callers keep one scratch buffer (their own, or one from
+// GetBuffer) and re-encode into it.
+func (f *Frame) AppendTo(buf []byte) ([]byte, error) {
+	return AppendFrame(buf, f)
+}
+
+// decodeEnvelopeInto consumes one envelope from data into env, returning
+// the remainder. When alias is true the Value slice aliases data instead
+// of being copied; the caller owns the lifetime contract.
+func decodeEnvelopeInto(env *Envelope, data []byte, alias bool) ([]byte, error) {
 	if len(data) < envelopeHeaderSize {
-		return Envelope{}, nil, fmt.Errorf("%w: truncated envelope header", ErrCorruptFrame)
+		return nil, fmt.Errorf("%w: truncated envelope header", ErrCorruptFrame)
 	}
-	var env Envelope
 	env.Kind = Kind(data[0])
 	env.Flags = data[1]
 	env.Object = ObjectID(binary.BigEndian.Uint32(data[2:6]))
@@ -99,52 +110,130 @@ func decodeEnvelope(data []byte) (Envelope, []byte, error) {
 	env.ReqID = binary.BigEndian.Uint64(data[26:34])
 	vlen := binary.BigEndian.Uint32(data[34:38])
 	if vlen > MaxValueSize {
-		return Envelope{}, nil, fmt.Errorf("%w: value length %d", ErrFrameTooLarge, vlen)
+		return nil, fmt.Errorf("%w: value length %d", ErrFrameTooLarge, vlen)
 	}
 	if !env.Kind.isValid() {
-		return Envelope{}, nil, fmt.Errorf("%w: unknown kind %d", ErrCorruptFrame, uint8(env.Kind))
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorruptFrame, uint8(env.Kind))
 	}
 	data = data[envelopeHeaderSize:]
 	if uint32(len(data)) < vlen {
-		return Envelope{}, nil, fmt.Errorf("%w: truncated value", ErrCorruptFrame)
+		return nil, fmt.Errorf("%w: truncated value", ErrCorruptFrame)
 	}
+	env.Value = nil
 	if vlen > 0 {
-		env.Value = append([]byte(nil), data[:vlen]...)
+		if alias {
+			env.Value = data[:vlen:vlen]
+		} else {
+			env.Value = append([]byte(nil), data[:vlen]...)
+		}
 	}
-	return env, data[vlen:], nil
+	return data[vlen:], nil
+}
+
+// decodeEnvelope consumes one envelope from data, returning the remainder.
+func decodeEnvelope(data []byte) (Envelope, []byte, error) {
+	var env Envelope
+	rest, err := decodeEnvelopeInto(&env, data, false)
+	if err != nil {
+		return Envelope{}, nil, err
+	}
+	return env, rest, nil
 }
 
 // DecodeFrameBody decodes the body of a frame (everything after the
-// uint32 length prefix).
+// uint32 length prefix). Value slices are copied out of body, so the
+// returned frame owns its memory.
 func DecodeFrameBody(body []byte) (Frame, error) {
+	var f Frame
+	if err := f.decodeFrom(body, false); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// DecodeFrom decodes a frame body into f without copying: Value slices
+// alias body, so the frame is only valid while body is not reused. A
+// previously decoded-into frame's Piggyback allocation is reused, making
+// steady-state decoding allocation-free for a reused *Frame. Callers that
+// retain values past the buffer's lifetime must copy them (Clone).
+func (f *Frame) DecodeFrom(body []byte) error {
+	return f.decodeFrom(body, true)
+}
+
+func (f *Frame) decodeFrom(body []byte, alias bool) error {
 	if len(body) < 1 {
-		return Frame{}, fmt.Errorf("%w: empty body", ErrCorruptFrame)
+		f.resetDecode()
+		return fmt.Errorf("%w: empty body", ErrCorruptFrame)
 	}
 	count := body[0]
 	if count != 1 && count != 2 {
-		return Frame{}, fmt.Errorf("%w: envelope count %d", ErrCorruptFrame, count)
+		f.resetDecode()
+		return fmt.Errorf("%w: envelope count %d", ErrCorruptFrame, count)
 	}
-	rest := body[1:]
-	var (
-		f   Frame
-		err error
-	)
-	f.Env, rest, err = decodeEnvelope(rest)
+	rest, err := decodeEnvelopeInto(&f.Env, body[1:], alias)
 	if err != nil {
-		return Frame{}, err
+		f.resetDecode()
+		return err
 	}
 	if count == 2 {
-		var pb Envelope
-		pb, rest, err = decodeEnvelope(rest)
-		if err != nil {
-			return Frame{}, err
+		pb := f.Piggyback
+		if pb == nil {
+			pb = new(Envelope)
 		}
-		f.Piggyback = &pb
+		rest, err = decodeEnvelopeInto(pb, rest, alias)
+		if err != nil {
+			f.resetDecode()
+			return err
+		}
+		f.Piggyback = pb
+	} else {
+		f.Piggyback = nil
 	}
 	if len(rest) != 0 {
-		return Frame{}, fmt.Errorf("%w: %d trailing bytes", ErrCorruptFrame, len(rest))
+		f.resetDecode()
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorruptFrame, len(rest))
 	}
-	return f, nil
+	return nil
+}
+
+// resetDecode zeroes the frame after a failed decode so no field — a
+// partially overwritten header, a Value still aliasing a possibly
+// recycled pooled buffer, or a previous decode's piggyback — survives
+// into error handling.
+func (f *Frame) resetDecode() {
+	f.Env = Envelope{}
+	f.Piggyback = nil
+}
+
+// bufPool holds encode/decode scratch buffers shared by the transports.
+// Buffers start at 4 KiB — enough for a coalesced batch of typical
+// frames — and grow in place; oversized buffers (beyond 1 MiB) are not
+// returned to the pool so one huge value does not pin memory forever.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// maxPooledBuffer bounds the capacity of buffers kept by the pool.
+const maxPooledBuffer = 1 << 20
+
+// GetBuffer returns a zero-length scratch buffer from the shared pool.
+// Release it with PutBuffer when the encoded or decoded bytes are no
+// longer referenced.
+func GetBuffer() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuffer returns a buffer obtained from GetBuffer to the pool.
+func PutBuffer(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuffer {
+		return
+	}
+	bufPool.Put(b)
 }
 
 // Writer serializes frames onto an io.Writer with length-prefixed framing.
@@ -177,15 +266,31 @@ func (fw *Writer) WriteFrame(f *Frame) error {
 }
 
 // Reader decodes length-prefixed frames from an io.Reader. It is not safe
-// for concurrent use.
+// for concurrent use. The frame body is read into a buffer taken lazily
+// from the shared pool; call Close when done with the Reader to return
+// it (decoded frames own their memory, so they outlive the Reader).
 type Reader struct {
 	r   *bufio.Reader
-	buf []byte
+	buf *[]byte
 }
 
 // NewReader returns a Reader consuming frames from r.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r)}
+}
+
+// NewReaderSize is NewReader with an explicit bufio buffer size.
+func NewReaderSize(r io.Reader, size int) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, size)}
+}
+
+// Close returns the Reader's pooled body buffer. The Reader must not be
+// used afterwards.
+func (fr *Reader) Close() {
+	if fr.buf != nil {
+		PutBuffer(fr.buf)
+		fr.buf = nil
+	}
 }
 
 // ReadFrame reads and decodes the next frame. It returns io.EOF when the
@@ -203,10 +308,13 @@ func (fr *Reader) ReadFrame() (Frame, error) {
 	if n > MaxFrameSize {
 		return Frame{}, fmt.Errorf("%w: body length %d", ErrFrameTooLarge, n)
 	}
-	if cap(fr.buf) < int(n) {
-		fr.buf = make([]byte, n)
+	if fr.buf == nil {
+		fr.buf = GetBuffer()
 	}
-	body := fr.buf[:n]
+	if cap(*fr.buf) < int(n) {
+		*fr.buf = make([]byte, n)
+	}
+	body := (*fr.buf)[:n]
 	if _, err := io.ReadFull(fr.r, body); err != nil {
 		return Frame{}, fmt.Errorf("wire: read frame body: %w", err)
 	}

@@ -199,3 +199,174 @@ func TestDecodeFrameBodyCorruption(t *testing.T) {
 		}
 	})
 }
+
+func TestAppendToMatchesAppendFrame(t *testing.T) {
+	for _, env := range sampleEnvelopes() {
+		env := env
+		f := NewFrame(env)
+		want, err := AppendFrame(nil, &f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := GetBuffer()
+		got, err := f.AppendTo(*buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("AppendTo mismatch for %v", &env)
+		}
+		*buf = got
+		PutBuffer(buf)
+	}
+}
+
+func TestDecodeFromAliasesInput(t *testing.T) {
+	f := NewFrame(Envelope{Kind: KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 1, ID: 1}, Value: []byte("aaaa")})
+	buf, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Frame
+	if err := dec.DecodeFrom(buf[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(dec.Env.Value) != "aaaa" {
+		t.Fatalf("value = %q", dec.Env.Value)
+	}
+	// Zero-copy contract: mutating the input buffer must show through.
+	copy(buf[len(buf)-4:], "bbbb")
+	if string(dec.Env.Value) != "bbbb" {
+		t.Fatalf("DecodeFrom copied the value; want aliasing (got %q)", dec.Env.Value)
+	}
+	// DecodeFrameBody, by contrast, must own its memory.
+	owned, err := DecodeFrameBody(buf[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf[len(buf)-4:], "cccc")
+	if string(owned.Env.Value) != "bbbb" {
+		t.Fatalf("DecodeFrameBody aliased the input (got %q)", owned.Env.Value)
+	}
+}
+
+func TestDecodeFromReuseClearsState(t *testing.T) {
+	pb := Envelope{Kind: KindWrite, Origin: 2, Tag: tag.Tag{TS: 4, ID: 2}}
+	withPB := Frame{
+		Env:       Envelope{Kind: KindPreWrite, Origin: 3, Tag: tag.Tag{TS: 5, ID: 3}, Value: []byte("new")},
+		Piggyback: &pb,
+	}
+	plain := NewFrame(Envelope{Kind: KindReadRequest, Object: 9, ReqID: 77})
+
+	buf1, err := AppendFrame(nil, &withPB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := AppendFrame(nil, &plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dec Frame
+	if err := dec.DecodeFrom(buf1[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Piggyback == nil {
+		t.Fatal("piggyback lost")
+	}
+	// Re-decoding a piggyback-free frame into the same Frame must not
+	// leak the previous piggyback or value.
+	if err := dec.DecodeFrom(buf2[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Piggyback != nil {
+		t.Fatal("stale piggyback after reuse")
+	}
+	if dec.Env.Value != nil || dec.Env.ReqID != 77 || dec.Env.Object != 9 {
+		t.Fatalf("stale envelope state after reuse: %+v", dec.Env)
+	}
+}
+
+func TestEncodeDecodeSteadyStateAllocs(t *testing.T) {
+	pb := Envelope{Kind: KindWrite, Origin: 2, Tag: tag.Tag{TS: 9, ID: 2}, Flags: FlagValueElided}
+	f := Frame{
+		Env:       Envelope{Kind: KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 10, ID: 1}, Value: bytes.Repeat([]byte("x"), 1024)},
+		Piggyback: &pb,
+	}
+	var (
+		buf []byte
+		dec Frame
+	)
+	// Warm up once so buf and dec.Piggyback are allocated.
+	var err error
+	if buf, err = f.AppendTo(buf[:0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.DecodeFrom(buf[4:]); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = f.AppendTo(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.DecodeFrom(buf[4:]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state codec round trip allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestBufferPoolRoundTrip(t *testing.T) {
+	b := GetBuffer()
+	if len(*b) != 0 {
+		t.Fatalf("pooled buffer not reset: len=%d", len(*b))
+	}
+	*b = append(*b, make([]byte, 8192)...)
+	PutBuffer(b)
+	// Oversized buffers are dropped rather than pinned.
+	huge := make([]byte, 0, maxPooledBuffer+1)
+	PutBuffer(&huge)
+	b2 := GetBuffer()
+	if len(*b2) != 0 {
+		t.Fatalf("reused buffer not reset: len=%d", len(*b2))
+	}
+	PutBuffer(b2)
+}
+
+func TestDecodeFromErrorClearsFrame(t *testing.T) {
+	pb := Envelope{Kind: KindWrite, Origin: 2, Tag: tag.Tag{TS: 4, ID: 2}}
+	good := Frame{
+		Env:       Envelope{Kind: KindPreWrite, Origin: 3, Tag: tag.Tag{TS: 5, ID: 3}, Value: []byte("live")},
+		Piggyback: &pb,
+	}
+	buf, err := AppendFrame(nil, &good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Frame
+	if err := dec.DecodeFrom(buf[4:]); err != nil {
+		t.Fatal(err)
+	}
+	// A failed decode must leave no stale state: not the old piggyback,
+	// not a Value aliasing the previous (possibly recycled) buffer.
+	for name, bad := range map[string][]byte{
+		"empty":           nil,
+		"badCount":        {9},
+		"truncatedHeader": {1, 0x01, 0x00},
+		"truncatedValue":  append(append([]byte{1}, buf[5:5+envelopeHeaderSize]...), 0x01),
+	} {
+		if err := dec.DecodeFrom(buf[4:]); err != nil { // reload live state
+			t.Fatal(err)
+		}
+		if err := dec.DecodeFrom(bad); err == nil {
+			t.Fatalf("%s: decode unexpectedly succeeded", name)
+		}
+		if dec.Piggyback != nil || dec.Env.Value != nil || dec.Env.Kind != 0 {
+			t.Fatalf("%s: stale frame state after failed decode: %+v", name, dec)
+		}
+	}
+}

@@ -37,6 +37,11 @@ func FuzzDecodeFrameBody(f *testing.F) {
 	f.Fuzz(func(t *testing.T, body []byte) {
 		frame, err := DecodeFrameBody(body)
 		if err != nil {
+			// The aliasing decoder must agree on what it rejects.
+			var af Frame
+			if aerr := af.DecodeFrom(body); aerr == nil {
+				t.Fatalf("DecodeFrom accepted a body DecodeFrameBody rejected (%v)", err)
+			}
 			return // rejected input is fine; panics are not
 		}
 		// Anything accepted must re-encode and decode to the same frame.
@@ -54,6 +59,54 @@ func FuzzDecodeFrameBody(f *testing.F) {
 		}
 		if !bytes.Equal(out, b1) {
 			t.Fatal("decode/encode not idempotent")
+		}
+
+		// The pooled path must agree byte for byte with the allocating
+		// path: AppendTo into a pooled buffer, then the aliasing
+		// DecodeFrom, then AppendTo again.
+		pooled := GetBuffer()
+		defer PutBuffer(pooled)
+		enc, err := frame.AppendTo((*pooled)[:0])
+		if err != nil {
+			t.Fatalf("AppendTo failed where AppendFrame succeeded: %v", err)
+		}
+		*pooled = enc
+		if !bytes.Equal(out, enc) {
+			t.Fatal("AppendTo and AppendFrame disagree")
+		}
+		var aliased Frame
+		if err := aliased.DecodeFrom(enc[4:]); err != nil {
+			t.Fatalf("DecodeFrom rejected a valid body: %v", err)
+		}
+		enc2, err := aliased.AppendTo(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, enc2) {
+			t.Fatal("aliasing decode lost information")
+		}
+
+		// Buffer reuse must not corrupt a frame decoded into the same
+		// *Frame earlier: re-decode a second body into `aliased` from a
+		// different buffer and check it no longer references enc.
+		other := NewFrame(Envelope{Kind: KindReadRequest, Object: 1, ReqID: 99})
+		obuf, err := AppendFrame(nil, &other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := aliased.DecodeFrom(obuf[4:]); err != nil {
+			t.Fatal(err)
+		}
+		for i := range enc {
+			enc[i] = 0xFF // scribble over the old buffer
+		}
+		reenc, err := aliased.AppendTo(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oagain, err := DecodeFrameBody(reenc[4:])
+		if err != nil || oagain.Env.ReqID != 99 || oagain.Env.Kind != KindReadRequest {
+			t.Fatalf("reused Frame still references the old buffer: %+v (err=%v)", oagain, err)
 		}
 	})
 }
