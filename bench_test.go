@@ -352,7 +352,7 @@ func BenchmarkMultiObjectThroughput(b *testing.B) {
 		mod  func(*coreConfig)
 	}{
 		{"sharded", nil},
-		{"inline", func(c *coreConfig) { c.ReadConcurrency = -1 }},
+		{"inline", func(c *coreConfig) { c.ReadConcurrency = -1; c.WriteLanes = -1 }},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			var reads, writes float64
@@ -366,6 +366,37 @@ func BenchmarkMultiObjectThroughput(b *testing.B) {
 			b.ReportMetric(reads, "reads/s")
 			b.ReportMetric(writes, "writes/s")
 		})
+	}
+}
+
+// BenchmarkMultiObjectWriteThroughput measures aggregate multi-object
+// write throughput on the real implementation across the lane fanout:
+// 8 objects at 1, 2, and 4 ring lanes. The contended variant (2 readers
+// per object, the workload where one event loop caps writes) is the
+// lane-scaling acceptance metric — lanes=4 must be >= 1.5x lanes=1,
+// recorded in EXPERIMENTS.md and BENCH_hotpath.json; the write-only
+// variant isolates the bare ring write path (CPU-bound on one core).
+func BenchmarkMultiObjectWriteThroughput(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		readers int
+	}{
+		{"contended", 2},
+		{"writeonly", 0},
+	} {
+		for _, lanes := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/lanes=%d", tc.name, lanes), func(b *testing.B) {
+				var writes float64
+				for i := 0; i < b.N; i++ {
+					var err error
+					writes, err = bench.MultiObjectWriteThroughput(context.Background(), 3, 8, lanes, tc.readers, 300*time.Millisecond)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(writes, "writes/s")
+			})
+		}
 	}
 }
 

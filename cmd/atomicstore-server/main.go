@@ -38,6 +38,7 @@ func run() error {
 		noPiggy     = flag.Bool("no-piggyback", false, "disable write/pre-write piggybacking (ablation)")
 		noElide     = flag.Bool("no-elision", false, "ship full values in write-phase messages (ablation)")
 		noFair      = flag.Bool("no-fairness", false, "FIFO forwarding instead of the nb_msg rule (ablation)")
+		lanes       = flag.Int("lanes", 0, "ring write lanes (hash(object) mod lanes; must match on every server; 0 = default, negative = 1)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func run() error {
 		DisablePiggyback:    *noPiggy,
 		DisableValueElision: *noElide,
 		DisableFairness:     *noFair,
+		WriteLanes:          *lanes,
 		Logger:              logger,
 	}, ep)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"repro/internal/client"
@@ -82,21 +83,45 @@ func run() error {
 	}
 	fmt.Printf("read %q at tag %s over TCP\n", v, t)
 
-	// A short measured load burst.
-	lg, err := newClient(101)
-	if err != nil {
-		return err
+	// A short measured load burst per object: the server's write path
+	// is sharded into per-object ring lanes, so objects on different
+	// lanes complete writes independently — visible as per-object rates
+	// that do not collapse as objects are added.
+	const loadObjects = 4
+	fmt.Printf("load burst: %d objects, 1 writer + 1 reader each, 1s\n", loadObjects)
+	var (
+		loadWG  sync.WaitGroup
+		results [loadObjects]workload.Result
+	)
+	for obj := 0; obj < loadObjects; obj++ {
+		obj := obj
+		lg, err := newClient(wire.ProcessID(101 + obj))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = lg.Close() }()
+		loadWG.Add(1)
+		go func() {
+			defer loadWG.Done()
+			results[obj] = workload.Run(ctx, workload.Config{
+				Readers:     []workload.Storage{lg},
+				Writers:     []workload.Storage{lg},
+				Concurrency: 2,
+				Object:      wire.ObjectID(obj),
+				ValueBytes:  1024,
+				Duration:    time.Second,
+			})
+		}()
 	}
-	defer func() { _ = lg.Close() }()
-	res := workload.Run(ctx, workload.Config{
-		Readers:     []workload.Storage{lg},
-		Writers:     []workload.Storage{lg},
-		Concurrency: 4,
-		ValueBytes:  1024,
-		Duration:    time.Second,
-	})
-	fmt.Printf("load: %0.f reads/s (p50 %v), %0.f writes/s (p50 %v)\n",
-		res.ReadOpsPerSec, res.ReadLatency.P50, res.WriteOpsPerSec, res.WriteLatency.P50)
+	loadWG.Wait()
+	var totalR, totalW float64
+	for obj, res := range results {
+		fmt.Printf("  object %d: %7.0f reads/s (p50 %v), %6.0f writes/s (p50 %v)\n",
+			obj, res.ReadOpsPerSec, res.ReadLatency.P50, res.WriteOpsPerSec, res.WriteLatency.P50)
+		totalR += res.ReadOpsPerSec
+		totalW += res.WriteOpsPerSec
+	}
+	fmt.Printf("  total:    %7.0f reads/s, %6.0f writes/s\n", totalR, totalW)
 
 	// Crash server 2 (close its sockets); the ring splices over TCP.
 	fmt.Println("crashing server 2")

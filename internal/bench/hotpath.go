@@ -31,6 +31,7 @@ type HotpathReport struct {
 	Wire        WireCodecStats   `json:"wire_codec"`
 	TCPEcho     TCPEchoStats     `json:"tcp_echo"`
 	MultiObject MultiObjectStats `json:"multi_object"`
+	LaneScaling LaneScalingStats `json:"lane_scaling"`
 }
 
 // WireCodecStats reports the pooled encode/decode round trip.
@@ -59,8 +60,12 @@ type TCPEchoStats struct {
 }
 
 // MultiObjectStats compares multi-object read throughput of the sharded
-// server (read-path workers + shard locks) against the inline
-// single-goroutine baseline.
+// server (read-path workers + shard locks, lane-sharded write path)
+// against the inline single-goroutine baseline (no read workers, one
+// lane — the pre-sharding server). Closed-loop load makes the read and
+// write rates trade off, so ShardedWritesPerSec is reported alongside:
+// the sharded server completes orders of magnitude more writes in the
+// same window, which costs it read completions.
 type MultiObjectStats struct {
 	Servers             int     `json:"servers"`
 	Objects             int     `json:"objects"`
@@ -70,6 +75,31 @@ type MultiObjectStats struct {
 	InlineReadsPerSec   float64 `json:"inline_reads_per_sec"`
 	// ReadSpeedup is sharded/inline read throughput.
 	ReadSpeedup float64 `json:"read_speedup"`
+}
+
+// LaneScalingStats compares multi-object write throughput of the
+// lane-sharded ring write path (L=4) against the single-loop baseline
+// (L=1) on the in-memory transport: the PR-2 tentpole metric. The
+// headline row is the contended workload (1 writer + 2 readers per
+// object), where the single event loop dispatches every read and every
+// object's ring traffic and write completions collapse — exactly the
+// cap the lanes remove. The write-only row is reported for honesty: on
+// a single-core host it is pure CPU with nothing to overlap, so lanes
+// are neutral-to-negative there until the host has cores to use.
+type LaneScalingStats struct {
+	Servers int     `json:"servers"`
+	Objects int     `json:"objects"`
+	Seconds float64 `json:"seconds"`
+	// ContendedWritesPerSecLane1/Lane4: writes/s with 2 readers per
+	// object hammering the same servers.
+	ContendedWritesPerSecLane1 float64 `json:"contended_writes_per_sec_lane1"`
+	ContendedWritesPerSecLane4 float64 `json:"contended_writes_per_sec_lane4"`
+	// ContendedSpeedup is lane4/lane1; the acceptance bar is >= 1.5.
+	ContendedSpeedup float64 `json:"contended_speedup"`
+	// WriteOnlyWritesPerSecLane1/Lane4: writers only, no read load.
+	WriteOnlyWritesPerSecLane1 float64 `json:"write_only_writes_per_sec_lane1"`
+	WriteOnlyWritesPerSecLane4 float64 `json:"write_only_writes_per_sec_lane4"`
+	WriteOnlySpeedup           float64 `json:"write_only_speedup"`
 }
 
 // HotpathFrame builds the canonical hot-path frame: a 1 KiB pre-write
@@ -291,6 +321,99 @@ func MultiObjectThroughput(ctx context.Context, servers, objects int, duration t
 	return float64(reads.Load()) / elapsed, float64(writes.Load()) / elapsed, nil
 }
 
+// MultiObjectWriteThroughput drives one closed-loop writer per object,
+// plus readersPerObject closed-loop readers on the same object, over a
+// cluster configured with the given lane fanout, and returns aggregate
+// completed writes/s. Writers pin to servers round-robin, so every
+// server both initiates and forwards. With readers the workload is the
+// contended shape of the lane-scaling metric; with zero readers it
+// isolates the bare ring write path.
+func MultiObjectWriteThroughput(ctx context.Context, servers, objects, lanes, readersPerObject int, duration time.Duration) (float64, error) {
+	cluster, err := NewAsyncCluster(servers, func(c *core.Config) { c.WriteLanes = lanes })
+	if err != nil {
+		return 0, err
+	}
+	defer cluster.Close()
+
+	var (
+		writes atomic.Uint64
+		wg     sync.WaitGroup
+	)
+	runCtx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+	value := make([]byte, 1024)
+	for obj := 0; obj < objects; obj++ {
+		obj := obj
+		pin := cluster.Members[obj%len(cluster.Members)]
+		cl, err := cluster.NewClient(pin)
+		if err != nil {
+			return 0, err
+		}
+		defer cl.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				if _, err := cl.Write(runCtx, wire.ObjectID(obj), value); err == nil {
+					writes.Add(1)
+				}
+			}
+		}()
+		for r := 0; r < readersPerObject; r++ {
+			rcl, err := cluster.NewClient(pin)
+			if err != nil {
+				return 0, err
+			}
+			defer rcl.Close()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for runCtx.Err() == nil {
+					_, _, _ = rcl.Read(runCtx, wire.ObjectID(obj))
+				}
+			}()
+		}
+	}
+	start := time.Now()
+	<-runCtx.Done()
+	elapsed := time.Since(start).Seconds()
+	cancel()
+	wg.Wait()
+	return float64(writes.Load()) / elapsed, nil
+}
+
+// MeasureLaneScaling compares the lane-sharded write path (4 lanes)
+// against the single-loop baseline on the same 8-object workloads,
+// contended (2 readers per object) and write-only.
+func MeasureLaneScaling(ctx context.Context, duration time.Duration) (LaneScalingStats, error) {
+	const servers, objects = 3, 8
+	st := LaneScalingStats{
+		Servers: servers,
+		Objects: objects,
+		Seconds: duration.Seconds(),
+	}
+	var err error
+	if st.ContendedWritesPerSecLane1, err = MultiObjectWriteThroughput(ctx, servers, objects, 1, 2, duration); err != nil {
+		return st, err
+	}
+	if st.ContendedWritesPerSecLane4, err = MultiObjectWriteThroughput(ctx, servers, objects, 4, 2, duration); err != nil {
+		return st, err
+	}
+	if st.WriteOnlyWritesPerSecLane1, err = MultiObjectWriteThroughput(ctx, servers, objects, 1, 0, duration); err != nil {
+		return st, err
+	}
+	if st.WriteOnlyWritesPerSecLane4, err = MultiObjectWriteThroughput(ctx, servers, objects, 4, 0, duration); err != nil {
+		return st, err
+	}
+	if st.ContendedWritesPerSecLane1 > 0 {
+		st.ContendedSpeedup = st.ContendedWritesPerSecLane4 / st.ContendedWritesPerSecLane1
+	}
+	if st.WriteOnlyWritesPerSecLane1 > 0 {
+		st.WriteOnlySpeedup = st.WriteOnlyWritesPerSecLane4 / st.WriteOnlyWritesPerSecLane1
+	}
+	return st, nil
+}
+
 // MeasureMultiObject compares the sharded read path with the inline
 // baseline on the same multi-object workload.
 func MeasureMultiObject(ctx context.Context, duration time.Duration) (MultiObjectStats, error) {
@@ -301,6 +424,7 @@ func MeasureMultiObject(ctx context.Context, duration time.Duration) (MultiObjec
 	}
 	inlineR, _, err := MultiObjectThroughput(ctx, servers, objects, duration, func(c *core.Config) {
 		c.ReadConcurrency = -1
+		c.WriteLanes = -1
 	})
 	if err != nil {
 		return MultiObjectStats{}, err
@@ -340,6 +464,11 @@ func RunHotpath(ctx context.Context, echoMsgs int, multiObjDuration time.Duratio
 		return rep, err
 	}
 	rep.MultiObject = mo
+	lanes, err := MeasureLaneScaling(ctx, multiObjDuration)
+	if err != nil {
+		return rep, err
+	}
+	rep.LaneScaling = lanes
 	return rep, nil
 }
 

@@ -424,6 +424,69 @@ func TestManyObjectsConcurrently(t *testing.T) {
 	wg.Wait()
 }
 
+// TestLaneConfigurations drives a mixed multi-object workload under the
+// lane fanout's extremes — single lane (the pre-lane behavior), more
+// lanes than objects, and lanes combined with tiny shard tables — and
+// checks every object's history stays atomic. With -race this asserts
+// the lane concurrency contract: lanes, read workers, the ack sender,
+// and the control plane may only meet through shard locks and channels.
+func TestLaneConfigurations(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mod  configMod
+	}{
+		{"singleLane", func(c *core.Config) { c.WriteLanes = -1 }},
+		{"fourLanes", func(c *core.Config) { c.WriteLanes = 4 }},
+		{"moreLanesThanObjects", func(c *core.Config) { c.WriteLanes = 16 }},
+		{"lanesWithTinyShards", func(c *core.Config) { c.WriteLanes = 4; c.ObjectShards = 2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newCluster(t, 3, tc.mod)
+			ctx := ctxT(t)
+			const objects = 6
+			var recs [objects]opRecorder
+			var wg sync.WaitGroup
+			for obj := 0; obj < objects; obj++ {
+				obj := obj
+				wcl := c.newClient(client.Options{})
+				rcl := c.newClient(client.Options{})
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 8; i++ {
+						v := fmt.Sprintf("o%d-%d", obj, i)
+						start := time.Now().UnixNano()
+						tg, err := wcl.Write(ctx, wire.ObjectID(obj), []byte(v))
+						if err != nil {
+							t.Errorf("write: %v", err)
+							return
+						}
+						recs[obj].add(checker.Op{Kind: checker.KindWrite, Value: v, Start: start, End: time.Now().UnixNano(), Tag: tg})
+					}
+				}()
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 8; i++ {
+						start := time.Now().UnixNano()
+						v, tg, err := rcl.Read(ctx, wire.ObjectID(obj))
+						if err != nil {
+							t.Errorf("read: %v", err)
+							return
+						}
+						recs[obj].add(checker.Op{Kind: checker.KindRead, Value: string(v), Start: start, End: time.Now().UnixNano(), Tag: tg})
+					}
+				}()
+			}
+			wg.Wait()
+			for obj := range recs {
+				if err := checker.CheckTagged(recs[obj].history()); err != nil {
+					t.Fatalf("object %d history not atomic: %v", obj, err)
+				}
+			}
+		})
+	}
+}
+
 // TestShardedReadPathConfigurations pins the read-path configuration at
 // its extremes — inline reads (the pre-sharding behavior), a single
 // worker, and a wide pool over a tiny shard table — and checks a mixed

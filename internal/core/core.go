@@ -28,6 +28,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 	"log/slog"
 	"runtime"
@@ -67,17 +68,35 @@ type Config struct {
 	DisableValueElision bool
 
 	// ReadConcurrency is the number of read-path workers serving client
-	// reads off the event loop under per-object shard locks. Zero means
-	// min(GOMAXPROCS, 4); negative disables the pool, keeping reads
-	// inline on the event loop (the pre-sharding behavior).
+	// reads off the lane event loops under per-object shard locks. Zero
+	// means min(GOMAXPROCS, 4); negative disables the pool, keeping
+	// reads inline on the owning lane's event loop (the pre-sharding
+	// behavior).
 	ReadConcurrency int
 	// ObjectShards is the fanout of the sharded per-object state,
 	// rounded up to a power of two. Zero means shard.DefaultShards.
 	ObjectShards int
+	// WriteLanes is the number of independent ring lanes the write path
+	// is sharded over: each object belongs to lane hash(ObjectID) mod
+	// WriteLanes, and each lane runs its own event loop, forward queue,
+	// and plan/commit cycle, so independent objects' ring traffic
+	// pipelines in parallel. Every server of a cluster must use the
+	// same value (like Members). Zero means DefaultWriteLanes; negative
+	// means 1 (the single-loop pre-lane behavior); at most MaxWriteLanes.
+	WriteLanes int
 
 	// Logger receives debug events; nil discards them.
 	Logger *slog.Logger
 }
+
+// DefaultWriteLanes is the lane fanout used when Config.WriteLanes is
+// zero. Lanes buy pipelining (in-flight ring frames), not just CPU
+// parallelism, so the default does not scale down with GOMAXPROCS.
+const DefaultWriteLanes = 4
+
+// MaxWriteLanes bounds the lane fanout: the lane index travels in one
+// byte of the frame header.
+const MaxWriteLanes = 256
 
 // readWorkers resolves ReadConcurrency to a worker count.
 func (c *Config) readWorkers() int {
@@ -94,10 +113,24 @@ func (c *Config) readWorkers() int {
 	return n
 }
 
+// writeLanes resolves WriteLanes to a lane count.
+func (c *Config) writeLanes() int {
+	if c.WriteLanes < 0 {
+		return 1
+	}
+	if c.WriteLanes == 0 {
+		return DefaultWriteLanes
+	}
+	return c.WriteLanes
+}
+
 // validate checks the configuration.
 func (c *Config) validate() error {
 	if len(c.Members) == 0 {
 		return errNoMembers
+	}
+	if c.WriteLanes > MaxWriteLanes {
+		return fmt.Errorf("core: WriteLanes %d exceeds %d", c.WriteLanes, MaxWriteLanes)
 	}
 	for _, m := range c.Members {
 		if m == c.ID {

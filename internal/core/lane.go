@@ -1,0 +1,325 @@
+package core
+
+import (
+	"log/slog"
+
+	"repro/internal/ring"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// lane is one independent slice of the server's ring write path: the
+// objects with hash(ObjectID) mod L equal to idx. A lane owns its own
+// event loop, write queue, forward queue with fairness table, in-flight
+// write bookkeeping, and plan/commit cycle — the full §3 algorithm,
+// restricted to its objects. Because an object's ring messages land in
+// the same lane on every server, each lane is exactly the paper's
+// single-loop protocol running over a sub-ring of lane event loops, and
+// the §3.1 read barrier, §3.2 fairness, and §3.4 orphan-adoption
+// arguments apply per lane unchanged (DESIGN.md §7).
+//
+// All lane fields are confined to the lane's event-loop goroutine; the
+// per-object states it touches are guarded by their shard locks.
+type lane struct {
+	srv *Server
+	idx int
+	log *slog.Logger
+
+	// view is the lane's ring view replica. It starts identical to the
+	// control plane's view and transitions only on crash events fanned
+	// out by the control plane, so all lane views converge; between
+	// events lanes may briefly disagree on the successor, which is the
+	// same asynchrony servers already tolerate of each other.
+	view *ring.View
+
+	// inbox receives the lane's demuxed inbound frames.
+	inbox chan transport.Inbound
+	// crashc receives crash fan-out from the control plane.
+	crashc chan wire.ProcessID
+	// ringOut hands planned ring frames to the lane's sender goroutine.
+	// It is unbuffered: at most one frame of this lane is in flight
+	// locally, and backpressure reaches the queue handler. Lanes
+	// pipeline the ring independently — that is the point.
+	ringOut chan outFrame
+
+	// writeQueue holds client writes for this lane's objects not yet
+	// initiated (paper: write_queue).
+	writeQueue []writeIntent
+	// fq is the forward queue plus the nb_msg fairness table.
+	fq *fairQueue
+	// myWrites tracks writes this server originated on this lane.
+	myWrites map[writeKey]ownWrite
+}
+
+// loop owns the lane's algorithm state. Each iteration either handles
+// one inbound event or commits one outbound send; the ring send offered
+// to the select is (re)planned from current state every iteration, so
+// the fairness decision always reflects the latest queues.
+func (ln *lane) loop() {
+	s := ln.srv
+	defer s.wg.Done()
+	for {
+		var (
+			ringC  chan outFrame
+			ringOF outFrame
+		)
+		plan := ln.planRingSend()
+		if plan.ok {
+			ringC = ln.ringOut
+			ringOF = outFrame{to: ln.view.Successor(s.cfg.ID), f: plan.frame}
+		}
+
+		select {
+		case in := <-ln.inbox:
+			ln.handleInbound(in)
+		case crashed := <-ln.crashc:
+			ln.handleCrash(crashed)
+		case ringC <- ringOF:
+			ln.commitRingSend(plan)
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// senderLoop drains the lane's outbound channel onto the transport. A
+// send failure is logged and dropped: the failure detector will report
+// the peer and recovery retransmits whatever mattered.
+func (ln *lane) senderLoop() {
+	s := ln.srv
+	defer s.wg.Done()
+	for {
+		select {
+		case of := <-ln.ringOut:
+			if err := s.ep.Send(of.to, of.f); err != nil {
+				ln.log.Debug("ring send failed", "to", of.to, "err", err)
+			}
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// handleInbound dispatches one received frame (both envelopes of a
+// piggybacked frame).
+func (ln *lane) handleInbound(in transport.Inbound) {
+	for _, env := range in.Frame.Envelopes() {
+		env := env
+		if err := env.Validate(); err != nil {
+			env.RetireValue()
+			ln.log.Debug("dropping invalid envelope", "err", err)
+			continue
+		}
+		switch env.Kind {
+		case wire.KindWriteRequest:
+			ln.onWriteRequest(in.From, &env)
+		case wire.KindReadRequest:
+			ln.onReadRequest(in.From, &env)
+		case wire.KindPreWrite:
+			ln.onPreWrite(&env)
+		case wire.KindWrite:
+			ln.onWrite(&env)
+		case wire.KindCrash:
+			// Misrouted (pre-demux or legacy peer): hand it to the
+			// control plane, which owns crash handling.
+			select {
+			case ln.srv.ctrlc <- transport.Inbound{From: in.From, Frame: wire.NewFrame(env)}:
+			case <-ln.srv.stopc:
+			}
+		default:
+			env.RetireValue()
+			ln.log.Debug("dropping unexpected kind", "kind", env.Kind)
+		}
+	}
+}
+
+// onWriteRequest implements paper lines 18-20: queue the client write
+// until the fairness rule lets this server initiate it.
+func (ln *lane) onWriteRequest(from wire.ProcessID, env *wire.Envelope) {
+	ln.writeQueue = append(ln.writeQueue, writeIntent{
+		client: from,
+		reqID:  env.ReqID,
+		object: env.Object,
+		value:  env.Value,
+		pooled: env.ValuePooled(),
+	})
+}
+
+// onReadRequest implements paper lines 76-84: serve locally when no
+// pre-write is outstanding (or the stored tag already dominates all of
+// them), otherwise park the read behind the highest pending tag. With
+// the worker pool running, the read is handed off so the lane stays free
+// for ring traffic; a full dispatch queue falls back to inline handling
+// rather than blocking — the inline ack goes through the non-blocking
+// ack sender, so even then the lane never waits on a client.
+func (ln *lane) onReadRequest(from wire.ProcessID, env *wire.Envelope) {
+	s := ln.srv
+	rr := readReq{from: from, reqID: env.ReqID, object: env.Object}
+	if s.readc != nil {
+		select {
+		case s.readc <- rr:
+			return
+		default:
+		}
+	}
+	sh, o := s.lockedObj(env.Object)
+	defer sh.Unlock()
+	if o.readableNow() {
+		s.ackRead(from, env.ReqID, env.Object, o)
+		return
+	}
+	o.park(from, env.ReqID, o.maxPending())
+}
+
+// onPreWrite implements paper lines 29-40 plus the crash-adoption rule.
+func (ln *lane) onPreWrite(env *wire.Envelope) {
+	s := ln.srv
+	sh, o := s.lockedObj(env.Object)
+	key := writeKey{object: env.Object, tag: env.Tag}
+
+	if env.Origin == s.cfg.ID {
+		// My own pre_write completed the ring: every alive server has
+		// seen it. Install the value and start the write phase (paper
+		// lines 33-38).
+		w, ok := ln.myWrites[key]
+		if !ok || w.phase != phasePreWrite {
+			sh.Unlock()
+			env.RetireValue() // duplicate from recovery retransmission
+			return
+		}
+		w.phase = phaseWrite
+		ln.myWrites[key] = w
+		wenv := wire.Envelope{
+			Kind:   wire.KindWrite,
+			Object: env.Object,
+			Tag:    env.Tag,
+			Origin: s.cfg.ID,
+		}
+		if s.cfg.DisableValueElision {
+			// The write phase re-ships the value: it aliases the ring
+			// copy, so the buffer can never be recycled.
+			wenv.Value = env.Value
+			s.applyAndRelease(env.Object, o, env.Tag, env.Value, false)
+		} else {
+			// Every server holds the value in its pending set from
+			// the pre-write phase; ship only the tag. The ring copy is
+			// the sole holder of its buffer: recycle it when it is
+			// superseded (next apply) or was stale on arrival.
+			wenv.Flags = wire.FlagValueElided
+			if !s.applyAndRelease(env.Object, o, env.Tag, env.Value, env.ValuePooled()) {
+				env.RetireValue()
+			}
+		}
+		// Pruning the pending entry retires the original client copy
+		// (its outbound pre_write was encoded before the ring traversal
+		// could complete, so the entry is its last reference).
+		o.prune(env.Tag)
+		sh.Unlock()
+		ln.fq.push(wenv)
+		return
+	}
+
+	if ln.isOrphanAdopter(env.Origin) {
+		// The originator crashed and this server is the alive
+		// predecessor of its ring position: the pre_write has, by
+		// construction, traversed every other alive server, so turn it
+		// around into its write phase on the originator's behalf
+		// (DESIGN.md §3.4). The turned-around write re-ships the value,
+		// aliasing it, so its buffer is never recycled; and because the
+		// write is created here rather than received after a full ring
+		// traversal, any pending entry for the tag loses its
+		// pool-ownership mark instead of being retired.
+		o.clearPooled(env.Tag)
+		s.applyAndRelease(env.Object, o, env.Tag, env.Value, false)
+		o.prune(env.Tag)
+		sh.Unlock()
+		ln.fq.push(wire.Envelope{
+			Kind:   wire.KindWrite,
+			Object: env.Object,
+			Tag:    env.Tag,
+			Origin: env.Origin,
+			Value:  env.Value,
+		})
+		return
+	}
+
+	if s.cfg.PendingOnReceive {
+		o.addPending(env.Tag, env.Value, env.ValuePooled())
+	}
+	sh.Unlock()
+	ln.fq.push(*env)
+}
+
+// onWrite implements paper lines 41-52 plus the crash-absorption rule.
+func (ln *lane) onWrite(env *wire.Envelope) {
+	s := ln.srv
+	sh, o := s.lockedObj(env.Object)
+
+	if env.Origin == s.cfg.ID {
+		// My own write completed the ring: acknowledge the client
+		// (paper lines 49-51). Recovery can re-deliver writes whose
+		// bookkeeping is gone; those are absorbed silently. Either way
+		// any carried value (recovery writes ship one) ends here.
+		key := writeKey{object: env.Object, tag: env.Tag}
+		w, ok := ln.myWrites[key]
+		sh.Unlock()
+		if ok && w.phase == phaseWrite {
+			delete(ln.myWrites, key)
+			s.acks.enqueue(outFrame{
+				to: w.client,
+				f: wire.NewFrame(wire.Envelope{
+					Kind:   wire.KindWriteAck,
+					Object: env.Object,
+					Tag:    env.Tag,
+					ReqID:  w.reqID,
+				}),
+			})
+		}
+		env.RetireValue()
+		return
+	}
+
+	absorb := ln.isOrphanAdopter(env.Origin)
+	elided := env.Flags&wire.FlagValueElided != 0
+	applied := false
+	if v, ok := s.resolveWriteValue(o, env); ok {
+		// The buffer may be recycled on replacement only when nothing
+		// else aliases it: an elided write installs the pending copy
+		// (sole holder once pruned), an absorbed full write installs
+		// the ring copy (not forwarded); a forwarded full write's copy
+		// is aliased by the forward queue.
+		pooled := false
+		switch {
+		case elided:
+			pooled = o.pendingPooled(env.Tag)
+		case absorb:
+			pooled = env.ValuePooled()
+		}
+		applied = s.applyAndRelease(env.Object, o, env.Tag, v, pooled)
+	}
+	o.prune(env.Tag)
+	sh.Unlock()
+	if absorb {
+		// Absorb: the originator is gone, the ring is covered. A stale
+		// full value that was not installed ends here.
+		if !elided && !applied {
+			env.RetireValue()
+		}
+		return
+	}
+	ln.fq.push(*env)
+}
+
+// isOrphanAdopter reports whether origin has crashed and this server is
+// the alive predecessor of its ring position — the server responsible
+// for finishing or absorbing the messages origin originated. Each lane
+// answers from its own view replica: a lane that has not yet processed
+// the crash fan-out forwards the message instead, and converts it from
+// its forward queue when the fan-out arrives, exactly as a server whose
+// failure detector fires late would.
+func (ln *lane) isOrphanAdopter(origin wire.ProcessID) bool {
+	if ln.view.Alive(origin) || !ln.view.Contains(origin) {
+		return false
+	}
+	return ln.view.Predecessor(origin) == ln.srv.cfg.ID
+}

@@ -22,6 +22,20 @@ type objectState struct {
 	// written (paper lines 80-82: a reader waits for a write message
 	// with a tag at least as large as the highest pending pre-write).
 	parked []parkedRead
+
+	// pooledPending marks the pending entries whose buffers are
+	// pool-owned AND solely referenced by the pending set (their
+	// outbound forward is causally encoded before any write for the tag
+	// can exist — see DESIGN.md §7). Allocated lazily; entries with the
+	// mark are returned to the pool when their exact tag is pruned,
+	// everything else falls to the GC.
+	pooledPending map[tag.Tag]bool
+	// valuePooled marks value's buffer as recyclable on replacement:
+	// pool-owned and aliased by nothing else. Handing the value to any
+	// read ack clears it (the ack's encoding happens at an unobservable
+	// later time on the transport's writer), so only never-read values
+	// circulate through the pool; read values fall to the GC.
+	valuePooled bool
 }
 
 // parkedRead is a client read waiting out the read-inversion barrier.
@@ -36,6 +50,12 @@ func newObjectState() *objectState {
 	return &objectState{pending: make(map[tag.Tag][]byte)}
 }
 
+// sameSlice reports whether two slices share a backing array (both
+// starting at element 0, which is how all value slices are formed).
+func sameSlice(a, b []byte) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
 // maxPending returns the highest pending pre-write tag, or the zero tag
 // when nothing is pending (paper: max_lex(pending_write_set)).
 func (o *objectState) maxPending() tag.Tag {
@@ -44,6 +64,53 @@ func (o *objectState) maxPending() tag.Tag {
 		highest = highest.Max(t)
 	}
 	return highest
+}
+
+// addPending records a pre-write in the pending set. The first copy of a
+// tag wins: a recovery-retransmitted duplicate must not replace the
+// entry (its buffer would then be aliased by the duplicate's queued
+// forward, breaking the sole-reference rule above); the duplicate's
+// identical bytes simply fall to the GC. Entries at or below the stored
+// tag are skipped outright — their write already circulated, the stored
+// value's retransmission prefix-covers them (DESIGN.md §3.3), and
+// skipping keeps a straggling duplicate from resurrecting a pruned
+// entry whose buffer could then be recycled under the duplicate's
+// in-flight forward.
+func (o *objectState) addPending(t tag.Tag, v []byte, pooled bool) {
+	if t.LessEq(o.tag) {
+		return
+	}
+	if _, exists := o.pending[t]; exists {
+		return
+	}
+	o.pending[t] = v
+	if pooled {
+		if o.pooledPending == nil {
+			o.pooledPending = make(map[tag.Tag]bool)
+		}
+		o.pooledPending[t] = true
+	}
+}
+
+// pendingPooled reports whether the pending entry for t owns a pooled
+// buffer.
+func (o *objectState) pendingPooled(t tag.Tag) bool {
+	return o.pooledPending[t]
+}
+
+// dropPending removes a pending entry without retiring its buffer (used
+// when the value was handed elsewhere, e.g. an adopted orphan's
+// turned-around write).
+func (o *objectState) dropPending(t tag.Tag) {
+	delete(o.pending, t)
+	delete(o.pooledPending, t)
+}
+
+// clearPooled drops the pool-ownership mark of a pending entry, leaking
+// its buffer to the GC (used when recovery re-queues the value, creating
+// a second reference).
+func (o *objectState) clearPooled(t tag.Tag) {
+	delete(o.pooledPending, t)
 }
 
 // apply installs (t, v) if it is newer than the stored value and reports
@@ -63,11 +130,24 @@ func (o *objectState) apply(t tag.Tag, v []byte) bool {
 // satisfied by the stored value — and prevents ghost entries from
 // blocking readers forever when a crash swallowed an in-flight write
 // message (DESIGN.md §3.3).
+//
+// Buffer retirement: only the exact-tag entry may return its pooled
+// buffer — a write for t proves the pre-write for t circled the whole
+// ring, past this server's encoded forward, so the entry holds the last
+// reference (unless the write just installed that very slice, in which
+// case it lives on as the stored value). Prefix-pruned entries below t
+// carry no such proof (their forwards may still be in flight) and leak
+// to the GC.
 func (o *objectState) prune(t tag.Tag) {
-	for pt := range o.pending {
-		if pt.LessEq(t) {
-			delete(o.pending, pt)
+	for pt, v := range o.pending {
+		if !pt.LessEq(t) {
+			continue
 		}
+		if pt == t && o.pooledPending[pt] && !sameSlice(v, o.value) {
+			wire.PutValue(v)
+		}
+		delete(o.pending, pt)
+		delete(o.pooledPending, pt)
 	}
 }
 

@@ -24,12 +24,13 @@ type planItem struct {
 }
 
 // sendPlan is the queue handler's decision for the next ring send (paper
-// lines 53-75). Planning is free of side effects: the event loop offers
-// the planned frame to the ring sender and only commits the bookkeeping
-// if that offer is the select case that fires.
+// lines 53-75). Planning is free of side effects: the lane's event loop
+// offers the planned frame to the ring sender and only commits the
+// bookkeeping if that offer is the select case that fires. Crash notices
+// no longer appear here — the control plane sends them itself, off the
+// data lanes.
 type sendPlan struct {
 	ok      bool
-	control bool
 	frame   wire.Frame
 	primary planItem
 	// secondary, when non-nil, is the piggybacked envelope of the
@@ -38,61 +39,58 @@ type sendPlan struct {
 	secondary *planItem
 }
 
-// planRingSend computes the next ring send from current state, without
-// mutating anything.
-func (s *Server) planRingSend() sendPlan {
-	// Crash notices bypass the fairness machinery entirely: ring
-	// reconfiguration must not wait behind data traffic.
-	if len(s.control) > 0 {
-		return sendPlan{ok: true, control: true, frame: wire.NewFrame(s.control[0])}
-	}
-
-	if s.cfg.DisableFairness {
-		return s.planFIFO()
+// planRingSend computes the lane's next ring send from current state,
+// without mutating anything. The frame carries the lane index so the
+// receiver demultiplexes it straight to its own copy of this lane.
+func (ln *lane) planRingSend() sendPlan {
+	if ln.srv.cfg.DisableFairness {
+		return ln.planFIFO()
 	}
 
 	// Paper lines 54-58: with an empty forward queue the only possible
 	// action is initiating a local write.
-	if s.fq.empty() {
-		if len(s.writeQueue) == 0 {
+	if ln.fq.empty() {
+		if len(ln.writeQueue) == 0 {
 			return sendPlan{}
 		}
-		return s.finishPlan(s.planInitiate())
+		return ln.finishPlan(ln.planInitiate())
 	}
 
 	// Paper lines 60-66: pick the origin with the smallest nb_msg; the
 	// local server competes for an initiation slot only when it has
 	// queued client writes.
-	includeSelf := len(s.writeQueue) > 0
-	origin, ok := s.fq.selectOrigin(s.cfg.ID, includeSelf, 0)
+	self := ln.srv.cfg.ID
+	includeSelf := len(ln.writeQueue) > 0
+	origin, ok := ln.fq.selectOrigin(self, includeSelf, 0)
 	if !ok {
 		return sendPlan{}
 	}
-	if origin == s.cfg.ID && !s.fq.hasAny(s.cfg.ID) {
-		return s.finishPlan(s.planInitiate())
+	if origin == self && !ln.fq.hasAny(self) {
+		return ln.finishPlan(ln.planInitiate())
 	}
-	env, _ := s.fq.peekFirst(origin, 0)
-	return s.finishPlan(planItem{origin: origin, kind: env.Kind, env: env})
+	env, _ := ln.fq.peekFirst(origin, 0)
+	return ln.finishPlan(planItem{origin: origin, kind: env.Kind, env: env})
 }
 
 // planFIFO is the DisableFairness ablation: forward first (plain FIFO),
 // initiate local writes only when nothing waits to be forwarded. Under
 // saturation the forward queue never empties and local writers starve —
 // the failure mode the paper's fairness rule exists to prevent.
-func (s *Server) planFIFO() sendPlan {
-	if env, ok := s.fq.fifoPeek(); ok {
-		return s.finishPlan(planItem{fifo: true, origin: env.Origin, kind: env.Kind, env: env})
+func (ln *lane) planFIFO() sendPlan {
+	if env, ok := ln.fq.fifoPeek(); ok {
+		return ln.finishPlan(planItem{fifo: true, origin: env.Origin, kind: env.Kind, env: env})
 	}
-	if len(s.writeQueue) > 0 {
-		return s.finishPlan(s.planInitiate())
+	if len(ln.writeQueue) > 0 {
+		return ln.finishPlan(ln.planInitiate())
 	}
 	return sendPlan{}
 }
 
 // planInitiate builds the pre_write that would start writeQueue[0],
 // tagging it above everything this server has seen (paper lines 22-23).
-func (s *Server) planInitiate() planItem {
-	w := s.writeQueue[0]
+func (ln *lane) planInitiate() planItem {
+	s := ln.srv
+	w := ln.writeQueue[0]
 	sh, o := s.lockedObj(w.object)
 	highest := o.maxPending().Max(o.tag)
 	sh.Unlock()
@@ -111,31 +109,33 @@ func (s *Server) planInitiate() planItem {
 	}
 }
 
-// finishPlan wraps the primary item in a frame and, when piggybacking is
-// enabled, attaches the fairest queued envelope of the opposite phase.
-func (s *Server) finishPlan(prim planItem) sendPlan {
-	plan := sendPlan{ok: true, primary: prim, frame: wire.NewFrame(prim.env)}
-	if s.cfg.DisablePiggyback || prim.fifo {
+// finishPlan wraps the primary item in a lane-tagged frame and, when
+// piggybacking is enabled, attaches the fairest queued envelope of the
+// opposite phase. Both envelopes necessarily belong to this lane, so
+// one lane byte describes the whole frame.
+func (ln *lane) finishPlan(prim planItem) sendPlan {
+	plan := sendPlan{ok: true, primary: prim, frame: wire.NewLaneFrame(prim.env, uint8(ln.idx))}
+	if ln.srv.cfg.DisablePiggyback || prim.fifo {
 		return plan
 	}
 	opposite := wire.KindWrite
 	if prim.env.Kind == wire.KindWrite {
 		opposite = wire.KindPreWrite
 	}
-	origin, ok := s.fq.selectOrigin(s.cfg.ID, false, opposite)
+	origin, ok := ln.fq.selectOrigin(ln.srv.cfg.ID, false, opposite)
 	if !ok {
 		// An empty pre-write slot can be filled by initiating a queued
-		// local write; without this a saturated server alternates
+		// local write; without this a saturated lane alternates
 		// pre-write and write rounds and write throughput halves.
-		if opposite == wire.KindPreWrite && len(s.writeQueue) > 0 {
-			sec := s.planInitiate()
+		if opposite == wire.KindPreWrite && len(ln.writeQueue) > 0 {
+			sec := ln.planInitiate()
 			plan.secondary = &sec
 			pb := sec.env
 			plan.frame.Piggyback = &pb
 		}
 		return plan
 	}
-	env, ok := s.fq.peekFirst(origin, opposite)
+	env, ok := ln.fq.peekFirst(origin, opposite)
 	if !ok {
 		return plan
 	}
@@ -152,40 +152,39 @@ func (s *Server) finishPlan(prim planItem) sendPlan {
 }
 
 // commitRingSend applies the bookkeeping for a frame that was just handed
-// to the ring sender. State cannot have changed since planning: the event
-// loop plans and commits within one select iteration.
-func (s *Server) commitRingSend(plan sendPlan) {
-	if plan.control {
-		s.control = s.control[1:]
-		return
-	}
-	s.commitItem(plan.primary)
+// to the ring sender. State cannot have changed since planning: the lane
+// plans and commits within one select iteration.
+func (ln *lane) commitRingSend(plan sendPlan) {
+	ln.commitItem(plan.primary)
 	if plan.secondary != nil {
-		s.commitItem(*plan.secondary)
+		ln.commitItem(*plan.secondary)
 	}
 	// Paper line 55: the nb_msg table resets whenever the forward queue
 	// is observed empty.
-	if s.fq.empty() {
-		s.fq.resetCounts()
+	if ln.fq.empty() {
+		ln.fq.resetCounts()
 	}
 }
 
 // commitItem performs the state transitions of sending one envelope.
-func (s *Server) commitItem(it planItem) {
+func (ln *lane) commitItem(it planItem) {
+	s := ln.srv
 	if it.initiate {
-		w := s.writeQueue[0]
-		s.writeQueue = s.writeQueue[1:]
+		w := ln.writeQueue[0]
+		ln.writeQueue = ln.writeQueue[1:]
 		sh, o := s.lockedObj(it.env.Object)
-		// Paper line 24: the originator records its own pre-write.
-		o.pending[it.env.Tag] = it.env.Value
+		// Paper line 24: the originator records its own pre-write. The
+		// pending entry inherits ownership of a pooled client copy; it
+		// is retired when the completed write prunes the entry.
+		o.addPending(it.env.Tag, it.env.Value, w.pooled)
 		sh.Unlock()
-		s.myWrites[writeKey{object: it.env.Object, tag: it.env.Tag}] = ownWrite{
+		ln.myWrites[writeKey{object: it.env.Object, tag: it.env.Tag}] = ownWrite{
 			client: w.client,
 			reqID:  w.reqID,
 			object: w.object,
 			phase:  phasePreWrite,
 		}
-		s.fq.charge(s.cfg.ID) // paper line 26
+		ln.fq.charge(s.cfg.ID) // paper line 26
 		return
 	}
 	var (
@@ -193,30 +192,30 @@ func (s *Server) commitItem(it planItem) {
 		ok  bool
 	)
 	if it.fifo {
-		env, ok = s.fq.fifoPop()
+		env, ok = ln.fq.fifoPop()
 	} else {
-		env, ok = s.fq.popFirst(it.origin, it.kind)
+		env, ok = ln.fq.popFirst(it.origin, it.kind)
 	}
 	if !ok {
 		// Unreachable by construction; dropping the plan is safe (the
 		// frame already sent is a duplicate at worst).
-		s.log.Warn("planned envelope vanished", "origin", it.origin, "kind", it.kind)
+		ln.log.Warn("planned envelope vanished", "origin", it.origin, "kind", it.kind)
 		return
 	}
 	if !it.fifo {
-		s.fq.charge(it.origin) // paper line 72
+		ln.fq.charge(it.origin) // paper line 72
 	}
 	// Paper line 71: a forwarded pre-write joins the pending set (unless
 	// the PendingOnReceive ablation already recorded it at receipt).
 	if env.Kind == wire.KindPreWrite && !s.cfg.PendingOnReceive {
 		sh, o := s.lockedObj(env.Object)
-		o.pending[env.Tag] = env.Value
+		o.addPending(env.Tag, env.Value, env.ValuePooled())
 		sh.Unlock()
 	}
 }
 
 // pendingBarrier returns the read barrier for an object: the highest
-// pending tag (exported for tests via export_test.go).
+// pending tag (used by internal tests).
 func (s *Server) pendingBarrier(obj wire.ObjectID) tag.Tag {
 	sh, o := s.lockedObj(obj)
 	defer sh.Unlock()

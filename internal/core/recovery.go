@@ -4,63 +4,63 @@ import (
 	"repro/internal/wire"
 )
 
-// handleCrash processes a crash notification for a process, whether it
-// came from the local failure detector or from a crash notice gossiped
-// around the ring. Duplicate notifications are no-ops (the ring view
-// deduplicates). Failure reports about clients — whose disconnections the
-// TCP transport cannot distinguish from crashes — are ignored here: only
-// ring members matter.
-func (s *Server) handleCrash(crashed wire.ProcessID) {
-	if crashed == s.cfg.ID || !s.view.Contains(crashed) || !s.view.Alive(crashed) {
+// handleCrash applies one crash event fanned out by the control plane to
+// this lane: update the lane's view replica, splice the ring if the
+// crashed server was the successor, and adopt the messages the crashed
+// server originated on this lane. Duplicate events are no-ops. The §3.4
+// recovery argument is re-proven per lane because an object's entire
+// message history lives on one lane: a server dying mid-write on some
+// lanes but not others just means each lane runs the seed's single-ring
+// recovery for its own objects, at its own pace.
+func (ln *lane) handleCrash(crashed wire.ProcessID) {
+	s := ln.srv
+	if crashed == s.cfg.ID || !ln.view.Contains(crashed) || !ln.view.Alive(crashed) {
 		return
 	}
-	oldSucc := s.view.Successor(s.cfg.ID)
-	s.view.MarkCrashed(crashed)
-	s.log.Info("ring member crashed", "crashed", crashed, "epoch", s.view.Epoch())
+	oldSucc := ln.view.Successor(s.cfg.ID)
+	ln.view.MarkCrashed(crashed)
 
-	if s.view.AliveCount() == 0 {
+	if ln.view.AliveCount() == 0 {
 		return // cannot happen while we are alive, but stay defensive
 	}
-
-	// Gossip the crash around the ring so non-adjacent servers update
-	// their view too (the in-memory failure detector notifies everyone
-	// directly; the duplicate notices die out at the first server that
-	// already knows).
-	s.control = append(s.control, wire.Envelope{
-		Kind:   wire.KindCrash,
-		Origin: crashed,
-		Epoch:  s.view.Epoch(),
-	})
 
 	// Paper lines 85-92: the crashed server's ring predecessor splices
 	// the ring and retransmits what the crashed server may have
 	// swallowed.
 	if crashed == oldSucc {
-		s.retransmitAfterSuccessorCrash()
+		ln.retransmitAfterSuccessorCrash()
 	}
 
 	// Messages originated by a crashed server would circulate forever;
 	// the alive predecessor of the crashed position adopts them
 	// (DESIGN.md §3.4). Entries already sitting in the forward queue
 	// are converted here; later arrivals are handled at receipt.
-	s.adoptOrphans()
+	ln.adoptOrphans()
 }
 
-// retransmitAfterSuccessorCrash implements the paper's recovery rule: send
-// the current value as a write message and re-send every pending
-// pre-write to the new successor. Each retransmitted message carries its
-// original origin, so it continues its interrupted journey around the
-// ring and terminates at its originator (or at the originator's adopter),
-// exactly like a first transmission. Combined with prefix pruning of the
-// pending set, this guarantees every server either receives each lost
-// write or a newer one (see the coverage argument in DESIGN.md §3.3-3.4).
-func (s *Server) retransmitAfterSuccessorCrash() {
+// retransmitAfterSuccessorCrash implements the paper's recovery rule for
+// this lane's objects: send the current value as a write message and
+// re-send every pending pre-write to the new successor. Each
+// retransmitted message carries its original origin, so it continues its
+// interrupted journey around the ring and terminates at its originator
+// (or at the originator's adopter), exactly like a first transmission.
+// Combined with prefix pruning of the pending set, this guarantees every
+// server either receives each lost write or a newer one (see the
+// coverage argument in DESIGN.md §3.3-3.4). Every re-queued value gains
+// a second reference, so its buffer is struck from the pool-ownership
+// books (leaked to the GC) before the push.
+func (ln *lane) retransmitAfterSuccessorCrash() {
+	s := ln.srv
 	// Range holds each shard's lock while its objects are visited, which
 	// freezes read workers on those objects for the duration — crash
 	// recovery is rare enough that simplicity wins.
 	s.objects.Range(func(objID wire.ObjectID, o *objectState) bool {
+		if s.laneFor(objID) != ln.idx {
+			return true // another lane's object; its loop retransmits it
+		}
 		if !o.tag.IsZero() {
-			s.fq.push(wire.Envelope{
+			o.valuePooled = false
+			ln.fq.push(wire.Envelope{
 				Kind:   wire.KindWrite,
 				Object: objID,
 				Tag:    o.tag,
@@ -69,7 +69,8 @@ func (s *Server) retransmitAfterSuccessorCrash() {
 			})
 		}
 		for t, v := range o.pending {
-			s.fq.push(wire.Envelope{
+			o.clearPooled(t)
+			ln.fq.push(wire.Envelope{
 				Kind:   wire.KindPreWrite,
 				Object: objID,
 				Tag:    t,
@@ -81,26 +82,34 @@ func (s *Server) retransmitAfterSuccessorCrash() {
 	})
 }
 
-// adoptOrphans scans the forward queue for messages originated by crashed
-// servers this server is now responsible for: orphaned pre-writes are
-// turned around into their write phase, orphaned writes are absorbed
-// (they were already applied at receipt).
-func (s *Server) adoptOrphans() {
-	for _, origin := range s.deadQueuedOrigins() {
-		if !s.isOrphanAdopter(origin) {
+// adoptOrphans scans the lane's forward queue for messages originated by
+// crashed servers this server is now responsible for: orphaned
+// pre-writes are turned around into their write phase, orphaned writes
+// are absorbed (they were already applied at receipt).
+func (ln *lane) adoptOrphans() {
+	s := ln.srv
+	for _, origin := range ln.deadQueuedOrigins() {
+		if !ln.isOrphanAdopter(origin) {
 			continue
 		}
-		for _, env := range s.fq.takeOrigin(origin) {
+		for _, env := range ln.fq.takeOrigin(origin) {
 			env := env
 			if env.Kind != wire.KindPreWrite {
 				continue // writes were applied on receipt; just absorb
 			}
 			sh, o := s.lockedObj(env.Object)
-			s.applyAndRelease(env.Object, o, env.Tag, env.Value)
+			// The turned-around write re-ships the value, aliasing it:
+			// neither the installed copy nor any pending entry for the
+			// tag may recycle its buffer — and unlike a write received
+			// after a full ring traversal, this one proves nothing
+			// about our own forwards being encoded, so the entry's
+			// pool-ownership mark is cleared before pruning.
+			o.clearPooled(env.Tag)
+			s.applyAndRelease(env.Object, o, env.Tag, env.Value, false)
 			o.prune(env.Tag)
-			delete(o.pending, env.Tag)
+			o.dropPending(env.Tag)
 			sh.Unlock()
-			s.fq.push(wire.Envelope{
+			ln.fq.push(wire.Envelope{
 				Kind:   wire.KindWrite,
 				Object: env.Object,
 				Tag:    env.Tag,
@@ -112,14 +121,14 @@ func (s *Server) adoptOrphans() {
 }
 
 // deadQueuedOrigins returns the crashed ring members that still have
-// messages in the forward queue.
-func (s *Server) deadQueuedOrigins() []wire.ProcessID {
+// messages in the lane's forward queue.
+func (ln *lane) deadQueuedOrigins() []wire.ProcessID {
 	var dead []wire.ProcessID
-	for _, origin := range s.fq.order {
-		if len(s.fq.queues[origin]) == 0 {
+	for _, origin := range ln.fq.order {
+		if len(ln.fq.queues[origin]) == 0 {
 			continue
 		}
-		if s.view.Contains(origin) && !s.view.Alive(origin) {
+		if ln.view.Contains(origin) && !ln.view.Alive(origin) {
 			dead = append(dead, origin)
 		}
 	}

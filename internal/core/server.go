@@ -26,6 +26,9 @@ type writeIntent struct {
 	reqID  uint64
 	object wire.ObjectID
 	value  []byte
+	// pooled records that value is a pool-owned buffer (a TCP inbound
+	// copy); it is retired when the write's pending entry is pruned.
+	pooled bool
 }
 
 // writePhase tracks the progress of a write this server originated.
@@ -62,48 +65,49 @@ type outFrame struct {
 // Server is one storage server of the ring. Create it with NewServer,
 // start its goroutines with Start, and stop them with Stop.
 //
-// Concurrency contract: ring-wide algorithm state (the write queue, the
-// forward queue and its fairness table, the view, the in-flight write
-// bookkeeping) is confined to the event-loop goroutine. Per-object
-// replica state lives in a sharded map: the event loop and the
-// read-path workers both take the object's shard lock around every
-// access, so client reads of different objects are served in parallel
-// across cores — the paper's scalable operation — without ever racing
-// the write path on the same object.
+// Concurrency contract (DESIGN.md §7): the write path is sharded over
+// WriteLanes independent ring lanes — lane hash(ObjectID) mod L — and
+// each lane's algorithm state (its slice of the write queue, its forward
+// queue and fairness table, its in-flight write bookkeeping, its ring
+// view replica) is confined to that lane's event-loop goroutine. The
+// transports demultiplex inbound frames straight into the owning lane's
+// inbox, so lanes never synchronize on the hot path. Per-object replica
+// state lives in the sharded objects map: a lane and the read-path
+// workers both take the object's shard lock around every access. What
+// remains shared is the control plane — one goroutine owning the
+// authoritative ring view, consuming the failure detector and crash
+// gossip and fanning recovery out to every lane — and the ack sender,
+// one goroutine draining client acks from all lanes so no lane ever
+// blocks on a slow client.
 type Server struct {
 	cfg Config
 	ep  transport.Endpoint
 	log *slog.Logger
 
+	// view is the authoritative ring view, confined to the control-plane
+	// goroutine; each lane holds its own replica, updated by crash
+	// fan-out.
 	view *ring.View
 
 	// objects holds the per-register replica state, created lazily and
 	// sharded by ObjectID hash. Every access to an objectState happens
 	// under its shard's lock.
 	objects *shard.Map[wire.ObjectID, *objectState]
-	// writeQueue holds client writes not yet initiated (paper:
-	// write_queue).
-	writeQueue []writeIntent
-	// fq is the forward queue plus the nb_msg fairness table.
-	fq *fairQueue
-	// control holds crash notices to disseminate; they bypass fairness.
-	control []wire.Envelope
-	// myWrites tracks writes this server originated, keyed by tag.
-	myWrites map[writeKey]ownWrite
-	// clientPending holds acks waiting for the client-side sender.
-	clientPending []outFrame
 
-	// ringOut and clientOut hand frames to the two sender goroutines,
-	// modelling the paper's two NICs (inter-server network and client
-	// network). Both are unbuffered: at most one frame is in flight per
-	// network, and backpressure reaches the queue handler.
-	ringOut   chan outFrame
-	clientOut chan outFrame
+	// lanes are the independent ring lanes of the write path.
+	lanes []*lane
+
+	// ctrlc receives crash-notice frames (demuxed by kind); the
+	// control-plane goroutine consumes it alongside ep.Failures().
+	ctrlc chan transport.Inbound
+
+	// acks hands client acks from all lanes to the ack-sender goroutine.
+	acks ackSender
 
 	// readc feeds client reads to the read-path workers; created by
 	// Start when the worker pool is enabled. When it is nil (pool
 	// disabled, or handlers driven directly in tests) reads are handled
-	// inline by the event loop, the seed's behavior.
+	// inline by the owning lane, the pre-pool behavior.
 	readc chan readReq
 
 	stopOnce sync.Once
@@ -118,8 +122,16 @@ type readReq struct {
 	object wire.ObjectID
 }
 
+// laneInboxCapacity buffers each lane's demuxed inbox. It is the same
+// order as the transports' shared inboxes: small enough that a saturated
+// lane exerts backpressure on its ring predecessor (which is what engages
+// the fairness rule), large enough to ride out scheduling jitter.
+const laneInboxCapacity = 64
+
 // NewServer builds a server over the given transport endpoint. The
-// endpoint's id must equal cfg.ID.
+// endpoint's id must equal cfg.ID. If the endpoint supports demultiplexing
+// (transport.Demuxer), inbound frames are routed straight to the owning
+// lane; otherwise the router goroutine fans the shared inbox out.
 func NewServer(cfg Config, ep transport.Endpoint) (*Server, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -131,25 +143,80 @@ func NewServer(cfg Config, ep transport.Endpoint) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Server{
-		cfg:       cfg,
-		ep:        ep,
-		log:       cfg.logger().With("server", cfg.ID),
-		view:      view,
-		objects:   shard.New[wire.ObjectID, *objectState](cfg.ObjectShards),
-		fq:        newFairQueue(),
-		myWrites:  make(map[writeKey]ownWrite),
-		ringOut:   make(chan outFrame),
-		clientOut: make(chan outFrame),
-		stopc:     make(chan struct{}),
-	}, nil
+	s := &Server{
+		cfg:     cfg,
+		ep:      ep,
+		log:     cfg.logger().With("server", cfg.ID),
+		view:    view,
+		objects: shard.New[wire.ObjectID, *objectState](cfg.ObjectShards),
+		ctrlc:   make(chan transport.Inbound, 16),
+		stopc:   make(chan struct{}),
+	}
+	s.acks.s = s
+	s.acks.notify = make(chan struct{}, 1)
+	nLanes := cfg.writeLanes()
+	s.lanes = make([]*lane, nLanes)
+	for i := range s.lanes {
+		s.lanes[i] = &lane{
+			srv:      s,
+			idx:      i,
+			view:     view.Clone(),
+			inbox:    make(chan transport.Inbound, laneInboxCapacity),
+			crashc:   make(chan wire.ProcessID, len(cfg.Members)),
+			ringOut:  make(chan outFrame),
+			fq:       newFairQueue(),
+			myWrites: make(map[writeKey]ownWrite),
+			log:      s.log.With("lane", i),
+		}
+	}
+	if d, ok := ep.(transport.Demuxer); ok {
+		inboxes := make([]chan transport.Inbound, 0, nLanes+1)
+		for _, ln := range s.lanes {
+			inboxes = append(inboxes, ln.inbox)
+		}
+		inboxes = append(inboxes, s.ctrlc)
+		d.SetDemux(s.route, inboxes)
+	}
+	return s, nil
 }
 
 // ID returns the server's process id.
 func (s *Server) ID() wire.ProcessID { return s.cfg.ID }
 
-// Start launches the event loop, the two sender goroutines, and the
-// read-path workers.
+// laneFor returns the lane owning an object. Like the shard map, keys
+// are spread with a multiplicative hash so dense sequential object ids
+// do not pile into one lane.
+func (s *Server) laneFor(obj wire.ObjectID) int {
+	h := uint32(obj) * 2654435761
+	return int((h>>16 ^ h) % uint32(len(s.lanes)))
+}
+
+// route maps an inbound frame to its inbox index: ring data frames carry
+// their lane in the frame header, crash notices go to the control plane
+// (index len(lanes)), and client requests — whose senders do not know
+// the lane fanout — are routed by object hash. A piggybacked frame's two
+// envelopes always share a lane, so routing by the primary is exact.
+func (s *Server) route(f *wire.Frame) int {
+	switch f.Env.Kind {
+	case wire.KindPreWrite, wire.KindWrite:
+		return int(f.Lane) % len(s.lanes)
+	case wire.KindCrash:
+		return len(s.lanes)
+	default:
+		return s.laneFor(f.Env.Object)
+	}
+}
+
+// inboxAt returns the inbox channel for a route index.
+func (s *Server) inboxAt(i int) chan transport.Inbound {
+	if i >= 0 && i < len(s.lanes) {
+		return s.lanes[i].inbox
+	}
+	return s.ctrlc
+}
+
+// Start launches the lane event loops and ring senders, the control
+// plane, the ack sender, the router, and the read-path workers.
 func (s *Server) Start() {
 	workers := s.cfg.readWorkers()
 	if workers > 0 {
@@ -160,9 +227,14 @@ func (s *Server) Start() {
 		}
 	}
 	s.wg.Add(3)
-	go s.eventLoop()
-	go s.senderLoop(s.ringOut)
-	go s.senderLoop(s.clientOut)
+	go s.controlLoop()
+	go s.acks.loop()
+	go s.routerLoop()
+	for _, ln := range s.lanes {
+		s.wg.Add(2)
+		go ln.loop()
+		go ln.senderLoop()
+	}
 }
 
 // Stop terminates the server's goroutines. It does not close the
@@ -172,16 +244,19 @@ func (s *Server) Stop() {
 	s.wg.Wait()
 }
 
-// senderLoop drains one of the two outbound channels onto the transport.
-// A send failure is logged and dropped: the failure detector will report
-// the peer and recovery retransmits whatever mattered.
-func (s *Server) senderLoop(ch <-chan outFrame) {
+// routerLoop drains the endpoint's shared inbox into the demux targets.
+// With a demultiplexing transport this only ever sees frames that
+// arrived before the demux was installed (plus out-of-range fallbacks);
+// for plain endpoints it is the demux.
+func (s *Server) routerLoop() {
 	defer s.wg.Done()
 	for {
 		select {
-		case of := <-ch:
-			if err := s.ep.Send(of.to, of.f); err != nil {
-				s.log.Debug("send failed", "to", of.to, "err", err)
+		case in := <-s.ep.Inbox():
+			select {
+			case s.inboxAt(s.route(&in.Frame)) <- in:
+			case <-s.stopc:
+				return
 			}
 		case <-s.stopc:
 			return
@@ -189,41 +264,125 @@ func (s *Server) senderLoop(ch <-chan outFrame) {
 	}
 }
 
-// eventLoop owns all algorithm state. Each iteration either handles one
-// inbound event or commits one outbound send; the ring send offered to
-// the select is (re)planned from current state every iteration, so the
-// fairness decision always reflects the latest queues.
-func (s *Server) eventLoop() {
+// controlLoop is the shared control plane: it owns the authoritative
+// ring view, consumes the failure detector and crash gossip, fans
+// recovery out to every lane, and gossips crash notices to the ring
+// successor. Crash handling never rides the data lanes, so ring
+// reconfiguration cannot wait behind data traffic.
+func (s *Server) controlLoop() {
 	defer s.wg.Done()
 	for {
-		var (
-			ringC   chan outFrame
-			ringOF  outFrame
-			plan    sendPlan
-			clientC chan outFrame
-			cliOF   outFrame
-		)
-		plan = s.planRingSend()
-		if plan.ok {
-			ringC = s.ringOut
-			ringOF = outFrame{to: s.view.Successor(s.cfg.ID), f: plan.frame}
-		}
-		if len(s.clientPending) > 0 {
-			clientC = s.clientOut
-			cliOF = s.clientPending[0]
-		}
-
 		select {
-		case in := <-s.ep.Inbox():
-			s.handleInbound(in)
 		case crashed := <-s.ep.Failures():
-			s.handleCrash(crashed)
-		case ringC <- ringOF:
-			s.commitRingSend(plan)
-		case clientC <- cliOF:
-			s.clientPending = s.clientPending[1:]
+			s.noteCrash(crashed)
+		case in := <-s.ctrlc:
+			for _, env := range in.Frame.Envelopes() {
+				env := env
+				if err := env.Validate(); err != nil {
+					s.log.Debug("dropping invalid control envelope", "err", err)
+					continue
+				}
+				if env.Kind != wire.KindCrash {
+					s.log.Debug("dropping unexpected control kind", "kind", env.Kind)
+					continue
+				}
+				s.noteCrash(env.Origin)
+			}
 		case <-s.stopc:
 			return
+		}
+	}
+}
+
+// noteCrash processes one crash report, whether it came from the local
+// failure detector or from a gossiped notice. Duplicates die here (the
+// view deduplicates), which is also what stops the gossip. Failure
+// reports about clients — whose disconnections the TCP transport cannot
+// distinguish from crashes — are ignored: only ring members matter.
+func (s *Server) noteCrash(crashed wire.ProcessID) {
+	if crashed == s.cfg.ID || !s.view.Contains(crashed) || !s.view.Alive(crashed) {
+		return
+	}
+	s.view.MarkCrashed(crashed)
+	s.log.Info("ring member crashed", "crashed", crashed, "epoch", s.view.Epoch())
+
+	// Fan the crash out to every lane first: local recovery (ring
+	// splice, retransmission, orphan adoption) must not wait on gossip.
+	// Lane event loops always offer a receive on crashc, so the sends
+	// cannot wedge while the lanes live.
+	for _, ln := range s.lanes {
+		select {
+		case ln.crashc <- crashed:
+		case <-s.stopc:
+			return
+		}
+	}
+
+	// Gossip the crash around the ring so non-adjacent servers update
+	// their views too; the notice dies at the first server that already
+	// knows.
+	succ := s.view.Successor(s.cfg.ID)
+	if succ == s.cfg.ID || succ == wire.NoProcess {
+		return
+	}
+	env := wire.Envelope{Kind: wire.KindCrash, Origin: crashed, Epoch: s.view.Epoch()}
+	if err := s.ep.Send(succ, wire.NewFrame(env)); err != nil {
+		s.log.Debug("crash gossip send failed", "to", succ, "err", err)
+	}
+}
+
+// ackSender drains client acks from all lanes onto the client network.
+// Lanes enqueue without ever blocking (the queue is unbounded and the
+// notification is non-blocking), which is what keeps a slow or dead
+// client from stalling ring traffic; the sender goroutine serializes
+// the actual Sends, like the paper's dedicated client NIC.
+type ackSender struct {
+	s      *Server
+	mu     sync.Mutex
+	queue  []outFrame
+	notify chan struct{}
+}
+
+// enqueue adds one ack; it never blocks.
+func (a *ackSender) enqueue(of outFrame) {
+	a.mu.Lock()
+	a.queue = append(a.queue, of)
+	a.mu.Unlock()
+	select {
+	case a.notify <- struct{}{}:
+	default:
+	}
+}
+
+// loop sends queued acks until the server stops. A send failure is
+// logged and dropped: the client retries against another server.
+func (a *ackSender) loop() {
+	s := a.s
+	defer s.wg.Done()
+	for {
+		select {
+		case <-a.notify:
+		case <-s.stopc:
+			return
+		}
+		for {
+			a.mu.Lock()
+			batch := a.queue
+			a.queue = nil
+			a.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			for _, of := range batch {
+				select {
+				case <-s.stopc:
+					return
+				default:
+				}
+				if err := s.ep.Send(of.to, of.f); err != nil {
+					s.log.Debug("ack send failed", "to", of.to, "err", err)
+				}
+			}
 		}
 	}
 }
@@ -248,7 +407,7 @@ func (s *Server) obj(id wire.ObjectID) *objectState {
 	return o
 }
 
-// readWorker serves dispatched client reads off the event loop.
+// readWorker serves dispatched client reads off the lane event loops.
 func (s *Server) readWorker() {
 	defer s.wg.Done()
 	for {
@@ -263,7 +422,7 @@ func (s *Server) readWorker() {
 
 // serveRead answers one client read, sending the ack directly on the
 // client network (a blocked client connection stalls one worker, never
-// the event loop).
+// a lane).
 func (s *Server) serveRead(rr readReq) {
 	sh, o := s.lockedObj(rr.object)
 	if !o.readableNow() {
@@ -280,77 +439,25 @@ func (s *Server) serveRead(rr readReq) {
 		ReqID:  rr.reqID,
 		Value:  o.value,
 	}
+	// The ack aliases the stored value for an unbounded time — Send only
+	// enqueues on TCP, the per-peer writer encodes later — so the
+	// buffer's pool ownership dissolves here (see ackRead).
+	o.valuePooled = false
 	sh.Unlock()
 	if err := s.ep.Send(rr.from, wire.NewFrame(env)); err != nil {
 		s.log.Debug("read ack send failed", "to", rr.from, "err", err)
 	}
 }
 
-// handleInbound dispatches one received frame (both envelopes of a
-// piggybacked frame).
-func (s *Server) handleInbound(in transport.Inbound) {
-	for _, env := range in.Frame.Envelopes() {
-		env := env
-		if err := env.Validate(); err != nil {
-			s.log.Debug("dropping invalid envelope", "err", err)
-			continue
-		}
-		switch env.Kind {
-		case wire.KindWriteRequest:
-			s.onWriteRequest(in.From, &env)
-		case wire.KindReadRequest:
-			s.onReadRequest(in.From, &env)
-		case wire.KindPreWrite:
-			s.onPreWrite(&env)
-		case wire.KindWrite:
-			s.onWrite(&env)
-		case wire.KindCrash:
-			s.handleCrash(env.Origin)
-		default:
-			s.log.Debug("dropping unexpected kind", "kind", env.Kind)
-		}
-	}
-}
-
-// onWriteRequest implements paper lines 18-20: queue the client write
-// until the fairness rule lets this server initiate it.
-func (s *Server) onWriteRequest(from wire.ProcessID, env *wire.Envelope) {
-	s.writeQueue = append(s.writeQueue, writeIntent{
-		client: from,
-		reqID:  env.ReqID,
-		object: env.Object,
-		value:  env.Value,
-	})
-}
-
-// onReadRequest implements paper lines 76-84: serve locally when no
-// pre-write is outstanding (or the stored tag already dominates all of
-// them), otherwise park the read behind the highest pending tag. With
-// the worker pool running, the read is handed off so the event loop
-// stays free for ring traffic; a full dispatch queue falls back to
-// inline handling rather than blocking.
-func (s *Server) onReadRequest(from wire.ProcessID, env *wire.Envelope) {
-	rr := readReq{from: from, reqID: env.ReqID, object: env.Object}
-	if s.readc != nil {
-		select {
-		case s.readc <- rr:
-			return
-		default:
-		}
-	}
-	sh, o := s.lockedObj(env.Object)
-	defer sh.Unlock()
-	if o.readableNow() {
-		s.ackRead(from, env.ReqID, env.Object, o)
-		return
-	}
-	o.park(from, env.ReqID, o.maxPending())
-}
-
-// ackRead queues a read_ack with the stored value. The caller holds the
-// object's shard lock.
+// ackRead queues a read_ack with the stored value. Handing the value to
+// an ack creates an alias whose lifetime the server cannot observe (the
+// transport's Send only enqueues; encoding happens later on the peer's
+// writer), so the buffer's pool ownership dissolves: a value that was
+// ever read is left to the GC when replaced, and only never-read values
+// recycle through the pool. The caller holds the object's shard lock.
 func (s *Server) ackRead(to wire.ProcessID, reqID uint64, obj wire.ObjectID, o *objectState) {
-	s.clientPending = append(s.clientPending, outFrame{
+	o.valuePooled = false
+	s.acks.enqueue(outFrame{
 		to: to,
 		f: wire.NewFrame(wire.Envelope{
 			Kind:   wire.KindReadAck,
@@ -363,75 +470,29 @@ func (s *Server) ackRead(to wire.ProcessID, reqID uint64, obj wire.ObjectID, o *
 }
 
 // applyAndRelease installs (t, v) if newer and releases any parked reads
-// whose barrier is now satisfied. The caller holds the object's shard
-// lock, which is what makes the park-or-serve decision of a concurrent
-// read worker atomic with respect to this apply.
-func (s *Server) applyAndRelease(objID wire.ObjectID, o *objectState, t tag.Tag, v []byte) {
+// whose barrier is now satisfied, reporting whether the stored value
+// changed. pooled declares that v is a pool-owned buffer that no other
+// holder (a queued forward, a recovery retransmission) aliases, so the
+// NEXT apply may recycle it; the replaced value's buffer is recycled now
+// if its ownership survived — i.e. it was pooled and never handed to a
+// read ack (ackRead dissolves ownership, because ack encoding happens
+// at an unobservable later time on the transport's writer). The caller
+// holds the object's shard lock, which is what makes the park-or-serve
+// decision of a concurrent read worker atomic with respect to this
+// apply.
+func (s *Server) applyAndRelease(objID wire.ObjectID, o *objectState, t tag.Tag, v []byte, pooled bool) bool {
+	old, oldPooled := o.value, o.valuePooled
 	if !o.apply(t, v) {
-		return
+		return false
 	}
+	if oldPooled && !sameSlice(old, v) {
+		wire.PutValue(old)
+	}
+	o.valuePooled = pooled
 	for _, pr := range o.releaseReady() {
 		s.ackRead(pr.client, pr.reqID, objID, o)
 	}
-}
-
-// onPreWrite implements paper lines 29-40 plus the crash-adoption rule.
-func (s *Server) onPreWrite(env *wire.Envelope) {
-	sh, o := s.lockedObj(env.Object)
-	defer sh.Unlock()
-	key := writeKey{object: env.Object, tag: env.Tag}
-
-	if env.Origin == s.cfg.ID {
-		// My own pre_write completed the ring: every alive server has
-		// seen it. Install the value and start the write phase (paper
-		// lines 33-38).
-		w, ok := s.myWrites[key]
-		if !ok || w.phase != phasePreWrite {
-			return // duplicate from recovery retransmission
-		}
-		w.phase = phaseWrite
-		s.myWrites[key] = w
-		s.applyAndRelease(env.Object, o, env.Tag, env.Value)
-		o.prune(env.Tag)
-		wenv := wire.Envelope{
-			Kind:   wire.KindWrite,
-			Object: env.Object,
-			Tag:    env.Tag,
-			Origin: s.cfg.ID,
-		}
-		if s.cfg.DisableValueElision {
-			wenv.Value = env.Value
-		} else {
-			// Every server holds the value in its pending set from
-			// the pre-write phase; ship only the tag.
-			wenv.Flags = wire.FlagValueElided
-		}
-		s.fq.push(wenv)
-		return
-	}
-
-	if s.isOrphanAdopter(env.Origin) {
-		// The originator crashed and this server is the alive
-		// predecessor of its ring position: the pre_write has, by
-		// construction, traversed every other alive server, so turn it
-		// around into its write phase on the originator's behalf
-		// (DESIGN.md §3.4).
-		s.applyAndRelease(env.Object, o, env.Tag, env.Value)
-		o.prune(env.Tag)
-		s.fq.push(wire.Envelope{
-			Kind:   wire.KindWrite,
-			Object: env.Object,
-			Tag:    env.Tag,
-			Origin: env.Origin,
-			Value:  env.Value,
-		})
-		return
-	}
-
-	if s.cfg.PendingOnReceive {
-		o.pending[env.Tag] = env.Value
-	}
-	s.fq.push(*env)
+	return true
 }
 
 // resolveWriteValue returns the value a write message installs. Elided
@@ -451,49 +512,4 @@ func (s *Server) resolveWriteValue(o *objectState, env *wire.Envelope) ([]byte, 
 		s.log.Error("elided write without pending value", "tag", env.Tag, "object", env.Object)
 	}
 	return nil, false
-}
-
-// onWrite implements paper lines 41-52 plus the crash-absorption rule.
-func (s *Server) onWrite(env *wire.Envelope) {
-	sh, o := s.lockedObj(env.Object)
-	defer sh.Unlock()
-
-	if env.Origin == s.cfg.ID {
-		// My own write completed the ring: acknowledge the client
-		// (paper lines 49-51). Recovery can re-deliver writes whose
-		// bookkeeping is gone; those are absorbed silently.
-		key := writeKey{object: env.Object, tag: env.Tag}
-		if w, ok := s.myWrites[key]; ok && w.phase == phaseWrite {
-			delete(s.myWrites, key)
-			s.clientPending = append(s.clientPending, outFrame{
-				to: w.client,
-				f: wire.NewFrame(wire.Envelope{
-					Kind:   wire.KindWriteAck,
-					Object: env.Object,
-					Tag:    env.Tag,
-					ReqID:  w.reqID,
-				}),
-			})
-		}
-		return
-	}
-
-	if v, ok := s.resolveWriteValue(o, env); ok {
-		s.applyAndRelease(env.Object, o, env.Tag, v)
-	}
-	o.prune(env.Tag)
-	if s.isOrphanAdopter(env.Origin) {
-		return // absorb: the originator is gone, the ring is covered
-	}
-	s.fq.push(*env)
-}
-
-// isOrphanAdopter reports whether origin has crashed and this server is
-// the alive predecessor of its ring position — the server responsible for
-// finishing or absorbing the messages origin originated.
-func (s *Server) isOrphanAdopter(origin wire.ProcessID) bool {
-	if s.view.Alive(origin) || !s.view.Contains(origin) {
-		return false
-	}
-	return s.view.Predecessor(origin) == s.cfg.ID
 }

@@ -12,8 +12,9 @@ import (
 // stormHarness drives one server's handlers directly (no goroutines)
 // with adversarial message sequences and checks protocol invariants the
 // correctness argument relies on. The transport endpoint exists only to
-// satisfy the constructor; the event loop is never started, so handler
-// calls are synchronous and deterministic.
+// satisfy the constructor; the event loops are never started, so handler
+// calls are synchronous and deterministic. Events are routed to the lane
+// owning the event's object, exactly as the transport demux would.
 type stormHarness struct {
 	t   *testing.T
 	s   *Server
@@ -37,6 +38,19 @@ func newStormHarness(t *testing.T, seed int64, mods ...func(*Config)) *stormHarn
 		t.Fatal(err)
 	}
 	return &stormHarness{t: t, s: s, rng: rand.New(rand.NewSource(seed))}
+}
+
+// lane returns the lane owning obj, the one the demux would deliver to.
+func (h *stormHarness) lane(obj wire.ObjectID) *lane {
+	return h.s.lanes[h.s.laneFor(obj)]
+}
+
+// crashAll fans a crash event out to every lane, as the control plane
+// does.
+func (h *stormHarness) crashAll(crashed wire.ProcessID) {
+	for _, ln := range h.s.lanes {
+		ln.handleCrash(crashed)
+	}
 }
 
 // invariants checks the safety conditions after every step.
@@ -67,25 +81,26 @@ func (h *stormHarness) invariants(prevTags map[wire.ObjectID]tag.Tag) {
 	})
 }
 
-// step injects one random event.
-func (h *stormHarness) step(i int) {
-	obj := wire.ObjectID(h.rng.Intn(2))
+// step injects one random event for an object below maxObj.
+func (h *stormHarness) step(i, maxObj int) {
+	obj := wire.ObjectID(h.rng.Intn(maxObj))
+	ln := h.lane(obj)
 	t := tag.Tag{TS: uint64(1 + h.rng.Intn(8)), ID: uint32(2 + h.rng.Intn(2))}
 	val := []byte{byte(i)}
 	switch h.rng.Intn(6) {
 	case 0: // client write request
-		h.s.onWriteRequest(500, &wire.Envelope{Kind: wire.KindWriteRequest, Object: obj, ReqID: uint64(i), Value: val})
+		ln.onWriteRequest(500, &wire.Envelope{Kind: wire.KindWriteRequest, Object: obj, ReqID: uint64(i), Value: val})
 	case 1: // client read request
-		h.s.onReadRequest(500, &wire.Envelope{Kind: wire.KindReadRequest, Object: obj, ReqID: uint64(i)})
+		ln.onReadRequest(500, &wire.Envelope{Kind: wire.KindReadRequest, Object: obj, ReqID: uint64(i)})
 	case 2: // pre-write from the ring
-		h.s.onPreWrite(&wire.Envelope{Kind: wire.KindPreWrite, Object: obj, Tag: t, Origin: wire.ProcessID(t.ID), Value: val})
+		ln.onPreWrite(&wire.Envelope{Kind: wire.KindPreWrite, Object: obj, Tag: t, Origin: wire.ProcessID(t.ID), Value: val})
 	case 3: // write from the ring (full value)
-		h.s.onWrite(&wire.Envelope{Kind: wire.KindWrite, Object: obj, Tag: t, Origin: wire.ProcessID(t.ID), Value: val})
+		ln.onWrite(&wire.Envelope{Kind: wire.KindWrite, Object: obj, Tag: t, Origin: wire.ProcessID(t.ID), Value: val})
 	case 4: // elided write from the ring
-		h.s.onWrite(&wire.Envelope{Kind: wire.KindWrite, Object: obj, Tag: t, Origin: wire.ProcessID(t.ID), Flags: wire.FlagValueElided})
-	case 5: // drain one planned ring send, if any
-		if plan := h.s.planRingSend(); plan.ok {
-			h.s.commitRingSend(plan)
+		ln.onWrite(&wire.Envelope{Kind: wire.KindWrite, Object: obj, Tag: t, Origin: wire.ProcessID(t.ID), Flags: wire.FlagValueElided})
+	case 5: // drain one planned ring send on the object's lane, if any
+		if plan := ln.planRingSend(); plan.ok {
+			ln.commitRingSend(plan)
 		}
 	}
 }
@@ -93,10 +108,10 @@ func (h *stormHarness) step(i int) {
 func TestServerInvariantsUnderMessageStorm(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		seed := seed
-		h := newStormHarness(t, seed)
+		h := newStormHarness(t, seed, func(c *Config) { c.WriteLanes = 1 })
 		prev := make(map[wire.ObjectID]tag.Tag)
 		for i := 0; i < 3000; i++ {
-			h.step(i)
+			h.step(i, 2)
 			h.invariants(prev)
 		}
 	}
@@ -111,6 +126,8 @@ func TestServerStormVariants(t *testing.T) {
 		{"no_piggyback", func(c *Config) { c.DisablePiggyback = true }},
 		{"no_fairness", func(c *Config) { c.DisableFairness = true }},
 		{"no_elision", func(c *Config) { c.DisableValueElision = true }},
+		{"single_lane", func(c *Config) { c.WriteLanes = -1 }},
+		{"many_lanes", func(c *Config) { c.WriteLanes = 8 }},
 	}
 	for _, v := range variants {
 		v := v
@@ -118,60 +135,108 @@ func TestServerStormVariants(t *testing.T) {
 			h := newStormHarness(t, 42, v.mod)
 			prev := make(map[wire.ObjectID]tag.Tag)
 			for i := 0; i < 2000; i++ {
-				h.step(i)
+				h.step(i, 2)
 				h.invariants(prev)
 			}
 		})
 	}
 }
 
-// TestStormWithCrashes mixes crash notifications into the storm; the
-// view, recovery retransmission, and orphan adoption must keep the
-// invariants intact.
-func TestStormWithCrashes(t *testing.T) {
-	h := newStormHarness(t, 7)
+// TestMultiLaneStormWithCrashes is the lane-sharded storm: 8+ objects
+// spread over 4 lanes, with servers crashing mid-storm. Every lane must
+// keep the invariants intact through its own view transitions, recovery
+// retransmission, and orphan adoption — including the window where some
+// lanes have processed a crash and others have not (the harness
+// staggers the fan-out across steps to model it).
+func TestMultiLaneStormWithCrashes(t *testing.T) {
+	const objects = 8
+	h := newStormHarness(t, 7, func(c *Config) { c.WriteLanes = 4 })
+	if len(h.s.lanes) != 4 {
+		t.Fatalf("lanes = %d, want 4", len(h.s.lanes))
+	}
+	// The 8 objects must actually exercise more than one lane.
+	lanesHit := map[int]bool{}
+	for obj := 0; obj < objects; obj++ {
+		lanesHit[h.s.laneFor(wire.ObjectID(obj))] = true
+	}
+	if len(lanesHit) < 2 {
+		t.Fatalf("objects 0..%d all hash to one lane", objects-1)
+	}
 	prev := make(map[wire.ObjectID]tag.Tag)
-	for i := 0; i < 1500; i++ {
-		h.step(i)
-		if i == 500 {
-			h.s.handleCrash(2)
+	for i := 0; i < 3000; i++ {
+		h.step(i, objects)
+		// Stagger the crash fan-out: lanes learn of the crash one step
+		// apart, mid-storm, exactly what the asynchronous control-plane
+		// fan-out allows.
+		if i >= 1000 && i < 1000+len(h.s.lanes) {
+			h.s.lanes[i-1000].handleCrash(2)
 		}
-		if i == 1000 {
-			h.s.handleCrash(3)
+		if i == 2000 {
+			h.crashAll(3)
 		}
 		h.invariants(prev)
 	}
-	if h.s.view.AliveCount() != 1 {
-		t.Fatalf("alive count = %d, want 1", h.s.view.AliveCount())
+	for _, ln := range h.s.lanes {
+		if ln.view.AliveCount() != 1 {
+			t.Fatalf("lane %d alive count = %d, want 1", ln.idx, ln.view.AliveCount())
+		}
 	}
-	// With everyone else dead, the server is its own successor and the
-	// queue handler must still make progress (self-delivery happens via
-	// the transport, which is not running here; planning must at least
-	// not wedge or panic).
+	// With everyone else dead, the server is its own successor and every
+	// lane's queue handler must still make progress (self-delivery
+	// happens via the transport, which is not running here; planning
+	// must at least not wedge or panic).
 	for i := 0; i < 100; i++ {
-		if plan := h.s.planRingSend(); plan.ok {
-			h.s.commitRingSend(plan)
+		for _, ln := range h.s.lanes {
+			if plan := ln.planRingSend(); plan.ok {
+				ln.commitRingSend(plan)
+			}
+		}
+	}
+}
+
+// TestStormWithCrashes mixes crash notifications into the single-lane
+// storm; the view, recovery retransmission, and orphan adoption must
+// keep the invariants intact.
+func TestStormWithCrashes(t *testing.T) {
+	h := newStormHarness(t, 7, func(c *Config) { c.WriteLanes = 1 })
+	ln := h.s.lanes[0]
+	prev := make(map[wire.ObjectID]tag.Tag)
+	for i := 0; i < 1500; i++ {
+		h.step(i, 2)
+		if i == 500 {
+			h.crashAll(2)
+		}
+		if i == 1000 {
+			h.crashAll(3)
+		}
+		h.invariants(prev)
+	}
+	if ln.view.AliveCount() != 1 {
+		t.Fatalf("alive count = %d, want 1", ln.view.AliveCount())
+	}
+	for i := 0; i < 100; i++ {
+		if plan := ln.planRingSend(); plan.ok {
+			ln.commitRingSend(plan)
 		}
 	}
 }
 
 // TestPlanCommitConsistency verifies the queue handler's plan/commit
 // split: a plan computed from a given state always commits cleanly (the
-// planned message is present to pop), across random queue contents.
+// planned message is present to pop), across random queue contents and
+// every lane.
 func TestPlanCommitConsistency(t *testing.T) {
-	h := newStormHarness(t, 99)
+	h := newStormHarness(t, 99, func(c *Config) { c.WriteLanes = 4 })
 	for i := 0; i < 5000; i++ {
-		h.step(i)
-		plan := h.s.planRingSend()
+		h.step(i, 8)
+		ln := h.s.lanes[i%len(h.s.lanes)]
+		plan := ln.planRingSend()
 		if !plan.ok {
 			continue
 		}
-		before := h.s.fq.len()
-		h.s.commitRingSend(plan)
-		after := h.s.fq.len()
-		if plan.control {
-			continue
-		}
+		before := ln.fq.len()
+		ln.commitRingSend(plan)
+		after := ln.fq.len()
 		popped := 0
 		if !plan.primary.initiate {
 			popped++
@@ -182,6 +247,9 @@ func TestPlanCommitConsistency(t *testing.T) {
 		if before-after != popped {
 			t.Fatalf("step %d: queue shrank by %d, plan popped %d", i, before-after, popped)
 		}
+		if plan.frame.Lane != uint8(ln.idx) {
+			t.Fatalf("planned frame carries lane %d, want %d", plan.frame.Lane, ln.idx)
+		}
 	}
 }
 
@@ -189,30 +257,30 @@ func TestPlanCommitConsistency(t *testing.T) {
 // directly: after the successor crashes, the forward queue contains the
 // current value as a write and every pending pre-write.
 func TestRecoveryRetransmitsPendingAndValue(t *testing.T) {
-	h := newStormHarness(t, 0)
-	s := h.s
+	h := newStormHarness(t, 0, func(c *Config) { c.WriteLanes = 1 })
+	ln := h.s.lanes[0]
 	// Install a value and two pending pre-writes.
-	s.onWrite(&wire.Envelope{Kind: wire.KindWrite, Object: 0, Tag: tag.Tag{TS: 3, ID: 2}, Origin: 2, Value: []byte("stored")})
-	s.onPreWrite(&wire.Envelope{Kind: wire.KindPreWrite, Object: 0, Tag: tag.Tag{TS: 4, ID: 2}, Origin: 2, Value: []byte("p1")})
-	s.onPreWrite(&wire.Envelope{Kind: wire.KindPreWrite, Object: 0, Tag: tag.Tag{TS: 5, ID: 3}, Origin: 3, Value: []byte("p2")})
+	ln.onWrite(&wire.Envelope{Kind: wire.KindWrite, Object: 0, Tag: tag.Tag{TS: 3, ID: 2}, Origin: 2, Value: []byte("stored")})
+	ln.onPreWrite(&wire.Envelope{Kind: wire.KindPreWrite, Object: 0, Tag: tag.Tag{TS: 4, ID: 2}, Origin: 2, Value: []byte("p1")})
+	ln.onPreWrite(&wire.Envelope{Kind: wire.KindPreWrite, Object: 0, Tag: tag.Tag{TS: 5, ID: 3}, Origin: 3, Value: []byte("p2")})
 	// Forward them so they enter the pending set (on-forward mode).
 	for {
-		plan := s.planRingSend()
+		plan := ln.planRingSend()
 		if !plan.ok {
 			break
 		}
-		s.commitRingSend(plan)
+		ln.commitRingSend(plan)
 	}
-	if len(s.obj(0).pending) != 2 {
-		t.Fatalf("pending = %d, want 2", len(s.obj(0).pending))
+	if len(h.s.obj(0).pending) != 2 {
+		t.Fatalf("pending = %d, want 2", len(h.s.obj(0).pending))
 	}
 
 	// Successor 2 crashes: recovery must queue 1 value write + 2
 	// pre-write retransmissions (plus adopt orphans of origin 2).
-	s.handleCrash(2)
+	h.crashAll(2)
 	var writes, prewrites int
-	for _, origin := range s.fq.order {
-		for _, env := range s.fq.queues[origin] {
+	for _, origin := range ln.fq.order {
+		for _, env := range ln.fq.queues[origin] {
 			switch env.Kind {
 			case wire.KindWrite:
 				writes++
@@ -228,13 +296,11 @@ func TestRecoveryRetransmitsPendingAndValue(t *testing.T) {
 		t.Fatal("recovery did not retransmit pending pre-writes")
 	}
 	// The orphaned pre-write of crashed origin 2 must have been turned
-	// around into its write phase by the adopter (server 1 is 2's alive
-	// predecessor in ring {1,2,3} after 2's crash... its predecessor is
-	// 1 only if 3 is not between; in ring order 1->2->3, 2's
-	// predecessor is 1).
+	// around into its write phase by the adopter (in ring order 1->2->3,
+	// 2's alive predecessor is 1).
 	foundOrphanWrite := false
-	for _, origin := range s.fq.order {
-		for _, env := range s.fq.queues[origin] {
+	for _, origin := range ln.fq.order {
+		for _, env := range ln.fq.queues[origin] {
 			if env.Kind == wire.KindWrite && env.Tag == (tag.Tag{TS: 4, ID: 2}) {
 				foundOrphanWrite = true
 			}
@@ -242,5 +308,28 @@ func TestRecoveryRetransmitsPendingAndValue(t *testing.T) {
 	}
 	if !foundOrphanWrite {
 		t.Fatal("orphaned pre-write of the crashed originator was not turned around")
+	}
+}
+
+// TestLaneRouting pins the demux contract: ring frames land on the lane
+// named in their header, client requests land on the object's lane, and
+// crash notices land on the control inbox.
+func TestLaneRouting(t *testing.T) {
+	h := newStormHarness(t, 0, func(c *Config) { c.WriteLanes = 4 })
+	s := h.s
+	for obj := wire.ObjectID(0); obj < 16; obj++ {
+		want := s.laneFor(obj)
+		f := wire.NewFrame(wire.Envelope{Kind: wire.KindWriteRequest, Object: obj, ReqID: 1, Value: []byte("v")})
+		if got := s.route(&f); got != want {
+			t.Fatalf("write request for object %d routed to %d, want %d", obj, got, want)
+		}
+		rf := wire.NewLaneFrame(wire.Envelope{Kind: wire.KindPreWrite, Object: obj, Tag: tag.Tag{TS: 1, ID: 2}, Origin: 2}, uint8(want))
+		if got := s.route(&rf); got != want {
+			t.Fatalf("ring frame for lane %d routed to %d", want, got)
+		}
+	}
+	cf := wire.NewFrame(wire.Envelope{Kind: wire.KindCrash, Origin: 2, Epoch: 1})
+	if got := s.route(&cf); got != len(s.lanes) {
+		t.Fatalf("crash notice routed to %d, want control index %d", got, len(s.lanes))
 	}
 }

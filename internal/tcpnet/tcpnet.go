@@ -29,6 +29,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
@@ -111,6 +112,10 @@ type Endpoint struct {
 	downOnce sync.Once
 	down     chan struct{}
 
+	// demux, when set, routes inbound frames to per-lane inboxes
+	// instead of the shared inbox (transport.Demuxer).
+	demux atomic.Pointer[transport.DemuxTable]
+
 	mu     sync.Mutex
 	peers  map[wire.ProcessID]*peer
 	extras []*peer // duplicate conns from simultaneous dials: read-only
@@ -119,7 +124,25 @@ type Endpoint struct {
 	wg sync.WaitGroup
 }
 
-var _ transport.Endpoint = (*Endpoint)(nil)
+var (
+	_ transport.Endpoint = (*Endpoint)(nil)
+	_ transport.Demuxer  = (*Endpoint)(nil)
+)
+
+// SetDemux implements transport.Demuxer: subsequent inbound frames are
+// delivered to inboxes[route(frame)], with the shared inbox as the
+// out-of-range fallback.
+func (e *Endpoint) SetDemux(route transport.RouteFunc, inboxes []chan transport.Inbound) {
+	e.demux.Store(&transport.DemuxTable{Route: route, Inboxes: inboxes})
+}
+
+// inboxFor returns the channel an inbound frame goes to.
+func (e *Endpoint) inboxFor(inb *transport.Inbound) chan transport.Inbound {
+	if d := e.demux.Load(); d != nil {
+		return d.Target(e.inbox, inb)
+	}
+	return e.inbox
+}
 
 // Listen starts a server endpoint accepting connections on addr. The
 // address book must contain every server, including this one (its entry
@@ -354,22 +377,35 @@ func (e *Endpoint) acceptLoop() {
 	}
 }
 
-// readLoop decodes frames from the connection into the inbox. The
+// readLoop decodes frames from the connection into the inbox (or, when
+// a demux is installed, straight into the owning lane's inbox). The
 // Reader's body buffer comes from the shared pool and goes back when
-// the connection dies; decoded frames copy their values out (the
-// algorithm retains them indefinitely), so they outlive the buffer.
+// the connection dies. A demuxed endpoint belongs to a lane server that
+// honors the pooled-value retire contract, so its frames copy values
+// into pooled owned buffers (the algorithm retains values indefinitely,
+// so they must outlive the body buffer) and the server returns each
+// buffer when it retires the value; endpoints without a demux (clients,
+// raw transport users) keep exact-size allocations, since their
+// consumers never retire and a pooled copy would just waste a
+// pool-sized buffer per message.
 func (e *Endpoint) readLoop(p *peer) {
 	defer e.wg.Done()
 	r := wire.NewReaderSize(p.conn, 32<<10)
 	defer r.Close()
+	pooled := false
 	for {
+		if !pooled && e.demux.Load() != nil {
+			r.PoolValues()
+			pooled = true
+		}
 		f, err := r.ReadFrame()
 		if err != nil {
 			e.dropPeer(p)
 			return
 		}
+		inb := transport.Inbound{From: p.id, Frame: f}
 		select {
-		case e.inbox <- transport.Inbound{From: p.id, Frame: f}:
+		case e.inboxFor(&inb) <- inb:
 		case <-e.down:
 			e.dropPeer(p)
 			return

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
@@ -142,11 +143,33 @@ type MemEndpoint struct {
 	outmu sync.Mutex
 	outqs map[wire.ProcessID]chan wire.Frame
 
+	// demux, when set, routes inbound frames to per-lane inboxes
+	// instead of the shared inbox (Demuxer).
+	demux atomic.Pointer[DemuxTable]
+
 	downOnce sync.Once
 	down     chan struct{}
 }
 
-var _ Endpoint = (*MemEndpoint)(nil)
+var (
+	_ Endpoint = (*MemEndpoint)(nil)
+	_ Demuxer  = (*MemEndpoint)(nil)
+)
+
+// SetDemux implements Demuxer: subsequent deliveries to this endpoint go
+// to inboxes[route(frame)], with the shared inbox as the out-of-range
+// fallback.
+func (e *MemEndpoint) SetDemux(route RouteFunc, inboxes []chan Inbound) {
+	e.demux.Store(&DemuxTable{Route: route, Inboxes: inboxes})
+}
+
+// inboxFor returns the channel a frame bound for this endpoint goes to.
+func (e *MemEndpoint) inboxFor(inb *Inbound) chan Inbound {
+	if d := e.demux.Load(); d != nil {
+		return d.Target(e.inbox, inb)
+	}
+	return e.inbox
+}
 
 // ID implements Endpoint.
 func (e *MemEndpoint) ID() wire.ProcessID { return e.id }
@@ -184,7 +207,7 @@ func (e *MemEndpoint) Send(to wire.ProcessID, f wire.Frame) error {
 	}
 	inb := Inbound{From: e.id, Frame: f}
 	select {
-	case dst.inbox <- inb:
+	case dst.inboxFor(&inb) <- inb:
 		return nil
 	case <-dst.down:
 		return fmt.Errorf("%w: %d", ErrPeerDown, to)
@@ -239,8 +262,9 @@ func (e *MemEndpoint) deliver(to wire.ProcessID, f wire.Frame) {
 	if dst == nil {
 		return
 	}
+	inb := Inbound{From: e.id, Frame: f}
 	select {
-	case dst.inbox <- Inbound{From: e.id, Frame: f}:
+	case dst.inboxFor(&inb) <- inb:
 	case <-dst.down:
 	case <-e.down:
 	}

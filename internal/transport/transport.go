@@ -30,6 +30,39 @@ type Inbound struct {
 	Frame wire.Frame
 }
 
+// RouteFunc maps an inbound frame to the index of the per-lane inbox
+// that must receive it. It is called on the delivering goroutine and
+// must be safe for concurrent use and side-effect free.
+type RouteFunc func(*wire.Frame) int
+
+// Demuxer is implemented by endpoints that can deliver inbound frames
+// straight into per-lane inboxes, so a lane-sharded server never funnels
+// its ring traffic through one channel. After SetDemux, frames are
+// routed with route and delivered to inboxes[route(frame)]; an index out
+// of range falls back to the endpoint's main Inbox. Frames that arrived
+// before SetDemux stay in the main Inbox — the owner drains it.
+// SetDemux must be called at most once, before or while traffic flows.
+type Demuxer interface {
+	SetDemux(route RouteFunc, inboxes []chan Inbound)
+}
+
+// DemuxTable is an installed per-lane routing table, shared by the
+// transport implementations so the routing-and-fallback contract lives
+// in exactly one place.
+type DemuxTable struct {
+	Route   RouteFunc
+	Inboxes []chan Inbound
+}
+
+// Target returns the channel that must receive inb: the routed inbox,
+// or fallback when the route index is out of range.
+func (d *DemuxTable) Target(fallback chan Inbound, inb *Inbound) chan Inbound {
+	if i := d.Route(&inb.Frame); i >= 0 && i < len(d.Inboxes) {
+		return d.Inboxes[i]
+	}
+	return fallback
+}
+
 // Endpoint is one process's attachment to the network. Implementations
 // must make Send safe for concurrent use; Inbox and Failures each deliver
 // to however many readers the owner chooses (the algorithm uses one).

@@ -15,10 +15,12 @@ import (
 //
 //	frame header:
 //	  uint32  total length of the rest of the frame
-//	  uint8   envelope count (1 or 2)
+//	  uint8   envelope count (1 or 2); frameV2Bit marks the v2 header
+//	  uint8   lane (v2 only)
 //	per envelope:
 //	  uint8   kind
-//	  uint8   flags
+//	  uint8   flags (FlagPooledValue is local-only: masked on encode,
+//	          cleared on decode)
 //	  uint32  object
 //	  uint64  tag.ts
 //	  uint32  tag.id
@@ -26,10 +28,20 @@ import (
 //	  uint32  epoch
 //	  uint64  reqID
 //	  uint32  value length, followed by the value bytes
+//
+// The v2 header (lane-sharded ring pipeline) sets frameV2Bit in the
+// count byte and follows it with the frame's lane. The encoder always
+// emits v2; the decoder accepts both, mapping v1 frames to lane 0, so
+// pre-lane peers' frames (and the fuzz corpus) still decode.
 const (
-	frameHeaderSize    = 4 + 1
+	frameHeaderSize    = 4 + 1 + 1
 	envelopeHeaderSize = 1 + 1 + 4 + 8 + 4 + 4 + 4 + 8 + 4
 )
+
+// frameV2Bit marks a count byte as the v2 header (count | frameV2Bit,
+// followed by the lane byte). v1 count bytes are plain 1 or 2, so the
+// bit is unambiguous.
+const frameV2Bit = 0x80
 
 // MaxValueSize bounds a single register value; larger values must be
 // chunked by the application. It also bounds decoder allocations so a
@@ -48,8 +60,10 @@ var (
 )
 
 // AppendEnvelope encodes env onto buf and returns the extended slice.
+// FlagPooledValue is a process-local ownership mark and never reaches
+// the wire.
 func AppendEnvelope(buf []byte, env *Envelope) []byte {
-	buf = append(buf, byte(env.Kind), env.Flags)
+	buf = append(buf, byte(env.Kind), env.Flags&^FlagPooledValue)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(env.Object))
 	buf = binary.BigEndian.AppendUint64(buf, env.Tag.TS)
 	buf = binary.BigEndian.AppendUint32(buf, env.Tag.ID)
@@ -74,7 +88,7 @@ func AppendFrame(buf []byte, f *Frame) ([]byte, error) {
 		count = 2
 	}
 	start := len(buf)
-	buf = append(buf, 0, 0, 0, 0, count)
+	buf = append(buf, 0, 0, 0, 0, count|frameV2Bit, f.Lane)
 	buf = AppendEnvelope(buf, &f.Env)
 	if f.Piggyback != nil {
 		buf = AppendEnvelope(buf, f.Piggyback)
@@ -91,15 +105,35 @@ func (f *Frame) AppendTo(buf []byte) ([]byte, error) {
 	return AppendFrame(buf, f)
 }
 
-// decodeEnvelopeInto consumes one envelope from data into env, returning
-// the remainder. When alias is true the Value slice aliases data instead
-// of being copied; the caller owns the lifetime contract.
-func decodeEnvelopeInto(env *Envelope, data []byte, alias bool) ([]byte, error) {
+// valueMode selects how a decoded envelope's Value relates to the input
+// buffer.
+type valueMode uint8
+
+const (
+	// valueCopy allocates a fresh slice per value: the frame owns its
+	// memory with no strings attached (the seed's behavior).
+	valueCopy valueMode = iota
+	// valueAlias keeps the Value aliasing the input buffer; the caller
+	// owns the lifetime contract.
+	valueAlias
+	// valuePooled copies the value into a buffer from the shared pool
+	// and marks the envelope FlagPooledValue: the receiver returns the
+	// buffer with PutValue (or Envelope.RetireValue) once the value is
+	// retired, making the steady-state inbound path allocation-free.
+	valuePooled
+)
+
+// decodeEnvelopeInto consumes one envelope from data into env according
+// to the value mode, returning the remainder.
+func decodeEnvelopeInto(env *Envelope, data []byte, mode valueMode) ([]byte, error) {
 	if len(data) < envelopeHeaderSize {
 		return nil, fmt.Errorf("%w: truncated envelope header", ErrCorruptFrame)
 	}
 	env.Kind = Kind(data[0])
-	env.Flags = data[1]
+	// FlagPooledValue is local-only: a frame carrying it on the wire is
+	// either corrupt or malicious, and honoring it would let a peer
+	// trick this process into recycling a buffer it never pooled.
+	env.Flags = data[1] &^ FlagPooledValue
 	env.Object = ObjectID(binary.BigEndian.Uint32(data[2:6]))
 	env.Tag = tag.Tag{
 		TS: binary.BigEndian.Uint64(data[6:14]),
@@ -121,9 +155,15 @@ func decodeEnvelopeInto(env *Envelope, data []byte, alias bool) ([]byte, error) 
 	}
 	env.Value = nil
 	if vlen > 0 {
-		if alias {
+		switch mode {
+		case valueAlias:
 			env.Value = data[:vlen:vlen]
-		} else {
+		case valuePooled:
+			b := GetBuffer()
+			*b = append((*b)[:0], data[:vlen]...)
+			env.Value = *b
+			env.Flags |= FlagPooledValue
+		default:
 			env.Value = append([]byte(nil), data[:vlen]...)
 		}
 	}
@@ -133,7 +173,7 @@ func decodeEnvelopeInto(env *Envelope, data []byte, alias bool) ([]byte, error) 
 // decodeEnvelope consumes one envelope from data, returning the remainder.
 func decodeEnvelope(data []byte) (Envelope, []byte, error) {
 	var env Envelope
-	rest, err := decodeEnvelopeInto(&env, data, false)
+	rest, err := decodeEnvelopeInto(&env, data, valueCopy)
 	if err != nil {
 		return Envelope{}, nil, err
 	}
@@ -145,7 +185,19 @@ func decodeEnvelope(data []byte) (Envelope, []byte, error) {
 // returned frame owns its memory.
 func DecodeFrameBody(body []byte) (Frame, error) {
 	var f Frame
-	if err := f.decodeFrom(body, false); err != nil {
+	if err := f.decodeFrom(body, valueCopy); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// DecodeFrameBodyPooled is DecodeFrameBody with the values copied into
+// buffers from the shared pool instead of fresh allocations; the decoded
+// envelopes carry FlagPooledValue and the receiver returns each buffer
+// with PutValue (or lets it fall to the GC) when the value is retired.
+func DecodeFrameBodyPooled(body []byte) (Frame, error) {
+	var f Frame
+	if err := f.decodeFrom(body, valuePooled); err != nil {
 		return Frame{}, err
 	}
 	return f, nil
@@ -157,20 +209,31 @@ func DecodeFrameBody(body []byte) (Frame, error) {
 // steady-state decoding allocation-free for a reused *Frame. Callers that
 // retain values past the buffer's lifetime must copy them (Clone).
 func (f *Frame) DecodeFrom(body []byte) error {
-	return f.decodeFrom(body, true)
+	return f.decodeFrom(body, valueAlias)
 }
 
-func (f *Frame) decodeFrom(body []byte, alias bool) error {
+func (f *Frame) decodeFrom(body []byte, mode valueMode) error {
 	if len(body) < 1 {
 		f.resetDecode()
 		return fmt.Errorf("%w: empty body", ErrCorruptFrame)
 	}
 	count := body[0]
+	f.Lane = 0
+	rest := body[1:]
+	if count&frameV2Bit != 0 {
+		if len(rest) < 1 {
+			f.resetDecode()
+			return fmt.Errorf("%w: v2 header without lane byte", ErrCorruptFrame)
+		}
+		count &^= frameV2Bit
+		f.Lane = rest[0]
+		rest = rest[1:]
+	}
 	if count != 1 && count != 2 {
 		f.resetDecode()
 		return fmt.Errorf("%w: envelope count %d", ErrCorruptFrame, count)
 	}
-	rest, err := decodeEnvelopeInto(&f.Env, body[1:], alias)
+	rest, err := decodeEnvelopeInto(&f.Env, rest, mode)
 	if err != nil {
 		f.resetDecode()
 		return err
@@ -180,7 +243,7 @@ func (f *Frame) decodeFrom(body []byte, alias bool) error {
 		if pb == nil {
 			pb = new(Envelope)
 		}
-		rest, err = decodeEnvelopeInto(pb, rest, alias)
+		rest, err = decodeEnvelopeInto(pb, rest, mode)
 		if err != nil {
 			f.resetDecode()
 			return err
@@ -203,6 +266,7 @@ func (f *Frame) decodeFrom(body []byte, alias bool) error {
 func (f *Frame) resetDecode() {
 	f.Env = Envelope{}
 	f.Piggyback = nil
+	f.Lane = 0
 }
 
 // bufPool holds encode/decode scratch buffers shared by the transports.
@@ -234,6 +298,21 @@ func PutBuffer(b *[]byte) {
 		return
 	}
 	bufPool.Put(b)
+}
+
+// PutValue returns a pool-owned value slice (a decoded envelope value
+// produced by the valuePooled mode) to the shared pool. The caller must
+// hold the only remaining reference: a buffer recycled while aliased
+// elsewhere corrupts whoever still reads it. Unlike the value-sized
+// allocation it replaces, the re-boxing here costs one slice header;
+// values that are never retired (installed register values, values
+// handed to applications) simply fall to the GC, which is always safe.
+func PutValue(v []byte) {
+	if cap(v) == 0 || cap(v) > maxPooledBuffer {
+		return
+	}
+	b := v[:0:cap(v)]
+	bufPool.Put(&b)
 }
 
 // Writer serializes frames onto an io.Writer with length-prefixed framing.
@@ -270,9 +349,16 @@ func (fw *Writer) WriteFrame(f *Frame) error {
 // from the shared pool; call Close when done with the Reader to return
 // it (decoded frames own their memory, so they outlive the Reader).
 type Reader struct {
-	r   *bufio.Reader
-	buf *[]byte
+	r      *bufio.Reader
+	buf    *[]byte
+	pooled bool
 }
+
+// PoolValues switches the Reader to hand decoded values out in pooled
+// owned buffers (DecodeFrameBodyPooled) instead of fresh allocations.
+// The frames' envelopes then carry FlagPooledValue; see PutValue for the
+// ownership contract.
+func (fr *Reader) PoolValues() { fr.pooled = true }
 
 // NewReader returns a Reader consuming frames from r.
 func NewReader(r io.Reader) *Reader {
@@ -317,6 +403,9 @@ func (fr *Reader) ReadFrame() (Frame, error) {
 	body := (*fr.buf)[:n]
 	if _, err := io.ReadFull(fr.r, body); err != nil {
 		return Frame{}, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	if fr.pooled {
+		return DecodeFrameBodyPooled(body)
 	}
 	return DecodeFrameBody(body)
 }

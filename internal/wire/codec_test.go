@@ -182,8 +182,13 @@ func TestDecodeFrameBodyCorruption(t *testing.T) {
 	})
 	t.Run("bad kind", func(t *testing.T) {
 		bad := append([]byte(nil), body...)
-		bad[1] = 200
+		bad[2] = 200 // first envelope's kind byte (after count and lane)
 		if _, err := DecodeFrameBody(bad); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("v2 header without lane byte", func(t *testing.T) {
+		if _, err := DecodeFrameBody([]byte{1 | frameV2Bit}); !errors.Is(err, ErrCorruptFrame) {
 			t.Fatalf("err = %v", err)
 		}
 	})
@@ -198,6 +203,108 @@ func TestDecodeFrameBodyCorruption(t *testing.T) {
 			t.Fatalf("err = %v", err)
 		}
 	})
+}
+
+// TestLaneRoundTrip pins the v2 header: the lane survives the round trip
+// on both decode paths, for single and piggybacked frames.
+func TestLaneRoundTrip(t *testing.T) {
+	pb := Envelope{Kind: KindWrite, Origin: 2, Tag: tag.Tag{TS: 4, ID: 2}, Flags: FlagValueElided}
+	for _, f := range []Frame{
+		NewLaneFrame(Envelope{Kind: KindPreWrite, Origin: 3, Tag: tag.Tag{TS: 5, ID: 3}, Value: []byte("v")}, 7),
+		{Env: Envelope{Kind: KindPreWrite, Origin: 3, Tag: tag.Tag{TS: 5, ID: 3}, Value: []byte("v")}, Piggyback: &pb, Lane: 255},
+	} {
+		f := f
+		buf, err := AppendFrame(nil, &f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeFrameBody(buf[4:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Lane != f.Lane {
+			t.Fatalf("lane = %d, want %d", got.Lane, f.Lane)
+		}
+		var aliased Frame
+		if err := aliased.DecodeFrom(buf[4:]); err != nil {
+			t.Fatal(err)
+		}
+		if aliased.Lane != f.Lane {
+			t.Fatalf("aliased lane = %d, want %d", aliased.Lane, f.Lane)
+		}
+	}
+}
+
+// TestDecodeV1Header keeps the pre-lane wire format decodable: a body
+// whose count byte lacks the v2 bit (and has no lane byte) must decode
+// with lane 0.
+func TestDecodeV1Header(t *testing.T) {
+	f := NewLaneFrame(Envelope{Kind: KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 1, ID: 1}, Value: []byte("old")}, 9)
+	buf, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v2 header as v1: plain count, lane byte dropped.
+	body := buf[4:]
+	v1 := append([]byte{body[0] &^ frameV2Bit}, body[2:]...)
+	got, err := DecodeFrameBody(v1)
+	if err != nil {
+		t.Fatalf("v1 body rejected: %v", err)
+	}
+	if got.Lane != 0 {
+		t.Fatalf("v1 lane = %d, want 0", got.Lane)
+	}
+	if string(got.Env.Value) != "old" || got.Env.Tag != f.Env.Tag {
+		t.Fatalf("v1 decode mismatch: %+v", got.Env)
+	}
+}
+
+// TestPooledValueDecode pins the pooled inbound path: values come back
+// in marked pool-owned buffers, the mark never survives an encode, and a
+// wire frame claiming the flag cannot plant it.
+func TestPooledValueDecode(t *testing.T) {
+	f := NewFrame(Envelope{Kind: KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 1, ID: 1}, Value: []byte("payload")})
+	buf, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrameBodyPooled(buf[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Env.ValuePooled() {
+		t.Fatal("pooled decode did not mark the value")
+	}
+	if string(got.Env.Value) != "payload" {
+		t.Fatalf("value = %q", got.Env.Value)
+	}
+	// The mark must not reach the wire.
+	out, err := AppendFrame(nil, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := DecodeFrameBody(out[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Env.Flags&FlagPooledValue != 0 {
+		t.Fatal("FlagPooledValue leaked onto the wire")
+	}
+	// A frame with the flag bit set in its encoded flags byte must
+	// decode without the mark (the decoder owns pooling decisions).
+	evil := append([]byte(nil), buf[4:]...)
+	evil[3] |= FlagPooledValue // flags byte of the first envelope
+	dec, err := DecodeFrameBody(evil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Env.Flags&FlagPooledValue != 0 {
+		t.Fatal("decoder honored a wire-supplied pooled flag")
+	}
+	got.Env.RetireValue()
+	if got.Env.Value != nil || got.Env.ValuePooled() {
+		t.Fatal("RetireValue left a dangling reference")
+	}
 }
 
 func TestAppendToMatchesAppendFrame(t *testing.T) {

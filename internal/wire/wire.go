@@ -100,6 +100,15 @@ const (
 	// from the pre-write phase, so re-shipping it would halve the ring's
 	// usable bandwidth. Recovery and adoption writes never elide.
 	FlagValueElided uint8 = 1 << iota
+	// FlagPooledValue marks an envelope whose Value is backed by a
+	// buffer from this process's shared pool (GetBuffer). It is a local
+	// ownership mark, never part of the wire format: the encoder masks
+	// it out and the decoder clears it, setting it only when it copied
+	// the value into a pooled buffer itself. Whoever drops the last
+	// reference to a pooled value should return it with PutValue;
+	// failing to do so is safe (the buffer falls to the GC), returning a
+	// buffer that is still referenced elsewhere is not.
+	FlagPooledValue
 )
 
 // Envelope is one protocol message. Not every field is meaningful for
@@ -149,12 +158,30 @@ func (e *Envelope) Validate() error {
 }
 
 // Clone returns a deep copy of the envelope (the Value slice is copied).
+// The copy is not pool-owned, whatever the original was.
 func (e *Envelope) Clone() Envelope {
 	c := *e
+	c.Flags &^= FlagPooledValue
 	if e.Value != nil {
 		c.Value = append([]byte(nil), e.Value...)
 	}
 	return c
+}
+
+// ValuePooled reports whether the envelope carries a pool-owned value.
+func (e *Envelope) ValuePooled() bool {
+	return e.Flags&FlagPooledValue != 0 && len(e.Value) > 0
+}
+
+// RetireValue returns the envelope's pool-owned value buffer (if any) to
+// the shared pool and drops the reference. Callers invoke it only when
+// the envelope's value was never handed to anyone else.
+func (e *Envelope) RetireValue() {
+	if e.ValuePooled() {
+		PutValue(e.Value)
+	}
+	e.Value = nil
+	e.Flags &^= FlagPooledValue
 }
 
 // IsRing reports whether the envelope travels server-to-server along the
@@ -176,12 +203,24 @@ func (e *Envelope) String() string {
 type Frame struct {
 	// Env is the primary envelope; always present.
 	Env Envelope
-	// Piggyback is an optional second ring envelope.
+	// Piggyback is an optional second ring envelope. It always belongs
+	// to the same lane as Env (a lane only piggybacks its own queue).
 	Piggyback *Envelope
+	// Lane is the ring lane the frame belongs to (hash(ObjectID) mod the
+	// lane count, identical on every server of a cluster). Servers use
+	// it to demultiplex inbound ring traffic to the owning lane without
+	// touching the envelopes. Client-originated frames leave it zero;
+	// servers route those by object hash instead.
+	Lane uint8
 }
 
 // NewFrame wraps a single envelope in a frame.
 func NewFrame(env Envelope) Frame { return Frame{Env: env} }
+
+// NewLaneFrame wraps a single envelope in a frame tagged with a lane.
+func NewLaneFrame(env Envelope, lane uint8) Frame {
+	return Frame{Env: env, Lane: lane}
+}
 
 // Envelopes returns the envelopes carried by the frame, primary first.
 func (f *Frame) Envelopes() []Envelope {
