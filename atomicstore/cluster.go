@@ -1,0 +1,174 @@
+package atomicstore
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// coreConfig maps the façade options onto a server configuration.
+func (c config) coreConfig(id ServerID, members []ServerID) core.Config {
+	return core.Config{
+		ID:                  id,
+		Members:             members,
+		WriteLanes:          c.lanes,
+		ReadConcurrency:     c.readConcurrency,
+		ObjectShards:        c.objectShards,
+		DisablePiggyback:    c.noPiggyback,
+		DisableValueElision: c.noElision,
+		DisableFairness:     c.noFairness,
+		Logger:              c.logger,
+	}
+}
+
+// clientOptions maps the façade options onto client options.
+func (c config) clientOptions(members []ServerID) client.Options {
+	opts := client.Options{
+		Servers:        members,
+		AttemptTimeout: c.attemptTimeout,
+		MaxAttempts:    c.maxAttempts,
+	}
+	if c.pinned != 0 {
+		opts.Servers = []ServerID{c.pinned}
+		opts.Policy = client.PolicyPinned
+	}
+	return opts
+}
+
+// clientHello is the session HELLO a client asserts: lane-unaware
+// (clients never originate ring frames) but committed to the ring
+// membership, so a client configured against the wrong cluster is
+// rejected at connect time.
+func clientHello(id ServerID, members []ServerID) wire.Hello {
+	return wire.Hello{
+		Version:        wire.HelloVersion,
+		From:           id,
+		Link:           wire.LinkGeneral,
+		MembershipHash: wire.MembershipHash(members),
+	}
+}
+
+// Cluster is an n-server ring running in-process over the in-memory
+// transport, plus the factory for clients attached to it.
+type Cluster struct {
+	cfg     config
+	net     *transport.MemNetwork
+	members []ServerID
+
+	mu      sync.Mutex
+	servers map[ServerID]*core.Server
+	eps     map[ServerID]*transport.MemEndpoint
+	nextCl  ServerID
+	closed  bool
+}
+
+// StartCluster starts an in-process ring of n servers (ids 1..n) and
+// returns the running cluster. Servers communicate over an in-memory
+// network with session validation and per-lane links, mirroring the
+// TCP deployment's structure without sockets.
+func StartCluster(n int, opts ...Option) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("atomicstore: cluster size %d", n)
+	}
+	cfg := buildConfig(config{}, opts)
+	c := &Cluster{
+		cfg:     cfg,
+		net:     transport.NewMemNetwork(transport.MemNetworkOptions{}),
+		servers: make(map[ServerID]*core.Server, n),
+		eps:     make(map[ServerID]*transport.MemEndpoint, n),
+		nextCl:  10000,
+	}
+	for i := 1; i <= n; i++ {
+		c.members = append(c.members, ServerID(i))
+	}
+	for _, id := range c.members {
+		coreCfg := cfg.coreConfig(id, c.members)
+		hello := coreCfg.SessionHello()
+		ep, err := c.net.RegisterSession(hello)
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		srv, err := core.NewServer(coreCfg, ep)
+		if err != nil {
+			_ = ep.Close()
+			_ = c.Close()
+			return nil, err
+		}
+		srv.Start()
+		c.servers[id] = srv
+		c.eps[id] = ep
+	}
+	return c, nil
+}
+
+// Members returns the ring membership in ring order.
+func (c *Cluster) Members() []ServerID {
+	return append([]ServerID(nil), c.members...)
+}
+
+// Client attaches a new client to the cluster. Options extend (and
+// override) the ones the cluster was started with — typically
+// WithPinnedServer or WithAttemptTimeout.
+func (c *Cluster) Client(opts ...Option) (*Client, error) {
+	cfg := buildConfig(c.cfg, opts)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("atomicstore: cluster closed")
+	}
+	id := cfg.clientID
+	if id == 0 {
+		c.nextCl++
+		id = c.nextCl
+	}
+	c.mu.Unlock()
+	ep, err := c.net.RegisterSession(clientHello(id, c.members))
+	if err != nil {
+		return nil, err
+	}
+	cl, err := client.New(ep, cfg.clientOptions(c.members))
+	if err != nil {
+		_ = ep.Close()
+		return nil, err
+	}
+	return &Client{cl: cl, ep: ep}, nil
+}
+
+// Crash kills one server abruptly: its endpoint stops delivering and
+// every other process observes the failure through the perfect failure
+// detector, exercising the ring's splice-and-recover path.
+func (c *Cluster) Crash(id ServerID) {
+	c.mu.Lock()
+	srv := c.servers[id]
+	ep := c.eps[id]
+	delete(c.servers, id)
+	delete(c.eps, id)
+	c.mu.Unlock()
+	if srv == nil {
+		return
+	}
+	c.net.Crash(id)
+	srv.Stop()
+	_ = ep.Close()
+}
+
+// Close stops every remaining server.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	servers := c.servers
+	eps := c.eps
+	c.servers = map[ServerID]*core.Server{}
+	c.eps = map[ServerID]*transport.MemEndpoint{}
+	c.mu.Unlock()
+	for id, srv := range servers {
+		srv.Stop()
+		_ = eps[id].Close()
+	}
+	return nil
+}

@@ -343,6 +343,28 @@ func BenchmarkTCPEcho(b *testing.B) {
 	}
 }
 
+// BenchmarkTCPEchoBatchSweep sweeps the coalescing writer's two knobs —
+// MaxBatchBytes and FlushInterval — around the defaults, re-tuned for
+// the per-lane-connection era (each lane now owns a socket, so batches
+// form per lane). Run with a fixed count, e.g. -benchtime 40000x;
+// EXPERIMENTS.md records the sweep behind the current defaults.
+func BenchmarkTCPEchoBatchSweep(b *testing.B) {
+	for _, batch := range []int{16 << 10, 32 << 10, 64 << 10, 128 << 10} {
+		for _, flush := range []time.Duration{0, 100 * time.Microsecond} {
+			b.Run(fmt.Sprintf("batch=%dKiB/flush=%s", batch>>10, flush), func(b *testing.B) {
+				rate, err := bench.TCPEchoThroughput(tcpnet.Options{
+					MaxBatchBytes: batch, FlushInterval: flush,
+				}, b.N, 256)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(256)
+				b.ReportMetric(rate, "msgs/s")
+			})
+		}
+	}
+}
+
 // BenchmarkMultiObjectThroughput measures aggregate multi-object
 // read/write throughput on the real implementation, sharded read path
 // versus the inline baseline.

@@ -1,7 +1,9 @@
 // Command atomicstore-server runs one storage server of the ring over
 // real TCP. Every server must be started with the same -servers list (the
-// ring order); each serves clients on its own address and holds a
-// connection to its ring successor.
+// ring order); each serves clients on its own address and holds session
+// connections to its ring successor (one per write lane). Peers whose
+// wire version, lane fanout, or membership disagree are rejected at
+// handshake time.
 //
 // Example — a three-server ring on one machine:
 //
@@ -11,15 +13,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/tcpnet"
+	"repro/atomicstore"
 	"repro/internal/wire"
 )
 
@@ -38,19 +41,16 @@ func run() error {
 		noPiggy     = flag.Bool("no-piggyback", false, "disable write/pre-write piggybacking (ablation)")
 		noElide     = flag.Bool("no-elision", false, "ship full values in write-phase messages (ablation)")
 		noFair      = flag.Bool("no-fairness", false, "FIFO forwarding instead of the nb_msg rule (ablation)")
-		lanes       = flag.Int("lanes", 0, "ring write lanes (hash(object) mod lanes; must match on every server; 0 = default, negative = 1)")
+		lanes       = flag.Int("lanes", 0, "ring write lanes (hash(object) mod lanes; validated against peers at handshake; 0 = default, negative = 1)")
+		legacy      = flag.Bool("legacy-peers", false, "accept v2-era peers that connect without a session handshake")
 	)
 	flag.Parse()
 
-	members, book, err := parseServers(*serversFlag)
+	ring, err := atomicstore.ParseRing(*serversFlag)
 	if err != nil {
 		return err
 	}
-	self := wire.ProcessID(*id)
-	addr, ok := book[self]
-	if !ok {
-		return fmt.Errorf("id %d not present in -servers", *id)
-	}
+	self := atomicstore.ServerID(*id)
 
 	level := slog.LevelWarn
 	if *verbose {
@@ -58,76 +58,71 @@ func run() error {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	ep, err := tcpnet.Listen(self, addr, book, tcpnet.Options{})
-	if err != nil {
-		return err
+	opts := []atomicstore.Option{
+		atomicstore.WithWriteLanes(*lanes),
+		atomicstore.WithLogger(logger),
 	}
-	defer func() { _ = ep.Close() }()
+	if *noPiggy {
+		opts = append(opts, atomicstore.WithoutPiggyback())
+	}
+	if *noElide {
+		opts = append(opts, atomicstore.WithoutValueElision())
+	}
+	if *noFair {
+		opts = append(opts, atomicstore.WithoutFairness())
+	}
+	if *legacy {
+		opts = append(opts, atomicstore.WithLegacyPeers())
+	}
 
-	srv, err := core.NewServer(core.Config{
-		ID:                  self,
-		Members:             members,
-		DisablePiggyback:    *noPiggy,
-		DisableValueElision: *noElide,
-		DisableFairness:     *noFair,
-		WriteLanes:          *lanes,
-		Logger:              logger,
-	}, ep)
+	srv, err := atomicstore.Join(self, ring, opts...)
 	if err != nil {
 		return err
 	}
-	srv.Start()
-	defer srv.Stop()
-	logger.Info("serving", "id", self, "addr", addr, "ring", members)
-	fmt.Printf("atomicstore-server %d listening on %s\n", self, addr)
+	defer func() { _ = srv.Close() }()
+	logger.Info("serving", "id", self, "addr", srv.Addr(), "ring", ring)
+	fmt.Printf("atomicstore-server %d listening on %s\n", self, srv.Addr())
+
+	// Validate the session with the ring successor in the background:
+	// a handshake rejection means the cluster is misconfigured (wrong
+	// -lanes or -servers on some host) and this process should die
+	// loudly rather than retry forever; mere unreachability is normal
+	// while the other hosts boot.
+	checkc := make(chan error, 1)
+	go func() {
+		for attempt := 1; ; attempt++ {
+			err := srv.CheckRing()
+			var herr *wire.HandshakeError
+			if errors.As(err, &herr) {
+				checkc <- err
+				return
+			}
+			if err == nil {
+				logger.Info("ring session validated with successor")
+				return
+			}
+			// Not the typed rejection, but persistent failure still
+			// deserves a visible diagnostic: it may be a legacy (v2)
+			// successor or a foreign service on the port, which close
+			// the connection without a classifiable reply. Warn on the
+			// first failure and periodically after, Debug in between.
+			if attempt == 1 || attempt%30 == 0 {
+				logger.Warn("cannot validate ring session with successor; still retrying",
+					"attempt", attempt, "err", err)
+			} else {
+				logger.Debug("successor not ready", "err", err)
+			}
+			time.Sleep(time.Second)
+		}
+	}()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	<-sigc
+	select {
+	case err := <-checkc:
+		return fmt.Errorf("ring misconfigured: %w", err)
+	case <-sigc:
+	}
 	fmt.Println("shutting down")
 	return nil
-}
-
-// parseServers parses "1=host:port,2=host:port" into ring order and an
-// address book.
-func parseServers(s string) ([]wire.ProcessID, tcpnet.AddressBook, error) {
-	if s == "" {
-		return nil, nil, fmt.Errorf("missing -servers")
-	}
-	book := make(tcpnet.AddressBook)
-	var members []wire.ProcessID
-	for _, part := range splitNonEmpty(s, ',') {
-		var id uint
-		var addr string
-		if _, err := fmt.Sscanf(part, "%d=%s", &id, &addr); err != nil {
-			return nil, nil, fmt.Errorf("bad server entry %q (want id=host:port)", part)
-		}
-		pid := wire.ProcessID(id)
-		if _, dup := book[pid]; dup {
-			return nil, nil, fmt.Errorf("duplicate server id %d", id)
-		}
-		book[pid] = addr
-		members = append(members, pid)
-	}
-	return members, book, nil
-}
-
-// splitNonEmpty splits on sep, dropping empty segments.
-func splitNonEmpty(s string, sep rune) []string {
-	var out []string
-	cur := ""
-	for _, r := range s {
-		if r == sep {
-			if cur != "" {
-				out = append(out, cur)
-			}
-			cur = ""
-			continue
-		}
-		cur += string(r)
-	}
-	if cur != "" {
-		out = append(out, cur)
-	}
-	return out
 }

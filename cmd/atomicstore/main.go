@@ -15,9 +15,7 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/client"
-	"repro/internal/tcpnet"
-	"repro/internal/wire"
+	"repro/atomicstore"
 	"repro/internal/workload"
 )
 
@@ -31,7 +29,7 @@ func main() {
 func run() error {
 	var (
 		serversFlag = flag.String("servers", "", "comma-separated id=host:port list")
-		clientID    = flag.Uint("client-id", 1000, "this client's process id (unique per client)")
+		clientID    = flag.Uint("client-id", 0, "this client's process id (0 = random; ids must be unique across clients)")
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-attempt timeout")
 	)
 	flag.Parse()
@@ -39,13 +37,15 @@ func run() error {
 		return fmt.Errorf("missing subcommand: write | read | load")
 	}
 
-	servers, book, err := parseServers(*serversFlag)
+	ring, err := atomicstore.ParseRing(*serversFlag)
 	if err != nil {
 		return err
 	}
-	ep := tcpnet.NewClient(wire.ProcessID(*clientID), book, tcpnet.Options{})
-	defer func() { _ = ep.Close() }()
-	cl, err := client.New(ep, client.Options{Servers: servers, AttemptTimeout: *timeout})
+	opts := []atomicstore.Option{atomicstore.WithAttemptTimeout(*timeout)}
+	if *clientID != 0 {
+		opts = append(opts, atomicstore.WithClientID(atomicstore.ServerID(*clientID)))
+	}
+	cl, err := atomicstore.Dial(ring, opts...)
 	if err != nil {
 		return err
 	}
@@ -65,14 +65,14 @@ func run() error {
 }
 
 // doWrite performs one write.
-func doWrite(ctx context.Context, cl *client.Client, args []string) error {
+func doWrite(ctx context.Context, cl *atomicstore.Client, args []string) error {
 	fs := flag.NewFlagSet("write", flag.ContinueOnError)
 	object := fs.Uint("object", 0, "register object id")
 	value := fs.String("value", "", "value to store")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	t, err := cl.Write(ctx, wire.ObjectID(*object), []byte(*value))
+	t, err := cl.Write(ctx, atomicstore.ObjectID(*object), []byte(*value))
 	if err != nil {
 		return err
 	}
@@ -81,13 +81,13 @@ func doWrite(ctx context.Context, cl *client.Client, args []string) error {
 }
 
 // doRead performs one read.
-func doRead(ctx context.Context, cl *client.Client, args []string) error {
+func doRead(ctx context.Context, cl *atomicstore.Client, args []string) error {
 	fs := flag.NewFlagSet("read", flag.ContinueOnError)
 	object := fs.Uint("object", 0, "register object id")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	v, t, err := cl.Read(ctx, wire.ObjectID(*object))
+	v, t, err := cl.Read(ctx, atomicstore.ObjectID(*object))
 	if err != nil {
 		return err
 	}
@@ -96,7 +96,7 @@ func doRead(ctx context.Context, cl *client.Client, args []string) error {
 }
 
 // doLoad generates closed-loop load and reports throughput and latency.
-func doLoad(ctx context.Context, cl *client.Client, args []string) error {
+func doLoad(ctx context.Context, cl *atomicstore.Client, args []string) error {
 	fs := flag.NewFlagSet("load", flag.ContinueOnError)
 	var (
 		readers  = fs.Int("readers", 2, "reader goroutine groups")
@@ -111,7 +111,7 @@ func doLoad(ctx context.Context, cl *client.Client, args []string) error {
 	}
 	cfg := workload.Config{
 		Concurrency: *conc,
-		Object:      wire.ObjectID(*object),
+		Object:      atomicstore.ObjectID(*object),
 		ValueBytes:  *bytes,
 		Duration:    *duration,
 	}
@@ -130,32 +130,4 @@ func doLoad(ctx context.Context, cl *client.Client, args []string) error {
 		fmt.Printf("errors: %d\n", res.Errors)
 	}
 	return nil
-}
-
-// parseServers parses "1=host:port,..." preserving ring order.
-func parseServers(s string) ([]wire.ProcessID, tcpnet.AddressBook, error) {
-	if s == "" {
-		return nil, nil, fmt.Errorf("missing -servers")
-	}
-	book := make(tcpnet.AddressBook)
-	var ids []wire.ProcessID
-	start := 0
-	for i := 0; i <= len(s); i++ {
-		if i != len(s) && s[i] != ',' {
-			continue
-		}
-		part := s[start:i]
-		start = i + 1
-		if part == "" {
-			continue
-		}
-		var id uint
-		var addr string
-		if _, err := fmt.Sscanf(part, "%d=%s", &id, &addr); err != nil {
-			return nil, nil, fmt.Errorf("bad server entry %q", part)
-		}
-		book[wire.ProcessID(id)] = addr
-		ids = append(ids, wire.ProcessID(id))
-	}
-	return ids, book, nil
 }

@@ -16,11 +16,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/atomicstore"
 	"repro/internal/checker"
-	"repro/internal/client"
-	"repro/internal/core"
-	"repro/internal/transport"
-	"repro/internal/wire"
 )
 
 func main() {
@@ -30,20 +27,12 @@ func main() {
 }
 
 func run() error {
-	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
-	members := []wire.ProcessID{1, 2, 3}
-	for _, id := range members {
-		ep, err := net.Register(id)
-		if err != nil {
-			return err
-		}
-		srv, err := core.NewServer(core.Config{ID: id, Members: members}, ep)
-		if err != nil {
-			return err
-		}
-		srv.Start()
-		defer srv.Stop()
+	cluster, err := atomicstore.StartCluster(3)
+	if err != nil {
+		return err
 	}
+	defer func() { _ = cluster.Close() }()
+	members := cluster.Members()
 
 	ctx := context.Background()
 	const objects, writersPer, readersPer, opsPer = 4, 2, 2, 30
@@ -65,19 +54,12 @@ func run() error {
 		r.ops = append(r.ops, op)
 		r.mu.Unlock()
 	}
-	nextID := wire.ProcessID(1000)
-	newClient := func(pinned wire.ProcessID) (*client.Client, error) {
-		nextID++
-		ep, err := net.Register(nextID)
-		if err != nil {
-			return nil, err
-		}
-		opts := client.Options{Servers: members, AttemptTimeout: 5 * time.Second}
+	newClient := func(pinned atomicstore.ServerID) (*atomicstore.Client, error) {
+		opts := []atomicstore.Option{atomicstore.WithAttemptTimeout(5 * time.Second)}
 		if pinned != 0 {
-			opts.Servers = []wire.ProcessID{pinned}
-			opts.Policy = client.PolicyPinned
+			opts = append(opts, atomicstore.WithPinnedServer(pinned))
 		}
-		return client.New(ep, opts)
+		return cluster.Client(opts...)
 	}
 
 	var wg sync.WaitGroup
@@ -97,7 +79,7 @@ func run() error {
 				for i := 0; i < opsPer; i++ {
 					v := fmt.Sprintf("o%d-w%d-%d", obj, w, i)
 					s := time.Now().UnixNano()
-					t, err := cl.Write(ctx, wire.ObjectID(obj), []byte(v))
+					t, err := cl.Write(ctx, atomicstore.ObjectID(obj), []byte(v))
 					if err != nil {
 						log.Printf("write error: %v", err)
 						return
@@ -122,7 +104,7 @@ func run() error {
 				defer func() { _ = cl.Close() }()
 				for i := 0; i < opsPer; i++ {
 					s := time.Now().UnixNano()
-					v, t, err := cl.Read(ctx, wire.ObjectID(obj))
+					v, t, err := cl.Read(ctx, atomicstore.ObjectID(obj))
 					if err != nil {
 						log.Printf("read error: %v", err)
 						return

@@ -12,10 +12,7 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/client"
-	"repro/internal/core"
-	"repro/internal/transport"
-	"repro/internal/wire"
+	"repro/atomicstore"
 )
 
 func main() {
@@ -25,38 +22,13 @@ func main() {
 }
 
 func run() error {
-	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
-	members := []wire.ProcessID{1, 2, 3, 4}
-	servers := make(map[wire.ProcessID]*core.Server)
-	endpoints := make(map[wire.ProcessID]*transport.MemEndpoint)
-	for _, id := range members {
-		ep, err := net.Register(id)
-		if err != nil {
-			return err
-		}
-		srv, err := core.NewServer(core.Config{ID: id, Members: members}, ep)
-		if err != nil {
-			return err
-		}
-		srv.Start()
-		servers[id] = srv
-		endpoints[id] = ep
-	}
-	defer func() {
-		for id, srv := range servers {
-			srv.Stop()
-			_ = endpoints[id].Close()
-		}
-	}()
-
-	ep, err := net.Register(100)
+	cluster, err := atomicstore.StartCluster(4)
 	if err != nil {
 		return err
 	}
-	cl, err := client.New(ep, client.Options{
-		Servers:        members,
-		AttemptTimeout: 500 * time.Millisecond,
-	})
+	defer func() { _ = cluster.Close() }()
+
+	cl, err := cluster.Client(atomicstore.WithAttemptTimeout(500 * time.Millisecond))
 	if err != nil {
 		return err
 	}
@@ -91,15 +63,9 @@ func run() error {
 		return err
 	}
 
-	for i, victim := range []wire.ProcessID{2, 4, 1} {
+	for i, victim := range []atomicstore.ServerID{2, 4, 1} {
 		fmt.Printf("crashing server %d...\n", victim)
-		srv := servers[victim]
-		delete(servers, victim)
-		epv := endpoints[victim]
-		delete(endpoints, victim)
-		net.Crash(victim)
-		srv.Stop()
-		_ = epv.Close()
+		cluster.Crash(victim)
 
 		v := fmt.Sprintf("epoch-%d", i+1)
 		if err := write(v); err != nil {

@@ -11,11 +11,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/client"
-	"repro/internal/core"
-	"repro/internal/store"
-	"repro/internal/transport"
-	"repro/internal/wire"
+	"repro/atomicstore"
 )
 
 func main() {
@@ -25,53 +21,63 @@ func main() {
 }
 
 func run() error {
-	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
-	members := []wire.ProcessID{1, 2, 3, 4}
-	for _, id := range members {
-		ep, err := net.Register(id)
-		if err != nil {
-			return err
-		}
-		srv, err := core.NewServer(core.Config{ID: id, Members: members}, ep)
-		if err != nil {
-			return err
-		}
-		srv.Start()
-		defer srv.Stop()
+	cluster, err := atomicstore.StartCluster(4)
+	if err != nil {
+		return err
 	}
+	defer func() { _ = cluster.Close() }()
 
-	newKV := func(clientID wire.ProcessID) (*store.KV, error) {
-		ep, err := net.Register(clientID)
+	// 64 register shards spread keys across objects; each worker gets
+	// its own client (and thus its own process id on the network).
+	newKV := func() (*atomicstore.KV, *atomicstore.Client, error) {
+		cl, err := cluster.Client(atomicstore.WithAttemptTimeout(5 * time.Second))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		cl, err := client.New(ep, client.Options{Servers: members, AttemptTimeout: 5 * time.Second})
+		kv, err := cl.KV(64)
 		if err != nil {
-			return nil, err
+			_ = cl.Close()
+			return nil, nil, err
 		}
-		// 64 register shards spread keys across objects.
-		return store.New(cl, 64)
+		return kv, cl, nil
 	}
 
 	ctx := context.Background()
 
-	// Concurrent writers on disjoint key sets.
-	const writers, keysPer = 4, 25
-	var wg sync.WaitGroup
-	errs := make(chan error, writers)
-	for w := 0; w < writers; w++ {
-		w := w
-		kv, err := newKV(wire.ProcessID(1000 + w))
+	// Concurrent writers on disjoint *register* sets: a Put is a
+	// read-modify-write of its key's register, atomic only per
+	// register, so each writer owns the registers whose index is
+	// congruent to it — never racing another writer's read-modify-write
+	// (keys alone being disjoint is not enough).
+	const writers, keys = 4, 100
+	allKeys := make([]string, keys)
+	keysOf := make([][]string, writers)
+	{
+		kv, cl, err := newKV()
 		if err != nil {
 			return err
 		}
+		for i := range allKeys {
+			allKeys[i] = fmt.Sprintf("user:%d", i)
+			w := int(kv.ObjectOf(allKeys[i])) % writers
+			keysOf[w] = append(keysOf[w], allKeys[i])
+		}
+		_ = cl.Close()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		mine := keysOf[w]
+		kv, cl, err := newKV()
+		if err != nil {
+			return err
+		}
+		defer func() { _ = cl.Close() }()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := 0; i < keysPer; i++ {
-				key := fmt.Sprintf("user:%d:%d", w, i)
-				val := fmt.Sprintf("profile-%d-%d", w, i)
-				if _, err := kv.Put(ctx, key, []byte(val)); err != nil {
+			for _, key := range mine {
+				if _, err := kv.Put(ctx, key, []byte("profile-"+key)); err != nil {
 					errs <- fmt.Errorf("put %s: %w", key, err)
 					return
 				}
@@ -88,32 +94,30 @@ func run() error {
 	}
 
 	// A fresh reader sees everything.
-	kv, err := newKV(2000)
+	kv, cl, err := newKV()
 	if err != nil {
 		return err
 	}
+	defer func() { _ = cl.Close() }()
 	total := 0
-	for w := 0; w < writers; w++ {
-		for i := 0; i < keysPer; i++ {
-			key := fmt.Sprintf("user:%d:%d", w, i)
-			v, err := kv.Get(ctx, key)
-			if err != nil {
-				return fmt.Errorf("get %s: %w", key, err)
-			}
-			if string(v) != fmt.Sprintf("profile-%d-%d", w, i) {
-				return fmt.Errorf("key %s holds %q", key, v)
-			}
-			total++
+	for _, key := range allKeys {
+		v, err := kv.Get(ctx, key)
+		if err != nil {
+			return fmt.Errorf("get %s: %w", key, err)
 		}
+		if string(v) != "profile-"+key {
+			return fmt.Errorf("key %s holds %q", key, v)
+		}
+		total++
 	}
 	fmt.Printf("stored and verified %d keys across %d register shards on %d servers\n",
-		total, kv.Objects(), len(members))
+		total, kv.Objects(), len(cluster.Members()))
 
 	// Deletes work too.
-	if err := kv.Delete(ctx, "user:0:0"); err != nil {
+	if err := kv.Delete(ctx, allKeys[0]); err != nil {
 		return err
 	}
-	if _, err := kv.Get(ctx, "user:0:0"); err == nil {
+	if _, err := kv.Get(ctx, allKeys[0]); err == nil {
 		return fmt.Errorf("deleted key still present")
 	}
 	fmt.Println("delete verified")

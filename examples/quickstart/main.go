@@ -9,10 +9,7 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/client"
-	"repro/internal/core"
-	"repro/internal/transport"
-	"repro/internal/wire"
+	"repro/atomicstore"
 )
 
 func main() {
@@ -22,34 +19,32 @@ func main() {
 }
 
 func run() error {
-	// 1. An in-memory network and three storage servers in a ring.
-	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
-	members := []wire.ProcessID{1, 2, 3}
-	var servers []*core.Server
-	for _, id := range members {
-		ep, err := net.Register(id)
-		if err != nil {
-			return err
-		}
-		srv, err := core.NewServer(core.Config{ID: id, Members: members}, ep)
-		if err != nil {
-			return err
-		}
-		srv.Start()
-		defer srv.Stop()
-		servers = append(servers, srv)
-	}
-
-	// 2. A client that may contact any server.
-	ep, err := net.Register(100)
+	// 1. A three-server ring in one process. Every connection between
+	// the servers opens with the versioned session handshake, so a
+	// misconfigured member would be rejected here, not at runtime.
+	cluster, err := atomicstore.StartCluster(3)
 	if err != nil {
 		return err
 	}
-	cl, err := client.New(ep, client.Options{Servers: members, AttemptTimeout: 5 * time.Second})
+	defer func() { _ = cluster.Close() }()
+
+	// 2. One round-robin client for writes, plus one pinned client per
+	// server — each created once and reused for every read against
+	// that server.
+	cl, err := cluster.Client(atomicstore.WithAttemptTimeout(5 * time.Second))
 	if err != nil {
 		return err
 	}
 	defer func() { _ = cl.Close() }()
+	pinned := make(map[atomicstore.ServerID]*atomicstore.Client)
+	for _, id := range cluster.Members() {
+		p, err := cluster.Client(atomicstore.WithPinnedServer(id))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = p.Close() }()
+		pinned[id] = p
+	}
 
 	ctx := context.Background()
 
@@ -63,20 +58,8 @@ func run() error {
 
 	// 4. Read from each server individually: reads are local — one
 	// round trip, no inter-server traffic — yet always atomic.
-	for _, id := range members {
-		pinnedEP, err := net.Register(200 + id)
-		if err != nil {
-			return err
-		}
-		pinned, err := client.New(pinnedEP, client.Options{
-			Servers: []wire.ProcessID{id},
-			Policy:  client.PolicyPinned,
-		})
-		if err != nil {
-			return err
-		}
-		v, rt, err := pinned.Read(ctx, 0)
-		_ = pinned.Close()
+	for _, id := range cluster.Members() {
+		v, rt, err := pinned[id].Read(ctx, 0)
 		if err != nil {
 			return err
 		}

@@ -1,20 +1,18 @@
 // tcpcluster: the full system over real TCP sockets in one process —
-// three servers on loopback ports, a load-generating client, and a
-// mid-run crash. This is the same wiring as running cmd/atomicstore-server
-// on three machines.
+// three servers on loopback ports joined through the session handshake,
+// a load-generating client, and a mid-run crash. This is the same wiring
+// as running cmd/atomicstore-server on three machines.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"net"
 	"sync"
 	"time"
 
-	"repro/internal/client"
-	"repro/internal/core"
-	"repro/internal/tcpnet"
-	"repro/internal/wire"
+	"repro/atomicstore"
 	"repro/internal/workload"
 )
 
@@ -24,50 +22,53 @@ func main() {
 	}
 }
 
-func run() error {
-	members := []wire.ProcessID{1, 2, 3}
-
-	// Reserve loopback ports for the address book, then start every
-	// server with the complete book.
-	book := make(tcpnet.AddressBook)
-	for _, id := range members {
-		ep, err := tcpnet.Listen(id, "127.0.0.1:0", nil, tcpnet.Options{})
+// reserveRing binds n ephemeral loopback ports to build a complete ring
+// membership before any server starts (servers need the full ring to
+// dial their successors).
+func reserveRing(n int) ([]atomicstore.Member, error) {
+	var ring []atomicstore.Member
+	for i := 1; i <= n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return err
+			return nil, err
 		}
-		book[id] = ep.Addr()
-		_ = ep.Close()
+		addr := l.Addr().String()
+		_ = l.Close()
+		ring = append(ring, atomicstore.Member{ID: atomicstore.ServerID(i), Addr: addr})
 	}
-	servers := make(map[wire.ProcessID]*core.Server)
-	endpoints := make(map[wire.ProcessID]*tcpnet.Endpoint)
-	for _, id := range members {
-		ep, err := tcpnet.Listen(id, book[id], book, tcpnet.Options{})
+	return ring, nil
+}
+
+func run() error {
+	ring, err := reserveRing(3)
+	if err != nil {
+		return err
+	}
+	servers := make(map[atomicstore.ServerID]*atomicstore.Server)
+	for _, m := range ring {
+		srv, err := atomicstore.Join(m.ID, ring)
 		if err != nil {
 			return err
 		}
-		srv, err := core.NewServer(core.Config{ID: id, Members: members}, ep)
-		if err != nil {
-			return err
-		}
-		srv.Start()
-		servers[id] = srv
-		endpoints[id] = ep
-		fmt.Printf("server %d on %s\n", id, book[id])
+		servers[m.ID] = srv
+		fmt.Printf("server %d on %s\n", m.ID, srv.Addr())
 	}
 	defer func() {
-		for id, srv := range servers {
-			srv.Stop()
-			_ = endpoints[id].Close()
+		for _, srv := range servers {
+			_ = srv.Close()
 		}
 	}()
 
-	newClient := func(id wire.ProcessID) (*client.Client, error) {
-		ep := tcpnet.NewClient(id, book, tcpnet.Options{})
-		return client.New(ep, client.Options{Servers: members, AttemptTimeout: time.Second})
+	nextClient := atomicstore.ServerID(100)
+	newClient := func() (*atomicstore.Client, error) {
+		nextClient++
+		return atomicstore.Dial(ring,
+			atomicstore.WithClientID(nextClient),
+			atomicstore.WithAttemptTimeout(time.Second))
 	}
 
 	ctx := context.Background()
-	cl, err := newClient(100)
+	cl, err := newClient()
 	if err != nil {
 		return err
 	}
@@ -83,10 +84,10 @@ func run() error {
 	}
 	fmt.Printf("read %q at tag %s over TCP\n", v, t)
 
-	// A short measured load burst per object: the server's write path
-	// is sharded into per-object ring lanes, so objects on different
-	// lanes complete writes independently — visible as per-object rates
-	// that do not collapse as objects are added.
+	// A short measured load burst per object: each ring lane owns its
+	// own successor connection, so objects on different lanes complete
+	// writes independently — visible as per-object rates that do not
+	// collapse as objects are added.
 	const loadObjects = 4
 	fmt.Printf("load burst: %d objects, 1 writer + 1 reader each, 1s\n", loadObjects)
 	var (
@@ -95,7 +96,7 @@ func run() error {
 	)
 	for obj := 0; obj < loadObjects; obj++ {
 		obj := obj
-		lg, err := newClient(wire.ProcessID(101 + obj))
+		lg, err := newClient()
 		if err != nil {
 			return err
 		}
@@ -107,7 +108,7 @@ func run() error {
 				Readers:     []workload.Storage{lg},
 				Writers:     []workload.Storage{lg},
 				Concurrency: 2,
-				Object:      wire.ObjectID(obj),
+				Object:      atomicstore.ObjectID(obj),
 				ValueBytes:  1024,
 				Duration:    time.Second,
 			})
@@ -125,10 +126,8 @@ func run() error {
 
 	// Crash server 2 (close its sockets); the ring splices over TCP.
 	fmt.Println("crashing server 2")
-	servers[2].Stop()
-	_ = endpoints[2].Close()
+	_ = servers[2].Close()
 	delete(servers, 2)
-	delete(endpoints, 2)
 
 	deadline := time.Now().Add(15 * time.Second)
 	for {

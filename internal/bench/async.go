@@ -35,13 +35,13 @@ func NewAsyncCluster(n int, mod func(*core.Config)) (*AsyncCluster, error) {
 		c.Members = append(c.Members, wire.ProcessID(i))
 	}
 	for _, id := range c.Members {
-		ep, err := c.Net.Register(id)
-		if err != nil {
-			return nil, err
-		}
 		cfg := core.Config{ID: id, Members: c.Members}
 		if mod != nil {
 			mod(&cfg)
+		}
+		ep, err := c.Net.RegisterSession(cfg.SessionHello())
+		if err != nil {
+			return nil, err
 		}
 		srv, err := core.NewServer(cfg, ep)
 		if err != nil {
@@ -65,7 +65,12 @@ func (c *AsyncCluster) Close() {
 // NewClient attaches a storage client; pinned != 0 pins it to one server.
 func (c *AsyncCluster) NewClient(pinned wire.ProcessID) (*client.Client, error) {
 	c.nextClient++
-	ep, err := c.Net.Register(c.nextClient)
+	ep, err := c.Net.RegisterSession(wire.Hello{
+		Version:        wire.HelloVersion,
+		From:           c.nextClient,
+		Link:           wire.LinkGeneral,
+		MembershipHash: wire.MembershipHash(c.Members),
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -124,6 +124,10 @@ func (c *Config) writeLanes() int {
 	return c.WriteLanes
 }
 
+// Validate checks the configuration without building a server, so
+// callers can fail before acquiring resources (listeners, endpoints).
+func (c *Config) Validate() error { return c.validate() }
+
 // validate checks the configuration.
 func (c *Config) validate() error {
 	if len(c.Members) == 0 {
@@ -138,6 +142,22 @@ func (c *Config) validate() error {
 		}
 	}
 	return errNotMember
+}
+
+// SessionHello returns the HELLO this server asserts when opening or
+// accepting session connections: its wire version, resolved lane
+// fanout, ring-membership hash, and capabilities. Endpoints built from
+// it reject peers with a different WriteLanes or membership at
+// handshake time instead of misrouting ring frames at runtime.
+func (c *Config) SessionHello() wire.Hello {
+	return wire.Hello{
+		Version:        wire.HelloVersion,
+		From:           c.ID,
+		Lanes:          uint16(c.writeLanes()),
+		Link:           wire.LinkGeneral,
+		MembershipHash: wire.MembershipHash(c.Members),
+		Capabilities:   wire.CapLaneLinks,
+	}
 }
 
 // logger returns the configured logger or a discarding one.

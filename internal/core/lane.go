@@ -82,16 +82,26 @@ func (ln *lane) loop() {
 	}
 }
 
-// senderLoop drains the lane's outbound channel onto the transport. A
-// send failure is logged and dropped: the failure detector will report
-// the peer and recovery retransmits whatever mattered.
+// senderLoop drains the lane's outbound channel onto the transport,
+// using the lane's dedicated link when the endpoint maintains per-lane
+// links (transport.LaneSender) so lanes never head-of-line-block each
+// other on one shared successor connection. A send failure is logged
+// and dropped: the failure detector will report the peer and recovery
+// retransmits whatever mattered.
 func (ln *lane) senderLoop() {
 	s := ln.srv
 	defer s.wg.Done()
+	ls, _ := s.ep.(transport.LaneSender)
 	for {
 		select {
 		case of := <-ln.ringOut:
-			if err := s.ep.Send(of.to, of.f); err != nil {
+			var err error
+			if ls != nil {
+				err = ls.SendLane(of.to, ln.idx, of.f)
+			} else {
+				err = s.ep.Send(of.to, of.f)
+			}
+			if err != nil {
 				ln.log.Debug("ring send failed", "to", of.to, "err", err)
 			}
 		case <-s.stopc:

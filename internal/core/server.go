@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ring"
 	"repro/internal/shard"
@@ -110,6 +111,12 @@ type Server struct {
 	// inline by the owning lane, the pre-pool behavior.
 	readc chan readReq
 
+	// laneDrops counts inbound ring frames discarded because they named
+	// a lane this server does not have — a peer with a mismatched
+	// WriteLanes that slipped past the handshake (legacy link). Dropping
+	// beats the old behavior of silently misrouting them to lane 0.
+	laneDrops atomic.Uint64
+
 	stopOnce sync.Once
 	stopc    chan struct{}
 	wg       sync.WaitGroup
@@ -191,21 +198,43 @@ func (s *Server) laneFor(obj wire.ObjectID) int {
 	return int((h>>16 ^ h) % uint32(len(s.lanes)))
 }
 
-// route maps an inbound frame to its inbox index: ring data frames carry
-// their lane in the frame header, crash notices go to the control plane
-// (index len(lanes)), and client requests — whose senders do not know
-// the lane fanout — are routed by object hash. A piggybacked frame's two
+// route maps an inbound frame to its inbox index: ring data frames go
+// to the lane their link was pinned to at handshake time (the
+// negotiated lane map) — only frames from legacy, unpinned links fall
+// back to the lane byte in the frame header — crash notices go to the
+// control plane (index len(lanes)), and client requests — whose senders
+// do not know the lane fanout — are routed by object hash. A ring frame
+// naming a lane this server does not have is counted and dropped
+// (transport.RouteDrop): it can only come from a peer running a
+// different WriteLanes, and misrouting it to an arbitrary lane would
+// corrupt that lane's protocol state. A piggybacked frame's two
 // envelopes always share a lane, so routing by the primary is exact.
-func (s *Server) route(f *wire.Frame) int {
-	switch f.Env.Kind {
+func (s *Server) route(in *transport.Inbound) int {
+	switch in.Frame.Env.Kind {
 	case wire.KindPreWrite, wire.KindWrite:
-		return int(f.Lane) % len(s.lanes)
+		lane, pinned := in.NegotiatedLane()
+		if !pinned {
+			lane = int(in.Frame.Lane)
+		}
+		if lane >= len(s.lanes) {
+			if s.laneDrops.Add(1) == 1 {
+				s.log.Warn("dropping ring frame for unknown lane (peer WriteLanes mismatch?)",
+					"lane", lane, "lanes", len(s.lanes), "from", in.From)
+			}
+			return transport.RouteDrop
+		}
+		return lane
 	case wire.KindCrash:
 		return len(s.lanes)
 	default:
-		return s.laneFor(f.Env.Object)
+		return s.laneFor(in.Frame.Env.Object)
 	}
 }
+
+// LaneDrops returns the number of inbound ring frames dropped because
+// they named a lane outside this server's fanout (a diagnostic for
+// WriteLanes misconfiguration surviving on legacy links).
+func (s *Server) LaneDrops() uint64 { return s.laneDrops.Load() }
 
 // inboxAt returns the inbox channel for a route index.
 func (s *Server) inboxAt(i int) chan transport.Inbound {
@@ -253,8 +282,13 @@ func (s *Server) routerLoop() {
 	for {
 		select {
 		case in := <-s.ep.Inbox():
+			i := s.route(&in)
+			if i == transport.RouteDrop {
+				in.Frame.Retire()
+				continue
+			}
 			select {
-			case s.inboxAt(s.route(&in.Frame)) <- in:
+			case s.inboxAt(i) <- in:
 			case <-s.stopc:
 				return
 			}

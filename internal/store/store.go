@@ -44,6 +44,11 @@ func (kv *KV) objectFor(key string) wire.ObjectID {
 	return wire.ObjectID(h.Sum32() % kv.objects)
 }
 
+// ObjectOf exposes key placement: the register a key is stored in.
+// Callers that need write-write isolation (Puts are read-modify-writes,
+// atomic only per register) can partition writers by register using it.
+func (kv *KV) ObjectOf(key string) wire.ObjectID { return kv.objectFor(key) }
+
 // Objects returns the shard count.
 func (kv *KV) Objects() int { return int(kv.objects) }
 

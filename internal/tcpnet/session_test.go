@@ -1,0 +1,214 @@
+package tcpnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/tag"
+	"repro/internal/wire"
+)
+
+func sessionHello(id wire.ProcessID, lanes uint16, members []wire.ProcessID) *wire.Hello {
+	return &wire.Hello{
+		Version:        wire.HelloVersion,
+		From:           id,
+		Lanes:          lanes,
+		Link:           wire.LinkGeneral,
+		MembershipHash: wire.MembershipHash(members),
+		Capabilities:   wire.CapLaneLinks,
+	}
+}
+
+// listenPair binds endpoints 1 and 2 on ephemeral loopback ports with a
+// complete address book, each with its own Options (session or legacy).
+func listenPair(t *testing.T, oa, ob Options) (*Endpoint, *Endpoint) {
+	t.Helper()
+	book := make(AddressBook)
+	for _, id := range []wire.ProcessID{1, 2} {
+		ep, err := Listen(id, "127.0.0.1:0", nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		book[id] = ep.Addr()
+		_ = ep.Close()
+	}
+	a, err := Listen(1, book[1], book, oa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen(2, book[2], book, ob)
+	if err != nil {
+		_ = a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
+	return a, b
+}
+
+// TestTCPSessionMismatch pins the fail-fast contract over real TCP:
+// servers configured with different WriteLanes (or membership, or wire
+// version) are rejected during the HELLO exchange with a typed
+// *wire.HandshakeError, before a single frame flows.
+func TestTCPSessionMismatch(t *testing.T) {
+	members := []wire.ProcessID{1, 2}
+	for name, hb := range map[string]*wire.Hello{
+		"lanes":      sessionHello(2, 8, members),
+		"membership": sessionHello(2, 4, []wire.ProcessID{1, 2, 3}),
+		"version": func() *wire.Hello {
+			h := sessionHello(2, 4, members)
+			h.Version++
+			return h
+		}(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			a, b := listenPair(t,
+				Options{Hello: sessionHello(1, 4, members)},
+				Options{Hello: hb})
+			var herr *wire.HandshakeError
+			if err := a.Handshake(2); !errors.As(err, &herr) {
+				t.Fatalf("Handshake: got %v, want *wire.HandshakeError", err)
+			}
+			if err := a.Send(2, wire.NewFrame(wire.Envelope{Kind: wire.KindReadRequest, ReqID: 1})); !errors.As(err, &herr) {
+				t.Fatalf("Send: got %v, want *wire.HandshakeError", err)
+			}
+			select {
+			case in := <-b.Inbox():
+				t.Fatalf("frame leaked through an incompatible session: %+v", in)
+			case <-time.After(50 * time.Millisecond):
+			}
+		})
+	}
+}
+
+// TestTCPSessionLaneLinks verifies that matched session endpoints open
+// one connection per lane and that inbound frames carry the link's
+// negotiated lane, overriding the frame header for demultiplexing.
+func TestTCPSessionLaneLinks(t *testing.T) {
+	members := []wire.ProcessID{1, 2}
+	a, b := listenPair(t,
+		Options{Hello: sessionHello(1, 4, members)},
+		Options{Hello: sessionHello(2, 4, members)})
+	if err := a.Handshake(2); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	env := wire.Envelope{Kind: wire.KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 1, ID: 1}}
+	for lane := 0; lane < 4; lane++ {
+		if err := a.SendLane(2, lane, wire.NewLaneFrame(env, uint8(lane))); err != nil {
+			t.Fatalf("SendLane(%d): %v", lane, err)
+		}
+		in := recvOne(t, b)
+		if got, ok := in.NegotiatedLane(); !ok || got != lane {
+			t.Fatalf("lane %d delivered with negotiated lane (%d,%v)", lane, got, ok)
+		}
+	}
+	// The general link stays unpinned.
+	if err := a.Send(2, wire.NewFrame(wire.Envelope{Kind: wire.KindCrash, Origin: 9, Epoch: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if in := recvOne(t, b); in.LinkLane != 0 {
+		t.Fatalf("general-link frame delivered lane-pinned (%d)", in.LinkLane)
+	}
+	// Five distinct connections were opened: 4 lanes + general.
+	a.mu.Lock()
+	links := len(a.peers)
+	a.mu.Unlock()
+	if links != 5 {
+		t.Fatalf("%d cached links to peer, want 5 (4 lanes + general)", links)
+	}
+}
+
+// TestTCPSessionPeerIdentity verifies that the HELLO binds the link to
+// the dialed identity: an address-book entry pointing at the wrong
+// host is rejected instead of silently binding the link to the wrong
+// ring position.
+func TestTCPSessionPeerIdentity(t *testing.T) {
+	members := []wire.ProcessID{1, 2, 3}
+	h3 := sessionHello(3, 4, members)
+	ep3, err := Listen(3, "127.0.0.1:0", nil, Options{Hello: h3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ep3.Close() }()
+
+	// Endpoint 1's book claims server 2 lives at server 3's address.
+	book := AddressBook{2: ep3.Addr(), 3: ep3.Addr()}
+	ep1 := NewClient(1, book, Options{Hello: sessionHello(1, 4, members)})
+	defer func() { _ = ep1.Close() }()
+	err = ep1.Handshake(2)
+	if err == nil {
+		t.Fatal("handshake bound a link to the wrong peer identity")
+	}
+	var herr *wire.HandshakeError
+	if errors.As(err, &herr) {
+		t.Fatalf("misbinding reported as a compatibility mismatch: %v", err)
+	}
+	// The honest entry still works.
+	if err := ep1.Handshake(3); err != nil {
+		t.Fatalf("handshake with the correctly mapped peer: %v", err)
+	}
+}
+
+// TestTCPLaneUnawarePinRejected verifies the acceptor bounds a pinned
+// link by its own fanout: a peer that declares Lanes=0 (dodging the
+// lane-count check) cannot pin a link to a real lane's demux slot.
+func TestTCPLaneUnawarePinRejected(t *testing.T) {
+	members := []wire.ProcessID{1, 2}
+	rogue := sessionHello(2, 0, members) // lane-unaware, yet...
+	rogue.Capabilities = wire.CapLaneLinks
+	a, b := listenPair(t,
+		Options{Hello: sessionHello(1, 4, members)},
+		Options{Hello: rogue})
+	// ...SendLane makes b dial a link pinned to lane 2.
+	err := b.SendLane(1, 2, wire.NewFrame(wire.Envelope{Kind: wire.KindReadRequest, ReqID: 1}))
+	if err == nil {
+		t.Fatal("lane-pinned link from a Lanes=0 peer was accepted")
+	}
+	select {
+	case in := <-a.Inbox():
+		t.Fatalf("frame leaked over a rejected pin: %+v", in)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// The general link is unaffected.
+	if err := b.Send(1, wire.NewFrame(wire.Envelope{Kind: wire.KindReadRequest, ReqID: 2})); err != nil {
+		t.Fatalf("general link after rejected pin: %v", err)
+	}
+	if in := recvOne(t, a); in.LinkLane != 0 {
+		t.Fatalf("general-link frame arrived pinned: %+v", in)
+	}
+}
+
+// TestTCPLegacyPeer verifies the compatibility option: a v2-era
+// endpoint (no HELLO) is accepted by a session endpoint only behind
+// AllowLegacy, and its frames arrive unpinned.
+func TestTCPLegacyPeer(t *testing.T) {
+	members := []wire.ProcessID{1, 2}
+
+	t.Run("allowed", func(t *testing.T) {
+		a, b := listenPair(t,
+			Options{Hello: sessionHello(1, 4, members), AllowLegacy: true},
+			Options{})
+		if err := b.Send(1, wire.NewFrame(wire.Envelope{Kind: wire.KindReadRequest, ReqID: 7})); err != nil {
+			t.Fatalf("legacy send: %v", err)
+		}
+		in := recvOne(t, a)
+		if in.From != 2 || in.LinkLane != 0 {
+			t.Fatalf("legacy frame arrived as %+v", in)
+		}
+	})
+
+	t.Run("rejected", func(t *testing.T) {
+		a, b := listenPair(t,
+			Options{Hello: sessionHello(1, 4, members)},
+			Options{})
+		// The acceptor closes a legacy connection without a reply; the
+		// v2-era dialer only notices on the next write, so probe by
+		// sending and watching a's inbox stay empty.
+		_ = b.Send(1, wire.NewFrame(wire.Envelope{Kind: wire.KindReadRequest, ReqID: 8}))
+		select {
+		case in := <-a.Inbox():
+			t.Fatalf("legacy frame accepted without AllowLegacy: %+v", in)
+		case <-time.After(100 * time.Millisecond):
+		}
+	})
+}

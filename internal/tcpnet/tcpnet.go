@@ -1,8 +1,21 @@
 // Package tcpnet implements the transport.Endpoint abstraction over real
-// TCP connections, mirroring the paper's deployment: every server keeps a
-// TCP connection to its ring successor, clients connect to a server of
+// TCP connections, mirroring the paper's deployment: every server keeps
+// TCP connections to its ring successor, clients connect to a server of
 // their choice, and a broken connection is interpreted as a crash of the
 // peer (the perfect failure detector of the paper's cluster model).
+//
+// Connections open with a session handshake (DESIGN.md §8): endpoints
+// configured with a wire.Hello exchange versioned HELLOs carrying the
+// wire version, lane fanout, ring-membership hash, and capabilities,
+// and reject incompatible peers at connect time with a typed
+// *wire.HandshakeError. When both ends negotiate wire.CapLaneLinks,
+// each ring lane gets its own dedicated connection to the successor
+// (transport.LaneSender), pinned to its lane at handshake time, so
+// lanes stop head-of-line-blocking each other on one shared socket and
+// the receiver demultiplexes by negotiated lane instead of trusting the
+// frame header. Endpoints without a Hello speak the bare v2-era
+// preamble; session endpoints admit such legacy peers only behind
+// Options.AllowLegacy.
 //
 // Connections are created lazily on first send and cached. Each
 // connection has one reader and one writer goroutine; the bounded
@@ -36,12 +49,44 @@ import (
 	"repro/internal/wire"
 )
 
-// handshakeMagic prefixes every connection so that stray connections are
-// rejected early.
-const handshakeMagic = "ATS1"
+// Connection preambles. Stray connections are rejected on the first
+// four bytes.
+const (
+	// magicV2 is the v2-era preamble: magic + raw process id, no HELLO.
+	magicV2 = "ATS1"
+	// magicV3 opens a session handshake: magic + length-prefixed HELLO
+	// body, answered by a status byte + the acceptor's HELLO.
+	magicV3 = "ATS3"
+)
+
+// handshakeTimeout bounds each side's wait for the peer's handshake
+// bytes.
+const handshakeTimeout = 5 * time.Second
+
+// laneGeneral is the link lane of connections not pinned to a ring
+// lane: client connections, control traffic, and every connection of a
+// legacy or lane-unaware peer.
+const laneGeneral = -1
 
 // Options configure a TCP endpoint.
 type Options struct {
+	// Hello, when set, switches the endpoint to session mode: every
+	// dialed connection opens with this HELLO (its Link field rewritten
+	// per connection), accepted connections must present a compatible
+	// one, and mismatches fail with a typed *wire.HandshakeError. Nil
+	// keeps the v2-era preamble (no validation, no per-lane links).
+	Hello *wire.Hello
+	// AllowLegacy lets a session endpoint accept v2-era peers that
+	// present the bare preamble instead of a HELLO. Such peers bypass
+	// session validation — their lane fanout and membership cannot be
+	// checked — so inbound ring frames from them are routed by the
+	// frame header with the out-of-range guard as the only protection.
+	// The option is accept-side only: a session endpoint always dials
+	// with the v3 preamble, which a v2 acceptor rejects, so during a
+	// rolling upgrade a v3 server receives from a v2 predecessor but
+	// cannot send to a v2 successor — upgrade in reverse ring order,
+	// or restart the ring together.
+	AllowLegacy bool
 	// SendQueueCapacity bounds the per-peer outbound queue. Zero means 64.
 	SendQueueCapacity int
 	// InboxCapacity bounds the shared inbox. Zero means 256.
@@ -100,6 +145,13 @@ func (o Options) withDefaults() Options {
 // themselves opened.
 type AddressBook map[wire.ProcessID]string
 
+// linkKey identifies one logical link: a peer process and the ring lane
+// the connection is pinned to (laneGeneral when unpinned).
+type linkKey struct {
+	id   wire.ProcessID
+	lane int
+}
+
 // Endpoint is a TCP-backed transport endpoint.
 type Endpoint struct {
 	id    wire.ProcessID
@@ -117,16 +169,23 @@ type Endpoint struct {
 	demux atomic.Pointer[transport.DemuxTable]
 
 	mu     sync.Mutex
-	peers  map[wire.ProcessID]*peer
+	peers  map[linkKey]*peer
 	extras []*peer // duplicate conns from simultaneous dials: read-only
 	failed map[wire.ProcessID]bool
+	// caps records each peer's capability bitmap as learned from its
+	// HELLO (either direction); a present entry with zero caps is a
+	// legacy or capability-less peer. SendLane consults it to decide
+	// between the lane link and the general link.
+	caps map[wire.ProcessID]uint32
 
 	wg sync.WaitGroup
 }
 
 var (
-	_ transport.Endpoint = (*Endpoint)(nil)
-	_ transport.Demuxer  = (*Endpoint)(nil)
+	_ transport.Endpoint   = (*Endpoint)(nil)
+	_ transport.Demuxer    = (*Endpoint)(nil)
+	_ transport.LaneSender = (*Endpoint)(nil)
+	_ transport.Handshaker = (*Endpoint)(nil)
 )
 
 // SetDemux implements transport.Demuxer: subsequent inbound frames are
@@ -167,6 +226,11 @@ func NewClient(id wire.ProcessID, book AddressBook, opts Options) *Endpoint {
 
 func newEndpoint(id wire.ProcessID, book AddressBook, opts Options) *Endpoint {
 	opts = opts.withDefaults()
+	if opts.Hello != nil {
+		h := *opts.Hello // private copy; Link is rewritten per connection
+		h.From = id
+		opts.Hello = &h
+	}
 	bookCopy := make(AddressBook, len(book))
 	for k, v := range book {
 		bookCopy[k] = v
@@ -178,8 +242,9 @@ func newEndpoint(id wire.ProcessID, book AddressBook, opts Options) *Endpoint {
 		inbox:  make(chan transport.Inbound, opts.InboxCapacity),
 		fails:  make(chan wire.ProcessID, 64),
 		down:   make(chan struct{}),
-		peers:  make(map[wire.ProcessID]*peer),
+		peers:  make(map[linkKey]*peer),
 		failed: make(map[wire.ProcessID]bool),
+		caps:   make(map[wire.ProcessID]uint32),
 	}
 }
 
@@ -219,7 +284,7 @@ func (e *Endpoint) Close() error {
 		peers = append(peers, p)
 	}
 	peers = append(peers, e.extras...)
-	e.peers = make(map[wire.ProcessID]*peer)
+	e.peers = make(map[linkKey]*peer)
 	e.extras = nil
 	e.mu.Unlock()
 	for _, p := range peers {
@@ -229,17 +294,78 @@ func (e *Endpoint) Close() error {
 	return nil
 }
 
-// Send implements transport.Endpoint.
+// Send implements transport.Endpoint: the frame travels the general
+// (unpinned) link to the peer.
 func (e *Endpoint) Send(to wire.ProcessID, f wire.Frame) error {
+	return e.send(to, laneGeneral, f)
+}
+
+// SendLane implements transport.LaneSender: the frame travels the
+// dedicated connection of the given ring lane when the session with the
+// peer negotiated wire.CapLaneLinks, and the general link otherwise
+// (legacy peers, lane-unaware peers). The first SendLane to a peer may
+// open the general link just to learn the peer's capabilities; in
+// steady state an established lane link costs one lock acquisition,
+// the same as a plain Send.
+func (e *Endpoint) SendLane(to wire.ProcessID, lane int, f wire.Frame) error {
+	if lane < 0 || e.opts.Hello == nil || e.opts.Hello.Capabilities&wire.CapLaneLinks == 0 {
+		return e.send(to, laneGeneral, f)
+	}
 	select {
 	case <-e.down:
 		return transport.ErrClosed
 	default:
 	}
-	p, err := e.peerFor(to)
+	// Fast path: an established lane link proves the capability was
+	// negotiated, so skip the caps lookup.
+	e.mu.Lock()
+	p, live := e.peers[linkKey{id: to, lane: lane}]
+	caps, known := e.caps[to]
+	e.mu.Unlock()
+	if live {
+		return e.enqueue(p, to, f)
+	}
+	if !known {
+		if _, err := e.peerFor(to, laneGeneral); err != nil {
+			return err
+		}
+		caps, _ = e.peerCaps(to)
+	}
+	if caps&wire.CapLaneLinks == 0 {
+		lane = laneGeneral
+	}
+	return e.send(to, lane, f)
+}
+
+// Handshake implements transport.Handshaker: it eagerly opens (or
+// reuses) the general link to the peer, returning a typed
+// *wire.HandshakeError when the peer's HELLO is incompatible.
+func (e *Endpoint) Handshake(to wire.ProcessID) error {
+	select {
+	case <-e.down:
+		return transport.ErrClosed
+	default:
+	}
+	_, err := e.peerFor(to, laneGeneral)
+	return err
+}
+
+// send queues the frame on the link's outbound queue.
+func (e *Endpoint) send(to wire.ProcessID, lane int, f wire.Frame) error {
+	select {
+	case <-e.down:
+		return transport.ErrClosed
+	default:
+	}
+	p, err := e.peerFor(to, lane)
 	if err != nil {
 		return err
 	}
+	return e.enqueue(p, to, f)
+}
+
+// enqueue hands the frame to a live link's writer.
+func (e *Endpoint) enqueue(p *peer, to wire.ProcessID, f wire.Frame) error {
 	select {
 	case p.out <- f:
 		return nil
@@ -250,10 +376,28 @@ func (e *Endpoint) Send(to wire.ProcessID, f wire.Frame) error {
 	}
 }
 
-// peerFor returns the cached connection for `to`, dialing if necessary.
-func (e *Endpoint) peerFor(to wire.ProcessID) (*peer, error) {
+// peerCaps returns the peer's capability bitmap, if a handshake with it
+// has completed in either direction.
+func (e *Endpoint) peerCaps(to wire.ProcessID) (uint32, bool) {
 	e.mu.Lock()
-	if p, ok := e.peers[to]; ok {
+	defer e.mu.Unlock()
+	caps, ok := e.caps[to]
+	return caps, ok
+}
+
+// recordCaps remembers the peer's capability bitmap.
+func (e *Endpoint) recordCaps(id wire.ProcessID, caps uint32) {
+	e.mu.Lock()
+	e.caps[id] = caps
+	e.mu.Unlock()
+}
+
+// peerFor returns the cached connection for the link, dialing and
+// handshaking if necessary.
+func (e *Endpoint) peerFor(to wire.ProcessID, lane int) (*peer, error) {
+	key := linkKey{id: to, lane: lane}
+	e.mu.Lock()
+	if p, ok := e.peers[key]; ok {
 		e.mu.Unlock()
 		return p, nil
 	}
@@ -271,11 +415,11 @@ func (e *Endpoint) peerFor(to wire.ProcessID) (*peer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: dial %d at %s: %w", to, addr, err)
 	}
-	if err := writeHandshake(conn, e.id); err != nil {
+	if err := e.dialHandshake(conn, to, lane); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("tcpnet: handshake with %d: %w", to, err)
 	}
-	return e.adoptConn(to, conn), nil
+	return e.adoptConn(key, conn), nil
 }
 
 // dial attempts to connect with bounded retries.
@@ -298,26 +442,26 @@ func (e *Endpoint) dial(addr string) (net.Conn, error) {
 	return nil, lastErr
 }
 
-// adoptConn registers a live connection for the peer and starts its
-// reader and writer goroutines. If a connection for the peer already
+// adoptConn registers a live connection for the link and starts its
+// reader and writer goroutines. If a connection for the link already
 // exists (simultaneous dials), the new one is still served for reading
 // but the cached one keeps handling sends.
-func (e *Endpoint) adoptConn(id wire.ProcessID, conn net.Conn) *peer {
+func (e *Endpoint) adoptConn(key linkKey, conn net.Conn) *peer {
 	p := &peer{
-		id:     id,
+		key:    key,
 		conn:   conn,
 		out:    make(chan wire.Frame, e.opts.SendQueueCapacity),
 		closed: make(chan struct{}),
 	}
 	e.mu.Lock()
-	if existing, ok := e.peers[id]; ok {
+	if existing, ok := e.peers[key]; ok {
 		e.extras = append(e.extras, p)
 		e.mu.Unlock()
 		e.wg.Add(1)
 		go e.readLoop(p) // serve inbound on the duplicate, never write
 		return existing
 	}
-	e.peers[id] = p
+	e.peers[key] = p
 	e.mu.Unlock()
 	e.wg.Add(2)
 	go e.readLoop(p)
@@ -325,16 +469,32 @@ func (e *Endpoint) adoptConn(id wire.ProcessID, conn net.Conn) *peer {
 	return p
 }
 
-// dropPeer removes the peer from the cache and reports its failure once.
+// dropPeer removes the link from the cache and reports the peer's
+// failure once. In this model any broken connection means the peer
+// crashed, so the first broken link carries the news; the peer's other
+// links die on their own as their reads and writes fail.
 func (e *Endpoint) dropPeer(p *peer) {
 	p.shutdown()
 	e.mu.Lock()
 	first := false
-	if e.peers[p.id] == p {
-		delete(e.peers, p.id)
+	if e.peers[p.key] == p {
+		delete(e.peers, p.key)
 	}
-	if !e.failed[p.id] {
-		e.failed[p.id] = true
+	// Drop the learned capabilities with the peer's last link, so the
+	// caps map never outgrows the live peer set (client churn would
+	// otherwise accumulate one entry per client ever connected).
+	lastLink := true
+	for k := range e.peers {
+		if k.id == p.key.id {
+			lastLink = false
+			break
+		}
+	}
+	if lastLink {
+		delete(e.caps, p.key.id)
+	}
+	if !e.failed[p.key.id] {
+		e.failed[p.key.id] = true
 		first = true
 	}
 	e.mu.Unlock()
@@ -345,14 +505,14 @@ func (e *Endpoint) dropPeer(p *peer) {
 	}
 	if first {
 		select {
-		case e.fails <- p.id:
+		case e.fails <- p.key.id:
 		case <-e.down:
 		}
 	}
 }
 
 // acceptLoop accepts inbound connections and registers them after the
-// handshake identifies the peer.
+// handshake identifies the peer and the link's lane.
 func (e *Endpoint) acceptLoop() {
 	defer e.wg.Done()
 	for {
@@ -368,12 +528,12 @@ func (e *Endpoint) acceptLoop() {
 			}
 			continue
 		}
-		from, err := readHandshake(conn)
+		key, err := e.acceptHandshake(conn)
 		if err != nil {
 			_ = conn.Close()
 			continue
 		}
-		e.adoptConn(from, conn)
+		e.adoptConn(key, conn)
 	}
 }
 
@@ -403,9 +563,15 @@ func (e *Endpoint) readLoop(p *peer) {
 			e.dropPeer(p)
 			return
 		}
-		inb := transport.Inbound{From: p.id, Frame: f}
+		inb := transport.Inbound{From: p.key.id, Frame: f, LinkLane: p.key.lane + 1}
+		ch := e.inboxFor(&inb)
+		if ch == nil {
+			// Routed to RouteDrop: discard, returning pooled buffers.
+			inb.Frame.Retire()
+			continue
+		}
 		select {
-		case e.inboxFor(&inb) <- inb:
+		case ch <- inb:
 		case <-e.down:
 			e.dropPeer(p)
 			return
@@ -487,7 +653,7 @@ func (e *Endpoint) writeBatch(p *peer, bw *bufio.Writer, scratch *[]byte, first 
 
 // peer is one live TCP connection with its outbound queue.
 type peer struct {
-	id     wire.ProcessID
+	key    linkKey
 	conn   net.Conn
 	out    chan wire.Frame
 	once   sync.Once
@@ -502,33 +668,154 @@ func (p *peer) shutdown() {
 	})
 }
 
-// writeHandshake sends the 8-byte preamble identifying the local process.
-func writeHandshake(conn net.Conn, id wire.ProcessID) error {
-	var buf [8]byte
-	copy(buf[:4], handshakeMagic)
-	binary.BigEndian.PutUint32(buf[4:], uint32(id))
-	_, err := conn.Write(buf[:])
-	return err
-}
-
-// readHandshake consumes and validates the preamble, returning the peer id.
-func readHandshake(conn net.Conn) (wire.ProcessID, error) {
-	var buf [8]byte
-	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
-		return 0, err
+// dialHandshake opens the dialer's side of the handshake on a fresh
+// connection. Legacy endpoints (no Hello) send the bare v2 preamble and
+// expect no reply, exactly as before sessions existed. Session
+// endpoints send their HELLO — pinned to the link's lane — then read
+// the acceptor's status and HELLO; an incompatible peer yields a typed
+// *wire.HandshakeError.
+func (e *Endpoint) dialHandshake(conn net.Conn, to wire.ProcessID, lane int) error {
+	if e.opts.Hello == nil {
+		var buf [8]byte
+		copy(buf[:4], magicV2)
+		binary.BigEndian.PutUint32(buf[4:], uint32(e.id))
+		_, err := conn.Write(buf[:])
+		return err
 	}
-	if _, err := io.ReadFull(conn, buf[:]); err != nil {
-		return 0, err
+	h := *e.opts.Hello
+	h.Link = wire.LinkGeneral
+	if lane >= 0 {
+		h.Link = uint16(lane)
+	}
+	buf := append([]byte(magicV3), byte(wire.HelloWireSize()))
+	buf = wire.AppendHello(buf, &h)
+	if _, err := conn.Write(buf); err != nil {
+		return err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		return err
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		return fmt.Errorf("tcpnet: reading handshake reply: %w", err)
+	}
+	remote, err := readHelloBody(conn)
+	if err != nil {
+		return err
 	}
 	if err := conn.SetReadDeadline(time.Time{}); err != nil {
-		return 0, err
+		return err
 	}
-	if string(buf[:4]) != handshakeMagic {
-		return 0, fmt.Errorf("tcpnet: bad handshake magic %q", buf[:4])
+	// The compatibility check is symmetric, so validating the
+	// acceptor's HELLO locally reproduces its verdict as a typed error.
+	if err := e.opts.Hello.CheckCompatible(&remote); err != nil {
+		return err
 	}
-	id := wire.ProcessID(binary.BigEndian.Uint32(buf[4:]))
-	if id == wire.NoProcess {
-		return 0, errors.New("tcpnet: handshake with zero process id")
+	if status[0] != 0 {
+		return fmt.Errorf("tcpnet: peer rejected handshake (status %d)", status[0])
 	}
-	return id, nil
+	// The HELLO asserts the peer's identity: an address-book entry
+	// pointing at the wrong host would otherwise bind this link to the
+	// wrong ring position (frames attributed to, and routed as if
+	// from, the wrong server).
+	if remote.From != to {
+		return fmt.Errorf("tcpnet: dialed %d but peer identifies as %d", to, remote.From)
+	}
+	e.recordCaps(to, remote.Capabilities)
+	return nil
+}
+
+// acceptHandshake runs the acceptor's side of the handshake, returning
+// the link key the connection serves. Both preambles are recognized:
+// the v2 preamble is admitted when this endpoint is itself legacy or
+// explicitly allows legacy peers; the v3 HELLO is validated and
+// answered with a status byte plus this endpoint's HELLO, so the dialer
+// learns the local configuration either way.
+func (e *Endpoint) acceptHandshake(conn net.Conn) (linkKey, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		return linkKey{}, err
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(conn, magic[:]); err != nil {
+		return linkKey{}, err
+	}
+	switch string(magic[:]) {
+	case magicV2:
+		if e.opts.Hello != nil && !e.opts.AllowLegacy {
+			return linkKey{}, errors.New("tcpnet: legacy peer rejected (AllowLegacy off)")
+		}
+		var buf [4]byte
+		if _, err := io.ReadFull(conn, buf[:]); err != nil {
+			return linkKey{}, err
+		}
+		if err := conn.SetReadDeadline(time.Time{}); err != nil {
+			return linkKey{}, err
+		}
+		id := wire.ProcessID(binary.BigEndian.Uint32(buf[:]))
+		if id == wire.NoProcess {
+			return linkKey{}, errors.New("tcpnet: handshake with zero process id")
+		}
+		e.recordCaps(id, 0)
+		return linkKey{id: id, lane: laneGeneral}, nil
+	case magicV3:
+		if e.opts.Hello == nil {
+			// A legacy endpoint cannot answer a session handshake; the
+			// dialer sees the close and reports the failure.
+			return linkKey{}, errors.New("tcpnet: session handshake on legacy endpoint")
+		}
+		remote, err := readHelloBody(conn)
+		if err != nil {
+			return linkKey{}, err
+		}
+		if err := conn.SetReadDeadline(time.Time{}); err != nil {
+			return linkKey{}, err
+		}
+		cerr := e.opts.Hello.CheckCompatible(&remote)
+		// A pinned link must name a lane this endpoint actually has.
+		// After a passed compatibility check this only catches peers
+		// that dodge the lane check by declaring Lanes=0 yet pin a
+		// link anyway — honoring the pin would hand them an arbitrary
+		// real lane's demux slot.
+		if cerr == nil && remote.Link != wire.LinkGeneral &&
+			(remote.Lanes == 0 || e.opts.Hello.Lanes == 0 || remote.Link >= e.opts.Hello.Lanes) {
+			cerr = fmt.Errorf("tcpnet: link pinned to lane %d outside local fanout %d",
+				remote.Link, e.opts.Hello.Lanes)
+		}
+		reply := *e.opts.Hello
+		reply.Link = remote.Link // confirm the lane the dialer asked for
+		status := byte(0)
+		if cerr != nil {
+			status = 1
+		}
+		buf := append([]byte{status}, byte(wire.HelloWireSize()))
+		buf = wire.AppendHello(buf, &reply)
+		if _, werr := conn.Write(buf); werr != nil {
+			return linkKey{}, werr
+		}
+		if cerr != nil {
+			return linkKey{}, cerr
+		}
+		lane := laneGeneral
+		if remote.Link != wire.LinkGeneral {
+			lane = int(remote.Link)
+		}
+		e.recordCaps(remote.From, remote.Capabilities)
+		return linkKey{id: remote.From, lane: lane}, nil
+	default:
+		return linkKey{}, fmt.Errorf("tcpnet: bad handshake magic %q", magic[:])
+	}
+}
+
+// readHelloBody consumes a length-prefixed HELLO body from the
+// connection (the read deadline is the caller's).
+func readHelloBody(conn net.Conn) (wire.Hello, error) {
+	var n [1]byte
+	if _, err := io.ReadFull(conn, n[:]); err != nil {
+		return wire.Hello{}, fmt.Errorf("tcpnet: reading hello length: %w", err)
+	}
+	body := make([]byte, n[0])
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return wire.Hello{}, fmt.Errorf("tcpnet: reading hello body: %w", err)
+	}
+	return wire.DecodeHello(body)
 }

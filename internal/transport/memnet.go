@@ -67,8 +67,26 @@ func NewMemNetwork(opts MemNetworkOptions) *MemNetwork {
 	}
 }
 
-// Register attaches a new endpoint for the given process id.
+// Register attaches a new endpoint for the given process id. The
+// endpoint is session-less: it asserts no HELLO and is never validated
+// against its peers (the v2-era behavior, kept for tests and tools).
 func (n *MemNetwork) Register(id wire.ProcessID) (*MemEndpoint, error) {
+	return n.register(id, nil)
+}
+
+// RegisterSession attaches a new endpoint that asserts the given HELLO.
+// Frames between two session endpoints flow only if their HELLOs are
+// compatible (wire version, lane fanout, membership hash); the first
+// Send or Handshake to an incompatible peer fails with a typed
+// *wire.HandshakeError — the in-memory equivalent of tcpnet rejecting
+// the connection at handshake time. A session endpoint still talks
+// freely to session-less Register endpoints, mirroring the TCP
+// transport's legacy-peer compatibility option.
+func (n *MemNetwork) RegisterSession(h wire.Hello) (*MemEndpoint, error) {
+	return n.register(h.From, &h)
+}
+
+func (n *MemNetwork) register(id wire.ProcessID, hello *wire.Hello) (*MemEndpoint, error) {
 	if id == wire.NoProcess {
 		return nil, fmt.Errorf("transport: cannot register %v", id)
 	}
@@ -80,12 +98,13 @@ func (n *MemNetwork) Register(id wire.ProcessID) (*MemEndpoint, error) {
 	ep := &MemEndpoint{
 		net:      n,
 		id:       id,
+		hello:    hello,
 		inbox:    make(chan Inbound, n.opts.InboxCapacity),
 		failures: make(chan wire.ProcessID, 64),
 		down:     make(chan struct{}),
 	}
 	if n.opts.SendQueueCapacity > 0 {
-		ep.outqs = make(map[wire.ProcessID]chan wire.Frame)
+		ep.outqs = make(map[outKey]chan wire.Frame)
 	}
 	n.endpoints[id] = ep
 	return ep, nil
@@ -128,20 +147,33 @@ func (n *MemNetwork) remove(id wire.ProcessID) {
 	delete(n.endpoints, id)
 }
 
+// outKey identifies one logical outbound link: a destination process
+// and the ring lane the link is pinned to (laneGeneral for the unpinned
+// link carrying client and control traffic).
+type outKey struct {
+	to   wire.ProcessID
+	lane int
+}
+
+// laneGeneral is the outKey lane of the unpinned link.
+const laneGeneral = -1
+
 // MemEndpoint is an in-memory Endpoint.
 type MemEndpoint struct {
 	net      *MemNetwork
 	id       wire.ProcessID
+	hello    *wire.Hello // nil for session-less endpoints
 	inbox    chan Inbound
 	failures chan wire.ProcessID
 
-	// outqs, when non-nil, holds the per-destination bounded outbound
-	// queues of the batching mode (MemNetworkOptions.SendQueueCapacity
-	// > 0), each drained by its own sender goroutine — one queue and
-	// one writer per peer, exactly like tcpnet, so a slow destination
-	// never holds up frames bound elsewhere.
+	// outqs, when non-nil, holds the per-link bounded outbound queues
+	// of the batching mode (MemNetworkOptions.SendQueueCapacity > 0),
+	// each drained by its own sender goroutine — one queue and one
+	// writer per (peer, lane), exactly like tcpnet's per-lane
+	// connections, so a slow destination or a saturated lane never
+	// holds up frames bound elsewhere.
 	outmu sync.Mutex
-	outqs map[wire.ProcessID]chan wire.Frame
+	outqs map[outKey]chan wire.Frame
 
 	// demux, when set, routes inbound frames to per-lane inboxes
 	// instead of the shared inbox (Demuxer).
@@ -152,8 +184,10 @@ type MemEndpoint struct {
 }
 
 var (
-	_ Endpoint = (*MemEndpoint)(nil)
-	_ Demuxer  = (*MemEndpoint)(nil)
+	_ Endpoint   = (*MemEndpoint)(nil)
+	_ Demuxer    = (*MemEndpoint)(nil)
+	_ LaneSender = (*MemEndpoint)(nil)
+	_ Handshaker = (*MemEndpoint)(nil)
 )
 
 // SetDemux implements Demuxer: subsequent deliveries to this endpoint go
@@ -186,8 +220,26 @@ func (e *MemEndpoint) Done() <-chan struct{} { return e.down }
 // Send implements Endpoint. Self-sends are allowed (a one-server ring
 // forwards to itself). In batching mode the frame is accepted once the
 // local outbound queue has room; otherwise it is handed directly to the
-// destination inbox.
+// destination inbox. Between two session endpoints the first frame is
+// preceded by the HELLO compatibility check; an incompatible peer fails
+// with a *wire.HandshakeError.
 func (e *MemEndpoint) Send(to wire.ProcessID, f wire.Frame) error {
+	return e.sendLane(to, laneGeneral, f)
+}
+
+// SendLane implements LaneSender: the frame travels the dedicated link
+// of the given ring lane, delivered with the lane as the link's
+// negotiated lane so the receiver demultiplexes by session state rather
+// than the frame header. Peers that did not negotiate wire.CapLaneLinks
+// are reached over the general link instead.
+func (e *MemEndpoint) SendLane(to wire.ProcessID, lane int, f wire.Frame) error {
+	if lane < 0 {
+		lane = laneGeneral
+	}
+	return e.sendLane(to, lane, f)
+}
+
+func (e *MemEndpoint) sendLane(to wire.ProcessID, lane int, f wire.Frame) error {
 	select {
 	case <-e.down:
 		return ErrClosed
@@ -197,17 +249,31 @@ func (e *MemEndpoint) Send(to wire.ProcessID, f wire.Frame) error {
 	if dst == nil {
 		return fmt.Errorf("%w: %d", ErrPeerDown, to)
 	}
+	if err := e.checkSession(to, dst); err != nil {
+		return err
+	}
+	if !e.laneLinksWith(dst) {
+		lane = laneGeneral
+	}
 	if e.outqs != nil {
 		select {
-		case e.queueFor(to) <- f:
+		case e.queueFor(to, lane) <- f:
 			return nil
 		case <-e.down:
 			return ErrClosed
 		}
 	}
-	inb := Inbound{From: e.id, Frame: f}
+	inb := Inbound{From: e.id, Frame: f, LinkLane: lane + 1}
+	ch := dst.inboxFor(&inb)
+	if ch == nil {
+		// Routed to RouteDrop: discarded by design. Retire any pooled
+		// buffers like the other drop sites (none arise over memnet
+		// today, but the ownership rule should not depend on that).
+		inb.Frame.Retire()
+		return nil
+	}
 	select {
-	case dst.inboxFor(&inb) <- inb:
+	case ch <- inb:
 		return nil
 	case <-dst.down:
 		return fmt.Errorf("%w: %d", ErrPeerDown, to)
@@ -216,32 +282,68 @@ func (e *MemEndpoint) Send(to wire.ProcessID, f wire.Frame) error {
 	}
 }
 
-// queueFor returns the outbound queue for a destination, creating it and
-// its sender goroutine on first use (tcpnet's lazily dialed peer).
-func (e *MemEndpoint) queueFor(to wire.ProcessID) chan wire.Frame {
+// Handshake implements Handshaker: it validates the session against the
+// peer without sending a frame, returning a *wire.HandshakeError when
+// the two HELLOs are incompatible.
+func (e *MemEndpoint) Handshake(to wire.ProcessID) error {
+	select {
+	case <-e.down:
+		return ErrClosed
+	default:
+	}
+	dst := e.net.lookup(to)
+	if dst == nil {
+		return fmt.Errorf("%w: %d", ErrPeerDown, to)
+	}
+	return e.checkSession(to, dst)
+}
+
+// checkSession validates this endpoint's HELLO against the peer's. A
+// session-less endpoint on either side skips the check — the in-memory
+// form of the legacy-peer compatibility option.
+func (e *MemEndpoint) checkSession(to wire.ProcessID, dst *MemEndpoint) error {
+	if e.hello == nil || dst.hello == nil {
+		return nil
+	}
+	if err := e.hello.CheckCompatible(dst.hello); err != nil {
+		return fmt.Errorf("transport: handshake with %d: %w", to, err)
+	}
+	return nil
+}
+
+// laneLinksWith reports whether both ends negotiated per-lane links.
+func (e *MemEndpoint) laneLinksWith(dst *MemEndpoint) bool {
+	return e.hello != nil && dst.hello != nil &&
+		e.hello.Capabilities&dst.hello.Capabilities&wire.CapLaneLinks != 0
+}
+
+// queueFor returns the outbound queue for a link, creating it and its
+// sender goroutine on first use (tcpnet's lazily dialed per-lane peer).
+func (e *MemEndpoint) queueFor(to wire.ProcessID, lane int) chan wire.Frame {
+	key := outKey{to: to, lane: lane}
 	e.outmu.Lock()
 	defer e.outmu.Unlock()
-	q, ok := e.outqs[to]
+	q, ok := e.outqs[key]
 	if !ok {
 		q = make(chan wire.Frame, e.net.opts.SendQueueCapacity)
-		e.outqs[to] = q
-		go e.senderLoop(to, q, e.net.opts.MaxBatchFrames)
+		e.outqs[key] = q
+		go e.senderLoop(key, q, e.net.opts.MaxBatchFrames)
 	}
 	return q
 }
 
-// senderLoop drains one destination's queue in coalesced runs, mirroring
-// the TCP per-peer writer: wake up for one frame, keep delivering
+// senderLoop drains one link's queue in coalesced runs, mirroring the
+// TCP per-link writer: wake up for one frame, keep delivering
 // already-queued frames up to the batch cap, then block again.
-func (e *MemEndpoint) senderLoop(to wire.ProcessID, q chan wire.Frame, maxBatch int) {
+func (e *MemEndpoint) senderLoop(key outKey, q chan wire.Frame, maxBatch int) {
 	for {
 		select {
 		case f := <-q:
-			e.deliver(to, f)
+			e.deliver(key, f)
 			for i := 1; i < maxBatch; i++ {
 				select {
 				case f2 := <-q:
-					e.deliver(to, f2)
+					e.deliver(key, f2)
 					continue
 				default:
 				}
@@ -253,18 +355,24 @@ func (e *MemEndpoint) senderLoop(to wire.ProcessID, q chan wire.Frame, maxBatch 
 	}
 }
 
-// deliver pushes one queued frame into its destination inbox. A vanished
-// or crashed destination drops the frame silently — the same fate a
-// TCP-queued frame meets when the connection breaks after Send accepted
-// it; the failure detector carries the news.
-func (e *MemEndpoint) deliver(to wire.ProcessID, f wire.Frame) {
-	dst := e.net.lookup(to)
+// deliver pushes one queued frame into its destination inbox, tagged
+// with the link's negotiated lane. A vanished or crashed destination
+// drops the frame silently — the same fate a TCP-queued frame meets
+// when the connection breaks after Send accepted it; the failure
+// detector carries the news.
+func (e *MemEndpoint) deliver(key outKey, f wire.Frame) {
+	dst := e.net.lookup(key.to)
 	if dst == nil {
 		return
 	}
-	inb := Inbound{From: e.id, Frame: f}
+	inb := Inbound{From: e.id, Frame: f, LinkLane: key.lane + 1}
+	ch := dst.inboxFor(&inb)
+	if ch == nil {
+		inb.Frame.Retire() // routed to RouteDrop
+		return
+	}
 	select {
-	case dst.inboxFor(&inb) <- inb:
+	case ch <- inb:
 	case <-dst.down:
 	case <-e.down:
 	}

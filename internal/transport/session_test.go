@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func serverHello(id wire.ProcessID, lanes uint16, members []wire.ProcessID) wire.Hello {
+	return wire.Hello{
+		Version:        wire.HelloVersion,
+		From:           id,
+		Lanes:          lanes,
+		Link:           wire.LinkGeneral,
+		MembershipHash: wire.MembershipHash(members),
+		Capabilities:   wire.CapLaneLinks,
+	}
+}
+
+// TestMemSessionMismatch pins the fail-fast contract on the in-memory
+// transport: two servers configured with different WriteLanes (or
+// different memberships) cannot exchange a single frame — both
+// Handshake and Send surface a typed *wire.HandshakeError.
+func TestMemSessionMismatch(t *testing.T) {
+	members := []wire.ProcessID{1, 2}
+	for name, other := range map[string]wire.Hello{
+		"lanes":      serverHello(2, 8, members),
+		"membership": serverHello(2, 4, []wire.ProcessID{1, 2, 3}),
+		"version": func() wire.Hello {
+			h := serverHello(2, 4, members)
+			h.Version++
+			return h
+		}(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			net := NewMemNetwork(MemNetworkOptions{})
+			a, err := net.RegisterSession(serverHello(1, 4, members))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := net.RegisterSession(other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = a.Close(); _ = b.Close() }()
+
+			var herr *wire.HandshakeError
+			if err := a.Handshake(2); !errors.As(err, &herr) {
+				t.Fatalf("Handshake: got %v, want *wire.HandshakeError", err)
+			}
+			if err := a.Send(2, newFrame(1)); !errors.As(err, &herr) {
+				t.Fatalf("Send: got %v, want *wire.HandshakeError", err)
+			}
+			if err := a.SendLane(2, 1, newFrame(2)); !errors.As(err, &herr) {
+				t.Fatalf("SendLane: got %v, want *wire.HandshakeError", err)
+			}
+			select {
+			case in := <-b.Inbox():
+				t.Fatalf("frame leaked through an incompatible session: %+v", in)
+			default:
+			}
+		})
+	}
+}
+
+// TestMemSessionCompatible verifies the accept paths: matched servers,
+// and lane-unaware clients against any server.
+func TestMemSessionCompatible(t *testing.T) {
+	members := []wire.ProcessID{1, 2}
+	net := NewMemNetwork(MemNetworkOptions{})
+	a, err := net.RegisterSession(serverHello(1, 4, members))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.RegisterSession(serverHello(2, 4, members))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := net.RegisterSession(wire.Hello{
+		Version: wire.HelloVersion, From: 100, Link: wire.LinkGeneral,
+		MembershipHash: wire.MembershipHash(members),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close(); _ = b.Close(); _ = cl.Close() }()
+
+	if err := a.Handshake(2); err != nil {
+		t.Fatalf("server-server handshake: %v", err)
+	}
+	if err := cl.Handshake(1); err != nil {
+		t.Fatalf("client-server handshake: %v", err)
+	}
+	if err := a.Send(2, newFrame(1)); err != nil {
+		t.Fatal(err)
+	}
+	if in := <-b.Inbox(); in.From != 1 {
+		t.Fatalf("frame from %d, want 1", in.From)
+	}
+	// A session endpoint still interoperates with a session-less one
+	// (the legacy compatibility path).
+	legacy, err := net.Register(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = legacy.Close() }()
+	if err := a.Send(50, newFrame(2)); err != nil {
+		t.Fatalf("send to legacy endpoint: %v", err)
+	}
+	<-legacy.Inbox()
+}
+
+// TestMemSendLaneTagsLink verifies per-lane links: SendLane delivers
+// the frame with the lane as the link's negotiated lane, Send leaves
+// the frame unpinned, and a peer without CapLaneLinks degrades to the
+// general link.
+func TestMemSendLaneTagsLink(t *testing.T) {
+	members := []wire.ProcessID{1, 2}
+	for _, batching := range []int{0, 8} {
+		net := NewMemNetwork(MemNetworkOptions{SendQueueCapacity: batching})
+		a, err := net.RegisterSession(serverHello(1, 4, members))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := net.RegisterSession(serverHello(2, 4, members))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if err := a.SendLane(2, 3, newFrame(1)); err != nil {
+			t.Fatal(err)
+		}
+		in := <-b.Inbox()
+		if lane, ok := in.NegotiatedLane(); !ok || lane != 3 {
+			t.Fatalf("batching=%d: negotiated lane (%d,%v), want (3,true)", batching, lane, ok)
+		}
+		if err := a.Send(2, newFrame(2)); err != nil {
+			t.Fatal(err)
+		}
+		in = <-b.Inbox()
+		if _, ok := in.NegotiatedLane(); ok {
+			t.Fatalf("batching=%d: plain Send delivered lane-pinned", batching)
+		}
+
+		// A peer without the capability gets general-link delivery even
+		// through SendLane.
+		noCaps := serverHello(3, 4, members)
+		noCaps.Capabilities = 0
+		c, err := net.RegisterSession(noCaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SendLane(3, 2, newFrame(3)); err != nil {
+			t.Fatal(err)
+		}
+		in = <-c.Inbox()
+		if _, ok := in.NegotiatedLane(); ok {
+			t.Fatal("lane link negotiated without CapLaneLinks")
+		}
+		_ = a.Close()
+		_ = b.Close()
+		_ = c.Close()
+	}
+}

@@ -22,18 +22,42 @@ var (
 	ErrUnknownPeer = errors.New("transport: unknown peer")
 )
 
-// Inbound is a received frame together with its sender.
+// Inbound is a received frame together with its sender and the identity
+// of the link that delivered it.
 type Inbound struct {
 	// From is the process that sent the frame.
 	From wire.ProcessID
 	// Frame is the received frame.
 	Frame wire.Frame
+	// LinkLane records the ring lane the delivering link was pinned to
+	// at handshake time, offset by one: a frame that arrived on lane
+	// k's dedicated link carries k+1, and zero means the link was not
+	// lane-pinned (legacy links, client links, plain sends). Routing
+	// trusts this negotiated value over the frame header when present.
+	// Use NegotiatedLane to read it.
+	LinkLane int
+}
+
+// NegotiatedLane returns the ring lane negotiated for the delivering
+// link at handshake time, if the link was lane-pinned.
+func (in *Inbound) NegotiatedLane() (int, bool) {
+	if in.LinkLane > 0 {
+		return in.LinkLane - 1, true
+	}
+	return 0, false
 }
 
 // RouteFunc maps an inbound frame to the index of the per-lane inbox
-// that must receive it. It is called on the delivering goroutine and
-// must be safe for concurrent use and side-effect free.
-type RouteFunc func(*wire.Frame) int
+// that must receive it, or RouteDrop to discard it. It is called on the
+// delivering goroutine and must be safe for concurrent use.
+type RouteFunc func(*Inbound) int
+
+// RouteDrop, returned by a RouteFunc, discards the frame instead of
+// delivering it anywhere — a ring frame addressed to a lane this server
+// does not have is misconfiguration, and routing it to an arbitrary
+// lane would corrupt that lane's protocol state. Any other out-of-range
+// index falls back to the endpoint's main inbox.
+const RouteDrop = -1 << 30
 
 // Demuxer is implemented by endpoints that can deliver inbound frames
 // straight into per-lane inboxes, so a lane-sharded server never funnels
@@ -55,9 +79,13 @@ type DemuxTable struct {
 }
 
 // Target returns the channel that must receive inb: the routed inbox,
-// or fallback when the route index is out of range.
+// fallback when the route index is out of range, or nil when the route
+// says RouteDrop (the caller discards the frame).
 func (d *DemuxTable) Target(fallback chan Inbound, inb *Inbound) chan Inbound {
-	if i := d.Route(&inb.Frame); i >= 0 && i < len(d.Inboxes) {
+	switch i := d.Route(inb); {
+	case i == RouteDrop:
+		return nil
+	case i >= 0 && i < len(d.Inboxes):
 		return d.Inboxes[i]
 	}
 	return fallback
@@ -86,4 +114,25 @@ type Endpoint interface {
 	// Close detaches the endpoint without signalling a failure to
 	// other processes (used for orderly test teardown).
 	Close() error
+}
+
+// LaneSender is implemented by session endpoints that maintain one
+// logical link per ring lane toward each peer: SendLane routes the
+// frame over lane's dedicated link (falling back to the general link
+// when the peer did not negotiate wire.CapLaneLinks), so lanes stop
+// head-of-line-blocking each other on one shared connection. The frame
+// must belong to the given lane; the receiver demultiplexes it by the
+// link's negotiated lane, not the frame header.
+type LaneSender interface {
+	SendLane(to wire.ProcessID, lane int, f wire.Frame) error
+}
+
+// Handshaker is implemented by session endpoints that can eagerly open
+// and validate the session to a peer instead of waiting for the first
+// Send. A *wire.HandshakeError (via errors.As) means the peer is
+// incompatibly configured — wrong wire version, lane fanout, or ring
+// membership — and retrying is pointless; other errors are transient
+// connectivity failures.
+type Handshaker interface {
+	Handshake(to wire.ProcessID) error
 }

@@ -110,3 +110,59 @@ func FuzzDecodeFrameBody(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeHello throws arbitrary bytes at the session-handshake
+// decoder: it must never panic, and anything it accepts must re-encode
+// to a prefix-equal body and decode back to the same Hello (trailing
+// bytes are forward-compatibility padding and are dropped).
+func FuzzDecodeHello(f *testing.F) {
+	seed := func(h Hello) {
+		f.Add(AppendHello(nil, &h))
+	}
+	// The accept paths.
+	seed(Hello{Version: HelloVersion, From: 1, Lanes: 4, Link: 0,
+		MembershipHash: MembershipHash([]ProcessID{1, 2, 3}), Capabilities: CapLaneLinks})
+	seed(Hello{Version: HelloVersion, From: 2, Lanes: 4, Link: LinkGeneral,
+		MembershipHash: MembershipHash([]ProcessID{1, 2, 3}), Capabilities: CapLaneLinks})
+	seed(Hello{Version: HelloVersion, From: 100, Link: LinkGeneral}) // lane-unaware client
+	// The reject paths: wrong wire version, wrong lane count, wrong
+	// membership hash — all decode fine (rejection happens in
+	// CheckCompatible) — plus structurally corrupt bodies.
+	seed(Hello{Version: HelloVersion + 1, From: 1, Lanes: 4, Link: LinkGeneral, MembershipHash: 7})
+	seed(Hello{Version: HelloVersion, From: 1, Lanes: 8, Link: LinkGeneral, MembershipHash: 7})
+	seed(Hello{Version: HelloVersion, From: 1, Lanes: 4, Link: LinkGeneral, MembershipHash: 8})
+	f.Add([]byte{})                      // truncated
+	f.Add(make([]byte, HelloWireSize())) // zero process id
+	bad := AppendHello(nil, &Hello{Version: HelloVersion, From: 1, Lanes: 2, Link: 3})
+	f.Add(bad) // link outside fanout
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		h, err := DecodeHello(body)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if h.From == NoProcess {
+			t.Fatal("decoder accepted a zero process id")
+		}
+		out := AppendHello(nil, &h)
+		if len(body) < len(out) || !bytes.Equal(body[:len(out)], out) {
+			t.Fatalf("re-encode mismatch: in %x, out %x", body, out)
+		}
+		again, err := DecodeHello(out)
+		if err != nil {
+			t.Fatalf("re-encoded hello rejected: %v", err)
+		}
+		if again != h {
+			t.Fatalf("decode/encode not idempotent: %+v vs %+v", again, h)
+		}
+
+		// CheckCompatible must be total and symmetric in verdict on
+		// anything the decoder accepts.
+		local := Hello{Version: HelloVersion, From: 1, Lanes: 4,
+			MembershipHash: MembershipHash([]ProcessID{1, 2, 3})}
+		lr, rl := local.CheckCompatible(&h), h.CheckCompatible(&local)
+		if (lr == nil) != (rl == nil) {
+			t.Fatalf("asymmetric verdict: %v vs %v", lr, rl)
+		}
+	})
+}

@@ -222,6 +222,16 @@ func NewLaneFrame(env Envelope, lane uint8) Frame {
 	return Frame{Env: env, Lane: lane}
 }
 
+// Retire returns every pool-owned value buffer the frame carries to the
+// shared pool (see Envelope.RetireValue for the ownership contract).
+// For frames that are dropped without any envelope being processed.
+func (f *Frame) Retire() {
+	f.Env.RetireValue()
+	if f.Piggyback != nil {
+		f.Piggyback.RetireValue()
+	}
+}
+
 // Envelopes returns the envelopes carried by the frame, primary first.
 func (f *Frame) Envelopes() []Envelope {
 	if f.Piggyback == nil {
