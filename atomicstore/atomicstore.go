@@ -28,7 +28,8 @@
 //	v, ver, err := cl.Read(ctx, 0)
 //
 // Behavior is tuned with functional options: WithWriteLanes picks the
-// ring lane fanout, WithPinnedServer pins a client to one server,
+// ring lane fanout, WithTrainLength the per-frame ring message budget
+// (frame trains), WithPinnedServer pins a client to one server,
 // WithLegacyPeers admits v2-era peers without a HELLO, and so on.
 package atomicstore
 
@@ -59,6 +60,8 @@ type Option func(*config)
 // applies to it.
 type config struct {
 	lanes           int
+	trainLength     int
+	noTrains        bool
 	readConcurrency int
 	objectShards    int
 	logger          *slog.Logger
@@ -88,6 +91,20 @@ func buildConfig(base config, opts []Option) config {
 // handshake enforces it. Zero means the default (4); negative means a
 // single lane.
 func WithWriteLanes(n int) Option { return func(c *config) { c.lanes = n } }
+
+// WithTrainLength sets the maximum number of ring messages one frame
+// may carry ("frame trains"): a saturated lane drains up to n
+// fairness-selected messages into a single wire-v4 frame, amortizing
+// per-frame costs. Trains are negotiated per connection — peers whose
+// HELLO lacks the capability receive classic piggyback frames. Zero
+// means the default (8); 1 (or negative) keeps the classic framing; at
+// most wire.MaxFrameEnvelopes (16).
+func WithTrainLength(n int) Option { return func(c *config) { c.trainLength = n } }
+
+// WithoutFrameTrains makes a server behave like a pre-train build: it
+// neither advertises the frame-train capability nor sends trains.
+// Mainly useful to stage mixed-version rings and tests.
+func WithoutFrameTrains() Option { return func(c *config) { c.noTrains = true } }
 
 // WithReadConcurrency sets the read-path worker pool size serving
 // client reads off the lane event loops. Zero means the default;

@@ -16,6 +16,8 @@ func (c config) coreConfig(id ServerID, members []ServerID) core.Config {
 		ID:                  id,
 		Members:             members,
 		WriteLanes:          c.lanes,
+		TrainLength:         c.trainLength,
+		DisableFrameTrains:  c.noTrains,
 		ReadConcurrency:     c.readConcurrency,
 		ObjectShards:        c.objectShards,
 		DisablePiggyback:    c.noPiggyback,

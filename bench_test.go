@@ -10,10 +10,13 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/simstore"
@@ -411,7 +414,7 @@ func BenchmarkMultiObjectWriteThroughput(b *testing.B) {
 				var writes float64
 				for i := 0; i < b.N; i++ {
 					var err error
-					writes, err = bench.MultiObjectWriteThroughput(context.Background(), 3, 8, lanes, tc.readers, 300*time.Millisecond)
+					writes, err = bench.MultiObjectWriteThroughput(context.Background(), 3, 8, lanes, 1, tc.readers, 300*time.Millisecond)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -419,6 +422,97 @@ func BenchmarkMultiObjectWriteThroughput(b *testing.B) {
 				b.ReportMetric(writes, "writes/s")
 			})
 		}
+	}
+}
+
+// BenchmarkRingTrainThroughput measures the ring write path's capacity
+// across the frame-train length at the default 4-lane fanout, with
+// windowed request drivers (128 writes outstanding per server over 256
+// objects; the contended variant adds a 32-read window per server) so
+// the ring pipeline, not client scheduling, is the bottleneck. The
+// contended variant is the train-scaling acceptance metric — train=8
+// must be >= 1.5x train=1, recorded in EXPERIMENTS.md and
+// BENCH_hotpath.json.
+func BenchmarkRingTrainThroughput(b *testing.B) {
+	for _, tc := range []struct {
+		name       string
+		readWindow int
+	}{
+		{"contended", 32},
+		{"writeonly", 0},
+	} {
+		for _, train := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/train=%d", tc.name, train), func(b *testing.B) {
+				var res bench.RingLoadResult
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = bench.RingWriteThroughput(3, 256, 4, train, 128, tc.readWindow, 300*time.Millisecond)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(res.WritesPerSec, "writes/s")
+				b.ReportMetric(res.AvgTrainLen, "envs/frame")
+			})
+		}
+	}
+}
+
+// BenchmarkTCPTrainThroughput is the same comparison over real loopback
+// TCP (session endpoints, per-lane connections, pooled inbound values),
+// with closed-loop clients: per-frame costs here include real encode
+// and socket work. Slower and noisier than the in-memory driver
+// harness; useful as the deployment-shaped cross-check.
+func BenchmarkTCPTrainThroughput(b *testing.B) {
+	for _, train := range []int{1, 8} {
+		b.Run(fmt.Sprintf("train=%d", train), func(b *testing.B) {
+			var writes float64
+			for i := 0; i < b.N; i++ {
+				cluster, err := bench.NewTCPCluster(3, func(c *coreConfig) {
+					c.WriteLanes = 4
+					c.TrainLength = train
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var done atomic.Uint64
+				var wg sync.WaitGroup
+				value := make([]byte, 1024)
+				const objects = 64
+				// Dial every client before the clock starts: 64 TCP
+				// handshakes on a loaded runner would otherwise eat a
+				// variable slice of the measured window.
+				clients := make([]*client.Client, objects)
+				for obj := 0; obj < objects; obj++ {
+					cl, err := cluster.NewClient(cluster.Members[obj%3])
+					if err != nil {
+						b.Fatal(err)
+					}
+					clients[obj] = cl
+				}
+				runCtx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+				for obj := 0; obj < objects; obj++ {
+					cl := clients[obj]
+					wg.Add(1)
+					go func(obj int) {
+						defer wg.Done()
+						for runCtx.Err() == nil {
+							if _, err := cl.Write(runCtx, wire.ObjectID(obj), value); err == nil {
+								done.Add(1)
+							}
+						}
+					}(obj)
+				}
+				start := time.Now()
+				<-runCtx.Done()
+				elapsed := time.Since(start).Seconds()
+				cancel()
+				wg.Wait()
+				cluster.Close()
+				writes = float64(done.Load()) / elapsed
+			}
+			b.ReportMetric(writes, "writes/s")
+		})
 	}
 }
 

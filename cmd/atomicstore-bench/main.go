@@ -40,11 +40,12 @@ func run() error {
 		hotpathOut = flag.String("hotpath-out", "BENCH_hotpath.json", "where -hotpath writes its report")
 		echoMsgs   = flag.Int("hotpath-echo-msgs", 60000, "messages per TCP echo measurement")
 		moWindow   = flag.Duration("hotpath-window", time.Second, "measurement window per multi-object data point")
+		strict     = flag.Bool("hotpath-strict", false, "exit non-zero if the codec hot path allocates (encode or round trip > 0 allocs/op)")
 	)
 	flag.Parse()
 
 	if *hotpath {
-		return runHotpath(*hotpathOut, *echoMsgs, *moWindow)
+		return runHotpath(*hotpathOut, *echoMsgs, *moWindow, *strict)
 	}
 
 	experiments := bench.All()
@@ -88,25 +89,36 @@ func run() error {
 }
 
 // runHotpath runs the transport/codec microbenchmarks, prints a summary,
-// and writes the JSON report tracked across PRs.
-func runHotpath(out string, echoMsgs int, window time.Duration) error {
+// and writes the JSON report tracked across PRs. With strict set it
+// fails when the codec hot path is no longer allocation-free.
+func runHotpath(out string, echoMsgs int, window time.Duration, strict bool) error {
 	rep, err := bench.RunHotpath(context.Background(), echoMsgs, window)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("== hotpath — transport/codec microbenchmarks ==\n\n")
-	fmt.Printf("wire codec:   encode %.1f ns/op (%d allocs), round trip %.1f ns/op (%d allocs), %.0f MB/s\n",
+	fmt.Printf("wire codec:    encode %.1f ns/op (%d allocs), round trip %.1f ns/op (%d allocs), %.0f MB/s\n",
 		rep.Wire.EncodeNsPerOp, rep.Wire.EncodeAllocsPerOp,
 		rep.Wire.RoundTripNsPerOp, rep.Wire.RoundTripAllocsPerOp, rep.Wire.MBPerSec)
-	fmt.Printf("tcp echo:     coalesced %.0f msgs/s, unbatched %.0f msgs/s, speedup %.2fx\n",
+	fmt.Printf("tcp echo:      coalesced %.0f msgs/s, unbatched %.0f msgs/s, speedup %.2fx\n",
 		rep.TCPEcho.CoalescedMsgsPerSec, rep.TCPEcho.UnbatchedMsgsPerSec, rep.TCPEcho.Speedup)
-	fmt.Printf("multi-object: sharded %.0f reads/s (%.0f writes/s), inline %.0f reads/s, speedup %.2fx\n",
+	fmt.Printf("multi-object:  sharded %.0f reads/s (%.0f writes/s), inline %.0f reads/s, speedup %.2fx\n",
 		rep.MultiObject.ShardedReadsPerSec, rep.MultiObject.ShardedWritesPerSec,
 		rep.MultiObject.InlineReadsPerSec, rep.MultiObject.ReadSpeedup)
+	fmt.Printf("lane scaling:  contended L4 %.0f vs L1 %.0f writes/s (%.2fx), write-only %.2fx\n",
+		rep.LaneScaling.ContendedWritesPerSecLane4, rep.LaneScaling.ContendedWritesPerSecLane1,
+		rep.LaneScaling.ContendedSpeedup, rep.LaneScaling.WriteOnlySpeedup)
+	fmt.Printf("train scaling: contended T8 %.0f vs T1 %.0f writes/s (%.2fx), write-only %.2fx\n",
+		rep.TrainScaling.ContendedWritesPerSecTrain8, rep.TrainScaling.ContendedWritesPerSecTrain1,
+		rep.TrainScaling.ContendedSpeedup, rep.TrainScaling.WriteOnlySpeedup)
 	if err := rep.WriteJSON(out); err != nil {
 		return err
 	}
 	fmt.Printf("\nreport written to %s\n", out)
+	if strict && (rep.Wire.EncodeAllocsPerOp != 0 || rep.Wire.RoundTripAllocsPerOp != 0) {
+		return fmt.Errorf("codec hot path allocates: encode %d allocs/op, round trip %d allocs/op (want 0)",
+			rep.Wire.EncodeAllocsPerOp, rep.Wire.RoundTripAllocsPerOp)
+	}
 	return nil
 }
 

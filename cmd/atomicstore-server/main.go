@@ -42,6 +42,8 @@ func run() error {
 		noElide     = flag.Bool("no-elision", false, "ship full values in write-phase messages (ablation)")
 		noFair      = flag.Bool("no-fairness", false, "FIFO forwarding instead of the nb_msg rule (ablation)")
 		lanes       = flag.Int("lanes", 0, "ring write lanes (hash(object) mod lanes; validated against peers at handshake; 0 = default, negative = 1)")
+		train       = flag.Int("train", 0, "max ring messages per frame (frame trains, negotiated per peer; 0 = default 8, 1 = classic piggyback)")
+		noTrains    = flag.Bool("no-trains", false, "behave like a pre-train build: do not advertise or send wire-v4 train frames")
 		legacy      = flag.Bool("legacy-peers", false, "accept v2-era peers that connect without a session handshake")
 	)
 	flag.Parse()
@@ -60,7 +62,11 @@ func run() error {
 
 	opts := []atomicstore.Option{
 		atomicstore.WithWriteLanes(*lanes),
+		atomicstore.WithTrainLength(*train),
 		atomicstore.WithLogger(logger),
+	}
+	if *noTrains {
+		opts = append(opts, atomicstore.WithoutFrameTrains())
 	}
 	if *noPiggy {
 		opts = append(opts, atomicstore.WithoutPiggyback())

@@ -65,9 +65,7 @@ func run() error {
 	var wg sync.WaitGroup
 	start := time.Now()
 	for obj := 0; obj < objects; obj++ {
-		obj := obj
 		for w := 0; w < writersPer; w++ {
-			w := w
 			cl, err := newClient(0)
 			if err != nil {
 				return err

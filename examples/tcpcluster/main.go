@@ -95,7 +95,6 @@ func run() error {
 		results [loadObjects]workload.Result
 	)
 	for obj := 0; obj < loadObjects; obj++ {
-		obj := obj
 		lg, err := newClient()
 		if err != nil {
 			return err

@@ -28,10 +28,11 @@ type HotpathReport struct {
 	GoVersion  string `json:"go_version"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 
-	Wire        WireCodecStats   `json:"wire_codec"`
-	TCPEcho     TCPEchoStats     `json:"tcp_echo"`
-	MultiObject MultiObjectStats `json:"multi_object"`
-	LaneScaling LaneScalingStats `json:"lane_scaling"`
+	Wire         WireCodecStats    `json:"wire_codec"`
+	TCPEcho      TCPEchoStats      `json:"tcp_echo"`
+	MultiObject  MultiObjectStats  `json:"multi_object"`
+	LaneScaling  LaneScalingStats  `json:"lane_scaling"`
+	TrainScaling TrainScalingStats `json:"train_scaling"`
 }
 
 // WireCodecStats reports the pooled encode/decode round trip.
@@ -100,6 +101,39 @@ type LaneScalingStats struct {
 	WriteOnlyWritesPerSecLane1 float64 `json:"write_only_writes_per_sec_lane1"`
 	WriteOnlyWritesPerSecLane4 float64 `json:"write_only_writes_per_sec_lane4"`
 	WriteOnlySpeedup           float64 `json:"write_only_speedup"`
+}
+
+// TrainScalingStats compares ring write throughput at TrainLength 8
+// against the classic piggyback framing (TrainLength 1) on the same
+// L=4 lane fanout: the PR-4 tentpole metric, measured with
+// RingWriteThroughput's windowed drivers (writes kept outstanding per
+// server, plus a read window in the contended rows) so the ring
+// pipeline — not client goroutine scheduling — is the bottleneck and
+// saturated lanes actually accumulate the queues trains drain. The
+// avg_train_len fields report the achieved envelopes per frame
+// (Server.RingFrameStats); 1.0 would mean framing amortized nothing.
+// The lane_scaling section above deliberately stays at TrainLength 1
+// so it remains comparable with the PR 2/3 snapshots.
+type TrainScalingStats struct {
+	Servers     int     `json:"servers"`
+	Objects     int     `json:"objects"`
+	Lanes       int     `json:"lanes"`
+	WriteWindow int     `json:"write_window"`
+	ReadWindow  int     `json:"read_window"`
+	Seconds     float64 `json:"seconds"`
+	// Contended rows: write drivers plus read drivers on the same
+	// objects. The acceptance bar is ContendedSpeedup >= 1.5.
+	ContendedWritesPerSecTrain1 float64 `json:"contended_writes_per_sec_train1"`
+	ContendedWritesPerSecTrain8 float64 `json:"contended_writes_per_sec_train8"`
+	ContendedAvgTrainLen1       float64 `json:"contended_avg_train_len1"`
+	ContendedAvgTrainLen8       float64 `json:"contended_avg_train_len8"`
+	ContendedSpeedup            float64 `json:"contended_speedup"`
+	// WriteOnly rows: write drivers only, no read load.
+	WriteOnlyWritesPerSecTrain1 float64 `json:"write_only_writes_per_sec_train1"`
+	WriteOnlyWritesPerSecTrain8 float64 `json:"write_only_writes_per_sec_train8"`
+	WriteOnlyAvgTrainLen1       float64 `json:"write_only_avg_train_len1"`
+	WriteOnlyAvgTrainLen8       float64 `json:"write_only_avg_train_len8"`
+	WriteOnlySpeedup            float64 `json:"write_only_speedup"`
 }
 
 // HotpathFrame builds the canonical hot-path frame: a 1 KiB pre-write
@@ -280,7 +314,6 @@ func MultiObjectThroughput(ctx context.Context, servers, objects int, duration t
 	defer cancel()
 	value := make([]byte, 1024)
 	for obj := 0; obj < objects; obj++ {
-		obj := obj
 		pin := cluster.Members[obj%len(cluster.Members)]
 		wcl, err := cluster.NewClient(pin)
 		if err != nil {
@@ -323,13 +356,17 @@ func MultiObjectThroughput(ctx context.Context, servers, objects int, duration t
 
 // MultiObjectWriteThroughput drives one closed-loop writer per object,
 // plus readersPerObject closed-loop readers on the same object, over a
-// cluster configured with the given lane fanout, and returns aggregate
-// completed writes/s. Writers pin to servers round-robin, so every
-// server both initiates and forwards. With readers the workload is the
-// contended shape of the lane-scaling metric; with zero readers it
-// isolates the bare ring write path.
-func MultiObjectWriteThroughput(ctx context.Context, servers, objects, lanes, readersPerObject int, duration time.Duration) (float64, error) {
-	cluster, err := NewAsyncCluster(servers, func(c *core.Config) { c.WriteLanes = lanes })
+// cluster configured with the given lane fanout and train length, and
+// returns aggregate completed writes/s. Writers pin to servers
+// round-robin, so every server both initiates and forwards. With
+// readers the workload is the contended shape of the lane- and
+// train-scaling metrics; with zero readers it isolates the bare ring
+// write path. trainLen 1 is the classic piggyback framing.
+func MultiObjectWriteThroughput(ctx context.Context, servers, objects, lanes, trainLen, readersPerObject int, duration time.Duration) (float64, error) {
+	cluster, err := NewAsyncCluster(servers, func(c *core.Config) {
+		c.WriteLanes = lanes
+		c.TrainLength = trainLen
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -343,7 +380,6 @@ func MultiObjectWriteThroughput(ctx context.Context, servers, objects, lanes, re
 	defer cancel()
 	value := make([]byte, 1024)
 	for obj := 0; obj < objects; obj++ {
-		obj := obj
 		pin := cluster.Members[obj%len(cluster.Members)]
 		cl, err := cluster.NewClient(pin)
 		if err != nil {
@@ -384,7 +420,9 @@ func MultiObjectWriteThroughput(ctx context.Context, servers, objects, lanes, re
 
 // MeasureLaneScaling compares the lane-sharded write path (4 lanes)
 // against the single-loop baseline on the same 8-object workloads,
-// contended (2 readers per object) and write-only.
+// contended (2 readers per object) and write-only. Trains are pinned to
+// 1 (classic framing) so the section stays comparable with the PR 2/3
+// snapshots; MeasureTrainScaling owns the train dimension.
 func MeasureLaneScaling(ctx context.Context, duration time.Duration) (LaneScalingStats, error) {
 	const servers, objects = 3, 8
 	st := LaneScalingStats{
@@ -393,16 +431,16 @@ func MeasureLaneScaling(ctx context.Context, duration time.Duration) (LaneScalin
 		Seconds: duration.Seconds(),
 	}
 	var err error
-	if st.ContendedWritesPerSecLane1, err = MultiObjectWriteThroughput(ctx, servers, objects, 1, 2, duration); err != nil {
+	if st.ContendedWritesPerSecLane1, err = MultiObjectWriteThroughput(ctx, servers, objects, 1, 1, 2, duration); err != nil {
 		return st, err
 	}
-	if st.ContendedWritesPerSecLane4, err = MultiObjectWriteThroughput(ctx, servers, objects, 4, 2, duration); err != nil {
+	if st.ContendedWritesPerSecLane4, err = MultiObjectWriteThroughput(ctx, servers, objects, 4, 1, 2, duration); err != nil {
 		return st, err
 	}
-	if st.WriteOnlyWritesPerSecLane1, err = MultiObjectWriteThroughput(ctx, servers, objects, 1, 0, duration); err != nil {
+	if st.WriteOnlyWritesPerSecLane1, err = MultiObjectWriteThroughput(ctx, servers, objects, 1, 1, 0, duration); err != nil {
 		return st, err
 	}
-	if st.WriteOnlyWritesPerSecLane4, err = MultiObjectWriteThroughput(ctx, servers, objects, 4, 0, duration); err != nil {
+	if st.WriteOnlyWritesPerSecLane4, err = MultiObjectWriteThroughput(ctx, servers, objects, 4, 1, 0, duration); err != nil {
 		return st, err
 	}
 	if st.ContendedWritesPerSecLane1 > 0 {
@@ -410,6 +448,50 @@ func MeasureLaneScaling(ctx context.Context, duration time.Duration) (LaneScalin
 	}
 	if st.WriteOnlyWritesPerSecLane1 > 0 {
 		st.WriteOnlySpeedup = st.WriteOnlyWritesPerSecLane4 / st.WriteOnlyWritesPerSecLane1
+	}
+	return st, nil
+}
+
+// MeasureTrainScaling compares TrainLength 8 against the classic
+// piggyback framing (TrainLength 1) at the default 4-lane fanout:
+// 256 objects, 128 writes kept outstanding per server (deep enough
+// queues for real trains to form), with a 32-read window per server in
+// the contended rows.
+func MeasureTrainScaling(duration time.Duration) (TrainScalingStats, error) {
+	const servers, objects, lanes, writeWin, readWin = 3, 256, 4, 128, 32
+	st := TrainScalingStats{
+		Servers:     servers,
+		Objects:     objects,
+		Lanes:       lanes,
+		WriteWindow: writeWin,
+		ReadWindow:  readWin,
+		Seconds:     duration.Seconds(),
+	}
+	run := func(trainLen, readWindow int) (RingLoadResult, error) {
+		return RingWriteThroughput(servers, objects, lanes, trainLen, writeWin, readWindow, duration)
+	}
+	res, err := run(1, readWin)
+	if err != nil {
+		return st, err
+	}
+	st.ContendedWritesPerSecTrain1, st.ContendedAvgTrainLen1 = res.WritesPerSec, res.AvgTrainLen
+	if res, err = run(8, readWin); err != nil {
+		return st, err
+	}
+	st.ContendedWritesPerSecTrain8, st.ContendedAvgTrainLen8 = res.WritesPerSec, res.AvgTrainLen
+	if res, err = run(1, 0); err != nil {
+		return st, err
+	}
+	st.WriteOnlyWritesPerSecTrain1, st.WriteOnlyAvgTrainLen1 = res.WritesPerSec, res.AvgTrainLen
+	if res, err = run(8, 0); err != nil {
+		return st, err
+	}
+	st.WriteOnlyWritesPerSecTrain8, st.WriteOnlyAvgTrainLen8 = res.WritesPerSec, res.AvgTrainLen
+	if st.ContendedWritesPerSecTrain1 > 0 {
+		st.ContendedSpeedup = st.ContendedWritesPerSecTrain8 / st.ContendedWritesPerSecTrain1
+	}
+	if st.WriteOnlyWritesPerSecTrain1 > 0 {
+		st.WriteOnlySpeedup = st.WriteOnlyWritesPerSecTrain8 / st.WriteOnlyWritesPerSecTrain1
 	}
 	return st, nil
 }
@@ -469,6 +551,11 @@ func RunHotpath(ctx context.Context, echoMsgs int, multiObjDuration time.Duratio
 		return rep, err
 	}
 	rep.LaneScaling = lanes
+	trains, err := MeasureTrainScaling(multiObjDuration)
+	if err != nil {
+		return rep, err
+	}
+	rep.TrainScaling = trains
 	return rep, nil
 }
 

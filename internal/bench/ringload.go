@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// RingLoadResult is one RingWriteThroughput measurement.
+type RingLoadResult struct {
+	// WritesPerSec is the aggregate completed (acknowledged) writes/s.
+	WritesPerSec float64
+	// AvgTrainLen is the achieved envelopes-per-ring-frame across the
+	// cluster (Server.RingFrameStats): 1.0 means no amortization ever
+	// happened, Config.TrainLength is the ceiling.
+	AvgTrainLen float64
+}
+
+// RingWriteThroughput measures the ring write path's capacity with
+// windowed request drivers instead of closed-loop clients: one driver
+// endpoint per server keeps writeWindow write requests outstanding
+// (spread round-robin over the object space) and counts acks, and —
+// when readWindow > 0 — one read driver per server keeps readWindow
+// read requests outstanding against the same objects, the contended
+// shape. Drivers speak the raw transport, so the measurement is
+// dominated by the servers' ring pipeline rather than by client
+// goroutine scheduling; deep windows are what let a saturated lane
+// accumulate the queue a frame train drains (DESIGN.md §9).
+func RingWriteThroughput(servers, objects, lanes, trainLen, writeWindow, readWindow int, duration time.Duration) (RingLoadResult, error) {
+	members := make([]wire.ProcessID, 0, servers)
+	for i := 1; i <= servers; i++ {
+		members = append(members, wire.ProcessID(i))
+	}
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	srvs := make([]*core.Server, 0, servers)
+	eps := make([]*transport.MemEndpoint, 0, servers)
+	defer func() {
+		for i, s := range srvs {
+			s.Stop()
+			_ = eps[i].Close()
+		}
+	}()
+	for _, id := range members {
+		cfg := core.Config{ID: id, Members: members, WriteLanes: lanes, TrainLength: trainLen}
+		ep, err := net.RegisterSession(cfg.SessionHello())
+		if err != nil {
+			return RingLoadResult{}, err
+		}
+		srv, err := core.NewServer(cfg, ep)
+		if err != nil {
+			_ = ep.Close()
+			return RingLoadResult{}, err
+		}
+		srv.Start()
+		srvs = append(srvs, srv)
+		eps = append(eps, ep)
+	}
+
+	membershipHash := wire.MembershipHash(members)
+	stop := make(chan struct{})
+	// Buffered to driver count: a driver that dies early (failed send,
+	// or the error path closing stop before collection) must be able to
+	// report without a collector, or it would leak blocked forever.
+	writeDone := make(chan uint64, servers)
+	readDone := make(chan uint64, servers)
+	value := make([]byte, 1024)
+
+	// driver keeps `window` requests of the given kind outstanding
+	// against one server and reports how many were acknowledged.
+	driver := func(id, target wire.ProcessID, kind wire.Kind) error {
+		dep, err := net.RegisterSession(wire.Hello{
+			Version: wire.HelloVersion, From: id,
+			Link: wire.LinkGeneral, MembershipHash: membershipHash,
+		})
+		if err != nil {
+			return err
+		}
+		window, done := writeWindow, writeDone
+		if kind == wire.KindReadRequest {
+			window, done = readWindow, readDone
+		}
+		go func() {
+			defer func() { _ = dep.Close() }()
+			var acked uint64
+			reqID := uint64(0)
+			outstanding := 0
+			for {
+				select {
+				case <-stop:
+					done <- acked
+					return
+				default:
+				}
+				for outstanding < window {
+					reqID++
+					env := wire.Envelope{Kind: kind, Object: wire.ObjectID(int(reqID) % objects), ReqID: reqID}
+					if kind == wire.KindWriteRequest {
+						env.Value = value
+					}
+					if err := dep.Send(target, wire.NewFrame(env)); err != nil {
+						done <- acked
+						return
+					}
+					outstanding++
+				}
+				select {
+				case <-dep.Inbox():
+					acked++
+					outstanding--
+				case <-stop:
+					done <- acked
+					return
+				}
+			}
+		}()
+		return nil
+	}
+
+	for i, target := range members {
+		if err := driver(wire.ProcessID(10000+i), target, wire.KindWriteRequest); err != nil {
+			close(stop)
+			return RingLoadResult{}, fmt.Errorf("bench: write driver: %w", err)
+		}
+		if readWindow > 0 {
+			if err := driver(wire.ProcessID(20000+i), target, wire.KindReadRequest); err != nil {
+				close(stop)
+				return RingLoadResult{}, fmt.Errorf("bench: read driver: %w", err)
+			}
+		}
+	}
+
+	start := time.Now()
+	time.Sleep(duration)
+	close(stop)
+	elapsed := time.Since(start).Seconds()
+	var writes uint64
+	for range members {
+		writes += <-writeDone
+		if readWindow > 0 {
+			<-readDone // read acks are load, not the metric
+		}
+	}
+	var frames, envs uint64
+	for _, s := range srvs {
+		f, e := s.RingFrameStats()
+		frames += f
+		envs += e
+	}
+	res := RingLoadResult{WritesPerSec: float64(writes) / elapsed}
+	if frames > 0 {
+		res.AvgTrainLen = float64(envs) / float64(frames)
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/tcpnet"
+	"repro/internal/wire"
+)
+
+// TCPCluster is a running loopback-TCP deployment of the real
+// implementation with session endpoints (validated handshakes, per-lane
+// links, pooled inbound values, negotiated frame trains) — the
+// deployment-shaped harness for transport-sensitive benchmarks, where
+// per-frame costs (encode, socket writes, reader wakeups) are real.
+type TCPCluster struct {
+	Members []wire.ProcessID
+
+	book       tcpnet.AddressBook
+	servers    []*core.Server
+	endpoints  []*tcpnet.Endpoint
+	clients    []*client.Client
+	clientEPs  []*tcpnet.Endpoint
+	nextClient wire.ProcessID
+}
+
+// NewTCPCluster starts n storage servers on ephemeral loopback ports.
+func NewTCPCluster(n int, mod func(*core.Config)) (*TCPCluster, error) {
+	c := &TCPCluster{book: make(tcpnet.AddressBook), nextClient: 1000}
+	for i := 1; i <= n; i++ {
+		c.Members = append(c.Members, wire.ProcessID(i))
+	}
+	// Reserve addresses first: the address book must be complete before
+	// any server dials its successor. Close-then-relisten leaves a small
+	// window in which another process could grab the port (the same
+	// pattern the test helpers use); a failure here surfaces as a Listen
+	// error, never as silent misbehavior.
+	tmp := make([]*tcpnet.Endpoint, 0, n)
+	for _, id := range c.Members {
+		ep, err := tcpnet.Listen(id, "127.0.0.1:0", nil, tcpnet.Options{})
+		if err != nil {
+			return nil, err
+		}
+		c.book[id] = ep.Addr()
+		tmp = append(tmp, ep)
+	}
+	for _, ep := range tmp {
+		_ = ep.Close()
+	}
+	for _, id := range c.Members {
+		cfg := core.Config{ID: id, Members: c.Members}
+		if mod != nil {
+			mod(&cfg)
+		}
+		hello := cfg.SessionHello()
+		ep, err := tcpnet.Listen(id, c.book[id], c.book, tcpnet.Options{Hello: &hello})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		srv, err := core.NewServer(cfg, ep)
+		if err != nil {
+			_ = ep.Close()
+			c.Close()
+			return nil, err
+		}
+		srv.Start()
+		c.servers = append(c.servers, srv)
+		c.endpoints = append(c.endpoints, ep)
+	}
+	return c, nil
+}
+
+// NewClient attaches a session client; pinned != 0 pins it to one server.
+func (c *TCPCluster) NewClient(pinned wire.ProcessID) (*client.Client, error) {
+	c.nextClient++
+	hello := wire.Hello{
+		Version:        wire.HelloVersion,
+		From:           c.nextClient,
+		Link:           wire.LinkGeneral,
+		MembershipHash: wire.MembershipHash(c.Members),
+	}
+	ep := tcpnet.NewClient(c.nextClient, c.book, tcpnet.Options{Hello: &hello})
+	opts := client.Options{Servers: c.Members, AttemptTimeout: 10 * time.Second}
+	if pinned != 0 {
+		opts.Servers = []wire.ProcessID{pinned}
+		opts.Policy = client.PolicyPinned
+	}
+	cl, err := client.New(ep, opts)
+	if err != nil {
+		_ = ep.Close()
+		return nil, fmt.Errorf("bench: tcp client: %w", err)
+	}
+	c.clients = append(c.clients, cl)
+	c.clientEPs = append(c.clientEPs, ep)
+	return cl, nil
+}
+
+// Close stops every client and server.
+func (c *TCPCluster) Close() {
+	for i, cl := range c.clients {
+		_ = cl.Close()
+		_ = c.clientEPs[i].Close()
+	}
+	for i, srv := range c.servers {
+		srv.Stop()
+		_ = c.endpoints[i].Close()
+	}
+}

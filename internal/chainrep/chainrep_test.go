@@ -133,7 +133,6 @@ func TestChainLinearizableHistory(t *testing.T) {
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < 2; w++ {
-		w := w
 		cl := f.client()
 		wg.Add(1)
 		go func() {

@@ -44,13 +44,17 @@ func newCluster(t *testing.T, n int, mods ...configMod) *cluster {
 		c.members = append(c.members, wire.ProcessID(i))
 	}
 	for _, id := range c.members {
-		ep, err := c.net.Register(id)
-		if err != nil {
-			t.Fatalf("register server %d: %v", id, err)
-		}
 		cfg := core.Config{ID: id, Members: c.members}
 		for _, mod := range mods {
 			mod(&cfg)
+		}
+		// Session endpoints, as real deployments use: servers negotiate
+		// capabilities (per-lane links, frame trains) among themselves.
+		// Clients below stay session-less, covering the legacy-client
+		// compatibility path at the same time.
+		ep, err := c.net.RegisterSession(cfg.SessionHello())
+		if err != nil {
+			t.Fatalf("register server %d: %v", id, err)
 		}
 		srv, err := core.NewServer(cfg, ep)
 		if err != nil {
@@ -252,7 +256,6 @@ func TestConcurrentWritersUniqueTags(t *testing.T) {
 	seen := make(map[string]string) // tag -> value
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
-		w := w
 		cl := c.newClient(client.Options{})
 		wg.Add(1)
 		go func() {
@@ -380,7 +383,6 @@ func TestLinearizabilityStressVariants(t *testing.T) {
 		{"no_fairness", func(c *core.Config) { c.DisableFairness = true }},
 	}
 	for _, v := range variants {
-		v := v
 		t.Run(v.name, func(t *testing.T) {
 			t.Parallel()
 			c := newCluster(t, 3, v.mod)
@@ -447,7 +449,6 @@ func TestLaneConfigurations(t *testing.T) {
 			var recs [objects]opRecorder
 			var wg sync.WaitGroup
 			for obj := 0; obj < objects; obj++ {
-				obj := obj
 				wcl := c.newClient(client.Options{})
 				rcl := c.newClient(client.Options{})
 				wg.Add(2)
@@ -518,7 +519,6 @@ func TestShardedReadPathConfigurations(t *testing.T) {
 			}
 			var wg sync.WaitGroup
 			for obj := 0; obj < objects; obj++ {
-				obj := obj
 				wcl := c.newClient(client.Options{})
 				wg.Add(1)
 				go func() {

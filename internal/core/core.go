@@ -84,6 +84,21 @@ type Config struct {
 	// same value (like Members). Zero means DefaultWriteLanes; negative
 	// means 1 (the single-loop pre-lane behavior); at most MaxWriteLanes.
 	WriteLanes int
+	// TrainLength is the maximum number of ring envelopes one outbound
+	// frame may carry ("frame trains", DESIGN.md §9): the lane's queue
+	// handler drains up to TrainLength fairness-selected messages into
+	// one wire-v4 frame, amortizing the per-frame costs of a saturated
+	// ring. Trains are only spoken to successors whose session
+	// negotiated wire.CapFrameTrains; other links get classic v3
+	// piggyback frames. Zero means DefaultTrainLength; 1 (or negative)
+	// keeps the classic framing — one fairness-selected primary plus at
+	// most one opposite-phase piggyback, the pre-train behavior; at
+	// most wire.MaxFrameEnvelopes.
+	TrainLength int
+	// DisableFrameTrains models a pre-train build: the server neither
+	// advertises wire.CapFrameTrains in its HELLO nor plans trains,
+	// whatever TrainLength says. Used to exercise mixed-version rings.
+	DisableFrameTrains bool
 
 	// Logger receives debug events; nil discards them.
 	Logger *slog.Logger
@@ -97,6 +112,12 @@ const DefaultWriteLanes = 4
 // MaxWriteLanes bounds the lane fanout: the lane index travels in one
 // byte of the frame header.
 const MaxWriteLanes = 256
+
+// DefaultTrainLength is the per-frame envelope budget used when
+// Config.TrainLength is zero. Longer trains amortize per-frame costs
+// further but add nothing once they exceed the queue depth a saturated
+// lane actually accumulates (EXPERIMENTS.md's train-length sweep).
+const DefaultTrainLength = 8
 
 // readWorkers resolves ReadConcurrency to a worker count.
 func (c *Config) readWorkers() int {
@@ -124,6 +145,19 @@ func (c *Config) writeLanes() int {
 	return c.WriteLanes
 }
 
+// trainLength resolves TrainLength to a per-frame envelope budget; 1 is
+// the classic primary+piggyback framing. The piggyback ablation caps
+// the frame at one envelope elsewhere, so it forces 1 here too.
+func (c *Config) trainLength() int {
+	if c.DisableFrameTrains || c.DisablePiggyback || c.TrainLength < 0 {
+		return 1
+	}
+	if c.TrainLength == 0 {
+		return DefaultTrainLength
+	}
+	return c.TrainLength
+}
+
 // Validate checks the configuration without building a server, so
 // callers can fail before acquiring resources (listeners, endpoints).
 func (c *Config) Validate() error { return c.validate() }
@@ -135,6 +169,9 @@ func (c *Config) validate() error {
 	}
 	if c.WriteLanes > MaxWriteLanes {
 		return fmt.Errorf("core: WriteLanes %d exceeds %d", c.WriteLanes, MaxWriteLanes)
+	}
+	if c.TrainLength > wire.MaxFrameEnvelopes {
+		return fmt.Errorf("core: TrainLength %d exceeds %d", c.TrainLength, wire.MaxFrameEnvelopes)
 	}
 	for _, m := range c.Members {
 		if m == c.ID {
@@ -150,13 +187,17 @@ func (c *Config) validate() error {
 // it reject peers with a different WriteLanes or membership at
 // handshake time instead of misrouting ring frames at runtime.
 func (c *Config) SessionHello() wire.Hello {
+	caps := wire.CapLaneLinks
+	if !c.DisableFrameTrains {
+		caps |= wire.CapFrameTrains
+	}
 	return wire.Hello{
 		Version:        wire.HelloVersion,
 		From:           c.ID,
 		Lanes:          uint16(c.writeLanes()),
 		Link:           wire.LinkGeneral,
 		MembershipHash: wire.MembershipHash(c.Members),
-		Capabilities:   wire.CapLaneLinks,
+		Capabilities:   caps,
 	}
 }
 

@@ -114,7 +114,6 @@ func TestCrashDuringLoadPreservesAtomicity(t *testing.T) {
 	stopc := make(chan struct{})
 
 	for w := 0; w < 4; w++ {
-		w := w
 		cl := c.newClient(client.Options{AttemptTimeout: 500 * time.Millisecond})
 		wg.Add(1)
 		go func() {
@@ -208,7 +207,6 @@ func TestCrashDuringMultiObjectLoadPreservesAtomicity(t *testing.T) {
 	stopc := make(chan struct{})
 
 	for obj := 0; obj < objects; obj++ {
-		obj := obj
 		wcl := c.newClient(client.Options{AttemptTimeout: 500 * time.Millisecond})
 		wg.Add(1)
 		go func() {
@@ -285,6 +283,14 @@ func TestCrashDuringMultiObjectLoadPreservesAtomicity(t *testing.T) {
 		}
 		if string(got) != want {
 			t.Fatalf("object %d holds %q, want %q", obj, got, want)
+		}
+	}
+	// Recovery re-queued envelopes on the survivors; every one must have
+	// been struck from the pool-ownership books before reaching the
+	// forward queue (the requeue choke point counts violations).
+	for id, srv := range c.servers {
+		if n := srv.RecoveryBufferLeaks(); n != 0 {
+			t.Fatalf("server %d RecoveryBufferLeaks = %d, want 0", id, n)
 		}
 	}
 }

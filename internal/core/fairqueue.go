@@ -10,24 +10,139 @@ import (
 // the smallest forwarded-message count, which guarantees that every write
 // operation eventually completes even when the ring is saturated.
 //
+// Each origin's FIFO is indexed by message kind ("buckets"), so peeking
+// or popping the first envelope of a given kind is O(1) instead of a
+// linear scan — the train planner applies the fairness rule up to
+// TrainLength times per frame, and with the old scan each application
+// cost O(queue). Entries carry a queue-global sequence number so the
+// original arrival order can be reconstructed across buckets (kind-any
+// peeks, takeOrigin).
+//
 // The queue is confined to the server's event loop and needs no locking.
 type fairQueue struct {
 	// order lists origins in first-seen order, for deterministic
 	// tie-breaking when counts are equal.
 	order []wire.ProcessID
-	// queues holds the per-origin FIFO of envelopes to forward.
-	queues map[wire.ProcessID][]wire.Envelope
+	// queues holds the per-origin indexed FIFO of envelopes to forward.
+	queues map[wire.ProcessID]*originQueue
 	// nbMsg counts messages forwarded per origin since the last reset
 	// (paper: nb_msg[pj]).
 	nbMsg map[wire.ProcessID]uint64
 	// size is the total number of queued envelopes.
 	size int
+	// seq stamps pushed envelopes with their global arrival order.
+	seq uint64
+}
+
+// Per-origin buckets. Ring traffic is pre-writes and writes; anything
+// else lands in the catch-all bucket so the queue stays total.
+const (
+	bucketPreWrite = iota
+	bucketWrite
+	bucketOther
+	fqBuckets
+)
+
+// bucketOf maps an envelope kind to its bucket.
+func bucketOf(k wire.Kind) int {
+	switch k {
+	case wire.KindPreWrite:
+		return bucketPreWrite
+	case wire.KindWrite:
+		return bucketWrite
+	default:
+		return bucketOther
+	}
+}
+
+// fqEntry is one queued envelope stamped with its arrival sequence.
+type fqEntry struct {
+	seq uint64
+	env wire.Envelope
+}
+
+// originQueue holds one origin's queued envelopes as per-kind FIFOs.
+// Pops advance a head index instead of shifting the slice; the popped
+// prefix is compacted away once it dominates the slice.
+type originQueue struct {
+	buckets [fqBuckets][]fqEntry
+	heads   [fqBuckets]int
+}
+
+// bucketLen returns the number of live entries in bucket b.
+func (oq *originQueue) bucketLen(b int) int { return len(oq.buckets[b]) - oq.heads[b] }
+
+// at returns the i-th live entry of bucket b.
+func (oq *originQueue) at(b, i int) *fqEntry { return &oq.buckets[b][oq.heads[b]+i] }
+
+// live returns the total number of live entries.
+func (oq *originQueue) live() int {
+	n := 0
+	for b := 0; b < fqBuckets; b++ {
+		n += oq.bucketLen(b)
+	}
+	return n
+}
+
+// firstBucket returns the bucket holding the origin's next envelope of
+// kind k (0 = the lowest-sequence envelope across buckets), or -1 when
+// no such envelope is queued.
+func (oq *originQueue) firstBucket(k wire.Kind) int {
+	if k != 0 {
+		b := bucketOf(k)
+		if oq.bucketLen(b) == 0 {
+			return -1
+		}
+		return b
+	}
+	best := -1
+	var bestSeq uint64
+	for b := 0; b < fqBuckets; b++ {
+		if oq.bucketLen(b) == 0 {
+			continue
+		}
+		if s := oq.at(b, 0).seq; best == -1 || s < bestSeq {
+			best, bestSeq = b, s
+		}
+	}
+	return best
+}
+
+// push appends the envelope to its kind's bucket.
+func (oq *originQueue) push(seq uint64, env wire.Envelope) {
+	b := bucketOf(env.Kind)
+	oq.buckets[b] = append(oq.buckets[b], fqEntry{seq: seq, env: env})
+}
+
+// popBucket removes and returns bucket b's head envelope. The popped
+// slot is zeroed immediately so it stops pinning the value buffer.
+func (oq *originQueue) popBucket(b int) wire.Envelope {
+	e := oq.at(b, 0)
+	env := e.env
+	*e = fqEntry{}
+	oq.heads[b]++
+	switch {
+	case oq.heads[b] == len(oq.buckets[b]):
+		oq.buckets[b] = oq.buckets[b][:0]
+		oq.heads[b] = 0
+	case oq.heads[b] >= 32 && oq.heads[b]*2 >= len(oq.buckets[b]):
+		// Compact the (already zeroed) popped prefix away so a bucket
+		// that never fully drains cannot grow without bound.
+		n := copy(oq.buckets[b], oq.buckets[b][oq.heads[b]:])
+		tail := oq.buckets[b][n:]
+		for i := range tail {
+			tail[i] = fqEntry{}
+		}
+		oq.buckets[b] = oq.buckets[b][:n]
+		oq.heads[b] = 0
+	}
+	return env
 }
 
 // newFairQueue returns an empty queue.
 func newFairQueue() *fairQueue {
 	return &fairQueue{
-		queues: make(map[wire.ProcessID][]wire.Envelope),
+		queues: make(map[wire.ProcessID]*originQueue),
 		nbMsg:  make(map[wire.ProcessID]uint64),
 	}
 }
@@ -35,11 +150,14 @@ func newFairQueue() *fairQueue {
 // push appends env to its origin's FIFO.
 func (q *fairQueue) push(env wire.Envelope) {
 	origin := env.Origin
-	if _, seen := q.queues[origin]; !seen {
-		q.queues[origin] = nil
+	oq, seen := q.queues[origin]
+	if !seen {
+		oq = &originQueue{}
+		q.queues[origin] = oq
 		q.order = append(q.order, origin)
 	}
-	q.queues[origin] = append(q.queues[origin], env)
+	oq.push(q.seq, env)
+	q.seq++
 	q.size++
 }
 
@@ -62,11 +180,6 @@ func (q *fairQueue) resetCounts() {
 	for k := range q.nbMsg {
 		delete(q.nbMsg, k)
 	}
-}
-
-// kindMatch reports whether env is of the requested phase.
-func kindMatch(env *wire.Envelope, k wire.Kind) bool {
-	return k == 0 || env.Kind == k
 }
 
 // selectOrigin returns the queued origin with the smallest nb_msg count
@@ -102,56 +215,91 @@ func (q *fairQueue) selectOrigin(self wire.ProcessID, includeSelf bool, k wire.K
 
 // hasAny reports whether the origin has queued envelopes.
 func (q *fairQueue) hasAny(origin wire.ProcessID) bool {
-	return len(q.queues[origin]) > 0
+	oq := q.queues[origin]
+	return oq != nil && oq.live() > 0
 }
 
 // hasKind reports whether the origin has a queued envelope of kind k
 // (0 = any).
 func (q *fairQueue) hasKind(origin wire.ProcessID, k wire.Kind) bool {
-	for i := range q.queues[origin] {
-		if kindMatch(&q.queues[origin][i], k) {
-			return true
-		}
-	}
-	return false
+	oq := q.queues[origin]
+	return oq != nil && oq.firstBucket(k) >= 0
 }
 
 // peekFirst returns the first envelope of kind k (0 = any) queued for the
 // origin, without removing it.
 func (q *fairQueue) peekFirst(origin wire.ProcessID, k wire.Kind) (wire.Envelope, bool) {
-	for i := range q.queues[origin] {
-		if kindMatch(&q.queues[origin][i], k) {
-			return q.queues[origin][i], true
-		}
+	oq := q.queues[origin]
+	if oq == nil {
+		return wire.Envelope{}, false
 	}
-	return wire.Envelope{}, false
+	b := oq.firstBucket(k)
+	if b < 0 {
+		return wire.Envelope{}, false
+	}
+	return oq.at(b, 0).env, true
 }
 
 // popFirst removes and returns the first envelope of kind k (0 = any)
 // queued for the origin, preserving the order of the rest.
 func (q *fairQueue) popFirst(origin wire.ProcessID, k wire.Kind) (wire.Envelope, bool) {
-	queue := q.queues[origin]
-	for i := range queue {
-		if kindMatch(&queue[i], k) {
-			env := queue[i]
-			q.queues[origin] = append(queue[:i], queue[i+1:]...)
-			q.size--
-			return env, true
-		}
+	oq := q.queues[origin]
+	if oq == nil {
+		return wire.Envelope{}, false
 	}
-	return wire.Envelope{}, false
+	b := oq.firstBucket(k)
+	if b < 0 {
+		return wire.Envelope{}, false
+	}
+	q.size--
+	return oq.popBucket(b), true
 }
 
-// takeOrigin removes and returns every envelope queued for the origin
-// (used when adopting messages of a crashed server).
+// takeOrigin removes and returns every envelope queued for the origin in
+// arrival order (used when adopting messages of a crashed server).
 func (q *fairQueue) takeOrigin(origin wire.ProcessID) []wire.Envelope {
-	queue := q.queues[origin]
-	if len(queue) == 0 {
+	oq := q.queues[origin]
+	if oq == nil || oq.live() == 0 {
 		return nil
 	}
-	q.queues[origin] = nil
-	q.size -= len(queue)
-	return queue
+	out := make([]wire.Envelope, 0, oq.live())
+	for {
+		b := oq.firstBucket(0)
+		if b < 0 {
+			break
+		}
+		out = append(out, oq.popBucket(b))
+	}
+	q.size -= len(out)
+	return out
+}
+
+// envelopesOf returns a copy of the origin's queued envelopes in
+// arrival order, leaving the queue unchanged (diagnostics and tests).
+func (q *fairQueue) envelopesOf(origin wire.ProcessID) []wire.Envelope {
+	oq := q.queues[origin]
+	if oq == nil || oq.live() == 0 {
+		return nil
+	}
+	var idx [fqBuckets]int
+	out := make([]wire.Envelope, 0, oq.live())
+	for {
+		best := -1
+		var bestSeq uint64
+		for b := 0; b < fqBuckets; b++ {
+			if oq.bucketLen(b) <= idx[b] {
+				continue
+			}
+			if s := oq.at(b, idx[b]).seq; best == -1 || s < bestSeq {
+				best, bestSeq = b, s
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		out = append(out, oq.at(best, idx[best]).env)
+		idx[best]++
+	}
 }
 
 // fifoPop removes and returns the globally oldest queued envelope. It is
@@ -162,7 +310,7 @@ func (q *fairQueue) takeOrigin(origin wire.ProcessID) []wire.Envelope {
 // exhibits the starvation the fairness rule prevents.
 func (q *fairQueue) fifoPop() (wire.Envelope, bool) {
 	for _, origin := range q.order {
-		if len(q.queues[origin]) > 0 {
+		if q.hasAny(origin) {
 			return q.popFirst(origin, 0)
 		}
 	}
@@ -172,9 +320,142 @@ func (q *fairQueue) fifoPop() (wire.Envelope, bool) {
 // fifoPeek is the non-destructive version of fifoPop.
 func (q *fairQueue) fifoPeek() (wire.Envelope, bool) {
 	for _, origin := range q.order {
-		if len(q.queues[origin]) > 0 {
+		if q.hasAny(origin) {
 			return q.peekFirst(origin, 0)
 		}
 	}
 	return wire.Envelope{}, false
+}
+
+// trainCursor applies the fairness rule repeatedly over a fairQueue
+// without mutating it: the train planner consumes envelopes and charges
+// origins against a plan-local overlay, and the real pops and charges
+// happen at commit time — planning stays side-effect-free (DESIGN.md
+// §3.5), so a plan discarded by the event loop's select leaves no trace.
+type trainCursor struct {
+	q        *fairQueue
+	overlays map[wire.ProcessID]*cursorOverlay
+	// touched lists the overlays dirtied since the last reset, so reset
+	// zeroes only those instead of walking the whole map every plan.
+	touched []*cursorOverlay
+}
+
+// cursorOverlay is one origin's plan-local state: how many envelopes of
+// each bucket the plan has consumed, and how many simulated nb_msg
+// charges it has accrued.
+type cursorOverlay struct {
+	consumed [fqBuckets]int
+	charges  uint64
+}
+
+// newTrainCursor returns an empty cursor; bind it with reset.
+func newTrainCursor() *trainCursor {
+	return &trainCursor{overlays: make(map[wire.ProcessID]*cursorOverlay)}
+}
+
+// reset binds the cursor to q and clears plan-local state. Overlay
+// entries are retained across plans (the origin set is small and
+// stable); only the ones the previous plan dirtied are zeroed.
+func (c *trainCursor) reset(q *fairQueue) {
+	c.q = q
+	for _, ov := range c.touched {
+		*ov = cursorOverlay{}
+	}
+	c.touched = c.touched[:0]
+}
+
+// overlay returns (creating if needed) the origin's overlay and marks
+// it dirty for the next reset.
+func (c *trainCursor) overlay(origin wire.ProcessID) *cursorOverlay {
+	ov := c.overlays[origin]
+	if ov == nil {
+		ov = &cursorOverlay{}
+		c.overlays[origin] = ov
+	}
+	if ov.consumed == [fqBuckets]int{} && ov.charges == 0 {
+		c.touched = append(c.touched, ov)
+	}
+	return ov
+}
+
+// count returns the origin's effective nb_msg: committed plus planned.
+func (c *trainCursor) count(origin wire.ProcessID) uint64 {
+	n := c.q.nbMsg[origin]
+	if ov := c.overlays[origin]; ov != nil {
+		n += ov.charges
+	}
+	return n
+}
+
+// charge accrues one simulated nb_msg charge for the origin.
+func (c *trainCursor) charge(origin wire.ProcessID) { c.overlay(origin).charges++ }
+
+// hasAny reports whether the origin still has unconsumed envelopes.
+func (c *trainCursor) hasAny(origin wire.ProcessID) bool {
+	oq := c.q.queues[origin]
+	if oq == nil {
+		return false
+	}
+	ov := c.overlays[origin]
+	for b := 0; b < fqBuckets; b++ {
+		n := oq.bucketLen(b)
+		if ov != nil {
+			n -= ov.consumed[b]
+		}
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// selectOrigin is fairQueue.selectOrigin with the overlay applied:
+// consumed envelopes no longer qualify their origin, and planned
+// charges count against it.
+func (c *trainCursor) selectOrigin(self wire.ProcessID, includeSelf bool) (wire.ProcessID, bool) {
+	best := wire.NoProcess
+	var bestCount uint64
+	found := false
+	for _, origin := range c.q.order {
+		if !c.hasAny(origin) {
+			continue
+		}
+		n := c.count(origin)
+		if !found || n < bestCount {
+			best, bestCount, found = origin, n, true
+		}
+	}
+	if includeSelf && !found {
+		return self, true
+	}
+	if includeSelf && c.count(self) < bestCount && !c.hasAny(self) {
+		return self, true
+	}
+	return best, found
+}
+
+// next consumes and returns the origin's next unconsumed envelope in
+// arrival order.
+func (c *trainCursor) next(origin wire.ProcessID) (wire.Envelope, bool) {
+	oq := c.q.queues[origin]
+	if oq == nil {
+		return wire.Envelope{}, false
+	}
+	ov := c.overlay(origin)
+	best := -1
+	var bestSeq uint64
+	for b := 0; b < fqBuckets; b++ {
+		if oq.bucketLen(b) <= ov.consumed[b] {
+			continue
+		}
+		if s := oq.at(b, ov.consumed[b]).seq; best == -1 || s < bestSeq {
+			best, bestSeq = b, s
+		}
+	}
+	if best == -1 {
+		return wire.Envelope{}, false
+	}
+	env := oq.at(best, ov.consumed[best]).env
+	ov.consumed[best]++
+	return env, true
 }

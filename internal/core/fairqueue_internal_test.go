@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -288,5 +289,236 @@ func TestMaxPending(t *testing.T) {
 	o.pending[tag.Tag{TS: 2, ID: 3}] = nil
 	if got := o.maxPending(); got != (tag.Tag{TS: 2, ID: 3}) {
 		t.Fatalf("maxPending = %s", got)
+	}
+}
+
+// TestFairQueueInterleavedKindOrder pins the indexed queue's kind-any
+// view: pops with kind 0 return the origin's envelopes in arrival
+// order even when the kinds interleave across buckets.
+func TestFairQueueInterleavedKindOrder(t *testing.T) {
+	q := newFairQueue()
+	q.push(pwEnv(2, 1))
+	q.push(wEnv(2, 2))
+	q.push(pwEnv(2, 3))
+	q.push(wEnv(2, 4))
+	for want := uint64(1); want <= 4; want++ {
+		e, ok := q.popFirst(2, 0)
+		if !ok || e.Tag.TS != want {
+			t.Fatalf("pop %d = %v %v", want, e, ok)
+		}
+	}
+}
+
+// TestFairQueueIndexedMatchesReference drives the indexed queue and a
+// naive slice-based reference with the same random operation sequence
+// and requires identical results — the invariant suite for the O(1)
+// (origin, kind) index.
+func TestFairQueueIndexedMatchesReference(t *testing.T) {
+	prop := func(seed uint32) bool {
+		q := newFairQueue()
+		ref := make(map[wire.ProcessID][]wire.Envelope)
+		origins := []wire.ProcessID{2, 3, 4}
+		kinds := []wire.Kind{0, wire.KindPreWrite, wire.KindWrite}
+		rng := seed
+		next := func(n int) int {
+			rng = rng*1664525 + 1013904223
+			return int(rng>>16) % n
+		}
+		refPop := func(origin wire.ProcessID, k wire.Kind) (wire.Envelope, bool) {
+			queue := ref[origin]
+			for i := range queue {
+				if k == 0 || queue[i].Kind == k {
+					env := queue[i]
+					ref[origin] = append(queue[:i:i], queue[i+1:]...)
+					return env, true
+				}
+			}
+			return wire.Envelope{}, false
+		}
+		ts := uint64(0)
+		for step := 0; step < 500; step++ {
+			origin := origins[next(len(origins))]
+			k := kinds[next(len(kinds))]
+			switch next(4) {
+			case 0, 1: // push
+				ts++
+				env := pwEnv(origin, ts)
+				if next(2) == 0 {
+					env.Kind = wire.KindWrite
+				}
+				q.push(env)
+				ref[origin] = append(ref[origin], env)
+			case 2: // pop first of kind
+				got, gok := q.popFirst(origin, k)
+				want, wok := refPop(origin, k)
+				if gok != wok || !reflect.DeepEqual(got, want) {
+					t.Logf("step %d: popFirst(%d,%d) = (%v,%v), want (%v,%v)", step, origin, k, got, gok, want, wok)
+					return false
+				}
+			case 3: // peek + hasKind must agree with the reference head
+				got, gok := q.peekFirst(origin, k)
+				queue := ref[origin]
+				var want wire.Envelope
+				wok := false
+				for i := range queue {
+					if k == 0 || queue[i].Kind == k {
+						want, wok = queue[i], true
+						break
+					}
+				}
+				if gok != wok || !reflect.DeepEqual(got, want) || q.hasKind(origin, k) != wok {
+					return false
+				}
+			}
+		}
+		// Drain via takeOrigin and compare full order.
+		for _, origin := range origins {
+			got := q.takeOrigin(origin)
+			want := ref[origin]
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					return false
+				}
+			}
+		}
+		return q.len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFairQueueCompaction runs enough interleaved pushes and pops to
+// trigger the popped-prefix compaction and checks order survives it.
+func TestFairQueueCompaction(t *testing.T) {
+	q := newFairQueue()
+	next := uint64(1)
+	popped := uint64(1)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 10; j++ {
+			q.push(pwEnv(2, next))
+			next++
+		}
+		for j := 0; j < 9; j++ {
+			e, ok := q.popFirst(2, wire.KindPreWrite)
+			if !ok || e.Tag.TS != popped {
+				t.Fatalf("pop = (%v,%v), want ts %d", e, ok, popped)
+			}
+			popped++
+		}
+	}
+	if got := q.len(); got != 50 {
+		t.Fatalf("len = %d, want 50", got)
+	}
+	for ; popped < next; popped++ {
+		e, ok := q.popFirst(2, 0)
+		if !ok || e.Tag.TS != popped {
+			t.Fatalf("drain pop = (%v,%v), want ts %d", e, ok, popped)
+		}
+	}
+}
+
+// TestTrainCursorConsumesInOrder pins the plan-time overlay: next()
+// walks each origin's queue in arrival order without repeats and
+// without mutating the underlying queue.
+func TestTrainCursorConsumesInOrder(t *testing.T) {
+	q := newFairQueue()
+	q.push(pwEnv(2, 1))
+	q.push(wEnv(2, 2))
+	q.push(pwEnv(2, 3))
+	cur := newTrainCursor()
+	cur.reset(q)
+	for want := uint64(1); want <= 3; want++ {
+		e, ok := cur.next(2)
+		if !ok || e.Tag.TS != want {
+			t.Fatalf("next %d = %v %v", want, e, ok)
+		}
+	}
+	if _, ok := cur.next(2); ok {
+		t.Fatal("cursor re-served a consumed envelope")
+	}
+	if cur.hasAny(2) {
+		t.Fatal("hasAny true after full consumption")
+	}
+	if q.len() != 3 {
+		t.Fatalf("cursor mutated the queue: len %d", q.len())
+	}
+	// A reset starts over.
+	cur.reset(q)
+	if e, ok := cur.next(2); !ok || e.Tag.TS != 1 {
+		t.Fatalf("post-reset next = %v %v", e, ok)
+	}
+}
+
+// TestTrainCursorFairness replays the no-starvation property through
+// the train planner's selection loop: trains of K slots, each slot
+// awarded by the overlay fairness rule, must keep serving every origin
+// even against a flooder.
+func TestTrainCursorFairness(t *testing.T) {
+	prop := func(seed uint32) bool {
+		q := newFairQueue()
+		origins := []wire.ProcessID{2, 3, 4, 5}
+		forwarded := make(map[wire.ProcessID]int)
+		cur := newTrainCursor()
+		rng := seed
+		next := func(n int) int {
+			rng = rng*1664525 + 1013904223
+			return int(rng>>16) % n
+		}
+		ts := uint64(0)
+		const trainLen = 4
+		for step := 0; step < 500; step++ {
+			arrivals := 1 + next(4)
+			for a := 0; a < arrivals; a++ {
+				o := origins[0] // flooder
+				if next(4) == 3 {
+					o = origins[1+next(3)]
+				}
+				ts++
+				q.push(pwEnv(o, ts))
+			}
+			// One train per step: select up to trainLen envelopes with
+			// simulated charges, then commit them like commitRingSend.
+			cur.reset(q)
+			type pick struct {
+				origin wire.ProcessID
+				kind   wire.Kind
+			}
+			var picks []pick
+			for len(picks) < trainLen {
+				origin, ok := cur.selectOrigin(1, false)
+				if !ok {
+					break
+				}
+				env, ok := cur.next(origin)
+				if !ok {
+					return false
+				}
+				cur.charge(origin)
+				picks = append(picks, pick{origin: origin, kind: env.Kind})
+			}
+			for _, p := range picks {
+				if _, ok := q.popFirst(p.origin, p.kind); !ok {
+					return false
+				}
+				q.charge(p.origin)
+				forwarded[p.origin]++
+			}
+			if q.empty() {
+				q.resetCounts()
+			}
+		}
+		for _, o := range origins {
+			if forwarded[o] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
 	}
 }

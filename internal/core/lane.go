@@ -4,6 +4,7 @@ import (
 	"log/slog"
 
 	"repro/internal/ring"
+	"repro/internal/tag"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -49,16 +50,122 @@ type lane struct {
 	fq *fairQueue
 	// myWrites tracks writes this server originated on this lane.
 	myWrites map[writeKey]ownWrite
+
+	// cursor is the plan-time fairness overlay the train planner drains
+	// envelopes through (side-effect-free; see sendPlan).
+	cursor *trainCursor
+	// planScratch backs sendPlan.items, reused across plans.
+	planScratch []planItem
+	// planTags tracks the tags a train plan has assigned to its own
+	// initiations per object, so several initiations of one object in
+	// one frame get strictly increasing tags. Cleared per train plan.
+	planTags map[wire.ObjectID]tag.Tag
+
+	// capsPeer/capsKnown/capsTrains cache the successor's negotiated
+	// capabilities (transport.PeerCapser) so the per-iteration planner
+	// does not take the endpoint's lock once the handshake has
+	// completed. Re-queried when the successor changes, while the
+	// capabilities are still unknown, and every capsRecheckInterval
+	// state changes — a peer that reconnects with a different build can
+	// change capabilities without the successor identity changing, and
+	// the periodic recheck converges the budget without a per-plan lock.
+	capsPeer   wire.ProcessID
+	capsKnown  bool
+	capsTrains bool
+	capsVer    uint64
+
+	// stateVer counts mutations of the plan's inputs (forward queue,
+	// write queue, per-object tags/pending of this lane, the view).
+	// Read requests leave it untouched — they change nothing a plan
+	// depends on — which is what makes the plan cache below effective
+	// under read-heavy load: the event loop replans on every select
+	// iteration, and without the cache a discarded train plan's
+	// selection work and envelope copy would be paid per inbound read.
+	stateVer uint64
+	// cachedPlan/cachedVer/cachedBudget/cachedOK memoize the last
+	// computed plan; it is returned as long as stateVer and the train
+	// budget are unchanged.
+	cachedPlan   sendPlan
+	cachedVer    uint64
+	cachedBudget int
+	cachedOK     bool
 }
 
-// loop owns the lane's algorithm state. Each iteration either handles
-// one inbound event or commits one outbound send; the ring send offered
-// to the select is (re)planned from current state every iteration, so
-// the fairness decision always reflects the latest queues.
+// noteStateChange invalidates the cached plan.
+func (ln *lane) noteStateChange() { ln.stateVer++ }
+
+// capsRecheckInterval is how many lane state changes may elapse before
+// the successor's cached capabilities are re-queried from the endpoint.
+// Under load that is a small fraction of a second of traffic; the
+// stale window only matters across a peer's restart with a different
+// build, and the transports' legacy split keeps even that window safe.
+const capsRecheckInterval = 4096
+
+// trainBudget resolves how many envelopes the lane's next outbound ring
+// frame may carry: the configured train length when the successor's
+// session negotiated wire.CapFrameTrains, and 1 (classic piggyback
+// framing) otherwise — before the successor's capabilities are known,
+// and toward legacy or pre-train peers, the lane stays on v3 frames.
+func (ln *lane) trainBudget() int {
+	t := ln.srv.trainLen
+	if t <= 1 {
+		return 1
+	}
+	succ := ln.view.Successor(ln.srv.cfg.ID)
+	if succ != ln.capsPeer || !ln.capsKnown || ln.stateVer-ln.capsVer >= capsRecheckInterval {
+		ln.capsPeer = succ
+		ln.capsVer = ln.stateVer
+		ln.capsKnown = false
+		ln.capsTrains = false
+		if pc := ln.srv.capser; pc != nil {
+			if caps, ok := pc.PeerCaps(succ); ok {
+				ln.capsKnown = true
+				ln.capsTrains = caps&wire.CapFrameTrains != 0
+			}
+		} else {
+			// The endpoint cannot report capabilities at all: stay on
+			// classic frames forever rather than guessing.
+			ln.capsKnown = true
+		}
+	}
+	if !ln.capsTrains {
+		return 1
+	}
+	return t
+}
+
+// loop owns the lane's algorithm state. Each iteration first drains
+// every event already delivered to the lane (without blocking), then
+// offers one ring send planned from the resulting state; the ring send
+// is (re)planned whenever state changed, so the fairness decision
+// always reflects the latest queues.
+//
+// The drain-before-plan order is what lets frame trains form: handling
+// one event per send kept the forward queue at depth <=1 under load —
+// every arriving envelope left on its own frame before the next could
+// join it — so per-frame costs were paid per envelope no matter the
+// TrainLength. Draining the backlog first batches a burst of arrivals
+// into one train. The drain is capped at laneInboxCapacity events per
+// iteration — without the cap, inbound arriving as fast as it is
+// handled would keep the drain spinning and starve the send — so every
+// send offer waits for at most one inbox-full of events, and an idle
+// lane still forwards every envelope immediately.
 func (ln *lane) loop() {
 	s := ln.srv
 	defer s.wg.Done()
 	for {
+	drain:
+		for i := 0; i < laneInboxCapacity; i++ {
+			select {
+			case in := <-ln.inbox:
+				ln.handleInbound(in)
+			case crashed := <-ln.crashc:
+				ln.handleCrash(crashed)
+			default:
+				break drain
+			}
+		}
+
 		var (
 			ringC  chan outFrame
 			ringOF outFrame
@@ -110,42 +217,55 @@ func (ln *lane) senderLoop() {
 	}
 }
 
-// handleInbound dispatches one received frame (both envelopes of a
-// piggybacked frame).
+// handleInbound dispatches one received frame: every envelope of a
+// piggybacked or train frame, in frame order — a K-envelope train is
+// processed exactly as K consecutive frames off the same link would be.
+// Envelopes are visited in place (no per-frame slice, no per-envelope
+// copy); the handlers may keep the value slice but never retain the
+// *Envelope itself.
 func (ln *lane) handleInbound(in transport.Inbound) {
-	for _, env := range in.Frame.Envelopes() {
-		env := env
-		if err := env.Validate(); err != nil {
-			env.RetireValue()
-			ln.log.Debug("dropping invalid envelope", "err", err)
-			continue
+	ln.handleEnvelope(in.From, &in.Frame.Env)
+	if in.Frame.Piggyback != nil {
+		ln.handleEnvelope(in.From, in.Frame.Piggyback)
+	}
+	for i := range in.Frame.Extra {
+		ln.handleEnvelope(in.From, &in.Frame.Extra[i])
+	}
+}
+
+// handleEnvelope dispatches one received envelope.
+func (ln *lane) handleEnvelope(from wire.ProcessID, env *wire.Envelope) {
+	if err := env.Validate(); err != nil {
+		env.RetireValue()
+		ln.log.Debug("dropping invalid envelope", "err", err)
+		return
+	}
+	switch env.Kind {
+	case wire.KindWriteRequest:
+		ln.onWriteRequest(from, env)
+	case wire.KindReadRequest:
+		ln.onReadRequest(from, env)
+	case wire.KindPreWrite:
+		ln.onPreWrite(env)
+	case wire.KindWrite:
+		ln.onWrite(env)
+	case wire.KindCrash:
+		// Misrouted (pre-demux or legacy peer): hand it to the
+		// control plane, which owns crash handling.
+		select {
+		case ln.srv.ctrlc <- transport.Inbound{From: from, Frame: wire.NewFrame(*env)}:
+		case <-ln.srv.stopc:
 		}
-		switch env.Kind {
-		case wire.KindWriteRequest:
-			ln.onWriteRequest(in.From, &env)
-		case wire.KindReadRequest:
-			ln.onReadRequest(in.From, &env)
-		case wire.KindPreWrite:
-			ln.onPreWrite(&env)
-		case wire.KindWrite:
-			ln.onWrite(&env)
-		case wire.KindCrash:
-			// Misrouted (pre-demux or legacy peer): hand it to the
-			// control plane, which owns crash handling.
-			select {
-			case ln.srv.ctrlc <- transport.Inbound{From: in.From, Frame: wire.NewFrame(env)}:
-			case <-ln.srv.stopc:
-			}
-		default:
-			env.RetireValue()
-			ln.log.Debug("dropping unexpected kind", "kind", env.Kind)
-		}
+	default:
+		env.RetireValue()
+		ln.log.Debug("dropping unexpected kind", "kind", env.Kind)
 	}
 }
 
 // onWriteRequest implements paper lines 18-20: queue the client write
 // until the fairness rule lets this server initiate it.
 func (ln *lane) onWriteRequest(from wire.ProcessID, env *wire.Envelope) {
+	ln.noteStateChange()
 	ln.writeQueue = append(ln.writeQueue, writeIntent{
 		client: from,
 		reqID:  env.ReqID,
@@ -183,6 +303,7 @@ func (ln *lane) onReadRequest(from wire.ProcessID, env *wire.Envelope) {
 
 // onPreWrite implements paper lines 29-40 plus the crash-adoption rule.
 func (ln *lane) onPreWrite(env *wire.Envelope) {
+	ln.noteStateChange()
 	s := ln.srv
 	sh, o := s.lockedObj(env.Object)
 	key := writeKey{object: env.Object, tag: env.Tag}
@@ -243,7 +364,7 @@ func (ln *lane) onPreWrite(env *wire.Envelope) {
 		s.applyAndRelease(env.Object, o, env.Tag, env.Value, false)
 		o.prune(env.Tag)
 		sh.Unlock()
-		ln.fq.push(wire.Envelope{
+		ln.requeue(wire.Envelope{
 			Kind:   wire.KindWrite,
 			Object: env.Object,
 			Tag:    env.Tag,
@@ -262,6 +383,7 @@ func (ln *lane) onPreWrite(env *wire.Envelope) {
 
 // onWrite implements paper lines 41-52 plus the crash-absorption rule.
 func (ln *lane) onWrite(env *wire.Envelope) {
+	ln.noteStateChange()
 	s := ln.srv
 	sh, o := s.lockedObj(env.Object)
 

@@ -9,8 +9,10 @@ import (
 // the initiation of a local client write (a fresh pre_write) or the
 // forwarding of a queued message.
 type planItem struct {
-	// initiate is true when the item starts writeQueue[0] as a new
-	// write; env then holds the freshly tagged pre_write.
+	// initiate is true when the item starts a queued local write; env
+	// then holds the freshly tagged pre_write. A plan's initiations
+	// consume writeQueue entries front to back, so commitItem always
+	// pops writeQueue[0].
 	initiate bool
 	// fifo marks an item chosen by the DisableFairness ablation.
 	fifo bool
@@ -24,29 +26,59 @@ type planItem struct {
 }
 
 // sendPlan is the queue handler's decision for the next ring send (paper
-// lines 53-75). Planning is free of side effects: the lane's event loop
-// offers the planned frame to the ring sender and only commits the
-// bookkeeping if that offer is the select case that fires. Crash notices
-// no longer appear here — the control plane sends them itself, off the
-// data lanes.
+// lines 53-75), generalized from "primary plus optional piggyback" to a
+// train of up to TrainLength envelopes (DESIGN.md §9). Planning is free
+// of side effects: the lane's event loop offers the planned frame to the
+// ring sender and only commits the bookkeeping if that offer is the
+// select case that fires. Crash notices no longer appear here — the
+// control plane sends them itself, off the data lanes.
 type sendPlan struct {
-	ok      bool
-	frame   wire.Frame
-	primary planItem
-	// secondary, when non-nil, is the piggybacked envelope of the
-	// opposite phase (paper §4.2: write messages ride along with
-	// pre-write messages, halving the per-write message count).
-	secondary *planItem
+	ok    bool
+	frame wire.Frame
+	// items describe the frame's envelopes in order; commitRingSend
+	// applies them one by one. The backing array is lane-owned scratch,
+	// valid until the next planRingSend on the same lane (plan and
+	// commit happen within one event-loop iteration).
+	items []planItem
 }
 
 // planRingSend computes the lane's next ring send from current state,
 // without mutating anything. The frame carries the lane index so the
 // receiver demultiplexes it straight to its own copy of this lane.
+//
+// The result is memoized: the event loop calls this every select
+// iteration, but the plan only depends on lane state that read traffic
+// never touches (stateVer) and on the successor's train budget, so
+// between state changes the cached plan — including its already-built
+// frame — is returned as is.
 func (ln *lane) planRingSend() sendPlan {
-	if ln.srv.cfg.DisableFairness {
-		return ln.planFIFO()
+	budget := 1
+	if !ln.srv.cfg.DisableFairness {
+		budget = ln.trainBudget()
 	}
+	if ln.cachedOK && ln.cachedVer == ln.stateVer && ln.cachedBudget == budget {
+		return ln.cachedPlan
+	}
+	var plan sendPlan
+	switch {
+	case ln.srv.cfg.DisableFairness:
+		plan = ln.planFIFO()
+	case budget > 1:
+		plan = ln.planTrain(budget)
+	default:
+		plan = ln.planClassic()
+	}
+	ln.cachedPlan = plan
+	ln.cachedVer = ln.stateVer
+	ln.cachedBudget = budget
+	ln.cachedOK = true
+	return plan
+}
 
+// planClassic is the pre-train framing (TrainLength 1, or a successor
+// that did not negotiate trains): one fairness-selected primary plus at
+// most one opposite-phase piggyback.
+func (ln *lane) planClassic() sendPlan {
 	// Paper lines 54-58: with an empty forward queue the only possible
 	// action is initiating a local write.
 	if ln.fq.empty() {
@@ -70,6 +102,76 @@ func (ln *lane) planRingSend() sendPlan {
 	}
 	env, _ := ln.fq.peekFirst(origin, 0)
 	return ln.finishPlan(planItem{origin: origin, kind: env.Kind, env: env})
+}
+
+// planTrain drains up to k envelopes into one frame by repeated
+// application of the nb_msg fairness rule: every slot is awarded to the
+// least-served origin as if the previous slots had already been charged,
+// so per-origin fairness (paper lines 60-66) holds per envelope, not per
+// frame. Initiations of queued local writes interleave with forwards
+// under the same rule, and slots the queue cannot fill fall to local
+// initiations — the train generalization of finishPlan's empty-slot
+// trick.
+func (ln *lane) planTrain(k int) sendPlan {
+	self := ln.srv.cfg.ID
+	cur := ln.cursor
+	cur.reset(ln.fq)
+	if len(ln.planTags) > 0 {
+		clear(ln.planTags)
+	}
+	items := ln.planScratch[:0]
+	inits := 0
+	tailBytes := 0
+	for len(items) < k {
+		includeSelf := inits < len(ln.writeQueue)
+		origin, ok := cur.selectOrigin(self, includeSelf)
+		if !ok {
+			break
+		}
+		var it planItem
+		if origin == self && !cur.hasAny(self) {
+			it = ln.planInitiateAt(inits)
+		} else {
+			env, ok := cur.next(origin)
+			if !ok {
+				break // unreachable: selectOrigin only offers origins with envelopes
+			}
+			it = planItem{origin: origin, kind: env.Kind, env: env}
+		}
+		// The wire format bounds the total value bytes of a train's
+		// tail (everything beyond the classic pair); close the train
+		// early rather than plan an unencodable frame.
+		if len(items) >= 2 {
+			if tailBytes += len(it.env.Value); tailBytes > wire.MaxTrainValueBytes {
+				break
+			}
+		}
+		if it.initiate {
+			inits++
+			cur.charge(self)
+		} else {
+			cur.charge(it.origin)
+		}
+		items = append(items, it)
+	}
+	ln.planScratch = items
+	if len(items) == 0 {
+		return sendPlan{}
+	}
+	plan := sendPlan{ok: true, items: items, frame: wire.NewLaneFrame(items[0].env, uint8(ln.idx))}
+	if len(items) > 1 {
+		// The frame escapes to the transport (encoding happens later on
+		// the link's writer), so its envelope storage must be owned, not
+		// lane scratch: one allocation per train, amortized over its
+		// envelopes.
+		rest := make([]wire.Envelope, len(items)-1)
+		for i, it := range items[1:] {
+			rest[i] = it.env
+		}
+		plan.frame.Piggyback = &rest[0]
+		plan.frame.Extra = rest[1:]
+	}
+	return plan
 }
 
 // planFIFO is the DisableFairness ablation: forward first (plain FIFO),
@@ -109,12 +211,44 @@ func (ln *lane) planInitiate() planItem {
 	}
 }
 
+// planInitiateAt builds the pre_write for writeQueue[i] inside a train
+// plan. Object state is only updated at commit, so when one train
+// initiates several writes of the same object, each tag must also
+// dominate the tags planned earlier in this train — ln.planTags tracks
+// them (cleared at the start of every train plan).
+func (ln *lane) planInitiateAt(i int) planItem {
+	s := ln.srv
+	w := ln.writeQueue[i]
+	sh, o := s.lockedObj(w.object)
+	highest := o.maxPending().Max(o.tag)
+	sh.Unlock()
+	if prev, ok := ln.planTags[w.object]; ok {
+		highest = highest.Max(prev)
+	}
+	t := highest.Next(uint32(s.cfg.ID))
+	ln.planTags[w.object] = t
+	return planItem{
+		initiate: true,
+		origin:   s.cfg.ID,
+		kind:     wire.KindPreWrite,
+		env: wire.Envelope{
+			Kind:   wire.KindPreWrite,
+			Object: w.object,
+			Tag:    t,
+			Origin: s.cfg.ID,
+			Value:  w.value,
+		},
+	}
+}
+
 // finishPlan wraps the primary item in a lane-tagged frame and, when
 // piggybacking is enabled, attaches the fairest queued envelope of the
 // opposite phase. Both envelopes necessarily belong to this lane, so
 // one lane byte describes the whole frame.
 func (ln *lane) finishPlan(prim planItem) sendPlan {
-	plan := sendPlan{ok: true, primary: prim, frame: wire.NewLaneFrame(prim.env, uint8(ln.idx))}
+	items := append(ln.planScratch[:0], prim)
+	ln.planScratch = items
+	plan := sendPlan{ok: true, items: items, frame: wire.NewLaneFrame(prim.env, uint8(ln.idx))}
 	if ln.srv.cfg.DisablePiggyback || prim.fifo {
 		return plan
 	}
@@ -122,16 +256,21 @@ func (ln *lane) finishPlan(prim planItem) sendPlan {
 	if prim.env.Kind == wire.KindWrite {
 		opposite = wire.KindPreWrite
 	}
+	attach := func(sec planItem) sendPlan {
+		items = append(items, sec)
+		ln.planScratch = items
+		plan.items = items
+		pb := sec.env
+		plan.frame.Piggyback = &pb
+		return plan
+	}
 	origin, ok := ln.fq.selectOrigin(ln.srv.cfg.ID, false, opposite)
 	if !ok {
 		// An empty pre-write slot can be filled by initiating a queued
 		// local write; without this a saturated lane alternates
 		// pre-write and write rounds and write throughput halves.
-		if opposite == wire.KindPreWrite && len(ln.writeQueue) > 0 {
-			sec := ln.planInitiate()
-			plan.secondary = &sec
-			pb := sec.env
-			plan.frame.Piggyback = &pb
+		if opposite == wire.KindPreWrite && !prim.initiate && len(ln.writeQueue) > 0 {
+			return attach(ln.planInitiate())
 		}
 		return plan
 	}
@@ -144,20 +283,19 @@ func (ln *lane) finishPlan(prim planItem) sendPlan {
 	if !prim.initiate && prim.origin == origin && prim.env.Kind == env.Kind {
 		return plan
 	}
-	sec := planItem{origin: origin, kind: env.Kind, env: env}
-	plan.secondary = &sec
-	pb := env
-	plan.frame.Piggyback = &pb
-	return plan
+	return attach(planItem{origin: origin, kind: env.Kind, env: env})
 }
 
 // commitRingSend applies the bookkeeping for a frame that was just handed
-// to the ring sender. State cannot have changed since planning: the lane
-// plans and commits within one select iteration.
+// to the ring sender, one envelope at a time in frame order. State cannot
+// have changed since planning: the lane plans and commits within one
+// select iteration.
 func (ln *lane) commitRingSend(plan sendPlan) {
-	ln.commitItem(plan.primary)
-	if plan.secondary != nil {
-		ln.commitItem(*plan.secondary)
+	ln.noteStateChange()
+	ln.srv.ringFrames.Add(1)
+	ln.srv.ringEnvs.Add(uint64(len(plan.items)))
+	for _, it := range plan.items {
+		ln.commitItem(it)
 	}
 	// Paper line 55: the nb_msg table resets whenever the forward queue
 	// is observed empty.

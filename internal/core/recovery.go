@@ -13,6 +13,7 @@ import (
 // lanes but not others just means each lane runs the seed's single-ring
 // recovery for its own objects, at its own pace.
 func (ln *lane) handleCrash(crashed wire.ProcessID) {
+	ln.noteStateChange()
 	s := ln.srv
 	if crashed == s.cfg.ID || !ln.view.Contains(crashed) || !ln.view.Alive(crashed) {
 		return
@@ -38,6 +39,24 @@ func (ln *lane) handleCrash(crashed wire.ProcessID) {
 	ln.adoptOrphans()
 }
 
+// requeue pushes a recovery- or adoption-created envelope onto the
+// lane's forward queue. Every such envelope's value has (or is about to
+// gain) a second reference — the installed value, a pending entry, or
+// an in-flight duplicate — so it must never claim pool ownership: the
+// callers strike the object-side marks (clearPooled, valuePooled) and
+// this helper is the single place that enforces the envelope side,
+// counting any violation in Server.RecoveryBufferLeaks. The counter
+// reading 0 is the invariant; a non-zero reading means a re-queued
+// envelope arrived still claiming a pooled buffer (a double-recycle
+// waiting to happen) and was defused here.
+func (ln *lane) requeue(env wire.Envelope) {
+	if env.ValuePooled() {
+		ln.srv.recoveryLeaks.Add(1)
+		env.Flags &^= wire.FlagPooledValue
+	}
+	ln.fq.push(env)
+}
+
 // retransmitAfterSuccessorCrash implements the paper's recovery rule for
 // this lane's objects: send the current value as a write message and
 // re-send every pending pre-write to the new successor. Each
@@ -48,7 +67,7 @@ func (ln *lane) handleCrash(crashed wire.ProcessID) {
 // server either receives each lost write or a newer one (see the
 // coverage argument in DESIGN.md §3.3-3.4). Every re-queued value gains
 // a second reference, so its buffer is struck from the pool-ownership
-// books (leaked to the GC) before the push.
+// books (leaked to the GC) before the requeue.
 func (ln *lane) retransmitAfterSuccessorCrash() {
 	s := ln.srv
 	// Range holds each shard's lock while its objects are visited, which
@@ -60,7 +79,7 @@ func (ln *lane) retransmitAfterSuccessorCrash() {
 		}
 		if !o.tag.IsZero() {
 			o.valuePooled = false
-			ln.fq.push(wire.Envelope{
+			ln.requeue(wire.Envelope{
 				Kind:   wire.KindWrite,
 				Object: objID,
 				Tag:    o.tag,
@@ -70,7 +89,7 @@ func (ln *lane) retransmitAfterSuccessorCrash() {
 		}
 		for t, v := range o.pending {
 			o.clearPooled(t)
-			ln.fq.push(wire.Envelope{
+			ln.requeue(wire.Envelope{
 				Kind:   wire.KindPreWrite,
 				Object: objID,
 				Tag:    t,
@@ -93,7 +112,6 @@ func (ln *lane) adoptOrphans() {
 			continue
 		}
 		for _, env := range ln.fq.takeOrigin(origin) {
-			env := env
 			if env.Kind != wire.KindPreWrite {
 				continue // writes were applied on receipt; just absorb
 			}
@@ -109,7 +127,7 @@ func (ln *lane) adoptOrphans() {
 			o.prune(env.Tag)
 			o.dropPending(env.Tag)
 			sh.Unlock()
-			ln.fq.push(wire.Envelope{
+			ln.requeue(wire.Envelope{
 				Kind:   wire.KindWrite,
 				Object: env.Object,
 				Tag:    env.Tag,
@@ -125,7 +143,7 @@ func (ln *lane) adoptOrphans() {
 func (ln *lane) deadQueuedOrigins() []wire.ProcessID {
 	var dead []wire.ProcessID
 	for _, origin := range ln.fq.order {
-		if len(ln.fq.queues[origin]) == 0 {
+		if !ln.fq.hasAny(origin) {
 			continue
 		}
 		if ln.view.Contains(origin) && !ln.view.Alive(origin) {

@@ -117,6 +117,25 @@ type Server struct {
 	// beats the old behavior of silently misrouting them to lane 0.
 	laneDrops atomic.Uint64
 
+	// recoveryLeaks counts crash-recovery re-queued envelopes that still
+	// claimed pool ownership when they reached lane.requeue — an
+	// invariant violation (the single requeue choke point defuses it);
+	// healthy servers read 0.
+	recoveryLeaks atomic.Uint64
+
+	// capser reports peer capabilities when the endpoint supports it
+	// (transport.PeerCapser); the train planner consults it to decide
+	// whether the successor accepts wire-v4 frames.
+	capser transport.PeerCapser
+
+	// trainLen is the resolved Config.TrainLength.
+	trainLen int
+
+	// ringFrames/ringEnvs count committed outbound ring frames and the
+	// envelopes they carried: ringEnvs/ringFrames is the achieved train
+	// length, the observable behind the train_scaling benchmark.
+	ringFrames, ringEnvs atomic.Uint64
+
 	stopOnce sync.Once
 	stopc    chan struct{}
 	wg       sync.WaitGroup
@@ -151,13 +170,17 @@ func NewServer(cfg Config, ep transport.Endpoint) (*Server, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	s := &Server{
-		cfg:     cfg,
-		ep:      ep,
-		log:     cfg.logger().With("server", cfg.ID),
-		view:    view,
-		objects: shard.New[wire.ObjectID, *objectState](cfg.ObjectShards),
-		ctrlc:   make(chan transport.Inbound, 16),
-		stopc:   make(chan struct{}),
+		cfg:      cfg,
+		ep:       ep,
+		log:      cfg.logger().With("server", cfg.ID),
+		view:     view,
+		objects:  shard.New[wire.ObjectID, *objectState](cfg.ObjectShards),
+		ctrlc:    make(chan transport.Inbound, 16),
+		stopc:    make(chan struct{}),
+		trainLen: cfg.trainLength(),
+	}
+	if pc, ok := ep.(transport.PeerCapser); ok {
+		s.capser = pc
 	}
 	s.acks.s = s
 	s.acks.notify = make(chan struct{}, 1)
@@ -173,6 +196,8 @@ func NewServer(cfg Config, ep transport.Endpoint) (*Server, error) {
 			ringOut:  make(chan outFrame),
 			fq:       newFairQueue(),
 			myWrites: make(map[writeKey]ownWrite),
+			cursor:   newTrainCursor(),
+			planTags: make(map[wire.ObjectID]tag.Tag),
 			log:      s.log.With("lane", i),
 		}
 	}
@@ -207,8 +232,8 @@ func (s *Server) laneFor(obj wire.ObjectID) int {
 // naming a lane this server does not have is counted and dropped
 // (transport.RouteDrop): it can only come from a peer running a
 // different WriteLanes, and misrouting it to an arbitrary lane would
-// corrupt that lane's protocol state. A piggybacked frame's two
-// envelopes always share a lane, so routing by the primary is exact.
+// corrupt that lane's protocol state. All envelopes of a piggybacked or
+// train frame share a lane, so routing by the primary is exact.
 func (s *Server) route(in *transport.Inbound) int {
 	switch in.Frame.Env.Kind {
 	case wire.KindPreWrite, wire.KindWrite:
@@ -235,6 +260,22 @@ func (s *Server) route(in *transport.Inbound) int {
 // they named a lane outside this server's fanout (a diagnostic for
 // WriteLanes misconfiguration surviving on legacy links).
 func (s *Server) LaneDrops() uint64 { return s.laneDrops.Load() }
+
+// RecoveryBufferLeaks returns the number of crash-recovery re-queued
+// envelopes that reached the forward queue still claiming a pooled
+// value buffer. The requeue choke point strips the claim (so no buffer
+// is ever recycled under a live alias), but a non-zero reading means a
+// recovery path failed to strike the buffer from the pool-ownership
+// books first — it should always read 0.
+func (s *Server) RecoveryBufferLeaks() uint64 { return s.recoveryLeaks.Load() }
+
+// RingFrameStats returns the number of ring frames this server has
+// committed to its successors and the total envelopes they carried.
+// envelopes/frames is the achieved train length — 1.0 means framing
+// never amortized anything, TrainLength is the ceiling.
+func (s *Server) RingFrameStats() (frames, envelopes uint64) {
+	return s.ringFrames.Load(), s.ringEnvs.Load()
+}
 
 // inboxAt returns the inbox channel for a route index.
 func (s *Server) inboxAt(i int) chan transport.Inbound {
@@ -311,7 +352,6 @@ func (s *Server) controlLoop() {
 			s.noteCrash(crashed)
 		case in := <-s.ctrlc:
 			for _, env := range in.Frame.Envelopes() {
-				env := env
 				if err := env.Validate(); err != nil {
 					s.log.Debug("dropping invalid control envelope", "err", err)
 					continue

@@ -16,8 +16,10 @@ import (
 
 // newSessionTCPCluster is newTCPCluster with every endpoint in session
 // mode: servers assert their Config.SessionHello, so connections are
-// validated and ring traffic runs over per-lane links.
-func newSessionTCPCluster(t *testing.T, n, lanes int) (*tcpCluster, []*core.Server) {
+// validated, ring traffic runs over per-lane links, and negotiated
+// capabilities (frame trains) engage. mods tweak each server's config
+// after ID/Members/WriteLanes are set.
+func newSessionTCPCluster(t *testing.T, n, lanes int, mods ...configMod) (*tcpCluster, []*core.Server) {
 	t.Helper()
 	c := &tcpCluster{
 		t:       t,
@@ -43,6 +45,9 @@ func newSessionTCPCluster(t *testing.T, n, lanes int) (*tcpCluster, []*core.Serv
 	var servers []*core.Server
 	for _, id := range c.members {
 		cfg := core.Config{ID: id, Members: c.members, WriteLanes: lanes}
+		for _, mod := range mods {
+			mod(&cfg)
+		}
 		hello := cfg.SessionHello()
 		ep, err := tcpnet.Listen(id, c.book[id], c.book, tcpnet.Options{Hello: &hello})
 		if err != nil {
@@ -131,6 +136,14 @@ func TestSessionTCPCluster(t *testing.T) {
 	}
 	if string(got) != "after" {
 		t.Fatalf("read %q, want after", got)
+	}
+	// TCP inbound values are pool-owned, and recovery just re-queued
+	// some of them on the survivors: the requeue choke point must have
+	// seen only already-unpooled copies.
+	for id, srv := range c.servers {
+		if n := srv.RecoveryBufferLeaks(); n != 0 {
+			t.Fatalf("server %d RecoveryBufferLeaks = %d, want 0", id, n)
+		}
 	}
 }
 

@@ -24,14 +24,27 @@ type stormHarness struct {
 func newStormHarness(t *testing.T, seed int64, mods ...func(*Config)) *stormHarness {
 	t.Helper()
 	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
-	ep, err := net.Register(1)
+	cfg := Config{ID: 1, Members: []wire.ProcessID{1, 2, 3}}
+	for _, mod := range mods {
+		mod(&cfg)
+	}
+	// Session endpoints for every member: the planner's capability query
+	// then resolves against real HELLOs, so the train planner is
+	// exercised by the storms (the peers never read their inboxes; the
+	// event loops are not running and planned frames are dropped).
+	ep, err := net.RegisterSession(cfg.SessionHello())
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = ep.Close() })
-	cfg := Config{ID: 1, Members: []wire.ProcessID{1, 2, 3}}
-	for _, mod := range mods {
-		mod(&cfg)
+	for _, peer := range cfg.Members[1:] {
+		pcfg := cfg
+		pcfg.ID = peer
+		pep, err := net.RegisterSession(pcfg.SessionHello())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = pep.Close() })
 	}
 	s, err := NewServer(cfg, ep)
 	if err != nil {
@@ -107,7 +120,6 @@ func (h *stormHarness) step(i, maxObj int) {
 
 func TestServerInvariantsUnderMessageStorm(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
-		seed := seed
 		h := newStormHarness(t, seed, func(c *Config) { c.WriteLanes = 1 })
 		prev := make(map[wire.ObjectID]tag.Tag)
 		for i := 0; i < 3000; i++ {
@@ -130,7 +142,6 @@ func TestServerStormVariants(t *testing.T) {
 		{"many_lanes", func(c *Config) { c.WriteLanes = 8 }},
 	}
 	for _, v := range variants {
-		v := v
 		t.Run(v.name, func(t *testing.T) {
 			h := newStormHarness(t, 42, v.mod)
 			prev := make(map[wire.ObjectID]tag.Tag)
@@ -223,32 +234,44 @@ func TestStormWithCrashes(t *testing.T) {
 
 // TestPlanCommitConsistency verifies the queue handler's plan/commit
 // split: a plan computed from a given state always commits cleanly (the
-// planned message is present to pop), across random queue contents and
-// every lane.
+// planned messages are present to pop, in order), across random queue
+// contents, every lane, and both the classic and the train planner.
 func TestPlanCommitConsistency(t *testing.T) {
-	h := newStormHarness(t, 99, func(c *Config) { c.WriteLanes = 4 })
-	for i := 0; i < 5000; i++ {
-		h.step(i, 8)
-		ln := h.s.lanes[i%len(h.s.lanes)]
-		plan := ln.planRingSend()
-		if !plan.ok {
-			continue
-		}
-		before := ln.fq.len()
-		ln.commitRingSend(plan)
-		after := ln.fq.len()
-		popped := 0
-		if !plan.primary.initiate {
-			popped++
-		}
-		if plan.secondary != nil && !plan.secondary.initiate {
-			popped++
-		}
-		if before-after != popped {
-			t.Fatalf("step %d: queue shrank by %d, plan popped %d", i, before-after, popped)
-		}
-		if plan.frame.Lane != uint8(ln.idx) {
-			t.Fatalf("planned frame carries lane %d, want %d", plan.frame.Lane, ln.idx)
+	for _, train := range []int{1, 4, 8} {
+		h := newStormHarness(t, 99, func(c *Config) {
+			c.WriteLanes = 4
+			c.TrainLength = train
+		})
+		for i := 0; i < 5000; i++ {
+			h.step(i, 8)
+			ln := h.s.lanes[i%len(h.s.lanes)]
+			plan := ln.planRingSend()
+			if !plan.ok {
+				continue
+			}
+			if got := plan.frame.EnvelopeCount(); got != len(plan.items) {
+				t.Fatalf("train=%d step %d: frame carries %d envelopes, plan has %d items",
+					train, i, got, len(plan.items))
+			}
+			if len(plan.items) > train+1 || (train > 1 && len(plan.items) > train) {
+				t.Fatalf("train=%d step %d: plan of %d items exceeds budget", train, i, len(plan.items))
+			}
+			before := ln.fq.len()
+			ln.commitRingSend(plan)
+			after := ln.fq.len()
+			popped := 0
+			for _, it := range plan.items {
+				if !it.initiate {
+					popped++
+				}
+			}
+			if before-after != popped {
+				t.Fatalf("train=%d step %d: queue shrank by %d, plan popped %d",
+					train, i, before-after, popped)
+			}
+			if plan.frame.Lane != uint8(ln.idx) {
+				t.Fatalf("planned frame carries lane %d, want %d", plan.frame.Lane, ln.idx)
+			}
 		}
 	}
 }
@@ -280,7 +303,7 @@ func TestRecoveryRetransmitsPendingAndValue(t *testing.T) {
 	h.crashAll(2)
 	var writes, prewrites int
 	for _, origin := range ln.fq.order {
-		for _, env := range ln.fq.queues[origin] {
+		for _, env := range ln.fq.envelopesOf(origin) {
 			switch env.Kind {
 			case wire.KindWrite:
 				writes++
@@ -300,7 +323,7 @@ func TestRecoveryRetransmitsPendingAndValue(t *testing.T) {
 	// 2's alive predecessor is 1).
 	foundOrphanWrite := false
 	for _, origin := range ln.fq.order {
-		for _, env := range ln.fq.queues[origin] {
+		for _, env := range ln.fq.envelopesOf(origin) {
 			if env.Kind == wire.KindWrite && env.Tag == (tag.Tag{TS: 4, ID: 2}) {
 				foundOrphanWrite = true
 			}

@@ -138,7 +138,6 @@ func TestTCPConcurrentMixedLoadLinearizable(t *testing.T) {
 	rec := &opRecorder{}
 	var wg sync.WaitGroup
 	for w := 0; w < 3; w++ {
-		w := w
 		cl := c.newClient(0)
 		wg.Add(1)
 		go func() {

@@ -147,7 +147,6 @@ func TestQuorumLinearizableUnderConcurrency(t *testing.T) {
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < 3; w++ {
-		w := w
 		cl := f.client()
 		wg.Add(1)
 		go func() {
@@ -228,9 +227,7 @@ func TestQuorumShardedConcurrencyContract(t *testing.T) {
 
 	var wg sync.WaitGroup
 	for obj := 0; obj < objects; obj++ {
-		obj := obj
 		for w := 0; w < writersPerObj; w++ {
-			w := w
 			cl := f.client()
 			wg.Add(1)
 			go func() {

@@ -212,3 +212,92 @@ func TestTCPLegacyPeer(t *testing.T) {
 		}
 	})
 }
+
+// tcpTrainFrame builds a k-envelope ring train for transport tests.
+func tcpTrainFrame(k int) wire.Frame {
+	mk := func(i int) wire.Envelope {
+		return wire.Envelope{
+			Kind:   wire.KindPreWrite,
+			Origin: 1,
+			Tag:    tag.Tag{TS: uint64(i + 1), ID: 1},
+			Value:  []byte{byte(i)},
+		}
+	}
+	f := wire.Frame{Env: mk(0)}
+	pb := mk(1)
+	f.Piggyback = &pb
+	for i := 2; i < k; i++ {
+		f.Extra = append(f.Extra, mk(i))
+	}
+	return f
+}
+
+// TestTCPFrameTrainGating pins the v4 contract over real TCP: a train
+// crosses whole between sessions that both negotiated CapFrameTrains,
+// and is downgraded to a run of ≤2-envelope v3 frames (order
+// preserved) toward a session whose HELLO lacks the capability — that
+// peer's decoder would treat a v4 frame as corrupt and kill the
+// connection.
+func TestTCPFrameTrainGating(t *testing.T) {
+	members := []wire.ProcessID{1, 2}
+	const k = 5
+
+	t.Run("negotiated", func(t *testing.T) {
+		ha, hb := sessionHello(1, 4, members), sessionHello(2, 4, members)
+		ha.Capabilities |= wire.CapFrameTrains
+		hb.Capabilities |= wire.CapFrameTrains
+		a, b := listenPair(t, Options{Hello: ha}, Options{Hello: hb})
+		if err := a.Handshake(2); err != nil {
+			t.Fatal(err)
+		}
+		if caps, ok := a.PeerCaps(2); !ok || caps&wire.CapFrameTrains == 0 {
+			t.Fatalf("PeerCaps = (%#x,%v), want trains negotiated", caps, ok)
+		}
+		if err := a.Send(2, tcpTrainFrame(k)); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case in := <-b.Inbox():
+			if got := in.Frame.EnvelopeCount(); got != k {
+				t.Fatalf("received %d envelopes, want %d", got, k)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("train never arrived")
+		}
+	})
+
+	t.Run("downgraded", func(t *testing.T) {
+		ha, hb := sessionHello(1, 4, members), sessionHello(2, 4, members)
+		ha.Capabilities |= wire.CapFrameTrains // b stays train-less
+		a, b := listenPair(t, Options{Hello: ha}, Options{Hello: hb})
+		if err := a.Handshake(2); err != nil {
+			t.Fatal(err)
+		}
+		if caps, ok := a.PeerCaps(2); !ok || caps&wire.CapFrameTrains != 0 {
+			t.Fatalf("PeerCaps = (%#x,%v), want known without trains", caps, ok)
+		}
+		if err := a.Send(2, tcpTrainFrame(k)); err != nil {
+			t.Fatal(err)
+		}
+		var got []wire.Envelope
+		deadline := time.After(5 * time.Second)
+		for len(got) < k {
+			select {
+			case in := <-b.Inbox():
+				if n := in.Frame.EnvelopeCount(); n > 2 {
+					t.Fatalf("v4 frame (%d envelopes) reached a no-train session", n)
+				}
+				got = append(got, in.Frame.Envelopes()...)
+			case <-deadline:
+				t.Fatalf("only %d of %d envelopes arrived", len(got), k)
+			}
+		}
+		wf := tcpTrainFrame(k)
+		want := wf.Envelopes()
+		for i := range want {
+			if got[i].Tag != want[i].Tag {
+				t.Fatalf("split reordered envelopes at %d: got %s, want %s", i, got[i].Tag, want[i].Tag)
+			}
+		}
+	})
+}

@@ -186,6 +186,7 @@ var (
 	_ transport.Demuxer    = (*Endpoint)(nil)
 	_ transport.LaneSender = (*Endpoint)(nil)
 	_ transport.Handshaker = (*Endpoint)(nil)
+	_ transport.PeerCapser = (*Endpoint)(nil)
 )
 
 // SetDemux implements transport.Demuxer: subsequent inbound frames are
@@ -323,7 +324,7 @@ func (e *Endpoint) SendLane(to wire.ProcessID, lane int, f wire.Frame) error {
 	caps, known := e.caps[to]
 	e.mu.Unlock()
 	if live {
-		return e.enqueue(p, to, f)
+		return e.enqueueFrame(p, to, f)
 	}
 	if !known {
 		if _, err := e.peerFor(to, laneGeneral); err != nil {
@@ -361,7 +362,50 @@ func (e *Endpoint) send(to wire.ProcessID, lane int, f wire.Frame) error {
 	if err != nil {
 		return err
 	}
+	return e.enqueueFrame(p, to, f)
+}
+
+// enqueueFrame hands the frame to a live link's writer, downgrading
+// wire-v4 trains to runs of v3 piggyback frames when the session with
+// the peer did not negotiate wire.CapFrameTrains — a train on such a
+// link would be rejected as corrupt by the peer's decoder and kill the
+// connection. The planner already shapes frames by the negotiated
+// capabilities, so the split is a last-line guard (raw endpoint users,
+// legacy peers); the decision reads the bit frozen on the peer at
+// adoption time, so neither classic frames nor trains take a lock here.
+func (e *Endpoint) enqueueFrame(p *peer, to wire.ProcessID, f wire.Frame) error {
+	if !p.trains && f.EnvelopeCount() > 2 {
+		for _, sub := range f.SplitLegacy() {
+			if err := e.enqueue(p, to, sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	return e.enqueue(p, to, f)
+}
+
+// trainsNegotiated reports whether the session with the peer negotiated
+// wire.CapFrameTrains. Unknown capabilities count as "no": a v4 frame
+// must never reach a link whose HELLO did not advertise trains.
+func (e *Endpoint) trainsNegotiated(to wire.ProcessID) bool {
+	caps, ok := e.PeerCaps(to)
+	return ok && caps&wire.CapFrameTrains != 0
+}
+
+// PeerCaps implements transport.PeerCapser: the capability set
+// negotiated with the peer (the intersection of both HELLOs), known
+// once a handshake with the peer has completed in either direction.
+func (e *Endpoint) PeerCaps(to wire.ProcessID) (uint32, bool) {
+	caps, ok := e.peerCaps(to)
+	if !ok {
+		return 0, false
+	}
+	var local uint32
+	if e.opts.Hello != nil {
+		local = e.opts.Hello.Capabilities
+	}
+	return caps & local, true
 }
 
 // enqueue hands the frame to a live link's writer.
@@ -452,6 +496,7 @@ func (e *Endpoint) adoptConn(key linkKey, conn net.Conn) *peer {
 		conn:   conn,
 		out:    make(chan wire.Frame, e.opts.SendQueueCapacity),
 		closed: make(chan struct{}),
+		trains: e.trainsNegotiated(key.id),
 	}
 	e.mu.Lock()
 	if existing, ok := e.peers[key]; ok {
@@ -658,6 +703,11 @@ type peer struct {
 	out    chan wire.Frame
 	once   sync.Once
 	closed chan struct{}
+	// trains records whether the session with this peer negotiated
+	// wire.CapFrameTrains, frozen at adoption time (capabilities are
+	// known before any link is adopted), so the send hot path decides
+	// train-vs-split without touching the endpoint mutex.
+	trains bool
 }
 
 // shutdown closes the connection and releases blocked senders.

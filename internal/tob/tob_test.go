@@ -124,7 +124,6 @@ func TestTOBLinearizableHistory(t *testing.T) {
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < 2; w++ {
-		w := w
 		cl := f.client()
 		wg.Add(1)
 		go func() {

@@ -188,6 +188,7 @@ var (
 	_ Demuxer    = (*MemEndpoint)(nil)
 	_ LaneSender = (*MemEndpoint)(nil)
 	_ Handshaker = (*MemEndpoint)(nil)
+	_ PeerCapser = (*MemEndpoint)(nil)
 )
 
 // SetDemux implements Demuxer: subsequent deliveries to this endpoint go
@@ -255,6 +256,25 @@ func (e *MemEndpoint) sendLane(to wire.ProcessID, lane int, f wire.Frame) error 
 	if !e.laneLinksWith(dst) {
 		lane = laneGeneral
 	}
+	if f.EnvelopeCount() > 2 && !e.trainsWith(dst) {
+		// A wire-v4 train frame must never reach a link whose session
+		// did not negotiate trains; such peers get the equivalent run
+		// of v3 piggyback frames instead (same envelopes, same order,
+		// same link). Mirrors tcpnet, where the split is what keeps a
+		// pre-train decoder from treating the frame as corrupt.
+		for _, sub := range f.SplitLegacy() {
+			if err := e.sendOne(to, lane, dst, sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return e.sendOne(to, lane, dst, f)
+}
+
+// sendOne moves one frame toward the destination: onto the per-link
+// queue in batching mode, straight into the destination inbox otherwise.
+func (e *MemEndpoint) sendOne(to wire.ProcessID, lane int, dst *MemEndpoint, f wire.Frame) error {
 	if e.outqs != nil {
 		select {
 		case e.queueFor(to, lane) <- f:
@@ -280,6 +300,27 @@ func (e *MemEndpoint) sendLane(to wire.ProcessID, lane int, f wire.Frame) error 
 	case <-e.down:
 		return ErrClosed
 	}
+}
+
+// PeerCaps implements PeerCapser: the negotiated capability set with
+// the peer. In-memory sessions "handshake" on lookup, so capabilities
+// are known whenever the peer is registered; a session-less endpoint on
+// either side negotiates the empty set.
+func (e *MemEndpoint) PeerCaps(to wire.ProcessID) (uint32, bool) {
+	dst := e.net.lookup(to)
+	if dst == nil {
+		return 0, false
+	}
+	if e.hello == nil || dst.hello == nil {
+		return 0, true
+	}
+	return e.hello.Capabilities & dst.hello.Capabilities, true
+}
+
+// trainsWith reports whether both ends negotiated wire-v4 frame trains.
+func (e *MemEndpoint) trainsWith(dst *MemEndpoint) bool {
+	return e.hello != nil && dst.hello != nil &&
+		e.hello.Capabilities&dst.hello.Capabilities&wire.CapFrameTrains != 0
 }
 
 // Handshake implements Handshaker: it validates the session against the

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/tag"
 	"repro/internal/wire"
 )
 
@@ -157,6 +158,97 @@ func TestMemSendLaneTagsLink(t *testing.T) {
 		in = <-c.Inbox()
 		if _, ok := in.NegotiatedLane(); ok {
 			t.Fatal("lane link negotiated without CapLaneLinks")
+		}
+		_ = a.Close()
+		_ = b.Close()
+		_ = c.Close()
+	}
+}
+
+// trainTestFrame builds a k-envelope ring train for transport tests.
+func trainTestFrame(k int, lane uint8) wire.Frame {
+	mk := func(i int) wire.Envelope {
+		return wire.Envelope{
+			Kind:   wire.KindPreWrite,
+			Origin: 1,
+			Tag:    tag.Tag{TS: uint64(i + 1), ID: 1},
+			Value:  []byte{byte(i)},
+		}
+	}
+	f := wire.Frame{Env: mk(0), Lane: lane}
+	if k > 1 {
+		pb := mk(1)
+		f.Piggyback = &pb
+	}
+	for i := 2; i < k; i++ {
+		f.Extra = append(f.Extra, mk(i))
+	}
+	return f
+}
+
+// TestMemFrameTrainGating pins the v4 contract on the in-memory
+// transport: a train travels whole between train-capable sessions, is
+// split into ≤2-envelope frames toward a session without
+// CapFrameTrains (order preserved), and PeerCaps reports the
+// negotiated intersection.
+func TestMemFrameTrainGating(t *testing.T) {
+	members := []wire.ProcessID{1, 2, 3}
+	for _, batching := range []int{0, 8} {
+		net := NewMemNetwork(MemNetworkOptions{SendQueueCapacity: batching})
+		trains := serverHello(1, 4, members)
+		trains.Capabilities |= wire.CapFrameTrains
+		a, err := net.RegisterSession(trains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capable := serverHello(2, 4, members)
+		capable.Capabilities |= wire.CapFrameTrains
+		b, err := net.RegisterSession(capable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := net.RegisterSession(serverHello(3, 4, members)) // no trains
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if caps, ok := a.PeerCaps(2); !ok || caps&wire.CapFrameTrains == 0 {
+			t.Fatalf("batching=%d: PeerCaps(2) = (%#x,%v), want trains negotiated", batching, caps, ok)
+		}
+		if caps, ok := a.PeerCaps(3); !ok || caps&wire.CapFrameTrains != 0 {
+			t.Fatalf("batching=%d: PeerCaps(3) = (%#x,%v), want known without trains", batching, caps, ok)
+		}
+
+		const k = 5
+		if err := a.SendLane(2, 1, trainTestFrame(k, 1)); err != nil {
+			t.Fatal(err)
+		}
+		in := <-b.Inbox()
+		if got := in.Frame.EnvelopeCount(); got != k {
+			t.Fatalf("batching=%d: capable peer received %d envelopes, want %d", batching, got, k)
+		}
+
+		if err := a.SendLane(3, 1, trainTestFrame(k, 1)); err != nil {
+			t.Fatal(err)
+		}
+		var got []wire.Envelope
+		for len(got) < k {
+			in := <-c.Inbox()
+			if n := in.Frame.EnvelopeCount(); n > 2 {
+				t.Fatalf("batching=%d: v4 frame (%d envelopes) reached a no-train session", batching, n)
+			}
+			if in.Frame.Lane != 1 {
+				t.Fatalf("batching=%d: split frame lost the lane", batching)
+			}
+			got = append(got, in.Frame.Envelopes()...)
+		}
+		wf := trainTestFrame(k, 1)
+		want := wf.Envelopes()
+		for i := range want {
+			if got[i].Tag != want[i].Tag {
+				t.Fatalf("batching=%d: split reordered envelopes: got %s at %d, want %s",
+					batching, got[i].Tag, i, want[i].Tag)
+			}
 		}
 		_ = a.Close()
 		_ = b.Close()

@@ -136,3 +136,15 @@ type LaneSender interface {
 type Handshaker interface {
 	Handshake(to wire.ProcessID) error
 }
+
+// PeerCapser is implemented by session endpoints that can report the
+// capability set negotiated with a peer: the intersection of both
+// sides' HELLO capability bitmaps. ok is false while the capabilities
+// are not yet known (no handshake with the peer has completed); callers
+// shaping frames by capability — e.g. the train planner deciding
+// whether the successor accepts wire-v4 frames — must treat unknown as
+// "no capabilities". Legacy (session-less) peers report an empty,
+// known capability set.
+type PeerCapser interface {
+	PeerCaps(to wire.ProcessID) (caps uint32, ok bool)
+}

@@ -15,8 +15,8 @@ import (
 //
 //	frame header:
 //	  uint32  total length of the rest of the frame
-//	  uint8   envelope count (1 or 2); frameV2Bit marks the v2 header
-//	  uint8   lane (v2 only)
+//	  uint8   envelope count; frameV2Bit marks the v2+ header
+//	  uint8   lane (v2+ only)
 //	per envelope:
 //	  uint8   kind
 //	  uint8   flags (FlagPooledValue is local-only: masked on encode,
@@ -30,15 +30,20 @@ import (
 //	  uint32  value length, followed by the value bytes
 //
 // The v2 header (lane-sharded ring pipeline) sets frameV2Bit in the
-// count byte and follows it with the frame's lane. The encoder always
-// emits v2; the decoder accepts both, mapping v1 frames to lane 0, so
-// pre-lane peers' frames (and the fuzz corpus) still decode.
+// count byte and follows it with the frame's lane; v2/v3 counts are 1
+// or 2. The v4 extension ("frame trains") keeps the exact same layout
+// and widens the count to 1..MaxFrameEnvelopes — a count of 3+ IS the
+// v4 frame, and is only ever emitted on links whose session negotiated
+// CapFrameTrains (a v3 decoder rejects it as corrupt). The encoder
+// always emits the v2+ header; the decoder accepts v1 (plain count 1
+// or 2, no lane byte, mapped to lane 0), v2/v3, and v4, so pre-lane
+// and pre-train peers' frames (and the fuzz corpus) still decode.
 const (
 	frameHeaderSize    = 4 + 1 + 1
 	envelopeHeaderSize = 1 + 1 + 4 + 8 + 4 + 4 + 4 + 8 + 4
 )
 
-// frameV2Bit marks a count byte as the v2 header (count | frameV2Bit,
+// frameV2Bit marks a count byte as the v2+ header (count | frameV2Bit,
 // followed by the lane byte). v1 count bytes are plain 1 or 2, so the
 // bit is unambiguous.
 const frameV2Bit = 0x80
@@ -48,8 +53,19 @@ const frameV2Bit = 0x80
 // corrupt length prefix cannot trigger a huge allocation.
 const MaxValueSize = 16 << 20
 
+// MaxTrainValueBytes bounds the total value bytes of a train's tail
+// (every envelope beyond the classic primary+piggyback pair). The
+// first two envelopes keep the v3 contract of MaxValueSize each, so a
+// legal frame never exceeds MaxFrameSize — which is what keeps the
+// reader's pre-allocation guard near the v3 bound instead of growing
+// MaxFrameEnvelopes-fold. Train planners must respect it; in practice
+// train tails are small (elided writes and typical values), and a
+// planner that hits the cap just closes the train early.
+const MaxTrainValueBytes = 4 << 20
+
 // MaxFrameSize is the largest frame the codec will encode or decode.
-const MaxFrameSize = frameHeaderSize + 2*(envelopeHeaderSize+MaxValueSize)
+const MaxFrameSize = frameHeaderSize + MaxFrameEnvelopes*envelopeHeaderSize +
+	2*MaxValueSize + MaxTrainValueBytes
 
 // Codec errors.
 var (
@@ -79,19 +95,29 @@ func AppendEnvelope(buf []byte, env *Envelope) []byte {
 // length prefix is backfilled in place, so the encoder performs no
 // intermediate allocation: with a reused buf the call is allocation-free.
 func AppendFrame(buf []byte, f *Frame) ([]byte, error) {
+	count := f.EnvelopeCount()
+	if count > MaxFrameEnvelopes {
+		return nil, fmt.Errorf("%w: %d envelopes", ErrFrameTooLarge, count)
+	}
 	if len(f.Env.Value) > MaxValueSize ||
 		(f.Piggyback != nil && len(f.Piggyback.Value) > MaxValueSize) {
 		return nil, ErrFrameTooLarge
 	}
-	count := byte(1)
-	if f.Piggyback != nil {
-		count = 2
+	tail := 0
+	for i := range f.Extra {
+		tail += len(f.Extra[i].Value)
+	}
+	if tail > MaxTrainValueBytes {
+		return nil, fmt.Errorf("%w: train tail carries %d value bytes", ErrFrameTooLarge, tail)
 	}
 	start := len(buf)
-	buf = append(buf, 0, 0, 0, 0, count|frameV2Bit, f.Lane)
+	buf = append(buf, 0, 0, 0, 0, byte(count)|frameV2Bit, f.Lane)
 	buf = AppendEnvelope(buf, &f.Env)
 	if f.Piggyback != nil {
 		buf = AppendEnvelope(buf, f.Piggyback)
+	}
+	for i := range f.Extra {
+		buf = AppendEnvelope(buf, &f.Extra[i])
 	}
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
 	return buf, nil
@@ -217,10 +243,12 @@ func (f *Frame) decodeFrom(body []byte, mode valueMode) error {
 		f.resetDecode()
 		return fmt.Errorf("%w: empty body", ErrCorruptFrame)
 	}
-	count := body[0]
+	count := int(body[0])
 	f.Lane = 0
 	rest := body[1:]
+	v2 := false
 	if count&frameV2Bit != 0 {
+		v2 = true
 		if len(rest) < 1 {
 			f.resetDecode()
 			return fmt.Errorf("%w: v2 header without lane byte", ErrCorruptFrame)
@@ -229,7 +257,9 @@ func (f *Frame) decodeFrom(body []byte, mode valueMode) error {
 		f.Lane = rest[0]
 		rest = rest[1:]
 	}
-	if count != 1 && count != 2 {
+	// v1 headers carry at most the classic piggyback pair; train counts
+	// (3+) require the v2+ header, as only train-capable builds emit it.
+	if count < 1 || count > MaxFrameEnvelopes || (count > 2 && !v2) {
 		f.resetDecode()
 		return fmt.Errorf("%w: envelope count %d", ErrCorruptFrame, count)
 	}
@@ -238,7 +268,7 @@ func (f *Frame) decodeFrom(body []byte, mode valueMode) error {
 		f.resetDecode()
 		return err
 	}
-	if count == 2 {
+	if count >= 2 {
 		pb := f.Piggyback
 		if pb == nil {
 			pb = new(Envelope)
@@ -252,6 +282,31 @@ func (f *Frame) decodeFrom(body []byte, mode valueMode) error {
 	} else {
 		f.Piggyback = nil
 	}
+	f.clearExtra()
+	if n := count - 2; n > 0 {
+		// Reuse the previous decode's Extra backing array so steady-state
+		// train decoding stays allocation-free for a reused *Frame.
+		if cap(f.Extra) >= n {
+			f.Extra = f.Extra[:n]
+		} else {
+			f.Extra = make([]Envelope, n)
+		}
+		tail := 0
+		for i := range f.Extra {
+			rest, err = decodeEnvelopeInto(&f.Extra[i], rest, mode)
+			if err != nil {
+				f.resetDecode()
+				return err
+			}
+			tail += len(f.Extra[i].Value)
+		}
+		// Mirror the encoder's train-tail byte bound, so anything the
+		// decoder accepts re-encodes.
+		if tail > MaxTrainValueBytes {
+			f.resetDecode()
+			return fmt.Errorf("%w: train tail carries %d value bytes", ErrFrameTooLarge, tail)
+		}
+	}
 	if len(rest) != 0 {
 		f.resetDecode()
 		return fmt.Errorf("%w: %d trailing bytes", ErrCorruptFrame, len(rest))
@@ -259,13 +314,24 @@ func (f *Frame) decodeFrom(body []byte, mode valueMode) error {
 	return nil
 }
 
+// clearExtra zeroes and truncates the Extra slice, dropping any value
+// references from a previous decode while keeping the backing array for
+// reuse.
+func (f *Frame) clearExtra() {
+	for i := range f.Extra {
+		f.Extra[i] = Envelope{}
+	}
+	f.Extra = f.Extra[:0]
+}
+
 // resetDecode zeroes the frame after a failed decode so no field — a
 // partially overwritten header, a Value still aliasing a possibly
-// recycled pooled buffer, or a previous decode's piggyback — survives
-// into error handling.
+// recycled pooled buffer, or a previous decode's piggyback or train
+// tail — survives into error handling.
 func (f *Frame) resetDecode() {
 	f.Env = Envelope{}
 	f.Piggyback = nil
+	f.clearExtra()
 	f.Lane = 0
 }
 

@@ -25,7 +25,6 @@ func sampleEnvelopes() []Envelope {
 
 func TestFrameRoundTrip(t *testing.T) {
 	for _, env := range sampleEnvelopes() {
-		env := env
 		f := NewFrame(env)
 		buf, err := AppendFrame(nil, &f)
 		if err != nil {
@@ -213,7 +212,6 @@ func TestLaneRoundTrip(t *testing.T) {
 		NewLaneFrame(Envelope{Kind: KindPreWrite, Origin: 3, Tag: tag.Tag{TS: 5, ID: 3}, Value: []byte("v")}, 7),
 		{Env: Envelope{Kind: KindPreWrite, Origin: 3, Tag: tag.Tag{TS: 5, ID: 3}, Value: []byte("v")}, Piggyback: &pb, Lane: 255},
 	} {
-		f := f
 		buf, err := AppendFrame(nil, &f)
 		if err != nil {
 			t.Fatal(err)
@@ -309,7 +307,6 @@ func TestPooledValueDecode(t *testing.T) {
 
 func TestAppendToMatchesAppendFrame(t *testing.T) {
 	for _, env := range sampleEnvelopes() {
-		env := env
 		f := NewFrame(env)
 		want, err := AppendFrame(nil, &f)
 		if err != nil {
@@ -475,5 +472,275 @@ func TestDecodeFromErrorClearsFrame(t *testing.T) {
 		if dec.Piggyback != nil || dec.Env.Value != nil || dec.Env.Kind != 0 {
 			t.Fatalf("%s: stale frame state after failed decode: %+v", name, dec)
 		}
+	}
+}
+
+// trainFrame builds a K-envelope train: a pre-write with a value, an
+// elided write piggyback, and K-2 further ring envelopes in the tail.
+func trainFrame(k int, lane uint8) Frame {
+	pb := Envelope{Kind: KindWrite, Origin: 2, Tag: tag.Tag{TS: 9, ID: 2}, Flags: FlagValueElided}
+	f := Frame{
+		Env:       Envelope{Kind: KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 10, ID: 1}, Value: []byte("head")},
+		Piggyback: &pb,
+		Lane:      lane,
+	}
+	for i := 2; i < k; i++ {
+		kind := KindPreWrite
+		var val []byte
+		if i%2 == 0 {
+			kind = KindWrite
+		} else {
+			val = []byte{byte(i)}
+		}
+		f.Extra = append(f.Extra, Envelope{
+			Kind: kind, Origin: ProcessID(1 + i%3),
+			Tag: tag.Tag{TS: uint64(20 + i), ID: uint32(1 + i%3)}, Value: val,
+		})
+	}
+	return f
+}
+
+// TestTrainFrameRoundTrip pins the v4 wire shape: trains of 3 and more
+// envelopes survive both decode paths with order, lane, and values
+// intact.
+func TestTrainFrameRoundTrip(t *testing.T) {
+	for _, k := range []int{3, 4, 8, MaxFrameEnvelopes} {
+		f := trainFrame(k, 5)
+		buf, err := AppendFrame(nil, &f)
+		if err != nil {
+			t.Fatalf("k=%d: encode: %v", k, err)
+		}
+		got, err := DecodeFrameBody(buf[4:])
+		if err != nil {
+			t.Fatalf("k=%d: decode: %v", k, err)
+		}
+		if got.Lane != 5 || got.EnvelopeCount() != k {
+			t.Fatalf("k=%d: lane %d count %d", k, got.Lane, got.EnvelopeCount())
+		}
+		want, have := f.Envelopes(), got.Envelopes()
+		for i := range want {
+			if !reflect.DeepEqual(normalizeEnv(want[i]), normalizeEnv(have[i])) {
+				t.Fatalf("k=%d: envelope %d mismatch:\n in: %+v\nout: %+v", k, i, want[i], have[i])
+			}
+		}
+		var aliased Frame
+		if err := aliased.DecodeFrom(buf[4:]); err != nil {
+			t.Fatalf("k=%d: aliasing decode: %v", k, err)
+		}
+		if aliased.EnvelopeCount() != k || aliased.Lane != 5 {
+			t.Fatalf("k=%d: aliasing decode lost shape", k)
+		}
+		re, err := aliased.AppendTo(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, re) {
+			t.Fatalf("k=%d: aliasing re-encode mismatch", k)
+		}
+	}
+}
+
+func normalizeEnv(e Envelope) Envelope {
+	if len(e.Value) == 0 {
+		e.Value = nil
+	}
+	return e
+}
+
+// TestTrainCountBounds rejects trains beyond MaxFrameEnvelopes on both
+// ends, and train counts without the v2+ header bit.
+func TestTrainCountBounds(t *testing.T) {
+	over := trainFrame(MaxFrameEnvelopes+1, 0)
+	if _, err := AppendFrame(nil, &over); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("encode over-long train: %v, want ErrFrameTooLarge", err)
+	}
+	f := trainFrame(3, 0)
+	buf, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := append([]byte(nil), buf[4:]...)
+	body[0] = (MaxFrameEnvelopes + 1) | frameV2Bit
+	if _, err := DecodeFrameBody(body); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("decode count %d: %v, want ErrCorruptFrame", MaxFrameEnvelopes+1, err)
+	}
+	// A v1 header (no v2 bit, no lane byte) never carries a train.
+	v1 := append([]byte{3}, buf[6:]...)
+	if _, err := DecodeFrameBody(v1); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("v1 train count: %v, want ErrCorruptFrame", err)
+	}
+}
+
+// TestTrainDecodeReuseClearsTail re-decoding a shorter frame into a
+// *Frame that previously held a train must not leak stale tail
+// envelopes.
+func TestTrainDecodeReuseClearsTail(t *testing.T) {
+	train := trainFrame(6, 1)
+	tbuf, err := AppendFrame(nil, &train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := NewFrame(Envelope{Kind: KindReadRequest, Object: 9, ReqID: 77})
+	pbuf, err := AppendFrame(nil, &plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Frame
+	if err := dec.DecodeFrom(tbuf[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Extra) != 4 {
+		t.Fatalf("extra = %d, want 4", len(dec.Extra))
+	}
+	if err := dec.DecodeFrom(pbuf[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Extra) != 0 || dec.Piggyback != nil || dec.Env.ReqID != 77 {
+		t.Fatalf("stale train state after reuse: %+v", dec)
+	}
+	// A failed decode clears the tail too.
+	if err := dec.DecodeFrom(tbuf[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.DecodeFrom([]byte{9}); err == nil {
+		t.Fatal("corrupt decode succeeded")
+	}
+	if len(dec.Extra) != 0 || dec.Piggyback != nil {
+		t.Fatalf("stale train state after failed decode: %+v", dec)
+	}
+}
+
+// TestTrainSteadyStateAllocs pins the 0-alloc contract for the train
+// hot path: encoding into a reused buffer and alias-decoding into a
+// reused Frame allocates nothing once warmed up.
+func TestTrainSteadyStateAllocs(t *testing.T) {
+	f := trainFrame(8, 2)
+	var (
+		buf []byte
+		dec Frame
+	)
+	var err error
+	if buf, err = f.AppendTo(buf[:0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.DecodeFrom(buf[4:]); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = f.AppendTo(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.DecodeFrom(buf[4:]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state train round trip allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestSplitLegacy checks the transport fallback for non-train links: a
+// train splits into v3 frames of at most two envelopes, preserving
+// order and lane, and the concatenation carries the same envelopes.
+func TestSplitLegacy(t *testing.T) {
+	for _, k := range []int{3, 4, 5, 8} {
+		f := trainFrame(k, 3)
+		subs := f.SplitLegacy()
+		var got []Envelope
+		for _, sub := range subs {
+			if sub.EnvelopeCount() > 2 {
+				t.Fatalf("k=%d: split frame still carries %d envelopes", k, sub.EnvelopeCount())
+			}
+			if sub.Lane != f.Lane {
+				t.Fatalf("k=%d: split frame lost the lane", k)
+			}
+			if err := sub.Validate(); err != nil {
+				t.Fatalf("k=%d: split frame invalid: %v", k, err)
+			}
+			got = append(got, sub.Envelopes()...)
+		}
+		want := f.Envelopes()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("k=%d: split reordered or lost envelopes", k)
+		}
+	}
+}
+
+// TestTrainPooledDecode covers the pooled inbound path for trains:
+// every envelope's value comes back marked pool-owned and retires
+// cleanly.
+func TestTrainPooledDecode(t *testing.T) {
+	f := trainFrame(5, 0)
+	buf, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrameBodyPooled(buf[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := got.Envelopes()
+	for i, env := range envs {
+		if len(env.Value) > 0 && !env.ValuePooled() {
+			t.Fatalf("envelope %d value not pooled", i)
+		}
+	}
+	got.Retire()
+	if got.Env.Value != nil {
+		t.Fatal("Retire left the primary value")
+	}
+	for i := range got.Extra {
+		if got.Extra[i].Value != nil {
+			t.Fatalf("Retire left extra value %d", i)
+		}
+	}
+}
+
+// TestTrainTailByteBound pins the v4 size contract: the total value
+// bytes of a train's tail (beyond the classic pair) are bounded by
+// MaxTrainValueBytes on both encode and decode, so MaxFrameSize — the
+// reader's allocation guard — stays near the v3 bound instead of
+// growing MaxFrameEnvelopes-fold.
+func TestTrainTailByteBound(t *testing.T) {
+	big := make([]byte, MaxTrainValueBytes/2+1)
+	pb := Envelope{Kind: KindWrite, Origin: 2, Tag: tag.Tag{TS: 1, ID: 2}, Flags: FlagValueElided}
+	f := Frame{
+		Env:       Envelope{Kind: KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 2, ID: 1}, Value: []byte("v")},
+		Piggyback: &pb,
+		Extra: []Envelope{
+			{Kind: KindPreWrite, Origin: 2, Tag: tag.Tag{TS: 3, ID: 2}, Value: big},
+			{Kind: KindPreWrite, Origin: 3, Tag: tag.Tag{TS: 4, ID: 3}, Value: big},
+		},
+	}
+	if _, err := AppendFrame(nil, &f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("encode over-budget tail: %v, want ErrFrameTooLarge", err)
+	}
+	// Just under the budget passes and round-trips.
+	f.Extra = f.Extra[:1]
+	buf, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatalf("encode in-budget tail: %v", err)
+	}
+	if len(buf) > MaxFrameSize {
+		t.Fatalf("legal frame of %d bytes exceeds MaxFrameSize %d", len(buf), MaxFrameSize)
+	}
+	if _, err := DecodeFrameBody(buf[4:]); err != nil {
+		t.Fatalf("decode in-budget tail: %v", err)
+	}
+	// The classic pair keeps its v3 headroom: two full-size values.
+	full := make([]byte, MaxValueSize)
+	pb2 := Envelope{Kind: KindWrite, Origin: 2, Tag: tag.Tag{TS: 1, ID: 2}, Value: full}
+	classic := Frame{
+		Env:       Envelope{Kind: KindPreWrite, Origin: 1, Tag: tag.Tag{TS: 2, ID: 1}, Value: full},
+		Piggyback: &pb2,
+	}
+	cbuf, err := AppendFrame(nil, &classic)
+	if err != nil {
+		t.Fatalf("encode classic max frame: %v", err)
+	}
+	if len(cbuf) > MaxFrameSize {
+		t.Fatalf("classic max frame of %d bytes exceeds MaxFrameSize %d", len(cbuf), MaxFrameSize)
 	}
 }

@@ -18,7 +18,6 @@ func FuzzDecodeFrameBody(f *testing.F) {
 		{Kind: KindWrite, Origin: 2, Tag: tag.Tag{TS: 3, ID: 2}, Flags: FlagValueElided},
 		{Kind: KindCrash, Origin: 4, Epoch: 1},
 	} {
-		env := env
 		frame := NewFrame(env)
 		buf, err := AppendFrame(nil, &frame)
 		if err != nil {
@@ -33,6 +32,15 @@ func FuzzDecodeFrameBody(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf[4:])
+	// v4 train frames: a full train and one at the envelope-count bound.
+	for _, k := range []int{4, MaxFrameEnvelopes} {
+		train := trainFrame(k, 3)
+		tbuf, err := AppendFrame(nil, &train)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(tbuf[4:])
+	}
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		frame, err := DecodeFrameBody(body)

@@ -33,6 +33,13 @@ const (
 	// ring frames by that negotiated lane rather than trusting the
 	// frame header.
 	CapLaneLinks uint32 = 1 << iota
+	// CapFrameTrains: the sender decodes wire-v4 "train" frames carrying
+	// up to MaxFrameEnvelopes ring envelopes (DESIGN.md §9). Trains are
+	// negotiated per session rather than by a HELLO version bump, so a
+	// v3 peer without the bit interoperates unchanged: a train-capable
+	// server sends it classic piggyback frames only (a v4 frame on such
+	// a link would be rejected as corrupt and kill the connection).
+	CapFrameTrains
 )
 
 // LinkGeneral is the Hello.Link value of a connection that is not

@@ -196,16 +196,33 @@ func (e *Envelope) String() string {
 		e.Kind, e.Object, e.Tag, e.Origin, e.ReqID, len(e.Value))
 }
 
-// Frame is the unit the transports move: one or two envelopes. A frame
-// with a second envelope is a piggybacked ring frame: the write-phase
-// message of an earlier write rides along with a pre-write-phase message
-// (paper §4.2, key to the 1-write-per-round throughput).
+// MaxFrameEnvelopes bounds the number of envelopes one frame may carry.
+// The v3 wire format allowed two (a primary plus a piggyback); the v4
+// "frame train" extension raises the bound so a saturated ring lane can
+// amortize its per-frame costs over many protocol messages (DESIGN.md
+// §9). Train frames (three or more envelopes) are only ever emitted on
+// links whose session negotiated CapFrameTrains.
+const MaxFrameEnvelopes = 16
+
+// Frame is the unit the transports move: a train of one or more
+// envelopes. A frame with a second envelope is the classic piggybacked
+// ring frame: the write-phase message of an earlier write rides along
+// with a pre-write-phase message (paper §4.2, key to the 1-write-per-
+// round throughput). Frames with more envelopes generalize the same
+// amortization one level up (wire v4): up to MaxFrameEnvelopes ring
+// messages share one header, one channel handoff, and one transport
+// send.
 type Frame struct {
 	// Env is the primary envelope; always present.
 	Env Envelope
 	// Piggyback is an optional second ring envelope. It always belongs
 	// to the same lane as Env (a lane only piggybacks its own queue).
 	Piggyback *Envelope
+	// Extra holds the train members after the second envelope (wire v4).
+	// Like the piggyback, every entry is a ring envelope of the frame's
+	// lane. A non-empty Extra requires a non-nil Piggyback (the decoder
+	// always fills the slots in order).
+	Extra []Envelope
 	// Lane is the ring lane the frame belongs to (hash(ObjectID) mod the
 	// lane count, identical on every server of a cluster). Servers use
 	// it to demultiplex inbound ring traffic to the owning lane without
@@ -230,14 +247,50 @@ func (f *Frame) Retire() {
 	if f.Piggyback != nil {
 		f.Piggyback.RetireValue()
 	}
+	for i := range f.Extra {
+		f.Extra[i].RetireValue()
+	}
+}
+
+// EnvelopeCount returns the number of envelopes the frame carries.
+func (f *Frame) EnvelopeCount() int {
+	n := 1 + len(f.Extra)
+	if f.Piggyback != nil {
+		n++
+	}
+	return n
 }
 
 // Envelopes returns the envelopes carried by the frame, primary first.
 func (f *Frame) Envelopes() []Envelope {
-	if f.Piggyback == nil {
+	if f.Piggyback == nil && len(f.Extra) == 0 {
 		return []Envelope{f.Env}
 	}
-	return []Envelope{f.Env, *f.Piggyback}
+	out := make([]Envelope, 0, f.EnvelopeCount())
+	out = append(out, f.Env)
+	if f.Piggyback != nil {
+		out = append(out, *f.Piggyback)
+	}
+	return append(out, f.Extra...)
+}
+
+// SplitLegacy rewrites a train frame as a sequence of wire-v3 frames of
+// at most two envelopes each, preserving envelope order and the lane.
+// Transports use it on links whose session did not negotiate
+// CapFrameTrains: delivered back to back on one link, the split frames
+// are indistinguishable from the train to the receiving protocol.
+func (f *Frame) SplitLegacy() []Frame {
+	envs := f.Envelopes()
+	out := make([]Frame, 0, (len(envs)+1)/2)
+	for i := 0; i < len(envs); i += 2 {
+		sub := Frame{Env: envs[i], Lane: f.Lane}
+		if i+1 < len(envs) {
+			pb := envs[i+1]
+			sub.Piggyback = &pb
+		}
+		out = append(out, sub)
+	}
+	return out
 }
 
 // Validate checks the frame and every envelope in it.
@@ -253,6 +306,22 @@ func (f *Frame) Validate() error {
 			return errors.New("wire: piggybacking is only defined for ring messages")
 		}
 	}
+	if len(f.Extra) > 0 {
+		if f.Piggyback == nil {
+			return errors.New("wire: train with empty second slot")
+		}
+		if f.EnvelopeCount() > MaxFrameEnvelopes {
+			return fmt.Errorf("wire: train of %d envelopes exceeds %d", f.EnvelopeCount(), MaxFrameEnvelopes)
+		}
+		for i := range f.Extra {
+			if err := f.Extra[i].Validate(); err != nil {
+				return fmt.Errorf("train envelope %d: %w", i+2, err)
+			}
+			if !f.Extra[i].IsRing() {
+				return errors.New("wire: frame trains are only defined for ring messages")
+			}
+		}
+	}
 	return nil
 }
 
@@ -262,6 +331,9 @@ func (f *Frame) WireSize() int {
 	n := frameHeaderSize + envelopeHeaderSize + len(f.Env.Value)
 	if f.Piggyback != nil {
 		n += envelopeHeaderSize + len(f.Piggyback.Value)
+	}
+	for i := range f.Extra {
+		n += envelopeHeaderSize + len(f.Extra[i].Value)
 	}
 	return n
 }

@@ -37,7 +37,6 @@ func TestEnvelopeValidate(t *testing.T) {
 		{Kind: KindCrash, Origin: 3},
 	}
 	for _, env := range valid {
-		env := env
 		if err := env.Validate(); err != nil {
 			t.Errorf("Validate(%v) = %v, want nil", &env, err)
 		}
@@ -52,7 +51,6 @@ func TestEnvelopeValidate(t *testing.T) {
 		{Kind: KindCrash},                                // no subject
 	}
 	for _, env := range invalid {
-		env := env
 		if err := env.Validate(); err == nil {
 			t.Errorf("Validate(%v) = nil, want error", &env)
 		}
@@ -128,7 +126,6 @@ func TestWireSizeMatchesEncoding(t *testing.T) {
 		{Env: Envelope{Kind: KindPreWrite, Origin: 2, Tag: tag.Tag{TS: 5, ID: 2}, Value: []byte("hello")}, Piggyback: &pb},
 	}
 	for _, f := range frames {
-		f := f
 		buf, err := AppendFrame(nil, &f)
 		if err != nil {
 			t.Fatal(err)
