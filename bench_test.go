@@ -243,12 +243,14 @@ func BenchmarkAblationFairness(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationPendingMode compares pending-on-forward (paper) with
-// pending-on-receive (conservative) on the real implementation.
-func BenchmarkAblationPendingMode(b *testing.B) {
-	for _, onReceive := range []bool{false, true} {
-		b.Run("pendingOnReceive="+strconv.FormatBool(onReceive), func(b *testing.B) {
-			res := runAsync(b, 3, 1, 1, func(c *coreConfig) { c.PendingOnReceive = onReceive })
+// BenchmarkAblationValueElision compares elided write-phase messages
+// (default) with full-value writes (the paper's literal pseudo-code) on
+// the real implementation. (The old pending-mode ablation is gone:
+// receive-time pending is the default since the one-lock commit path.)
+func BenchmarkAblationValueElision(b *testing.B) {
+	for _, elide := range []bool{true, false} {
+		b.Run("elision="+strconv.FormatBool(elide), func(b *testing.B) {
+			res := runAsync(b, 3, 1, 1, func(c *coreConfig) { c.DisableValueElision = !elide })
 			b.ReportMetric(res.ReadOpsPerSec, "reads/s")
 			b.ReportMetric(res.WriteOpsPerSec, "writes/s")
 		})
@@ -321,6 +323,23 @@ func BenchmarkWireEncode(b *testing.B) { bench.WireEncodeLoop(b) }
 // AppendTo plus the aliasing DecodeFrom into a reused Frame — the
 // request/ack path of the TCP transport — at 0 allocs/op.
 func BenchmarkWireEncodeDecodePooled(b *testing.B) { bench.WireRoundTripLoop(b) }
+
+// BenchmarkPendingSet measures the sorted pending set's steady-state
+// add/prune cycle — the per-committed-envelope churn of a saturated
+// lane — at several backlog depths, at 0 allocs/op (the old map pair
+// paid two hash-map operations plus a full scan per read admission).
+func BenchmarkPendingSet(b *testing.B) {
+	for _, depth := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), bench.PendingSetOpsLoop(depth))
+	}
+}
+
+// BenchmarkReadPathLockFree measures the snapshot-based read serve
+// decision (one atomic load, 0 allocs/op, no shard lock)...
+func BenchmarkReadPathLockFree(b *testing.B) { bench.ReadPathFastLoop(b) }
+
+// BenchmarkReadPathLocked ...against the locked decision it replaced.
+func BenchmarkReadPathLocked(b *testing.B) { bench.ReadPathLockedLoop(b) }
 
 // BenchmarkTCPEcho measures end-to-end message throughput over loopback
 // TCP, comparing the coalescing writer against the flush-per-frame

@@ -40,7 +40,7 @@ func run() error {
 		hotpathOut = flag.String("hotpath-out", "BENCH_hotpath.json", "where -hotpath writes its report")
 		echoMsgs   = flag.Int("hotpath-echo-msgs", 60000, "messages per TCP echo measurement")
 		moWindow   = flag.Duration("hotpath-window", time.Second, "measurement window per multi-object data point")
-		strict     = flag.Bool("hotpath-strict", false, "exit non-zero if the codec hot path allocates (encode or round trip > 0 allocs/op)")
+		strict     = flag.Bool("hotpath-strict", false, "exit non-zero if a hot path allocates (codec encode/round trip, pending-set add/prune, or the read fast path > 0 allocs/op)")
 	)
 	flag.Parse()
 
@@ -100,6 +100,13 @@ func runHotpath(out string, echoMsgs int, window time.Duration, strict bool) err
 	fmt.Printf("wire codec:    encode %.1f ns/op (%d allocs), round trip %.1f ns/op (%d allocs), %.0f MB/s\n",
 		rep.Wire.EncodeNsPerOp, rep.Wire.EncodeAllocsPerOp,
 		rep.Wire.RoundTripNsPerOp, rep.Wire.RoundTripAllocsPerOp, rep.Wire.MBPerSec)
+	fmt.Printf("pending set:   add/prune %.1f/%.1f/%.1f ns/op at depth 1/8/64 (%d allocs), maxPending %.1f ns/op\n",
+		rep.PendingSet.AddPruneNsPerOpDepth1, rep.PendingSet.AddPruneNsPerOpDepth8,
+		rep.PendingSet.AddPruneNsPerOpDepth64, rep.PendingSet.AddPruneAllocsPerOp,
+		rep.PendingSet.MaxPendingNsPerOp)
+	fmt.Printf("read path:     lock-free %.1f ns/op (%d allocs) vs locked %.1f ns/op (%.2fx)\n",
+		rep.ReadPath.LockFreeNsPerOp, rep.ReadPath.LockFreeAllocsPerOp,
+		rep.ReadPath.LockedNsPerOp, rep.ReadPath.Speedup)
 	fmt.Printf("tcp echo:      coalesced %.0f msgs/s, unbatched %.0f msgs/s, speedup %.2fx\n",
 		rep.TCPEcho.CoalescedMsgsPerSec, rep.TCPEcho.UnbatchedMsgsPerSec, rep.TCPEcho.Speedup)
 	fmt.Printf("multi-object:  sharded %.0f reads/s (%.0f writes/s), inline %.0f reads/s, speedup %.2fx\n",
@@ -115,9 +122,19 @@ func runHotpath(out string, echoMsgs int, window time.Duration, strict bool) err
 		return err
 	}
 	fmt.Printf("\nreport written to %s\n", out)
-	if strict && (rep.Wire.EncodeAllocsPerOp != 0 || rep.Wire.RoundTripAllocsPerOp != 0) {
-		return fmt.Errorf("codec hot path allocates: encode %d allocs/op, round trip %d allocs/op (want 0)",
-			rep.Wire.EncodeAllocsPerOp, rep.Wire.RoundTripAllocsPerOp)
+	if strict {
+		if rep.Wire.EncodeAllocsPerOp != 0 || rep.Wire.RoundTripAllocsPerOp != 0 {
+			return fmt.Errorf("codec hot path allocates: encode %d allocs/op, round trip %d allocs/op (want 0)",
+				rep.Wire.EncodeAllocsPerOp, rep.Wire.RoundTripAllocsPerOp)
+		}
+		if rep.PendingSet.AddPruneAllocsPerOp != 0 {
+			return fmt.Errorf("pending-set add/prune allocates: %d allocs/op (want 0)",
+				rep.PendingSet.AddPruneAllocsPerOp)
+		}
+		if rep.ReadPath.LockFreeAllocsPerOp != 0 {
+			return fmt.Errorf("read fast path allocates: %d allocs/op (want 0)",
+				rep.ReadPath.LockFreeAllocsPerOp)
+		}
 	}
 	return nil
 }

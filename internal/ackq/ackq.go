@@ -1,0 +1,81 @@
+// Package ackq provides the client-acknowledgment queue shared by the
+// servers that must never block their protocol loops on a client
+// connection: an unbounded queue with a non-blocking Enqueue and a
+// notification channel a dedicated sender goroutine drains. The queue
+// is deliberately unbounded — backpressure toward the protocol loop is
+// exactly the coupling it exists to remove; a slow or dead client costs
+// memory proportional to its unacknowledged operations, never ring or
+// chain progress.
+package ackq
+
+import "sync"
+
+// Queue is an unbounded multi-producer ack queue. Construct with New
+// before draining; the zero value supports Enqueue only (handy in
+// tests that never start a drain goroutine).
+type Queue[T any] struct {
+	mu     sync.Mutex
+	items  []T
+	notify chan struct{}
+}
+
+// New returns a drainable queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.Init()
+	return q
+}
+
+// Init prepares an embedded zero-value queue for draining.
+func (q *Queue[T]) Init() {
+	q.notify = make(chan struct{}, 1)
+}
+
+// Enqueue adds one item; it never blocks.
+func (q *Queue[T]) Enqueue(item T) {
+	q.mu.Lock()
+	q.items = append(q.items, item)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Pending returns the queued items not yet taken by a drain batch
+// (diagnostics and tests).
+func (q *Queue[T]) Pending() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items
+}
+
+// Drain sends queued items through send until stop closes, batching
+// under one lock acquisition per wakeup. stop is re-checked between
+// items so a long backlog cannot delay shutdown.
+func (q *Queue[T]) Drain(stop <-chan struct{}, send func(T)) {
+	for {
+		select {
+		case <-q.notify:
+		case <-stop:
+			return
+		}
+		for {
+			q.mu.Lock()
+			batch := q.items
+			q.items = nil
+			q.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			for _, item := range batch {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				send(item)
+			}
+		}
+	}
+}

@@ -30,9 +30,38 @@ type HotpathReport struct {
 
 	Wire         WireCodecStats    `json:"wire_codec"`
 	TCPEcho      TCPEchoStats      `json:"tcp_echo"`
+	PendingSet   PendingSetStats   `json:"pending_set"`
+	ReadPath     ReadPathStats     `json:"read_path"`
 	MultiObject  MultiObjectStats  `json:"multi_object"`
 	LaneScaling  LaneScalingStats  `json:"lane_scaling"`
 	TrainScaling TrainScalingStats `json:"train_scaling"`
+}
+
+// PendingSetStats reports the sorted pending set's steady-state
+// add/prune cycle (the per-committed-envelope churn of a saturated
+// lane) at several depths, plus the O(1) maxPending query. Allocs must
+// be 0 at every depth; -hotpath-strict enforces it.
+type PendingSetStats struct {
+	AddPruneNsPerOpDepth1  float64 `json:"add_prune_ns_per_op_depth1"`
+	AddPruneNsPerOpDepth8  float64 `json:"add_prune_ns_per_op_depth8"`
+	AddPruneNsPerOpDepth64 float64 `json:"add_prune_ns_per_op_depth64"`
+	// AddPruneAllocsPerOp is the worst allocs/op across the depths.
+	AddPruneAllocsPerOp int64 `json:"add_prune_allocs_per_op"`
+	// MaxPendingNsPerOp is the read barrier's maxPending query at depth
+	// 64 (a full map scan before the sorted set; now one slice index).
+	MaxPendingNsPerOp float64 `json:"max_pending_ns_per_op"`
+}
+
+// ReadPathStats compares the read admission decision lock-free (one
+// snapshot load) against the locked path it replaced. The fast path
+// must not allocate; -hotpath-strict enforces it.
+type ReadPathStats struct {
+	LockFreeNsPerOp     float64 `json:"lock_free_ns_per_op"`
+	LockFreeAllocsPerOp int64   `json:"lock_free_allocs_per_op"`
+	LockedNsPerOp       float64 `json:"locked_ns_per_op"`
+	// Speedup is locked/lock-free time per decision (uncontended; the
+	// real win is the absence of contention, which multi_object shows).
+	Speedup float64 `json:"speedup"`
 }
 
 // WireCodecStats reports the pooled encode/decode round trip.
@@ -187,6 +216,75 @@ func WireRoundTripLoop(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// PendingSetOpsLoop is the body of BenchmarkPendingSet: steady-state
+// add/prune cycles at the given depth, 0 allocs/op.
+func PendingSetOpsLoop(depth int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		core.BenchPendingSetOps(depth, b.N)
+	}
+}
+
+// ReadPathFastLoop is the body of BenchmarkReadPathLockFree: the
+// snapshot-based serve decision, 0 allocs/op.
+func ReadPathFastLoop(b *testing.B) {
+	h := core.NewReadBenchHarness()
+	b.ReportAllocs()
+	if served := h.FastReads(b.N); served != b.N {
+		b.Fatalf("fast path served %d/%d", served, b.N)
+	}
+}
+
+// ReadPathLockedLoop is the body of BenchmarkReadPathLocked: the same
+// decision through the shard lock.
+func ReadPathLockedLoop(b *testing.B) {
+	h := core.NewReadBenchHarness()
+	b.ReportAllocs()
+	if served := h.LockedReads(b.N); served != b.N {
+		b.Fatalf("locked path served %d/%d", served, b.N)
+	}
+}
+
+// MeasurePendingSet runs the pending-set microbenchmarks.
+func MeasurePendingSet() PendingSetStats {
+	d1 := testing.Benchmark(PendingSetOpsLoop(1))
+	d8 := testing.Benchmark(PendingSetOpsLoop(8))
+	d64 := testing.Benchmark(PendingSetOpsLoop(64))
+	mx := testing.Benchmark(func(b *testing.B) {
+		if core.BenchPendingSetMax(64, b.N) == 0 {
+			b.Fatal("maxPending checksum zero")
+		}
+	})
+	st := PendingSetStats{
+		AddPruneNsPerOpDepth1:  float64(d1.NsPerOp()),
+		AddPruneNsPerOpDepth8:  float64(d8.NsPerOp()),
+		AddPruneNsPerOpDepth64: float64(d64.NsPerOp()),
+		MaxPendingNsPerOp:      float64(mx.NsPerOp()),
+	}
+	for _, r := range []testing.BenchmarkResult{d1, d8, d64} {
+		if a := r.AllocsPerOp(); a > st.AddPruneAllocsPerOp {
+			st.AddPruneAllocsPerOp = a
+		}
+	}
+	return st
+}
+
+// MeasureReadPath runs the lock-free vs locked read decision
+// microbenchmarks.
+func MeasureReadPath() ReadPathStats {
+	fast := testing.Benchmark(ReadPathFastLoop)
+	locked := testing.Benchmark(ReadPathLockedLoop)
+	st := ReadPathStats{
+		LockFreeNsPerOp:     float64(fast.NsPerOp()),
+		LockFreeAllocsPerOp: fast.AllocsPerOp(),
+		LockedNsPerOp:       float64(locked.NsPerOp()),
+	}
+	if st.LockFreeNsPerOp > 0 {
+		st.Speedup = st.LockedNsPerOp / st.LockFreeNsPerOp
+	}
+	return st
 }
 
 // MeasureWireCodec runs the pooled codec microbenchmarks.
@@ -507,6 +605,9 @@ func MeasureMultiObject(ctx context.Context, duration time.Duration) (MultiObjec
 	inlineR, _, err := MultiObjectThroughput(ctx, servers, objects, duration, func(c *core.Config) {
 		c.ReadConcurrency = -1
 		c.WriteLanes = -1
+		// Keep the baseline the pre-sharding server it documents: locked
+		// inline reads, no snapshot fast path.
+		c.DisableReadSnapshots = true
 	})
 	if err != nil {
 		return MultiObjectStats{}, err
@@ -531,6 +632,8 @@ func RunHotpath(ctx context.Context, echoMsgs int, multiObjDuration time.Duratio
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Wire:       MeasureWireCodec(),
+		PendingSet: MeasurePendingSet(),
+		ReadPath:   MeasureReadPath(),
 	}
 	// 256-byte payloads sit between the ring's tiny elided-write frames
 	// and full 1 KiB values; at this size the echo is syscall-bound, so

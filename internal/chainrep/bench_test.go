@@ -1,0 +1,66 @@
+package chainrep
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// BenchmarkChainTailReads measures concurrent tail reads through one
+// shared client: the path the sharded object map, the tail's read
+// workers, and the striped in-flight table exist for. Before the
+// sharding, every parallel reader serialized twice — on the client's
+// global mutex and on the tail's single event loop.
+func BenchmarkChainTailReads(b *testing.B) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	chain := []wire.ProcessID{1, 2, 3}
+	for _, id := range chain {
+		ep, err := net.Register(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := NewServer(ep, chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.Start()
+		b.Cleanup(func() {
+			srv.Stop()
+			_ = ep.Close()
+		})
+	}
+	ep, err := net.Register(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := NewClient(ep, chain, 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		_ = cl.Close()
+		_ = ep.Close()
+	})
+
+	ctx := context.Background()
+	const objects = 8
+	for obj := 0; obj < objects; obj++ {
+		if _, err := cl.Write(ctx, wire.ObjectID(obj), []byte("seed")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		obj := wire.ObjectID(0)
+		for pb.Next() {
+			if _, _, err := cl.Read(ctx, obj); err != nil {
+				b.Error(err)
+				return
+			}
+			obj = (obj + 1) % objects
+		}
+	})
+}

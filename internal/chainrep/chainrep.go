@@ -7,6 +7,14 @@
 // is exactly the scalability limitation the paper's locally-served reads
 // remove.
 //
+// The per-object state is sharded (internal/shard) and tail reads are
+// served by a small worker pool off the event loop, mirroring the main
+// server's architecture, so hot comparisons against this baseline
+// measure the protocol's single-tail bottleneck rather than a
+// single-goroutine implementation artifact. The client likewise stripes
+// its in-flight table so concurrent callers sharing one client do not
+// serialize on a global mutex.
+//
 // This baseline intentionally omits chain reconfiguration on crashes (the
 // original system delegates that to an external master); it exists for
 // functional and performance comparison, not production use.
@@ -16,9 +24,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/reqtab"
+	"repro/internal/shard"
 	"repro/internal/tag"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -30,18 +42,44 @@ type Server struct {
 	chain []wire.ProcessID
 	pos   int
 
-	objects map[wire.ObjectID]*state
-	nextTS  uint64 // head only: write sequence
+	// objects is the per-object replica state, sharded by ObjectID hash;
+	// every access happens under the owning shard's lock. The event loop
+	// writes (head ingest, forward apply) and the read workers read, so
+	// a burst of tail reads no longer serializes behind chain updates on
+	// one structure.
+	objects *shard.Map[wire.ObjectID, *state]
+	nextTS  uint64 // head only: write sequence, loop-confined
+
+	// readc feeds tail reads to the worker pool; a full queue falls back
+	// to inline handling on the loop.
+	readc chan readReq
 
 	stopOnce sync.Once
 	stopc    chan struct{}
 	wg       sync.WaitGroup
 }
 
-// state is per-object replica state.
+// state is per-object replica state, guarded by its shard lock.
 type state struct {
 	tag   tag.Tag
 	value []byte
+}
+
+// readReq is one tail read dispatched to the worker pool.
+type readReq struct {
+	from   wire.ProcessID
+	reqID  uint64
+	object wire.ObjectID
+}
+
+// readWorkers is the tail's read-pool size, matching the main server's
+// default read concurrency.
+func readWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	return n
 }
 
 // NewServer creates a chain server. The chain lists every server from
@@ -61,18 +99,26 @@ func NewServer(ep transport.Endpoint, chain []wire.ProcessID) (*Server, error) {
 		ep:      ep,
 		chain:   append([]wire.ProcessID(nil), chain...),
 		pos:     pos,
-		objects: make(map[wire.ObjectID]*state),
+		objects: shard.New[wire.ObjectID, *state](0),
 		stopc:   make(chan struct{}),
 	}, nil
 }
 
-// Start launches the server loop.
+// Start launches the server loop and, on the tail, the read workers.
 func (s *Server) Start() {
+	if s.isTail() {
+		workers := readWorkers()
+		s.readc = make(chan readReq, 4*workers)
+		s.wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go s.readWorker()
+		}
+	}
 	s.wg.Add(1)
 	go s.loop()
 }
 
-// Stop terminates the server loop.
+// Stop terminates the server goroutines.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { close(s.stopc) })
 	s.wg.Wait()
@@ -81,17 +127,15 @@ func (s *Server) Stop() {
 func (s *Server) isHead() bool { return s.pos == 0 }
 func (s *Server) isTail() bool { return s.pos == len(s.chain)-1 }
 
-// get returns per-object state, creating it lazily.
-func (s *Server) get(id wire.ObjectID) *state {
-	st, ok := s.objects[id]
-	if !ok {
-		st = &state{}
-		s.objects[id] = st
-	}
-	return st
+// lockedState returns the state for an object with its shard locked,
+// creating it on first use; the caller unlocks.
+func (s *Server) lockedState(id wire.ObjectID) (*shard.Shard[wire.ObjectID, *state], *state) {
+	sh := s.objects.Shard(id)
+	sh.Lock()
+	return sh, sh.GetOrCreate(id, func() *state { return &state{} })
 }
 
-// loop is the single event loop.
+// loop is the single event loop for chain traffic.
 func (s *Server) loop() {
 	defer s.wg.Done()
 	for {
@@ -104,6 +148,33 @@ func (s *Server) loop() {
 	}
 }
 
+// readWorker serves dispatched tail reads off the event loop.
+func (s *Server) readWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case rr := <-s.readc:
+			s.serveRead(rr)
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// serveRead answers one tail read under the object's shard lock.
+func (s *Server) serveRead(rr readReq) {
+	sh, st := s.lockedState(rr.object)
+	ack := wire.Envelope{
+		Kind:   wire.KindReadAck,
+		Object: rr.object,
+		Tag:    st.tag,
+		ReqID:  rr.reqID,
+		Value:  st.value,
+	}
+	sh.Unlock()
+	_ = s.ep.Send(rr.from, wire.NewFrame(ack))
+}
+
 // handle dispatches one inbound frame.
 func (s *Server) handle(in transport.Inbound) {
 	env := in.Frame.Env
@@ -114,8 +185,9 @@ func (s *Server) handle(in transport.Inbound) {
 		}
 		s.nextTS++
 		t := tag.Tag{TS: s.nextTS, ID: uint32(s.ep.ID())}
-		st := s.get(env.Object)
+		sh, st := s.lockedState(env.Object)
 		st.tag, st.value = t, env.Value
+		sh.Unlock()
 		fwd := wire.Envelope{
 			Kind:   wire.KindChainForward,
 			Object: env.Object,
@@ -126,24 +198,25 @@ func (s *Server) handle(in transport.Inbound) {
 		}
 		s.deliverOrForward(fwd)
 	case wire.KindChainForward:
-		st := s.get(env.Object)
+		sh, st := s.lockedState(env.Object)
 		if env.Tag.After(st.tag) {
 			st.tag, st.value = env.Tag, env.Value
 		}
+		sh.Unlock()
 		s.deliverOrForward(env)
 	case wire.KindReadRequest:
 		if !s.isTail() {
 			return // reads are served by the tail only
 		}
-		st := s.get(env.Object)
-		ack := wire.Envelope{
-			Kind:   wire.KindReadAck,
-			Object: env.Object,
-			Tag:    st.tag,
-			ReqID:  env.ReqID,
-			Value:  st.value,
+		rr := readReq{from: in.From, reqID: env.ReqID, object: env.Object}
+		if s.readc != nil {
+			select {
+			case s.readc <- rr:
+				return
+			default:
+			}
 		}
-		_ = s.ep.Send(in.From, wire.NewFrame(ack))
+		s.serveRead(rr)
 	default:
 		// Not part of this protocol.
 	}
@@ -166,15 +239,15 @@ func (s *Server) deliverOrForward(env wire.Envelope) {
 }
 
 // Client issues operations against a chain: writes to the head, reads to
-// the tail.
+// the tail. It is safe for concurrent use; the in-flight table is
+// striped so concurrent callers do not serialize on one mutex.
 type Client struct {
 	ep    transport.Endpoint
 	chain []wire.ProcessID
 	tmo   time.Duration
 
-	mu       sync.Mutex
-	nextReq  uint64
-	inflight map[uint64]chan wire.Envelope
+	nextReq  atomic.Uint64
+	inflight reqtab.Table[chan wire.Envelope]
 
 	stopOnce sync.Once
 	stopc    chan struct{}
@@ -193,12 +266,12 @@ func NewClient(ep transport.Endpoint, chain []wire.ProcessID, timeout time.Durat
 		timeout = 2 * time.Second
 	}
 	c := &Client{
-		ep:       ep,
-		chain:    append([]wire.ProcessID(nil), chain...),
-		tmo:      timeout,
-		inflight: make(map[uint64]chan wire.Envelope),
-		stopc:    make(chan struct{}),
+		ep:    ep,
+		chain: append([]wire.ProcessID(nil), chain...),
+		tmo:   timeout,
+		stopc: make(chan struct{}),
 	}
+	c.inflight.Init()
 	c.wg.Add(1)
 	go c.receiverLoop()
 	return c, nil
@@ -240,17 +313,10 @@ func (c *Client) Read(ctx context.Context, object wire.ObjectID) ([]byte, tag.Ta
 
 // roundTrip sends one request and waits for its correlated reply.
 func (c *Client) roundTrip(ctx context.Context, to wire.ProcessID, env wire.Envelope) (wire.Envelope, error) {
-	c.mu.Lock()
-	c.nextReq++
-	reqID := c.nextReq
+	reqID := c.nextReq.Add(1)
 	ch := make(chan wire.Envelope, 1)
-	c.inflight[reqID] = ch
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		delete(c.inflight, reqID)
-		c.mu.Unlock()
-	}()
+	c.inflight.Put(reqID, ch)
+	defer c.inflight.Delete(reqID)
 
 	env.ReqID = reqID
 	if err := c.ep.Send(to, wire.NewFrame(env)); err != nil {
@@ -280,10 +346,7 @@ func (c *Client) receiverLoop() {
 			if env.Kind != wire.KindWriteAck && env.Kind != wire.KindReadAck {
 				continue
 			}
-			c.mu.Lock()
-			ch := c.inflight[env.ReqID]
-			c.mu.Unlock()
-			if ch != nil {
+			if ch := c.inflight.Get(env.ReqID); ch != nil {
 				select {
 				case ch <- env:
 				default:

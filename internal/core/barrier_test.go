@@ -195,11 +195,12 @@ func TestReadBarrierRepliesStoredValue(t *testing.T) {
 	}
 }
 
-// TestPendingOnReceiveParksEarlier verifies the ablation: in
-// PendingOnReceive mode a read parks as soon as the pre_write is
+// TestReadParksOnReceivedPreWrite pins the receive-time pending rule
+// (the default since the one-lock commit path subsumed the old
+// PendingOnReceive ablation): a read parks as soon as the pre_write is
 // received, even if the server has not forwarded it yet.
-func TestPendingOnReceiveParksEarlier(t *testing.T) {
-	h := newBarrierHarness(t, func(c *core.Config) { c.PendingOnReceive = true })
+func TestReadParksOnReceivedPreWrite(t *testing.T) {
+	h := newBarrierHarness(t)
 	wtag := tag.Tag{TS: 1, ID: 2}
 
 	if err := h.peer.Send(1, wire.NewFrame(wire.Envelope{

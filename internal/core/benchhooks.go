@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/shard"
+	"repro/internal/tag"
+	"repro/internal/wire"
+)
+
+// Benchmark seams: the pending set and the read admission path are
+// unexported, so the hot-path report (internal/bench) drives them
+// through these loops. Each takes the iteration count from the caller's
+// *testing.B and does nothing else, keeping the measured body identical
+// between `go test -bench` wrappers and the JSON report.
+
+// BenchPendingSetOps runs n steady-state add/prune cycles at the given
+// pending depth: every iteration adds one entry above the current
+// maximum and prunes the oldest, the exact churn a saturated ring lane
+// exerts per committed envelope. Steady state must not allocate (the
+// -hotpath-strict gate).
+func BenchPendingSetOps(depth, n int) {
+	o := newObjectState()
+	val := []byte("x")
+	ts := uint64(0)
+	for i := 0; i < depth; i++ {
+		ts++
+		o.addPending(tag.Tag{TS: ts, ID: 1}, val, false)
+	}
+	for i := 0; i < n; i++ {
+		ts++
+		o.addPending(tag.Tag{TS: ts, ID: 1}, val, false)
+		o.prune(o.pending.entries[0].tag)
+	}
+}
+
+// BenchPendingSetMax runs n maxPending queries at the given depth and
+// returns a checksum so the loop cannot be optimized away. With the
+// sorted set this is O(1) however deep the backlog; with the old map it
+// was a full scan per read admission.
+func BenchPendingSetMax(depth, n int) uint64 {
+	o := newObjectState()
+	for i := 0; i < depth; i++ {
+		o.addPending(tag.Tag{TS: uint64(i + 1), ID: 1}, nil, false)
+	}
+	var sum uint64
+	for i := 0; i < n; i++ {
+		sum += o.maxPending().TS
+	}
+	return sum
+}
+
+// ReadBenchHarness is a minimal server with one readable object, for
+// benchmarking the read admission decision in isolation (no transport,
+// no event loops).
+type ReadBenchHarness struct {
+	s *Server
+}
+
+// NewReadBenchHarness primes object 1 with a written value and a
+// published snapshot.
+func NewReadBenchHarness() *ReadBenchHarness {
+	s := &Server{objects: shard.New[wire.ObjectID, *objectState](0)}
+	s.objIndex = make([]atomic.Pointer[map[wire.ObjectID]*objectState], s.objects.NumShards())
+	sh, o := s.lockedObj(1)
+	o.apply(tag.Tag{TS: 1, ID: 1}, []byte("value"))
+	o.publish()
+	sh.Unlock()
+	return &ReadBenchHarness{s: s}
+}
+
+// FastReads runs n lock-free serve decisions (snapshot load + admission
+// check) and returns the serve count, which must equal n. Must not
+// allocate (the -hotpath-strict gate).
+func (h *ReadBenchHarness) FastReads(n int) int {
+	served := 0
+	for i := 0; i < n; i++ {
+		if _, ok := h.s.loadSnapshot(1); ok {
+			served++
+		}
+	}
+	return served
+}
+
+// LockedReads runs n serve decisions through the shard lock (the
+// pre-snapshot path: lock, admission check, unlock) and returns the
+// serve count.
+func (h *ReadBenchHarness) LockedReads(n int) int {
+	served := 0
+	for i := 0; i < n; i++ {
+		sh, o := h.s.lockedObj(1)
+		if o.readableNow() {
+			served++
+		}
+		sh.Unlock()
+	}
+	return served
+}

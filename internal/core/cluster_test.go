@@ -379,7 +379,7 @@ func TestLinearizabilityStressVariants(t *testing.T) {
 		mod  configMod
 	}{
 		{"no_piggyback", func(c *core.Config) { c.DisablePiggyback = true }},
-		{"pending_on_receive", func(c *core.Config) { c.PendingOnReceive = true }},
+		{"no_elision", func(c *core.Config) { c.DisableValueElision = true }},
 		{"no_fairness", func(c *core.Config) { c.DisableFairness = true }},
 	}
 	for _, v := range variants {

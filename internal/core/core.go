@@ -53,11 +53,12 @@ type Config struct {
 	// writes. This is the strawman the paper argues against (a busy
 	// server's own writers starve); used as an ablation.
 	DisableFairness bool
-	// PendingOnReceive records a pre-write in the pending set when it is
-	// received instead of when it is forwarded (paper line 71 records it
-	// on forward). The receive-time variant is more conservative: reads
-	// may wait longer, atomicity is preserved either way. Ablation knob.
-	PendingOnReceive bool
+	// DisableReadSnapshots turns off the lock-free read fast path: every
+	// read takes the object's shard lock to decide serve-or-park, the
+	// pre-snapshot behavior. Ablation knob; the hot-path report's
+	// multi_object section uses it to keep the inline baseline frozen at
+	// the pre-PR5 read path.
+	DisableReadSnapshots bool
 	// DisableValueElision makes write-phase ring messages carry the full
 	// value, as in the paper's pseudo-code. By default the value is
 	// elided: every server already stores it in its pending set from the

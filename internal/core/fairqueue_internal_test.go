@@ -234,14 +234,14 @@ func TestObjectStateApplyAndPrune(t *testing.T) {
 		t.Fatalf("value = %q", o.value)
 	}
 
-	o.pending[tag.Tag{TS: 1, ID: 1}] = nil
-	o.pending[tag.Tag{TS: 2, ID: 5}] = nil
-	o.pending[tag.Tag{TS: 9, ID: 1}] = nil
+	o.pending.add(tag.Tag{TS: 1, ID: 1}, nil, false)
+	o.pending.add(tag.Tag{TS: 2, ID: 5}, nil, false)
+	o.pending.add(tag.Tag{TS: 9, ID: 1}, nil, false)
 	o.prune(tag.Tag{TS: 2, ID: 5})
-	if len(o.pending) != 1 {
-		t.Fatalf("pending = %v, want only [9/1]", o.pending)
+	if o.pending.size() != 1 {
+		t.Fatalf("pending size = %d, want only [9/1]", o.pending.size())
 	}
-	if _, ok := o.pending[tag.Tag{TS: 9, ID: 1}]; !ok {
+	if _, ok := o.pending.get(tag.Tag{TS: 9, ID: 1}); !ok {
 		t.Fatal("high pending entry pruned")
 	}
 }
@@ -251,7 +251,7 @@ func TestObjectStateReadableNow(t *testing.T) {
 	if !o.readableNow() {
 		t.Fatal("empty pending must be readable")
 	}
-	o.pending[tag.Tag{TS: 5, ID: 1}] = nil
+	o.pending.add(tag.Tag{TS: 5, ID: 1}, nil, false)
 	if o.readableNow() {
 		t.Fatal("pending above stored tag must block reads")
 	}
@@ -261,22 +261,31 @@ func TestObjectStateReadableNow(t *testing.T) {
 	}
 }
 
+// TestObjectStateParkAndRelease drives the in-place parked-read release
+// through applyAndRelease: the queued acks name the released clients and
+// the survivors stay parked in the same backing array.
 func TestObjectStateParkAndRelease(t *testing.T) {
+	s := &Server{}
 	o := newObjectState()
 	o.park(100, 1, tag.Tag{TS: 3, ID: 1})
 	o.park(101, 2, tag.Tag{TS: 5, ID: 1})
-	o.apply(tag.Tag{TS: 3, ID: 1}, []byte("x"))
-	ready := o.releaseReady()
-	if len(ready) != 1 || ready[0].client != 100 {
-		t.Fatalf("releaseReady = %+v", ready)
+	s.applyAndRelease(7, o, tag.Tag{TS: 3, ID: 1}, []byte("x"), false)
+	if q := s.acks.Pending(); len(q) != 1 || q[0].to != 100 {
+		t.Fatalf("acks after first apply = %+v", q)
 	}
-	o.apply(tag.Tag{TS: 7, ID: 2}, []byte("y"))
-	ready = o.releaseReady()
-	if len(ready) != 1 || ready[0].client != 101 {
-		t.Fatalf("releaseReady = %+v", ready)
+	if len(o.parked) != 1 || o.parked[0].client != 101 {
+		t.Fatalf("parked = %+v", o.parked)
+	}
+	s.applyAndRelease(7, o, tag.Tag{TS: 7, ID: 2}, []byte("y"), false)
+	q := s.acks.Pending()
+	if len(q) != 2 || q[1].to != 101 {
+		t.Fatalf("acks after second apply = %+v", q)
 	}
 	if len(o.parked) != 0 {
 		t.Fatalf("parked = %+v", o.parked)
+	}
+	if got := q[1].f.Env; got.Kind != wire.KindReadAck || string(got.Value) != "y" {
+		t.Fatalf("released ack = %+v", &got)
 	}
 }
 
@@ -285,8 +294,8 @@ func TestMaxPending(t *testing.T) {
 	if !o.maxPending().IsZero() {
 		t.Fatal("empty pending must have zero max")
 	}
-	o.pending[tag.Tag{TS: 2, ID: 1}] = nil
-	o.pending[tag.Tag{TS: 2, ID: 3}] = nil
+	o.pending.add(tag.Tag{TS: 2, ID: 3}, nil, false)
+	o.pending.add(tag.Tag{TS: 2, ID: 1}, nil, false)
 	if got := o.maxPending(); got != (tag.Tag{TS: 2, ID: 3}) {
 		t.Fatalf("maxPending = %s", got)
 	}

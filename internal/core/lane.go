@@ -56,6 +56,9 @@ type lane struct {
 	cursor *trainCursor
 	// planScratch backs sendPlan.items, reused across plans.
 	planScratch []planItem
+	// initAdds backs commitRingSend's grouped pending-set insertions,
+	// reused across trains.
+	initAdds []initAdd
 	// planTags tracks the tags a train plan has assigned to its own
 	// initiations per object, so several initiations of one object in
 	// one frame get strictly increasing tags. Cleared per train plan.
@@ -277,13 +280,22 @@ func (ln *lane) onWriteRequest(from wire.ProcessID, env *wire.Envelope) {
 
 // onReadRequest implements paper lines 76-84: serve locally when no
 // pre-write is outstanding (or the stored tag already dominates all of
-// them), otherwise park the read behind the highest pending tag. With
-// the worker pool running, the read is handed off so the lane stays free
-// for ring traffic; a full dispatch queue falls back to inline handling
-// rather than blocking — the inline ack goes through the non-blocking
-// ack sender, so even then the lane never waits on a client.
+// them), otherwise park the read behind the highest pending tag.
+//
+// Most servable reads never get here — the demux serves them from the
+// published snapshot on the delivering goroutine (Server.route). The
+// lane sees the rest (cold objects, outstanding barriers, pooled
+// values, pre-demux or non-demux deliveries) plus snapshot races, so it
+// retries the fast path and hands the remainder to the worker pool,
+// whose slow path may park them under the lock; a full dispatch queue
+// falls back to inline locked handling rather than blocking — the
+// inline ack goes through the non-blocking ack sender, so even then the
+// lane never waits on a client.
 func (ln *lane) onReadRequest(from wire.ProcessID, env *wire.Envelope) {
 	s := ln.srv
+	if s.serveReadFromSnapshot(from, env) {
+		return
+	}
 	rr := readReq{from: from, reqID: env.ReqID, object: env.Object}
 	if s.readc != nil {
 		select {
@@ -296,6 +308,7 @@ func (ln *lane) onReadRequest(from wire.ProcessID, env *wire.Envelope) {
 	defer sh.Unlock()
 	if o.readableNow() {
 		s.ackRead(from, env.ReqID, env.Object, o)
+		o.publish()
 		return
 	}
 	o.park(from, env.ReqID, o.maxPending())
@@ -345,6 +358,7 @@ func (ln *lane) onPreWrite(env *wire.Envelope) {
 		// (its outbound pre_write was encoded before the ring traversal
 		// could complete, so the entry is its last reference).
 		o.prune(env.Tag)
+		o.publish()
 		sh.Unlock()
 		ln.fq.push(wenv)
 		return
@@ -363,6 +377,7 @@ func (ln *lane) onPreWrite(env *wire.Envelope) {
 		o.clearPooled(env.Tag)
 		s.applyAndRelease(env.Object, o, env.Tag, env.Value, false)
 		o.prune(env.Tag)
+		o.publish()
 		sh.Unlock()
 		ln.requeue(wire.Envelope{
 			Kind:   wire.KindWrite,
@@ -374,9 +389,16 @@ func (ln *lane) onPreWrite(env *wire.Envelope) {
 		return
 	}
 
-	if s.cfg.PendingOnReceive {
-		o.addPending(env.Tag, env.Value, env.ValuePooled())
-	}
+	// Paper line 71 records a forwarded pre-write in the pending set on
+	// forward; recording it here, under the lock this handler already
+	// holds, makes the commit-time acquisition unnecessary — one lock
+	// acquisition per forwarded pre-write instead of two. Atomicity is
+	// preserved (reads park earlier, never later), and the buffer
+	// ownership rule is untouched: the entry retires only when a write
+	// for its exact tag arrives, which cannot happen before this lane's
+	// forward has been encoded (DESIGN.md §10).
+	o.addPending(env.Tag, env.Value, env.ValuePooled())
+	o.publish()
 	sh.Unlock()
 	ln.fq.push(*env)
 }
@@ -385,19 +407,19 @@ func (ln *lane) onPreWrite(env *wire.Envelope) {
 func (ln *lane) onWrite(env *wire.Envelope) {
 	ln.noteStateChange()
 	s := ln.srv
-	sh, o := s.lockedObj(env.Object)
 
 	if env.Origin == s.cfg.ID {
 		// My own write completed the ring: acknowledge the client
-		// (paper lines 49-51). Recovery can re-deliver writes whose
-		// bookkeeping is gone; those are absorbed silently. Either way
-		// any carried value (recovery writes ship one) ends here.
+		// (paper lines 49-51). Only lane-confined bookkeeping is
+		// touched, so no shard lock is taken at all. Recovery can
+		// re-deliver writes whose bookkeeping is gone; those are
+		// absorbed silently. Either way any carried value (recovery
+		// writes ship one) ends here.
 		key := writeKey{object: env.Object, tag: env.Tag}
 		w, ok := ln.myWrites[key]
-		sh.Unlock()
 		if ok && w.phase == phaseWrite {
 			delete(ln.myWrites, key)
-			s.acks.enqueue(outFrame{
+			s.acks.Enqueue(outFrame{
 				to: w.client,
 				f: wire.NewFrame(wire.Envelope{
 					Kind:   wire.KindWriteAck,
@@ -411,6 +433,7 @@ func (ln *lane) onWrite(env *wire.Envelope) {
 		return
 	}
 
+	sh, o := s.lockedObj(env.Object)
 	absorb := ln.isOrphanAdopter(env.Origin)
 	elided := env.Flags&wire.FlagValueElided != 0
 	applied := false
@@ -430,6 +453,7 @@ func (ln *lane) onWrite(env *wire.Envelope) {
 		applied = s.applyAndRelease(env.Object, o, env.Tag, v, pooled)
 	}
 	o.prune(env.Tag)
+	o.publish()
 	sh.Unlock()
 	if absorb {
 		// Absorb: the originator is gone, the ring is covered. A stale

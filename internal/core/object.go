@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/tag"
 	"repro/internal/wire"
 )
@@ -8,34 +10,63 @@ import (
 // objectState is one server's replica state for a single atomic register
 // (one "read/write object" in the paper's terminology; a deployment can
 // multiplex many objects over the same ring).
+//
+// Locking contract (DESIGN.md §10): the owning lane is the only
+// goroutine that mutates tag, value, pending, and the pooled marks; the
+// read path mutates only valuePooled and parked. Every mutation happens
+// under the object's shard lock, and every mutating critical section
+// republishes the read snapshot before unlocking, so the lock-free read
+// fast path always observes the state some completed critical section
+// left behind.
 type objectState struct {
 	// value is the locally stored register value (paper: v).
 	value []byte
 	// tag is the version of the stored value (paper: [ts, id]).
 	tag tag.Tag
-	// pending maps the tag of every pre-written-but-not-yet-written
-	// value to that value (paper: pending_write_set). The value is kept
-	// so the crash-recovery rule (paper lines 89-91) can retransmit the
+	// pending holds every pre-written-but-not-yet-written value, sorted
+	// by tag (paper: pending_write_set). Values are kept so the
+	// crash-recovery rule (paper lines 89-91) can retransmit the
 	// pre-writes the crashed successor may have swallowed.
-	pending map[tag.Tag][]byte
+	pending pendingSet
 	// parked holds read requests waiting for their barrier tag to be
 	// written (paper lines 80-82: a reader waits for a write message
 	// with a tag at least as large as the highest pending pre-write).
 	parked []parkedRead
 
-	// pooledPending marks the pending entries whose buffers are
-	// pool-owned AND solely referenced by the pending set (their
-	// outbound forward is causally encoded before any write for the tag
-	// can exist — see DESIGN.md §7). Allocated lazily; entries with the
-	// mark are returned to the pool when their exact tag is pruned,
-	// everything else falls to the GC.
-	pooledPending map[tag.Tag]bool
 	// valuePooled marks value's buffer as recyclable on replacement:
 	// pool-owned and aliased by nothing else. Handing the value to any
 	// read ack clears it (the ack's encoding happens at an unobservable
 	// later time on the transport's writer), so only never-read values
 	// circulate through the pool; read values fall to the GC.
 	valuePooled bool
+
+	// snap is the immutable read snapshot served by the lock-free read
+	// fast path. Stored only while holding the object's shard lock
+	// (loads are lock-free), so a loaded snapshot is always the complete
+	// result of some critical section, never a torn intermediate.
+	snap atomic.Pointer[readSnapshot]
+}
+
+// readSnapshot is an immutable publication of the replica state a read
+// admission decision needs. handleRead's fast path loads it with one
+// atomic pointer read and serves without ever taking the shard lock —
+// the paper's headline property (reads cost two message delays and
+// never block behind writes) realized at the lock level.
+type readSnapshot struct {
+	// value and tag are the stored register value and its version.
+	value []byte
+	tag   tag.Tag
+	// barrier is the highest pending pre-write tag at publish time.
+	barrier tag.Tag
+	// readable caches the §3.1 admission check: nothing pending, or the
+	// stored tag already dominates every pending pre-write.
+	readable bool
+	// pooled marks value's buffer as still pool-owned. The fast path
+	// must not serve it: handing it to an ack requires dissolving the
+	// ownership under the lock first (the slow path does, and
+	// republishes with pooled=false, so at most one read per installed
+	// value pays the lock).
+	pooled bool
 }
 
 // parkedRead is a client read waiting out the read-inversion barrier.
@@ -47,7 +78,7 @@ type parkedRead struct {
 
 // newObjectState returns an empty register replica.
 func newObjectState() *objectState {
-	return &objectState{pending: make(map[tag.Tag][]byte)}
+	return &objectState{}
 }
 
 // sameSlice reports whether two slices share a backing array (both
@@ -56,14 +87,24 @@ func sameSlice(a, b []byte) bool {
 	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
 }
 
+// publish stores a fresh read snapshot of the current state. The caller
+// holds the object's shard lock and calls this once per mutating
+// critical section, just before unlocking.
+func (o *objectState) publish() {
+	o.snap.Store(&readSnapshot{
+		value:    o.value,
+		tag:      o.tag,
+		barrier:  o.pending.max(),
+		readable: o.readableNow(),
+		pooled:   o.valuePooled,
+	})
+}
+
 // maxPending returns the highest pending pre-write tag, or the zero tag
-// when nothing is pending (paper: max_lex(pending_write_set)).
+// when nothing is pending (paper: max_lex(pending_write_set)). O(1):
+// the pending set is sorted.
 func (o *objectState) maxPending() tag.Tag {
-	var highest tag.Tag
-	for t := range o.pending {
-		highest = highest.Max(t)
-	}
-	return highest
+	return o.pending.max()
 }
 
 // addPending records a pre-write in the pending set. The first copy of a
@@ -80,37 +121,27 @@ func (o *objectState) addPending(t tag.Tag, v []byte, pooled bool) {
 	if t.LessEq(o.tag) {
 		return
 	}
-	if _, exists := o.pending[t]; exists {
-		return
-	}
-	o.pending[t] = v
-	if pooled {
-		if o.pooledPending == nil {
-			o.pooledPending = make(map[tag.Tag]bool)
-		}
-		o.pooledPending[t] = true
-	}
+	o.pending.add(t, v, pooled)
 }
 
 // pendingPooled reports whether the pending entry for t owns a pooled
 // buffer.
 func (o *objectState) pendingPooled(t tag.Tag) bool {
-	return o.pooledPending[t]
+	return o.pending.pooled(t)
 }
 
 // dropPending removes a pending entry without retiring its buffer (used
 // when the value was handed elsewhere, e.g. an adopted orphan's
 // turned-around write).
 func (o *objectState) dropPending(t tag.Tag) {
-	delete(o.pending, t)
-	delete(o.pooledPending, t)
+	o.pending.drop(t)
 }
 
 // clearPooled drops the pool-ownership mark of a pending entry, leaking
 // its buffer to the GC (used when recovery re-queues the value, creating
 // a second reference).
 func (o *objectState) clearPooled(t tag.Tag) {
-	delete(o.pooledPending, t)
+	o.pending.clearPooled(t)
 }
 
 // apply installs (t, v) if it is newer than the stored value and reports
@@ -129,7 +160,8 @@ func (o *objectState) apply(t tag.Tag, v []byte) bool {
 // whole prefix is safe — any read barrier at or below t is already
 // satisfied by the stored value — and prevents ghost entries from
 // blocking readers forever when a crash swallowed an in-flight write
-// message (DESIGN.md §3.3).
+// message (DESIGN.md §3.3). With the sorted pending set the prefix is
+// literal: one scan of the leading entries and one compaction copy.
 //
 // Buffer retirement: only the exact-tag entry may return its pooled
 // buffer — a write for t proves the pre-write for t circled the whole
@@ -139,45 +171,28 @@ func (o *objectState) apply(t tag.Tag, v []byte) bool {
 // carry no such proof (their forwards may still be in flight) and leak
 // to the GC.
 func (o *objectState) prune(t tag.Tag) {
-	for pt, v := range o.pending {
-		if !pt.LessEq(t) {
-			continue
-		}
-		if pt == t && o.pooledPending[pt] && !sameSlice(v, o.value) {
-			wire.PutValue(v)
-		}
-		delete(o.pending, pt)
-		delete(o.pooledPending, pt)
+	n := o.pending.prefixLen(t)
+	if n == 0 {
+		return
 	}
+	e := &o.pending.entries[n-1]
+	if e.tag == t && e.pooled && !sameSlice(e.value, o.value) {
+		wire.PutValue(e.value)
+	}
+	o.pending.dropPrefix(n)
 }
 
 // readableNow reports whether a read can be served immediately: nothing
 // is pending, or the stored tag already dominates every pending
 // pre-write (DESIGN.md §3.1).
 func (o *objectState) readableNow() bool {
-	if len(o.pending) == 0 {
+	if o.pending.size() == 0 {
 		return true
 	}
-	return o.tag.AtLeast(o.maxPending())
+	return o.tag.AtLeast(o.pending.max())
 }
 
 // park enqueues a blocked read with its barrier.
 func (o *objectState) park(client wire.ProcessID, reqID uint64, barrier tag.Tag) {
 	o.parked = append(o.parked, parkedRead{client: client, reqID: reqID, barrier: barrier})
-}
-
-// releaseReady removes and returns the parked reads whose barrier the
-// stored tag now satisfies.
-func (o *objectState) releaseReady() []parkedRead {
-	var ready []parkedRead
-	rest := o.parked[:0]
-	for _, pr := range o.parked {
-		if pr.barrier.LessEq(o.tag) {
-			ready = append(ready, pr)
-		} else {
-			rest = append(rest, pr)
-		}
-	}
-	o.parked = rest
-	return ready
 }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"repro/internal/tag"
+)
+
+// pendingEntry is one pre-written-but-not-yet-written value. The pooled
+// mark rides in the entry (it used to live in a second map): true means
+// the value buffer is pool-owned AND solely referenced by this entry,
+// so pruning the exact tag may recycle it (DESIGN.md §7, §10).
+type pendingEntry struct {
+	tag    tag.Tag
+	value  []byte
+	pooled bool
+}
+
+// pendingSet is the paper's pending_write_set as a small slice sorted
+// ascending by tag. The protocol's access pattern makes a sorted slice
+// strictly better than the map pair it replaces: tags arrive almost
+// always in increasing order (add is an append), removal is almost
+// always a prefix (prune compacts with one copy), and the read barrier
+// needs only the maximum (the last element, O(1) instead of a full map
+// scan per read admission). Steady state allocates nothing: the backing
+// array survives prunes and is reused by later adds.
+//
+// The zero value is an empty set, ready to use.
+type pendingSet struct {
+	entries []pendingEntry
+}
+
+// size returns the number of pending entries.
+func (p *pendingSet) size() int { return len(p.entries) }
+
+// max returns the highest pending tag, or the zero tag when empty
+// (paper: max_lex(pending_write_set)) — O(1), the slice is sorted.
+func (p *pendingSet) max() tag.Tag {
+	if n := len(p.entries); n > 0 {
+		return p.entries[n-1].tag
+	}
+	return tag.Tag{}
+}
+
+// search returns the index of the first entry with tag >= t (== len when
+// every entry is smaller). Hand-rolled binary search so the hot path
+// stays free of closures.
+func (p *pendingSet) search(t tag.Tag) int {
+	lo, hi := 0, len(p.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.entries[mid].tag.Less(t) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// get returns the value pending under t.
+func (p *pendingSet) get(t tag.Tag) ([]byte, bool) {
+	if i := p.search(t); i < len(p.entries) && p.entries[i].tag == t {
+		return p.entries[i].value, true
+	}
+	return nil, false
+}
+
+// pooled reports whether the entry for t owns a pooled buffer.
+func (p *pendingSet) pooled(t tag.Tag) bool {
+	if i := p.search(t); i < len(p.entries) && p.entries[i].tag == t {
+		return p.entries[i].pooled
+	}
+	return false
+}
+
+// add inserts (t, v, pooled) keeping the slice sorted and reports
+// whether the entry was inserted: the first copy of a tag wins, a
+// duplicate is refused (the caller owns the consequence — typically the
+// duplicate's bytes fall to the GC). The common case — a tag above
+// everything pending — is a plain append.
+func (p *pendingSet) add(t tag.Tag, v []byte, pooled bool) bool {
+	n := len(p.entries)
+	if n == 0 || p.entries[n-1].tag.Less(t) {
+		p.entries = append(p.entries, pendingEntry{tag: t, value: v, pooled: pooled})
+		return true
+	}
+	i := p.search(t)
+	if i < n && p.entries[i].tag == t {
+		return false
+	}
+	p.entries = append(p.entries, pendingEntry{})
+	copy(p.entries[i+1:], p.entries[i:])
+	p.entries[i] = pendingEntry{tag: t, value: v, pooled: pooled}
+	return true
+}
+
+// drop removes the entry for t (if present) without touching its buffer.
+func (p *pendingSet) drop(t tag.Tag) {
+	i := p.search(t)
+	if i >= len(p.entries) || p.entries[i].tag != t {
+		return
+	}
+	copy(p.entries[i:], p.entries[i+1:])
+	last := len(p.entries) - 1
+	p.entries[last] = pendingEntry{} // release the value reference
+	p.entries = p.entries[:last]
+}
+
+// clearPooled drops the pool-ownership mark of the entry for t, leaking
+// its buffer to the GC (used when a second reference is created, e.g. a
+// recovery requeue).
+func (p *pendingSet) clearPooled(t tag.Tag) {
+	if i := p.search(t); i < len(p.entries) && p.entries[i].tag == t {
+		p.entries[i].pooled = false
+	}
+}
+
+// prefixLen returns how many leading entries have tag <= t.
+func (p *pendingSet) prefixLen(t tag.Tag) int {
+	i := p.search(t)
+	if i < len(p.entries) && p.entries[i].tag == t {
+		i++
+	}
+	return i
+}
+
+// dropPrefix removes the first n entries, compacting in place. Vacated
+// slots are zeroed so pruned values do not linger past the slice length
+// and leak through the backing array.
+func (p *pendingSet) dropPrefix(n int) {
+	if n <= 0 {
+		return
+	}
+	m := copy(p.entries, p.entries[n:])
+	for i := m; i < len(p.entries); i++ {
+		p.entries[i] = pendingEntry{}
+	}
+	p.entries = p.entries[:m]
+}

@@ -188,15 +188,28 @@ func (ln *lane) planFIFO() sendPlan {
 	return sendPlan{}
 }
 
+// highestObserved returns max(stored tag, highest pending tag) for an
+// object without taking its shard lock: the lane is the sole mutator of
+// an object's tag and pending set (the read path only flips the pooled
+// mark), and every mutating critical section republishes the snapshot
+// before unlocking, so the snapshot this lane last published is exact —
+// not merely a lower bound. A nil snapshot means the object has never
+// been written or pre-written here and the zero tag is correct.
+func (ln *lane) highestObserved(obj wire.ObjectID) tag.Tag {
+	if o := ln.srv.fastObj(obj); o != nil {
+		if sn := o.snap.Load(); sn != nil {
+			return sn.tag.Max(sn.barrier)
+		}
+	}
+	return tag.Tag{}
+}
+
 // planInitiate builds the pre_write that would start writeQueue[0],
 // tagging it above everything this server has seen (paper lines 22-23).
 func (ln *lane) planInitiate() planItem {
 	s := ln.srv
 	w := ln.writeQueue[0]
-	sh, o := s.lockedObj(w.object)
-	highest := o.maxPending().Max(o.tag)
-	sh.Unlock()
-	t := highest.Next(uint32(s.cfg.ID))
+	t := ln.highestObserved(w.object).Next(uint32(s.cfg.ID))
 	return planItem{
 		initiate: true,
 		origin:   s.cfg.ID,
@@ -219,9 +232,7 @@ func (ln *lane) planInitiate() planItem {
 func (ln *lane) planInitiateAt(i int) planItem {
 	s := ln.srv
 	w := ln.writeQueue[i]
-	sh, o := s.lockedObj(w.object)
-	highest := o.maxPending().Max(o.tag)
-	sh.Unlock()
+	highest := ln.highestObserved(w.object)
 	if prev, ok := ln.planTags[w.object]; ok {
 		highest = highest.Max(prev)
 	}
@@ -290,6 +301,13 @@ func (ln *lane) finishPlan(prim planItem) sendPlan {
 // to the ring sender, one envelope at a time in frame order. State cannot
 // have changed since planning: the lane plans and commits within one
 // select iteration.
+//
+// Shard-lock budget (DESIGN.md §10): forwarded envelopes touch no object
+// state at commit (pre-writes joined the pending set at receive time,
+// under the receive handler's lock hold), and the initiations' pending
+// entries are recorded grouped by object — exactly one shard-lock
+// acquisition per distinct initiated object per train, asserted by the
+// lockObserver test hook.
 func (ln *lane) commitRingSend(plan sendPlan) {
 	ln.noteStateChange()
 	ln.srv.ringFrames.Add(1)
@@ -297,11 +315,23 @@ func (ln *lane) commitRingSend(plan sendPlan) {
 	for _, it := range plan.items {
 		ln.commitItem(it)
 	}
+	ln.flushInitAdds()
 	// Paper line 55: the nb_msg table resets whenever the forward queue
 	// is observed empty.
 	if ln.fq.empty() {
 		ln.fq.resetCounts()
 	}
+}
+
+// initAdd is one initiation's deferred pending-set insertion, batched by
+// commitRingSend so one train's initiations of the same object share a
+// single lock hold.
+type initAdd struct {
+	object wire.ObjectID
+	tag    tag.Tag
+	value  []byte
+	pooled bool
+	done   bool
 }
 
 // commitItem performs the state transitions of sending one envelope.
@@ -310,12 +340,16 @@ func (ln *lane) commitItem(it planItem) {
 	if it.initiate {
 		w := ln.writeQueue[0]
 		ln.writeQueue = ln.writeQueue[1:]
-		sh, o := s.lockedObj(it.env.Object)
 		// Paper line 24: the originator records its own pre-write. The
-		// pending entry inherits ownership of a pooled client copy; it
-		// is retired when the completed write prunes the entry.
-		o.addPending(it.env.Tag, it.env.Value, w.pooled)
-		sh.Unlock()
+		// insertion is deferred to flushInitAdds (grouped per object);
+		// the pending entry inherits ownership of a pooled client copy
+		// and is retired when the completed write prunes it.
+		ln.initAdds = append(ln.initAdds, initAdd{
+			object: it.env.Object,
+			tag:    it.env.Tag,
+			value:  it.env.Value,
+			pooled: w.pooled,
+		})
 		ln.myWrites[writeKey{object: it.env.Object, tag: it.env.Tag}] = ownWrite{
 			client: w.client,
 			reqID:  w.reqID,
@@ -325,14 +359,11 @@ func (ln *lane) commitItem(it planItem) {
 		ln.fq.charge(s.cfg.ID) // paper line 26
 		return
 	}
-	var (
-		env wire.Envelope
-		ok  bool
-	)
+	var ok bool
 	if it.fifo {
-		env, ok = ln.fq.fifoPop()
+		_, ok = ln.fq.fifoPop()
 	} else {
-		env, ok = ln.fq.popFirst(it.origin, it.kind)
+		_, ok = ln.fq.popFirst(it.origin, it.kind)
 	}
 	if !ok {
 		// Unreachable by construction; dropping the plan is safe (the
@@ -343,13 +374,41 @@ func (ln *lane) commitItem(it planItem) {
 	if !it.fifo {
 		ln.fq.charge(it.origin) // paper line 72
 	}
-	// Paper line 71: a forwarded pre-write joins the pending set (unless
-	// the PendingOnReceive ablation already recorded it at receipt).
-	if env.Kind == wire.KindPreWrite && !s.cfg.PendingOnReceive {
-		sh, o := s.lockedObj(env.Object)
-		o.addPending(env.Tag, env.Value, env.ValuePooled())
+	// Forwarded pre-writes joined the pending set at receive time
+	// (paper line 71, moved under the receive handler's lock hold);
+	// nothing left to record here.
+}
+
+// flushInitAdds records the train's initiations in their objects'
+// pending sets, one shard-lock acquisition per distinct object. The
+// scratch slice is lane-owned and reused across trains; vacated slots
+// are zeroed so committed values do not linger through the backing
+// array. The nested scan is quadratic in the train's initiation count,
+// which the frame envelope cap keeps tiny.
+func (ln *lane) flushInitAdds() {
+	adds := ln.initAdds
+	if len(adds) == 0 {
+		return
+	}
+	for i := range adds {
+		if adds[i].done {
+			continue
+		}
+		sh, o := ln.srv.lockedObj(adds[i].object)
+		for j := i; j < len(adds); j++ {
+			if adds[j].done || adds[j].object != adds[i].object {
+				continue
+			}
+			o.addPending(adds[j].tag, adds[j].value, adds[j].pooled)
+			adds[j].done = true
+		}
+		o.publish()
 		sh.Unlock()
 	}
+	for i := range adds {
+		adds[i] = initAdd{}
+	}
+	ln.initAdds = adds[:0]
 }
 
 // pendingBarrier returns the read barrier for an object: the highest

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in (it
+// changes sync.Pool behavior: puts are randomly dropped, so pool
+// pointer-identity assertions must be skipped).
+const raceEnabled = false

@@ -87,16 +87,18 @@ func (ln *lane) retransmitAfterSuccessorCrash() {
 				Value:  o.value,
 			})
 		}
-		for t, v := range o.pending {
-			o.clearPooled(t)
+		for i := range o.pending.entries {
+			e := &o.pending.entries[i]
+			e.pooled = false
 			ln.requeue(wire.Envelope{
 				Kind:   wire.KindPreWrite,
 				Object: objID,
-				Tag:    t,
-				Origin: wire.ProcessID(t.ID),
-				Value:  v,
+				Tag:    e.tag,
+				Origin: wire.ProcessID(e.tag.ID),
+				Value:  e.value,
 			})
 		}
+		o.publish()
 		return true
 	})
 }
@@ -126,6 +128,7 @@ func (ln *lane) adoptOrphans() {
 			s.applyAndRelease(env.Object, o, env.Tag, env.Value, false)
 			o.prune(env.Tag)
 			o.dropPending(env.Tag)
+			o.publish()
 			sh.Unlock()
 			ln.requeue(wire.Envelope{
 				Kind:   wire.KindWrite,

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/ackq"
 	"repro/internal/ring"
 	"repro/internal/shard"
 	"repro/internal/tag"
@@ -91,9 +92,26 @@ type Server struct {
 	view *ring.View
 
 	// objects holds the per-register replica state, created lazily and
-	// sharded by ObjectID hash. Every access to an objectState happens
-	// under its shard's lock.
+	// sharded by ObjectID hash. Every access to an objectState's mutable
+	// fields happens under its shard's lock; the published read snapshot
+	// (objectState.snap) is loaded lock-free.
 	objects *shard.Map[wire.ObjectID, *objectState]
+
+	// objIndex is a copy-on-write replica of the objects map, one slot
+	// per shard, for lock-free lookups: the read fast path and the
+	// train planner resolve an objectState pointer with one atomic load
+	// and one lookup in an immutable map, no lock. A slot is rebuilt
+	// (rarely: only when lockedObj creates an object) under its shard's
+	// lock, which also serializes the slot's writers, so creation costs
+	// one copy of that shard's slice of the objects — not of the whole
+	// map — and takes no extra mutex.
+	objIndex []atomic.Pointer[map[wire.ObjectID]*objectState]
+
+	// lockObserver, when non-nil, is invoked with the object id on every
+	// shard-lock acquisition through lockedObj. Test hook backing the
+	// locking-contract assertions (one acquisition per object per train
+	// commit, zero on the read serve path); nil outside tests.
+	lockObserver func(wire.ObjectID)
 
 	// lanes are the independent ring lanes of the write path.
 	lanes []*lane
@@ -102,8 +120,9 @@ type Server struct {
 	// control-plane goroutine consumes it alongside ep.Failures().
 	ctrlc chan transport.Inbound
 
-	// acks hands client acks from all lanes to the ack-sender goroutine.
-	acks ackSender
+	// acks hands client acks from all lanes and delivering goroutines to
+	// the ack-sender goroutine (non-blocking enqueue, unbounded).
+	acks ackq.Queue[outFrame]
 
 	// readc feeds client reads to the read-path workers; created by
 	// Start when the worker pool is enabled. When it is nil (pool
@@ -182,8 +201,8 @@ func NewServer(cfg Config, ep transport.Endpoint) (*Server, error) {
 	if pc, ok := ep.(transport.PeerCapser); ok {
 		s.capser = pc
 	}
-	s.acks.s = s
-	s.acks.notify = make(chan struct{}, 1)
+	s.objIndex = make([]atomic.Pointer[map[wire.ObjectID]*objectState], s.objects.NumShards())
+	s.acks.Init()
 	nLanes := cfg.writeLanes()
 	s.lanes = make([]*lane, nLanes)
 	for i := range s.lanes {
@@ -251,9 +270,46 @@ func (s *Server) route(in *transport.Inbound) int {
 		return lane
 	case wire.KindCrash:
 		return len(s.lanes)
+	case wire.KindReadRequest:
+		// Serve readable reads right here, on the delivering goroutine:
+		// one snapshot load, one non-blocking ack enqueue, zero channel
+		// hops and zero locks — the paper's "a read costs two message
+		// delays" realized end to end. Safe at this point for the same
+		// reason the lane fast path is safe, plus one observation: a
+		// pre-write still sitting unprocessed in an inbox cannot have
+		// completed the ring (this server's forward is causally
+		// required), so no write for it can exist anywhere and the
+		// snapshot's admission verdict is still exact. Reads the
+		// snapshot cannot admit go to the owning lane as before.
+		if s.serveReadFromSnapshot(in.From, &in.Frame.Env) {
+			return transport.RouteDrop
+		}
+		return s.laneFor(in.Frame.Env.Object)
 	default:
 		return s.laneFor(in.Frame.Env.Object)
 	}
+}
+
+// serveReadFromSnapshot answers a client read from the published
+// snapshot, reporting whether it was served. Called concurrently from
+// delivering goroutines (route) and from the lane fast path; both sides
+// only load the snapshot and enqueue on the non-blocking ack sender.
+func (s *Server) serveReadFromSnapshot(from wire.ProcessID, env *wire.Envelope) bool {
+	sn, ok := s.loadSnapshot(env.Object)
+	if !ok {
+		return false
+	}
+	s.acks.Enqueue(outFrame{
+		to: from,
+		f: wire.NewFrame(wire.Envelope{
+			Kind:   wire.KindReadAck,
+			Object: env.Object,
+			Tag:    sn.tag,
+			ReqID:  env.ReqID,
+			Value:  sn.value,
+		}),
+	})
+	return true
 }
 
 // LaneDrops returns the number of inbound ring frames dropped because
@@ -298,7 +354,7 @@ func (s *Server) Start() {
 	}
 	s.wg.Add(3)
 	go s.controlLoop()
-	go s.acks.loop()
+	go s.ackLoop()
 	go s.routerLoop()
 	for _, ln := range s.lanes {
 		s.wg.Add(2)
@@ -405,60 +461,19 @@ func (s *Server) noteCrash(crashed wire.ProcessID) {
 	}
 }
 
-// ackSender drains client acks from all lanes onto the client network.
-// Lanes enqueue without ever blocking (the queue is unbounded and the
-// notification is non-blocking), which is what keeps a slow or dead
-// client from stalling ring traffic; the sender goroutine serializes
-// the actual Sends, like the paper's dedicated client NIC.
-type ackSender struct {
-	s      *Server
-	mu     sync.Mutex
-	queue  []outFrame
-	notify chan struct{}
-}
-
-// enqueue adds one ack; it never blocks.
-func (a *ackSender) enqueue(of outFrame) {
-	a.mu.Lock()
-	a.queue = append(a.queue, of)
-	a.mu.Unlock()
-	select {
-	case a.notify <- struct{}{}:
-	default:
-	}
-}
-
-// loop sends queued acks until the server stops. A send failure is
-// logged and dropped: the client retries against another server.
-func (a *ackSender) loop() {
-	s := a.s
+// ackLoop drains client acks from all lanes and delivering goroutines
+// onto the client network (ackq.Queue: unbounded, non-blocking
+// enqueue), which is what keeps a slow or dead client from stalling
+// ring traffic; this goroutine serializes the actual Sends, like the
+// paper's dedicated client NIC. A send failure is logged and dropped:
+// the client retries against another server.
+func (s *Server) ackLoop() {
 	defer s.wg.Done()
-	for {
-		select {
-		case <-a.notify:
-		case <-s.stopc:
-			return
+	s.acks.Drain(s.stopc, func(of outFrame) {
+		if err := s.ep.Send(of.to, of.f); err != nil {
+			s.log.Debug("ack send failed", "to", of.to, "err", err)
 		}
-		for {
-			a.mu.Lock()
-			batch := a.queue
-			a.queue = nil
-			a.mu.Unlock()
-			if len(batch) == 0 {
-				break
-			}
-			for _, of := range batch {
-				select {
-				case <-s.stopc:
-					return
-				default:
-				}
-				if err := s.ep.Send(of.to, of.f); err != nil {
-					s.log.Debug("ack send failed", "to", of.to, "err", err)
-				}
-			}
-		}
-	}
+	})
 }
 
 // lockedObj returns the replica state for an object with its shard
@@ -467,7 +482,69 @@ func (a *ackSender) loop() {
 func (s *Server) lockedObj(id wire.ObjectID) (*shard.Shard[wire.ObjectID, *objectState], *objectState) {
 	sh := s.objects.Shard(id)
 	sh.Lock()
-	return sh, sh.GetOrCreate(id, newObjectState)
+	if s.lockObserver != nil {
+		s.lockObserver(id)
+	}
+	o, ok := sh.Get(id)
+	if !ok {
+		o = newObjectState()
+		sh.Put(id, o)
+		s.indexObject(id, o)
+	}
+	return sh, o
+}
+
+// indexObject publishes a freshly created objectState into the
+// copy-on-write lock-free index. Called with the object's shard lock
+// held, which is also what serializes writers of the shard's slot; the
+// shard-sized copy is paid once per object lifetime, never on a hot
+// path.
+func (s *Server) indexObject(id wire.ObjectID, o *objectState) {
+	slot := &s.objIndex[s.objects.ShardIndex(id)]
+	old := slot.Load()
+	var next map[wire.ObjectID]*objectState
+	if old == nil {
+		next = make(map[wire.ObjectID]*objectState, 4)
+	} else {
+		next = make(map[wire.ObjectID]*objectState, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[id] = o
+	slot.Store(&next)
+}
+
+// fastObj resolves an objectState without any lock, or nil when the
+// object has never been touched on this server. The returned pointer is
+// only safe for lock-free use of objectState.snap; everything else
+// still requires the shard lock.
+func (s *Server) fastObj(id wire.ObjectID) *objectState {
+	if m := s.objIndex[s.objects.ShardIndex(id)].Load(); m != nil {
+		return (*m)[id]
+	}
+	return nil
+}
+
+// loadSnapshot returns the object's published read snapshot when it is
+// servable by the lock-free fast path: the admission check passed at
+// publish time and the value's buffer can no longer be recycled under
+// the ack. Everything else (park, pooled value, cold object, the
+// DisableReadSnapshots ablation) reports false and falls to the locked
+// slow path.
+func (s *Server) loadSnapshot(id wire.ObjectID) (*readSnapshot, bool) {
+	if s.cfg.DisableReadSnapshots {
+		return nil, false
+	}
+	o := s.fastObj(id)
+	if o == nil {
+		return nil, false
+	}
+	sn := o.snap.Load()
+	if sn == nil || !sn.readable || sn.pooled {
+		return nil, false
+	}
+	return sn, true
 }
 
 // obj returns the replica state for an object, creating it on first use.
@@ -496,8 +573,14 @@ func (s *Server) readWorker() {
 
 // serveRead answers one client read, sending the ack directly on the
 // client network (a blocked client connection stalls one worker, never
-// a lane).
+// a lane). The fast path serves straight from the published snapshot —
+// zero shard-lock acquisitions; only parking (the contended-write slow
+// path) and pooled values fall back to the lock.
 func (s *Server) serveRead(rr readReq) {
+	if sn, ok := s.loadSnapshot(rr.object); ok {
+		s.sendReadAck(rr, sn.tag, sn.value)
+		return
+	}
 	sh, o := s.lockedObj(rr.object)
 	if !o.readableNow() {
 		// Park behind the pre-write barrier; applyAndRelease acks it
@@ -515,9 +598,26 @@ func (s *Server) serveRead(rr readReq) {
 	}
 	// The ack aliases the stored value for an unbounded time — Send only
 	// enqueues on TCP, the per-peer writer encodes later — so the
-	// buffer's pool ownership dissolves here (see ackRead).
+	// buffer's pool ownership dissolves here (see ackRead), and the
+	// republished snapshot (pooled=false) moves every later read of this
+	// value onto the lock-free fast path.
 	o.valuePooled = false
+	o.publish()
 	sh.Unlock()
+	if err := s.ep.Send(rr.from, wire.NewFrame(env)); err != nil {
+		s.log.Debug("read ack send failed", "to", rr.from, "err", err)
+	}
+}
+
+// sendReadAck sends a lock-free read ack built from snapshot state.
+func (s *Server) sendReadAck(rr readReq, t tag.Tag, v []byte) {
+	env := wire.Envelope{
+		Kind:   wire.KindReadAck,
+		Object: rr.object,
+		Tag:    t,
+		ReqID:  rr.reqID,
+		Value:  v,
+	}
 	if err := s.ep.Send(rr.from, wire.NewFrame(env)); err != nil {
 		s.log.Debug("read ack send failed", "to", rr.from, "err", err)
 	}
@@ -531,7 +631,7 @@ func (s *Server) serveRead(rr readReq) {
 // recycle through the pool. The caller holds the object's shard lock.
 func (s *Server) ackRead(to wire.ProcessID, reqID uint64, obj wire.ObjectID, o *objectState) {
 	o.valuePooled = false
-	s.acks.enqueue(outFrame{
+	s.acks.Enqueue(outFrame{
 		to: to,
 		f: wire.NewFrame(wire.Envelope{
 			Kind:   wire.KindReadAck,
@@ -551,9 +651,9 @@ func (s *Server) ackRead(to wire.ProcessID, reqID uint64, obj wire.ObjectID, o *
 // if its ownership survived — i.e. it was pooled and never handed to a
 // read ack (ackRead dissolves ownership, because ack encoding happens
 // at an unobservable later time on the transport's writer). The caller
-// holds the object's shard lock, which is what makes the park-or-serve
-// decision of a concurrent read worker atomic with respect to this
-// apply.
+// holds the object's shard lock — which is what makes the park-or-serve
+// decision of a concurrent slow-path read atomic with respect to this
+// apply — and republishes the read snapshot before unlocking.
 func (s *Server) applyAndRelease(objID wire.ObjectID, o *objectState, t tag.Tag, v []byte, pooled bool) bool {
 	old, oldPooled := o.value, o.valuePooled
 	if !o.apply(t, v) {
@@ -563,8 +663,19 @@ func (s *Server) applyAndRelease(objID wire.ObjectID, o *objectState, t tag.Tag,
 		wire.PutValue(old)
 	}
 	o.valuePooled = pooled
-	for _, pr := range o.releaseReady() {
-		s.ackRead(pr.client, pr.reqID, objID, o)
+	// Release satisfied parked reads in place: compact the survivors
+	// into the same backing array instead of building a fresh ready
+	// slice per wakeup.
+	if len(o.parked) > 0 {
+		rest := o.parked[:0]
+		for _, pr := range o.parked {
+			if pr.barrier.LessEq(o.tag) {
+				s.ackRead(pr.client, pr.reqID, objID, o)
+			} else {
+				rest = append(rest, pr)
+			}
+		}
+		o.parked = rest
 	}
 	return true
 }
@@ -577,7 +688,7 @@ func (s *Server) resolveWriteValue(o *objectState, env *wire.Envelope) ([]byte, 
 	if env.Flags&wire.FlagValueElided == 0 {
 		return env.Value, true
 	}
-	if v, ok := o.pending[env.Tag]; ok {
+	if v, ok := o.pending.get(env.Tag); ok {
 		return v, true
 	}
 	if env.Tag.After(o.tag) {

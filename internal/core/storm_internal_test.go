@@ -78,7 +78,8 @@ func (h *stormHarness) invariants(prevTags map[wire.ObjectID]tag.Tag) {
 		// Pending entries never linger at or below the stored tag
 		// after pruning-on-apply (they would stall reads needlessly
 		// and hide lost writes).
-		for pt := range o.pending {
+		for i := range o.pending.entries {
+			pt := o.pending.entries[i].tag
 			if pt.LessEq(o.tag) && len(o.parked) > 0 {
 				// Allowed transiently, but parked readers with
 				// barriers <= stored tag must not exist.
@@ -134,7 +135,6 @@ func TestServerStormVariants(t *testing.T) {
 		name string
 		mod  func(*Config)
 	}{
-		{"pending_on_receive", func(c *Config) { c.PendingOnReceive = true }},
 		{"no_piggyback", func(c *Config) { c.DisablePiggyback = true }},
 		{"no_fairness", func(c *Config) { c.DisableFairness = true }},
 		{"no_elision", func(c *Config) { c.DisableValueElision = true }},
@@ -294,8 +294,8 @@ func TestRecoveryRetransmitsPendingAndValue(t *testing.T) {
 		}
 		ln.commitRingSend(plan)
 	}
-	if len(h.s.obj(0).pending) != 2 {
-		t.Fatalf("pending = %d, want 2", len(h.s.obj(0).pending))
+	if h.s.obj(0).pending.size() != 2 {
+		t.Fatalf("pending = %d, want 2", h.s.obj(0).pending.size())
 	}
 
 	// Successor 2 crashes: recovery must queue 1 value write + 2

@@ -1,0 +1,59 @@
+// Package reqtab provides a striped in-flight request table for clients
+// that correlate replies with requests by id. A single map behind one
+// mutex makes every concurrent caller of one client serialize on that
+// mutex for both registration and the receiver's lookup; striping the
+// table by request id keeps the hot put/get/delete cycle on independent
+// locks, so a shared client scales with its callers.
+package reqtab
+
+import "sync"
+
+// stripes is the fixed stripe fanout. Request ids are assigned
+// sequentially, so id % stripes spreads concurrent requests perfectly;
+// more stripes than plausible CPU-parallel callers buys nothing.
+const stripes = 16
+
+// Table maps in-flight request ids to V (typically a reply channel). The
+// zero value is not usable; call Init first.
+type Table[V any] struct {
+	shards [stripes]struct {
+		mu sync.Mutex
+		m  map[uint64]V
+		// Pad the stripe to a full 64-byte cache line (Mutex 8 + map 8
+		// + 48) so adjacent stripes' mutexes do not false-share;
+		// reqtab_test asserts the size.
+		_ [48]byte
+	}
+}
+
+// Init allocates the stripe maps.
+func (t *Table[V]) Init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]V)
+	}
+}
+
+// Put registers an in-flight request.
+func (t *Table[V]) Put(id uint64, v V) {
+	s := &t.shards[id%stripes]
+	s.mu.Lock()
+	s.m[id] = v
+	s.mu.Unlock()
+}
+
+// Get returns the value registered under id (the zero V when absent).
+func (t *Table[V]) Get(id uint64) V {
+	s := &t.shards[id%stripes]
+	s.mu.Lock()
+	v := s.m[id]
+	s.mu.Unlock()
+	return v
+}
+
+// Delete unregisters a request.
+func (t *Table[V]) Delete(id uint64) {
+	s := &t.shards[id%stripes]
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}

@@ -1,0 +1,72 @@
+package reqtab
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// TestStripeCacheLineSize pins the padding math: one stripe must fill a
+// whole 64-byte cache line so neighboring stripes never false-share.
+// The arithmetic targets 64-bit platforms (on 32-bit the map header
+// shrinks and the stripe lands under one line, which is harmless).
+func TestStripeCacheLineSize(t *testing.T) {
+	if unsafe.Sizeof(uintptr(0)) != 8 {
+		t.Skip("pad arithmetic is for 64-bit platforms")
+	}
+	var tab Table[int]
+	if got := unsafe.Sizeof(tab.shards[0]); got != 64 {
+		t.Fatalf("stripe size = %d bytes, want 64", got)
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	var tab Table[int]
+	tab.Init()
+	if got := tab.Get(7); got != 0 {
+		t.Fatalf("empty get = %d", got)
+	}
+	tab.Put(7, 42)
+	tab.Put(7+stripes, 43) // same stripe, distinct key
+	if got := tab.Get(7); got != 42 {
+		t.Fatalf("get = %d, want 42", got)
+	}
+	if got := tab.Get(7 + stripes); got != 43 {
+		t.Fatalf("stripe sibling get = %d, want 43", got)
+	}
+	tab.Delete(7)
+	if got := tab.Get(7); got != 0 {
+		t.Fatalf("get after delete = %d", got)
+	}
+	if got := tab.Get(7 + stripes); got != 43 {
+		t.Fatal("delete removed the stripe sibling")
+	}
+}
+
+// TestTableConcurrent hammers disjoint key ranges from many goroutines;
+// -race flags any striping mistake.
+func TestTableConcurrent(t *testing.T) {
+	var tab Table[uint64]
+	tab.Init()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 500; i++ {
+				id := base + i*8
+				tab.Put(id, id)
+				if got := tab.Get(id); got != id {
+					t.Errorf("get(%d) = %d", id, got)
+					return
+				}
+				tab.Delete(id)
+				if got := tab.Get(id); got != 0 {
+					t.Errorf("get(%d) after delete = %d", id, got)
+					return
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+}

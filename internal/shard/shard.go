@@ -55,8 +55,16 @@ func New[K ~uint32, V any](n int) *Map[K, V] {
 // Keys are spread with a Fibonacci hash so that dense sequential object
 // ids do not all land in neighboring shards of a small deployment.
 func (m *Map[K, V]) Shard(k K) *Shard[K, V] {
+	return &m.shards[m.ShardIndex(k)]
+}
+
+// ShardIndex returns the index of the shard owning k, for callers that
+// maintain parallel per-shard structures (e.g. a per-shard lock-free
+// index alongside the locked map). The index is stable for the life of
+// the Map.
+func (m *Map[K, V]) ShardIndex(k K) int {
 	h := uint32(k) * 2654435761 // Knuth's multiplicative hash
-	return &m.shards[(h>>16^h)&m.mask]
+	return int((h>>16 ^ h) & m.mask)
 }
 
 // NumShards returns the fixed shard fanout.

@@ -1,0 +1,69 @@
+package tob
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// BenchmarkTOBSharedClientOps measures concurrent mixed operations
+// through one shared client. The sequenced execution stays serial by
+// construction (the paper's argument against TOB storage), but the
+// striped in-flight table and the off-loop ack sender keep the client
+// and server plumbing from adding artificial serialization on top.
+func BenchmarkTOBSharedClientOps(b *testing.B) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	ring := []wire.ProcessID{1, 2, 3}
+	for _, id := range ring {
+		ep, err := net.Register(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := NewServer(ep, ring)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.Start()
+		b.Cleanup(func() {
+			srv.Stop()
+			_ = ep.Close()
+		})
+	}
+	ep, err := net.Register(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := NewClient(ep, ring, 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		_ = cl.Close()
+		_ = ep.Close()
+	})
+
+	ctx := context.Background()
+	if _, err := cl.Write(ctx, 0, []byte("seed")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			var err error
+			if i%4 == 0 {
+				_, err = cl.Write(ctx, 0, []byte("v"))
+			} else {
+				_, _, err = cl.Read(ctx, 0)
+			}
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}

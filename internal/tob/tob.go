@@ -16,6 +16,15 @@
 // the paper's argument for not building atomic storage this way (§1 and
 // §4.2).
 //
+// The sequenced execution is inherently serial — that is the point the
+// paper makes against building atomic storage this way — but nothing
+// else needs to ride the sequencing loop: client acknowledgments drain
+// through a dedicated sender goroutine (the ack captures the value at
+// its execution point, so the object map stays loop-confined), and the
+// client stripes its in-flight table, so hot comparisons against this
+// baseline measure the total-order bottleneck itself rather than a slow
+// client or a client-side global mutex.
+//
 // Crash handling is omitted (baseline for comparison, not production).
 package tob
 
@@ -24,8 +33,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/ackq"
+	"repro/internal/reqtab"
 	"repro/internal/tag"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -54,9 +66,19 @@ type Server struct {
 	myOps  map[uint64]clientRef
 	nextOp uint64
 
+	// acks hands client acks to the ack-sender goroutine: the
+	// sequencing loop never blocks on a client connection.
+	acks ackq.Queue[ackItem]
+
 	stopOnce sync.Once
 	stopc    chan struct{}
 	wg       sync.WaitGroup
+}
+
+// ackItem is one queued client acknowledgment.
+type ackItem struct {
+	to  wire.ProcessID
+	env wire.Envelope
 }
 
 // clientRef remembers whom to acknowledge.
@@ -77,7 +99,7 @@ func NewServer(ep transport.Endpoint, ring []wire.ProcessID) (*Server, error) {
 	if pos < 0 {
 		return nil, fmt.Errorf("tob: %d not in ring %v", ep.ID(), ring)
 	}
-	return &Server{
+	s := &Server{
 		ep:       ep,
 		ring:     append([]wire.ProcessID(nil), ring...),
 		pos:      pos,
@@ -86,13 +108,16 @@ func NewServer(ep transport.Endpoint, ring []wire.ProcessID) (*Server, error) {
 		buffer:   make(map[uint64]wire.Envelope),
 		myOps:    make(map[uint64]clientRef),
 		stopc:    make(chan struct{}),
-	}, nil
+	}
+	s.acks.Init()
+	return s, nil
 }
 
-// Start launches the server loop.
+// Start launches the server loop and the ack sender.
 func (s *Server) Start() {
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go s.loop()
+	go s.ackLoop()
 }
 
 // Stop terminates the server loop.
@@ -191,7 +216,10 @@ func (s *Server) execute(op wire.Envelope) {
 	}
 }
 
-// ackClient answers the client whose op just executed locally.
+// ackClient queues the acknowledgment for the client whose op just
+// executed locally. The value a read returns is captured here, at the
+// op's sequence point, so the ack sender never touches the loop-confined
+// object map.
 func (s *Server) ackClient(op wire.Envelope) {
 	ref, ok := s.myOps[op.ReqID]
 	if !ok {
@@ -208,19 +236,28 @@ func (s *Server) ackClient(op wire.Envelope) {
 		ack.Kind = wire.KindReadAck
 		ack.Value = s.objects[op.Object]
 	}
-	_ = s.ep.Send(ref.client, wire.NewFrame(ack))
+	s.acks.Enqueue(ackItem{to: ref.client, env: ack})
 }
 
-// Client issues operations against the TOB storage.
+// ackLoop drains queued acknowledgments onto the client network, off the
+// sequencing loop.
+func (s *Server) ackLoop() {
+	defer s.wg.Done()
+	s.acks.Drain(s.stopc, func(a ackItem) {
+		_ = s.ep.Send(a.to, wire.NewFrame(a.env))
+	})
+}
+
+// Client issues operations against the TOB storage. It is safe for
+// concurrent use; the in-flight table is striped so concurrent callers
+// do not serialize on one mutex.
 type Client struct {
 	ep      transport.Endpoint
 	servers []wire.ProcessID
 	tmo     time.Duration
 
-	mu       sync.Mutex
-	nextReq  uint64
-	rr       int
-	inflight map[uint64]chan wire.Envelope
+	nextReq  atomic.Uint64
+	inflight reqtab.Table[chan wire.Envelope]
 
 	stopOnce sync.Once
 	stopc    chan struct{}
@@ -239,12 +276,12 @@ func NewClient(ep transport.Endpoint, servers []wire.ProcessID, timeout time.Dur
 		timeout = 2 * time.Second
 	}
 	c := &Client{
-		ep:       ep,
-		servers:  append([]wire.ProcessID(nil), servers...),
-		tmo:      timeout,
-		inflight: make(map[uint64]chan wire.Envelope),
-		stopc:    make(chan struct{}),
+		ep:      ep,
+		servers: append([]wire.ProcessID(nil), servers...),
+		tmo:     timeout,
+		stopc:   make(chan struct{}),
 	}
+	c.inflight.Init()
 	c.wg.Add(1)
 	go c.receiverLoop()
 	return c, nil
@@ -282,21 +319,14 @@ func (c *Client) Read(ctx context.Context, object wire.ObjectID) ([]byte, tag.Ta
 	return reply.Value, reply.Tag, nil
 }
 
-// roundTrip performs one request against a round-robin chosen server.
+// roundTrip performs one request against a round-robin chosen server
+// (the request counter doubles as the round-robin cursor).
 func (c *Client) roundTrip(ctx context.Context, env wire.Envelope) (wire.Envelope, error) {
-	c.mu.Lock()
-	c.nextReq++
-	reqID := c.nextReq
-	c.rr++
-	server := c.servers[c.rr%len(c.servers)]
+	reqID := c.nextReq.Add(1)
+	server := c.servers[reqID%uint64(len(c.servers))]
 	ch := make(chan wire.Envelope, 1)
-	c.inflight[reqID] = ch
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		delete(c.inflight, reqID)
-		c.mu.Unlock()
-	}()
+	c.inflight.Put(reqID, ch)
+	defer c.inflight.Delete(reqID)
 
 	env.ReqID = reqID
 	if err := c.ep.Send(server, wire.NewFrame(env)); err != nil {
@@ -326,10 +356,7 @@ func (c *Client) receiverLoop() {
 			if env.Kind != wire.KindWriteAck && env.Kind != wire.KindReadAck {
 				continue
 			}
-			c.mu.Lock()
-			ch := c.inflight[env.ReqID]
-			c.mu.Unlock()
-			if ch != nil {
+			if ch := c.inflight.Get(env.ReqID); ch != nil {
 				select {
 				case ch <- env:
 				default:
