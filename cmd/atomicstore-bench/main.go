@@ -11,6 +11,10 @@
 //	atomicstore-bench -async     # include the (slower) async validation
 //	atomicstore-bench -hotpath   # run the transport/codec microbenchmarks
 //	                             # and write BENCH_hotpath.json
+//	atomicstore-bench -grid experiments.json -grid-out paper_runs/latest
+//	                             # run the reproducible experiment grid
+//	                             # (add -grid-smoke for the seconds-long
+//	                             # CI configuration)
 package main
 
 import (
@@ -40,9 +44,16 @@ func run() error {
 		hotpathOut = flag.String("hotpath-out", "BENCH_hotpath.json", "where -hotpath writes its report")
 		echoMsgs   = flag.Int("hotpath-echo-msgs", 60000, "messages per TCP echo measurement")
 		moWindow   = flag.Duration("hotpath-window", time.Second, "measurement window per multi-object data point")
-		strict     = flag.Bool("hotpath-strict", false, "exit non-zero if a hot path allocates (codec encode/round trip, pending-set add/prune, or the read fast path > 0 allocs/op)")
+		strict     = flag.Bool("hotpath-strict", false, "exit non-zero if a hot path allocates (codec encode/round trip, pending-set add/prune, the read fast path, or the ack enqueue/fast path > 0 allocs/op)")
+		gridFile   = flag.String("grid", "", "run the experiment grid declared in this JSON file (see experiments.json)")
+		gridOut    = flag.String("grid-out", "paper_runs/latest", "output directory for -grid CSVs and summaries")
+		gridSmoke  = flag.Bool("grid-smoke", false, "scale the grid down to a seconds-long smoke configuration (1 repeat, short windows, capped fleets)")
 	)
 	flag.Parse()
+
+	if *gridFile != "" {
+		return runGrid(*gridFile, *gridOut, *gridSmoke)
+	}
 
 	if *hotpath {
 		return runHotpath(*hotpathOut, *echoMsgs, *moWindow, *strict)
@@ -118,6 +129,24 @@ func runHotpath(out string, echoMsgs int, window time.Duration, strict bool) err
 	fmt.Printf("train scaling: contended T8 %.0f vs T1 %.0f writes/s (%.2fx), write-only %.2fx\n",
 		rep.TrainScaling.ContendedWritesPerSecTrain8, rep.TrainScaling.ContendedWritesPerSecTrain1,
 		rep.TrainScaling.ContendedSpeedup, rep.TrainScaling.WriteOnlySpeedup)
+	fmt.Printf("ack path:      enqueue fast %.1f ns/op (%d allocs), queued %.1f ns/op (%d allocs)\n",
+		rep.AckPath.EnqueueFastNsPerOp, rep.AckPath.EnqueueFastAllocsPerOp,
+		rep.AckPath.EnqueueQueuedNsPerOp, rep.AckPath.EnqueueQueuedAllocsPerOp)
+	fmt.Printf("               windowed fleet (%d clients): sharded %.0f done/s p50 %.0fus (fast share %.2f) vs legacy %.0f done/s p50 %.0fus -> %.2fx throughput\n",
+		rep.AckPath.Clients,
+		rep.AckPath.WindowedShardedPerSec, rep.AckPath.WindowedShardedP50Us, rep.AckPath.ShardedFastShare,
+		rep.AckPath.WindowedLegacyPerSec, rep.AckPath.WindowedLegacyP50Us,
+		rep.AckPath.ThroughputSpeedup)
+	fmt.Printf("               open-loop fleet @ %.0f/s: sharded p95/p99 %.0f/%.0f us vs legacy %.0f/%.0f us -> %.2fx p99\n",
+		rep.AckPath.OpenLoopOfferedPerSec,
+		rep.AckPath.OpenLoopShardedP95Us, rep.AckPath.OpenLoopShardedP99Us,
+		rep.AckPath.OpenLoopLegacyP95Us, rep.AckPath.OpenLoopLegacyP99Us,
+		rep.AckPath.OpenLoopP99Ratio)
+	for _, row := range rep.OpenLoop.Rows {
+		fmt.Printf("open loop:     %-8s offered %6.0f/s -> sent %6.0f/s done %6.0f/s  p50/p95/p99 %.0f/%.0f/%.0f us\n",
+			row.Mode, row.OfferedPerSec, row.SentPerSec, row.CompletedPerSec,
+			row.P50Us, row.P95Us, row.P99Us)
+	}
 	if err := rep.WriteJSON(out); err != nil {
 		return err
 	}
@@ -135,7 +164,30 @@ func runHotpath(out string, echoMsgs int, window time.Duration, strict bool) err
 			return fmt.Errorf("read fast path allocates: %d allocs/op (want 0)",
 				rep.ReadPath.LockFreeAllocsPerOp)
 		}
+		if rep.AckPath.EnqueueFastAllocsPerOp != 0 || rep.AckPath.EnqueueQueuedAllocsPerOp != 0 {
+			return fmt.Errorf("ack enqueue allocates: fast path %d allocs/op, queued path %d allocs/op (want 0)",
+				rep.AckPath.EnqueueFastAllocsPerOp, rep.AckPath.EnqueueQueuedAllocsPerOp)
+		}
 	}
+	return nil
+}
+
+// runGrid executes the reproducible experiment grid and writes its CSVs
+// and summaries.
+func runGrid(file, out string, smoke bool) error {
+	spec, err := bench.LoadGrid(file)
+	if err != nil {
+		return err
+	}
+	if smoke {
+		spec = spec.Smoke()
+		fmt.Printf("grid: smoke configuration (1 repeat, short windows, capped fleets)\n")
+	}
+	logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	if _, err := bench.RunGrid(spec, out, logf); err != nil {
+		return err
+	}
+	fmt.Printf("grid results written to %s\n", out)
 	return nil
 }
 

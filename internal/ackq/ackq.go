@@ -42,12 +42,17 @@ func (q *Queue[T]) Enqueue(item T) {
 	}
 }
 
-// Pending returns the queued items not yet taken by a drain batch
-// (diagnostics and tests).
+// Pending returns a copy of the queued items not yet taken by a drain
+// batch (diagnostics and tests). It must copy: returning the live slice
+// would let a concurrent Enqueue append into the same backing array the
+// caller is iterating.
 func (q *Queue[T]) Pending() []T {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.items
+	if len(q.items) == 0 {
+		return nil
+	}
+	return append([]T(nil), q.items...)
 }
 
 // Drain sends queued items through send until stop closes, batching

@@ -1,0 +1,322 @@
+package bench
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ackq"
+	"repro/internal/wire"
+)
+
+// AckPathStats is the BENCH_hotpath.json "ack_path" section: the PR-6
+// tentpole metric. The enqueue rows are microbenchmarks of the sharded
+// sender itself (both must stay allocation-free; -hotpath-strict
+// enforces it). The fleet rows compare the sharded per-client ack path
+// against the pre-sharding single ackLoop (DisableAckSharding) with the
+// same >= 1k-client fleet, where every client is its own destination
+// and the shared sender serializes every ack behind one goroutine —
+// twice: saturated (windowed, window 1: the throughput comparison) and
+// at a fixed sustainable open-loop arrival rate (the tail-latency
+// comparison, latencies measured from the scheduled send time).
+type AckPathStats struct {
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Servers    int     `json:"servers"`
+	Objects    int     `json:"objects"`
+	Clients    int     `json:"clients"`
+	Seconds    float64 `json:"seconds"`
+
+	// EnqueueFast* measures Enqueue resolving through the non-blocking
+	// transport fast path on an idle lane; EnqueueQueued* measures the
+	// steady-state queued path (append + drain hand-off with recycled
+	// buffers). Both must be 0 allocs/op.
+	EnqueueFastNsPerOp       float64 `json:"enqueue_fast_ns_per_op"`
+	EnqueueFastAllocsPerOp   int64   `json:"enqueue_fast_allocs_per_op"`
+	EnqueueQueuedNsPerOp     float64 `json:"enqueue_queued_ns_per_op"`
+	EnqueueQueuedAllocsPerOp int64   `json:"enqueue_queued_allocs_per_op"`
+
+	// Windowed rows: every client keeps one operation outstanding, so
+	// the cluster runs at capacity and the ack path is on the critical
+	// path of every operation.
+	WindowedShardedPerSec float64 `json:"windowed_sharded_per_sec"`
+	WindowedShardedP50Us  float64 `json:"windowed_sharded_p50_us"`
+	WindowedShardedP99Us  float64 `json:"windowed_sharded_p99_us"`
+	WindowedLegacyPerSec  float64 `json:"windowed_legacy_per_sec"`
+	WindowedLegacyP50Us   float64 `json:"windowed_legacy_p50_us"`
+	WindowedLegacyP99Us   float64 `json:"windowed_legacy_p99_us"`
+	// ShardedFastShare is the fraction of sharded-run acks that
+	// bypassed the queue entirely via the transport fast path.
+	ShardedFastShare float64 `json:"sharded_fast_share"`
+	// ThroughputSpeedup is windowed sharded/legacy goodput; the
+	// tentpole acceptance bar is ThroughputSpeedup >= 1 or
+	// OpenLoopP99Ratio >= 1.
+	ThroughputSpeedup float64 `json:"throughput_speedup"`
+
+	// Open-loop rows: a fixed arrival rate both configurations can
+	// sustain, so the comparison isolates ack delivery delay instead of
+	// capacity.
+	OpenLoopOfferedPerSec float64 `json:"open_loop_offered_per_sec"`
+	OpenLoopShardedP95Us  float64 `json:"open_loop_sharded_p95_us"`
+	OpenLoopShardedP99Us  float64 `json:"open_loop_sharded_p99_us"`
+	OpenLoopLegacyP95Us   float64 `json:"open_loop_legacy_p95_us"`
+	OpenLoopLegacyP99Us   float64 `json:"open_loop_legacy_p99_us"`
+	// OpenLoopP99Ratio is legacy/sharded open-loop p99 (>1 means the
+	// sharded path has the better tail).
+	OpenLoopP99Ratio float64 `json:"open_loop_p99_ratio"`
+}
+
+// OpenLoopStats is the BENCH_hotpath.json "open_loop" section: a rate
+// sweep of the open-loop fleet against the sharded server, plus one
+// windowed (closed-loop) row for contrast. Open-loop latency is
+// measured from the scheduled send time, so rows past the saturation
+// point show the queueing delay closed-loop harnesses hide.
+type OpenLoopStats struct {
+	GoMaxProcs      int           `json:"gomaxprocs"`
+	Servers         int           `json:"servers"`
+	Objects         int           `json:"objects"`
+	Clients         int           `json:"clients"`
+	ReadFraction    float64       `json:"read_fraction"`
+	SecondsPerPoint float64       `json:"seconds_per_point"`
+	Rows            []OpenLoopRow `json:"rows"`
+}
+
+// OpenLoopRow is one point of the sweep.
+type OpenLoopRow struct {
+	// Mode is "open" (absolute arrival schedule) or "windowed" (fixed
+	// outstanding ops; Offered then reports the window size).
+	Mode            string  `json:"mode"`
+	OfferedPerSec   float64 `json:"offered_per_sec"`
+	SentPerSec      float64 `json:"sent_per_sec"`
+	CompletedPerSec float64 `json:"completed_per_sec"`
+	P50Us           float64 `json:"p50_us"`
+	P95Us           float64 `json:"p95_us"`
+	P99Us           float64 `json:"p99_us"`
+	MaxUs           float64 `json:"max_us"`
+}
+
+// AckEnqueueFastLoop is the body of BenchmarkAckEnqueueFast: Enqueue on
+// an idle lane with an always-willing transport fast path — the
+// send-inline-on-the-protocol-goroutine case. 0 allocs/op.
+func AckEnqueueFastLoop(b *testing.B) {
+	var delivered atomic.Uint64
+	s := ackq.NewSharded(
+		func(uint32, wire.Frame) error { return nil },
+		func(uint32, wire.Frame) bool { delivered.Add(1); return true },
+		nil,
+	)
+	f := wire.NewFrame(wire.Envelope{Kind: wire.KindReadAck, ReqID: 1})
+	s.Enqueue(7, f) // create the lane outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Enqueue(7, f)
+	}
+	b.StopTimer()
+	s.Stop()
+}
+
+// AckEnqueueQueuedLoop is the body of BenchmarkAckEnqueueQueued: the
+// queued path in steady state — append under the lane lock, drain
+// goroutine hand-off, recycled double buffers. The timed region
+// includes waiting for the drain to deliver everything, so ns/op is
+// end-to-end per ack, and the recycling keeps it at 0 allocs/op.
+func AckEnqueueQueuedLoop(b *testing.B) {
+	var delivered atomic.Uint64
+	s := ackq.NewSharded(
+		func(uint32, wire.Frame) error { delivered.Add(1); return nil },
+		nil, // no fast path: everything queues
+		nil,
+	)
+	f := wire.NewFrame(wire.Envelope{Kind: wire.KindReadAck, ReqID: 1})
+	const warm = 1024
+	for i := 0; i < warm; i++ {
+		s.Enqueue(7, f)
+	}
+	for delivered.Load() < warm {
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Enqueue(7, f)
+	}
+	for delivered.Load() < uint64(b.N)+warm {
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.StopTimer()
+	s.Stop()
+}
+
+// usOf converts a duration to float microseconds for the JSON report.
+func usOf(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// warmFleet runs one small throwaway fleet so the first measured run
+// does not pay the process's scheduler/allocator warmup (the first
+// fleet in a fresh process reliably shows an inflated tail).
+func warmFleet() {
+	_, _ = OpenLoopLoad(OpenLoopConfig{
+		Clients:       200,
+		OfferedPerSec: 5000,
+		Duration:      300 * time.Millisecond,
+	})
+}
+
+// MeasureAckPath runs the tentpole comparison: enqueue microbenchmarks,
+// then the same client fleet against the sharded ack path and the
+// single-ackLoop ablation — saturated (windowed) for throughput, and at
+// a fixed sustainable open-loop rate for tail latency.
+func MeasureAckPath(clients int, offeredPerSec float64, duration time.Duration) (AckPathStats, error) {
+	const servers, objects = 3, 8
+	st := AckPathStats{
+		GoMaxProcs:            runtime.GOMAXPROCS(0),
+		Servers:               servers,
+		Objects:               objects,
+		Clients:               clients,
+		OpenLoopOfferedPerSec: offeredPerSec,
+		Seconds:               duration.Seconds(),
+	}
+	fast := testing.Benchmark(AckEnqueueFastLoop)
+	queued := testing.Benchmark(AckEnqueueQueuedLoop)
+	st.EnqueueFastNsPerOp = float64(fast.NsPerOp())
+	st.EnqueueFastAllocsPerOp = fast.AllocsPerOp()
+	st.EnqueueQueuedNsPerOp = float64(queued.NsPerOp())
+	st.EnqueueQueuedAllocsPerOp = queued.AllocsPerOp()
+
+	// The 1-vCPU reference container is noisy enough that single fleet
+	// runs are not trustworthy: interleave the configurations over
+	// several rounds (so process-age drift hits both equally) and keep
+	// each configuration's best round — best throughput for the
+	// windowed rows, best p99 for the open-loop rows.
+	const rounds = 3
+	warmFleet()
+	windowed := OpenLoopConfig{
+		Servers:  servers,
+		Objects:  objects,
+		Clients:  clients,
+		Window:   1,
+		Duration: duration,
+	}
+	open := OpenLoopConfig{
+		Servers:       servers,
+		Objects:       objects,
+		Clients:       clients,
+		OfferedPerSec: offeredPerSec,
+		Duration:      duration,
+	}
+	var wSharded, wLegacy, oSharded, oLegacy OpenLoopResult
+	for r := 0; r < rounds; r++ {
+		for _, legacy := range []bool{false, true} {
+			wcfg := windowed
+			wcfg.DisableAckSharding = legacy
+			wres, err := OpenLoopLoad(wcfg)
+			if err != nil {
+				return st, err
+			}
+			ocfg := open
+			ocfg.DisableAckSharding = legacy
+			ores, err := OpenLoopLoad(ocfg)
+			if err != nil {
+				return st, err
+			}
+			if legacy {
+				wLegacy = bestThroughput(wLegacy, wres)
+				oLegacy = bestTail(oLegacy, ores)
+			} else {
+				wSharded = bestThroughput(wSharded, wres)
+				oSharded = bestTail(oSharded, ores)
+			}
+		}
+	}
+	st.WindowedShardedPerSec = wSharded.CompletedPerSec
+	st.WindowedShardedP50Us = usOf(wSharded.Latency.P50)
+	st.WindowedShardedP99Us = usOf(wSharded.Latency.P99)
+	st.WindowedLegacyPerSec = wLegacy.CompletedPerSec
+	st.WindowedLegacyP50Us = usOf(wLegacy.Latency.P50)
+	st.WindowedLegacyP99Us = usOf(wLegacy.Latency.P99)
+	if total := wSharded.AckFast + wSharded.AckQueued; total > 0 {
+		st.ShardedFastShare = float64(wSharded.AckFast) / float64(total)
+	}
+	if st.WindowedLegacyPerSec > 0 {
+		st.ThroughputSpeedup = st.WindowedShardedPerSec / st.WindowedLegacyPerSec
+	}
+	st.OpenLoopShardedP95Us = usOf(oSharded.Latency.P95)
+	st.OpenLoopShardedP99Us = usOf(oSharded.Latency.P99)
+	st.OpenLoopLegacyP95Us = usOf(oLegacy.Latency.P95)
+	st.OpenLoopLegacyP99Us = usOf(oLegacy.Latency.P99)
+	if st.OpenLoopShardedP99Us > 0 {
+		st.OpenLoopP99Ratio = st.OpenLoopLegacyP99Us / st.OpenLoopShardedP99Us
+	}
+	return st, nil
+}
+
+// bestThroughput keeps the run with the higher goodput.
+func bestThroughput(a, b OpenLoopResult) OpenLoopResult {
+	if a.Completed == 0 || b.CompletedPerSec > a.CompletedPerSec {
+		return b
+	}
+	return a
+}
+
+// bestTail keeps the run with the lower p99.
+func bestTail(a, b OpenLoopResult) OpenLoopResult {
+	if a.Completed == 0 || b.Latency.P99 < a.Latency.P99 {
+		return b
+	}
+	return a
+}
+
+// MeasureOpenLoop sweeps the open-loop fleet over offered rates against
+// the sharded server, then adds one windowed row (window 1: the classic
+// closed loop) for contrast.
+func MeasureOpenLoop(clients int, rates []float64, duration time.Duration) (OpenLoopStats, error) {
+	const servers, objects = 3, 8
+	st := OpenLoopStats{
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Servers:         servers,
+		Objects:         objects,
+		Clients:         clients,
+		ReadFraction:    0.9,
+		SecondsPerPoint: duration.Seconds(),
+	}
+	warmFleet()
+	for _, rate := range rates {
+		res, err := OpenLoopLoad(OpenLoopConfig{
+			Servers:       servers,
+			Objects:       objects,
+			Clients:       clients,
+			OfferedPerSec: rate,
+			Duration:      duration,
+		})
+		if err != nil {
+			return st, err
+		}
+		st.Rows = append(st.Rows, openLoopRow("open", rate, res))
+	}
+	res, err := OpenLoopLoad(OpenLoopConfig{
+		Servers:  servers,
+		Objects:  objects,
+		Clients:  clients,
+		Window:   1,
+		Duration: duration,
+	})
+	if err != nil {
+		return st, err
+	}
+	st.Rows = append(st.Rows, openLoopRow("windowed", 1, res))
+	return st, nil
+}
+
+// openLoopRow converts one fleet result into a report row.
+func openLoopRow(mode string, offered float64, res OpenLoopResult) OpenLoopRow {
+	return OpenLoopRow{
+		Mode:            mode,
+		OfferedPerSec:   offered,
+		SentPerSec:      res.SentPerSec,
+		CompletedPerSec: res.CompletedPerSec,
+		P50Us:           usOf(res.Latency.P50),
+		P95Us:           usOf(res.Latency.P95),
+		P99Us:           usOf(res.Latency.P99),
+		MaxUs:           usOf(res.Latency.Max),
+	}
+}

@@ -1,0 +1,346 @@
+// Grid runner: the reproducible experiment workflow behind the ack-path
+// evaluation. A JSON grid (experiments.json at the repo root) declares
+// named experiments with their knobs and a repeat count; RunGrid
+// executes every repeat, writes one CSV per run plus two roll-ups
+// (summary_runs.csv: one row per run; summary_grouped.csv: mean/stddev
+// per experiment), and renders a plain-text summary table. CI runs the
+// smoke-scaled grid on every push and archives the CSVs.
+
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// GridExperiment is one named entry of the grid.
+type GridExperiment struct {
+	Name string `json:"name"`
+	// Mode selects the harness: "open_loop" and "windowed" run the
+	// client fleet (OpenLoopLoad); "lane_scaling" re-runs the PR-2
+	// contended lane comparison (lane 4 vs lane 1), which exists in the
+	// grid so the multi-vCPU points can be reproduced by hosts that
+	// have the cores (the gomaxprocs knob).
+	Mode    string `json:"mode"`
+	Servers int    `json:"servers"`
+	Objects int    `json:"objects"`
+	Clients int    `json:"clients"`
+	// RatePerSec is the open-loop aggregate arrival rate; Window the
+	// windowed mode's per-client outstanding ops.
+	RatePerSec   float64 `json:"rate_per_sec"`
+	Window       int     `json:"window"`
+	ReadFraction float64 `json:"read_fraction"`
+	ValueBytes   int     `json:"value_bytes"`
+	DurationMS   int     `json:"duration_ms"`
+	// GoMaxProcs > 0 pins runtime.GOMAXPROCS for the run (restored
+	// after). The effective value and runtime.NumCPU are both recorded
+	// per row, so a 1-vCPU host asking for 4 is visible in the data.
+	GoMaxProcs         int  `json:"gomaxprocs"`
+	DisableAckSharding bool `json:"disable_ack_sharding"`
+}
+
+// GridSpec is the experiments.json schema.
+type GridSpec struct {
+	Repeats     int              `json:"repeats"`
+	Experiments []GridExperiment `json:"experiments"`
+}
+
+// LoadGrid reads and validates a grid file.
+func LoadGrid(path string) (GridSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return GridSpec{}, err
+	}
+	var spec GridSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return GridSpec{}, fmt.Errorf("bench: parse grid %s: %w", path, err)
+	}
+	if spec.Repeats <= 0 {
+		spec.Repeats = 1
+	}
+	if len(spec.Experiments) == 0 {
+		return GridSpec{}, fmt.Errorf("bench: grid %s declares no experiments", path)
+	}
+	seen := map[string]bool{}
+	for _, e := range spec.Experiments {
+		if e.Name == "" {
+			return GridSpec{}, fmt.Errorf("bench: grid %s has an unnamed experiment", path)
+		}
+		if seen[e.Name] {
+			return GridSpec{}, fmt.Errorf("bench: grid %s repeats experiment name %q", path, e.Name)
+		}
+		seen[e.Name] = true
+		switch e.Mode {
+		case "open_loop", "windowed", "lane_scaling":
+		default:
+			return GridSpec{}, fmt.Errorf("bench: experiment %q has unknown mode %q", e.Name, e.Mode)
+		}
+	}
+	return spec, nil
+}
+
+// Smoke returns a scaled-down copy of the grid that finishes in
+// seconds: one repeat, short windows, capped fleets (with the offered
+// rate scaled down proportionally so the per-client pace is unchanged).
+// CI runs this on every push as a does-the-harness-still-work gate; the
+// numbers it produces are not comparable to full runs.
+func (g GridSpec) Smoke() GridSpec {
+	const (
+		smokeDurationMS = 300
+		smokeClients    = 200
+	)
+	out := GridSpec{Repeats: 1, Experiments: append([]GridExperiment(nil), g.Experiments...)}
+	for i := range out.Experiments {
+		e := &out.Experiments[i]
+		if e.DurationMS <= 0 || e.DurationMS > smokeDurationMS {
+			e.DurationMS = smokeDurationMS
+		}
+		if e.Clients > smokeClients {
+			if e.RatePerSec > 0 {
+				e.RatePerSec = e.RatePerSec * smokeClients / float64(e.Clients)
+			}
+			e.Clients = smokeClients
+		}
+	}
+	return out
+}
+
+// GridRunRow is one completed run (one repeat of one experiment).
+type GridRunRow struct {
+	Exp                 GridExperiment
+	Repeat              int
+	EffectiveGoMaxProcs int
+	NumCPU              int
+	// Fleet results (open_loop / windowed modes).
+	Res OpenLoopResult
+	// Lane-scaling results (lane_scaling mode): contended writes/s at
+	// lane fanout 4 vs 1.
+	BaselinePerSec float64
+	Speedup        float64
+}
+
+// gridCSVHeader is the shared schema of every CSV the grid writes.
+const gridCSVHeader = "name,mode,repeat,servers,objects,clients,window,gomaxprocs_requested,gomaxprocs_effective,numcpu,ack_sharding,offered_per_sec,duration_s,sent,completed,sent_per_sec,completed_per_sec,mean_us,p50_us,p95_us,p99_us,max_us,ack_fast,ack_queued,ack_lanes,ack_failures,baseline_per_sec,speedup"
+
+// csvLine renders one run as a CSV row.
+func (r GridRunRow) csvLine() string {
+	e := r.Exp
+	sharding := "sharded"
+	if e.DisableAckSharding {
+		sharding = "legacy"
+	}
+	return fmt.Sprintf("%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%s,%.1f,%.3f,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%.1f,%.3f",
+		e.Name, e.Mode, r.Repeat, e.Servers, e.Objects, e.Clients, e.Window,
+		e.GoMaxProcs, r.EffectiveGoMaxProcs, r.NumCPU, sharding,
+		e.RatePerSec, float64(e.DurationMS)/1000,
+		r.Res.Sent, r.Res.Completed, r.Res.SentPerSec, r.Res.CompletedPerSec,
+		usOf(r.Res.Latency.Mean), usOf(r.Res.Latency.P50), usOf(r.Res.Latency.P95),
+		usOf(r.Res.Latency.P99), usOf(r.Res.Latency.Max),
+		r.Res.AckFast, r.Res.AckQueued, r.Res.AckLanes, r.Res.AckFailures,
+		r.BaselinePerSec, r.Speedup)
+}
+
+// runGridExperiment executes one repeat of one experiment, honoring its
+// GOMAXPROCS request for the duration of the run.
+func runGridExperiment(e GridExperiment, repeat int) (GridRunRow, error) {
+	row := GridRunRow{Exp: e, Repeat: repeat, NumCPU: runtime.NumCPU()}
+	if e.GoMaxProcs > 0 {
+		prev := runtime.GOMAXPROCS(e.GoMaxProcs)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	row.EffectiveGoMaxProcs = runtime.GOMAXPROCS(0)
+	duration := time.Duration(e.DurationMS) * time.Millisecond
+	switch e.Mode {
+	case "open_loop", "windowed":
+		cfg := OpenLoopConfig{
+			Servers:            e.Servers,
+			Objects:            e.Objects,
+			Clients:            e.Clients,
+			OfferedPerSec:      e.RatePerSec,
+			ReadFraction:       e.ReadFraction,
+			ValueBytes:         e.ValueBytes,
+			Duration:           duration,
+			DisableAckSharding: e.DisableAckSharding,
+		}
+		if e.Mode == "windowed" {
+			cfg.Window = e.Window
+			if cfg.Window <= 0 {
+				cfg.Window = 1
+			}
+			cfg.OfferedPerSec = 0
+		}
+		res, err := OpenLoopLoad(cfg)
+		if err != nil {
+			return row, fmt.Errorf("bench: grid %s rep %d: %w", e.Name, repeat, err)
+		}
+		row.Res = res
+	case "lane_scaling":
+		servers, objects := e.Servers, e.Objects
+		if servers <= 0 {
+			servers = 3
+		}
+		if objects <= 0 {
+			objects = 8
+		}
+		if duration <= 0 {
+			duration = time.Second
+		}
+		ctx := context.Background()
+		lane1, err := MultiObjectWriteThroughput(ctx, servers, objects, 1, 1, 2, duration)
+		if err != nil {
+			return row, fmt.Errorf("bench: grid %s rep %d lane1: %w", e.Name, repeat, err)
+		}
+		lane4, err := MultiObjectWriteThroughput(ctx, servers, objects, 4, 1, 2, duration)
+		if err != nil {
+			return row, fmt.Errorf("bench: grid %s rep %d lane4: %w", e.Name, repeat, err)
+		}
+		row.Res.CompletedPerSec = lane4
+		row.BaselinePerSec = lane1
+		if lane1 > 0 {
+			row.Speedup = lane4 / lane1
+		}
+	}
+	return row, nil
+}
+
+// RunGrid executes the whole grid, writes per-run CSVs plus the two
+// roll-ups under outDir, and logs a summary table. It returns the rows
+// for callers that post-process.
+func RunGrid(spec GridSpec, outDir string, logf func(format string, args ...any)) ([]GridRunRow, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	csvDir := filepath.Join(outDir, "csv")
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return nil, err
+	}
+	var rows []GridRunRow
+	for _, e := range spec.Experiments {
+		for rep := 1; rep <= spec.Repeats; rep++ {
+			row, err := runGridExperiment(e, rep)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, row)
+			runCSV := gridCSVHeader + "\n" + row.csvLine() + "\n"
+			path := filepath.Join(csvDir, fmt.Sprintf("%s_rep%d.csv", e.Name, rep))
+			if err := os.WriteFile(path, []byte(runCSV), 0o644); err != nil {
+				return rows, err
+			}
+			logf("grid: %-24s rep %d/%d  %10.0f done/s  p99 %8.0fus", e.Name, rep, spec.Repeats, row.Res.CompletedPerSec, usOf(row.Res.Latency.P99))
+		}
+	}
+
+	var runs strings.Builder
+	runs.WriteString(gridCSVHeader + "\n")
+	for _, r := range rows {
+		runs.WriteString(r.csvLine() + "\n")
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "summary_runs.csv"), []byte(runs.String()), 0o644); err != nil {
+		return rows, err
+	}
+	grouped := groupRows(rows)
+	if err := os.WriteFile(filepath.Join(outDir, "summary_grouped.csv"), []byte(grouped), 0o644); err != nil {
+		return rows, err
+	}
+	table := gridTable(spec, rows)
+	if err := os.WriteFile(filepath.Join(outDir, "summary.txt"), []byte(table), 0o644); err != nil {
+		return rows, err
+	}
+	logf("%s", table)
+	return rows, nil
+}
+
+// meanStd returns the mean and sample standard deviation.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)-1))
+}
+
+// groupRows renders summary_grouped.csv: per-experiment mean/stddev of
+// the headline metrics across repeats.
+func groupRows(rows []GridRunRow) string {
+	var b strings.Builder
+	b.WriteString("name,mode,runs,completed_per_sec_mean,completed_per_sec_std,p50_us_mean,p99_us_mean,p99_us_std,speedup_mean\n")
+	byName := map[string][]GridRunRow{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byName[r.Exp.Name]; !ok {
+			order = append(order, r.Exp.Name)
+		}
+		byName[r.Exp.Name] = append(byName[r.Exp.Name], r)
+	}
+	for _, name := range order {
+		group := byName[name]
+		var done, p50, p99, speed []float64
+		for _, r := range group {
+			done = append(done, r.Res.CompletedPerSec)
+			p50 = append(p50, usOf(r.Res.Latency.P50))
+			p99 = append(p99, usOf(r.Res.Latency.P99))
+			speed = append(speed, r.Speedup)
+		}
+		doneM, doneS := meanStd(done)
+		p50M, _ := meanStd(p50)
+		p99M, p99S := meanStd(p99)
+		speedM, _ := meanStd(speed)
+		fmt.Fprintf(&b, "%s,%s,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.3f\n",
+			name, group[0].Exp.Mode, len(group), doneM, doneS, p50M, p99M, p99S, speedM)
+	}
+	return b.String()
+}
+
+// gridTable renders the human summary embedded in logs and summary.txt.
+func gridTable(spec GridSpec, rows []GridRunRow) string {
+	t := stats.Table{
+		Title:   fmt.Sprintf("experiment grid (%d experiments x %d repeats)", len(spec.Experiments), spec.Repeats),
+		Columns: []string{"name", "mode", "procs", "done/s", "p50us", "p99us", "speedup"},
+	}
+	seen := map[string]bool{}
+	byName := map[string][]GridRunRow{}
+	for _, r := range rows {
+		byName[r.Exp.Name] = append(byName[r.Exp.Name], r)
+	}
+	for _, r := range rows {
+		if seen[r.Exp.Name] {
+			continue
+		}
+		seen[r.Exp.Name] = true
+		group := byName[r.Exp.Name]
+		var done, p50, p99, speed []float64
+		for _, g := range group {
+			done = append(done, g.Res.CompletedPerSec)
+			p50 = append(p50, usOf(g.Res.Latency.P50))
+			p99 = append(p99, usOf(g.Res.Latency.P99))
+			speed = append(speed, g.Speedup)
+		}
+		doneM, _ := meanStd(done)
+		p50M, _ := meanStd(p50)
+		p99M, _ := meanStd(p99)
+		speedM, _ := meanStd(speed)
+		t.AddRow(r.Exp.Name, r.Exp.Mode, fmt.Sprintf("%d", r.EffectiveGoMaxProcs),
+			fmt.Sprintf("%.0f", doneM), fmt.Sprintf("%.0f", p50M),
+			fmt.Sprintf("%.0f", p99M), fmt.Sprintf("%.2f", speedM))
+	}
+	return t.String()
+}

@@ -35,7 +35,19 @@ type HotpathReport struct {
 	MultiObject  MultiObjectStats  `json:"multi_object"`
 	LaneScaling  LaneScalingStats  `json:"lane_scaling"`
 	TrainScaling TrainScalingStats `json:"train_scaling"`
+	AckPath      AckPathStats      `json:"ack_path"`
+	OpenLoop     OpenLoopStats     `json:"open_loop"`
 }
+
+// Fleet sizing for the ack-path sections: large enough that the single
+// shared ackLoop demonstrably serializes (>= 1k destinations), small
+// enough that a CI runner sets it up in well under a second. The
+// offered rate is one both ack paths sustain on a single core, so the
+// open-loop rows compare delivery delay rather than capacity.
+const (
+	ackPathFleetClients = 1200
+	ackPathOfferedRate  = 40000
+)
 
 // PendingSetStats reports the sorted pending set's steady-state
 // add/prune cycle (the per-committed-envelope churn of a saturated
@@ -644,22 +656,48 @@ func RunHotpath(ctx context.Context, echoMsgs int, multiObjDuration time.Duratio
 		return rep, err
 	}
 	rep.TCPEcho = echo
+	// The fleet comparisons run before the closed-loop sections below:
+	// those spawn thousands of client goroutines whose teardown debris
+	// (stack growth, pacer state, lingering timers) skews anything
+	// measured after them far more than the reverse direction.
+	settleBetweenSections()
+	ack, err := MeasureAckPath(ackPathFleetClients, ackPathOfferedRate, multiObjDuration)
+	if err != nil {
+		return rep, err
+	}
+	rep.AckPath = ack
+	ol, err := MeasureOpenLoop(ackPathFleetClients, []float64{5000, 10000, 20000, 40000}, multiObjDuration)
+	if err != nil {
+		return rep, err
+	}
+	rep.OpenLoop = ol
+	settleBetweenSections()
 	mo, err := MeasureMultiObject(ctx, multiObjDuration)
 	if err != nil {
 		return rep, err
 	}
 	rep.MultiObject = mo
+	settleBetweenSections()
 	lanes, err := MeasureLaneScaling(ctx, multiObjDuration)
 	if err != nil {
 		return rep, err
 	}
 	rep.LaneScaling = lanes
+	settleBetweenSections()
 	trains, err := MeasureTrainScaling(multiObjDuration)
 	if err != nil {
 		return rep, err
 	}
 	rep.TrainScaling = trains
 	return rep, nil
+}
+
+// settleBetweenSections lets the previous section's teardown finish
+// (drained goroutines exiting, timers firing) and resets the heap so the
+// next section does not inherit its GC debt.
+func settleBetweenSections() {
+	time.Sleep(300 * time.Millisecond)
+	runtime.GC()
 }
 
 // WriteJSON writes the report to path, indented for diff-friendliness.

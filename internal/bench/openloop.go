@@ -1,0 +1,402 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// openLoopClientBase is the first ProcessID handed to fleet clients,
+// far above server and driver IDs.
+const openLoopClientBase = 100000
+
+// maxFleetWindow bounds the windowed mode's per-client outstanding ops
+// below the memnet inbox capacity: a windowed client that has exited at
+// the deadline can leave at most Window acks parked in its inbox, and
+// keeping that under the inbox capacity guarantees server teardown never
+// blocks on an abandoned client connection.
+const maxFleetWindow = 32
+
+// OpenLoopConfig describes one client-fleet load run against a ring
+// cluster on the in-memory transport.
+//
+// Two generation modes:
+//
+//   - Open loop (Window == 0): the fleet offers OfferedPerSec aggregate
+//     operations on a fixed absolute schedule, regardless of how fast
+//     acks come back. Latency is measured from the *scheduled* send
+//     time, so a server that falls behind accumulates visible queueing
+//     delay instead of silently slowing the clients down — the
+//     coordinated-omission mistake closed-loop harnesses make.
+//   - Windowed (Window > 0): each client keeps Window operations
+//     outstanding and issues the next only on an ack (Window 1 is the
+//     classic closed loop). Latency is measured from the actual send.
+type OpenLoopConfig struct {
+	Servers int
+	Objects int
+	// Clients is the fleet size; every client is its own transport
+	// endpoint with its own ack lane on the serving side.
+	Clients int
+	// OfferedPerSec is the aggregate open-loop arrival rate, spread
+	// evenly over the fleet (client i issues every Clients/OfferedPerSec
+	// seconds, phase-shifted by i). Required when Window is 0.
+	OfferedPerSec float64
+	// Window selects windowed mode: operations kept outstanding per
+	// client. Must be <= 32 so abandoned acks always fit the inbox.
+	Window int
+	// ReadFraction is the fraction of operations that are reads
+	// (default 0.9); the rest are 1-value writes that keep the ring
+	// path live.
+	ReadFraction float64
+	ValueBytes   int
+	Duration     time.Duration
+	// DisableAckSharding pins the pre-sharding single ackLoop server —
+	// the ablation baseline.
+	DisableAckSharding bool
+}
+
+// OpenLoopResult is one fleet run's measurement.
+type OpenLoopResult struct {
+	// Sent and Completed count issued requests and observed acks.
+	Sent, Completed uint64
+	// Elapsed spans first scheduled send to last observed ack.
+	Elapsed time.Duration
+	// SentPerSec is the achieved offered rate (open loop can fall
+	// behind its schedule when the host saturates; this shows it).
+	SentPerSec float64
+	// CompletedPerSec is the goodput.
+	CompletedPerSec float64
+	// Latency summarizes ack latency from the histogram buckets.
+	Latency stats.Summary
+	// AckFast/AckQueued/AckLanes aggregate Server.AckPathStats over the
+	// cluster; AckFailures aggregates Server.AckSendFailures.
+	AckFast, AckQueued, AckLanes uint64
+	AckFailures                  uint64
+}
+
+// normalize fills defaults and validates.
+func (cfg *OpenLoopConfig) normalize() error {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 3
+	}
+	if cfg.Objects <= 0 {
+		cfg.Objects = 8
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1000
+	}
+	if cfg.ReadFraction <= 0 {
+		cfg.ReadFraction = 0.9
+	}
+	if cfg.ReadFraction > 1 {
+		cfg.ReadFraction = 1
+	}
+	if cfg.ValueBytes <= 0 {
+		cfg.ValueBytes = 128
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.Window < 0 {
+		cfg.Window = 0
+	}
+	if cfg.Window > maxFleetWindow {
+		return fmt.Errorf("bench: window %d exceeds %d (abandoned acks must fit the client inbox)", cfg.Window, maxFleetWindow)
+	}
+	if cfg.Window == 0 && cfg.OfferedPerSec <= 0 {
+		return fmt.Errorf("bench: open-loop mode needs OfferedPerSec > 0")
+	}
+	return nil
+}
+
+// writeEvery returns N such that every Nth operation is a write (0
+// means never).
+func (cfg *OpenLoopConfig) writeEvery() int {
+	if cfg.ReadFraction >= 1 {
+		return 0
+	}
+	n := int(1/(1-cfg.ReadFraction) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// OpenLoopLoad runs one fleet measurement: it builds a fresh ring
+// cluster on the in-memory transport, seeds every object, launches the
+// fleet, and tears everything down in an order that can never wedge on
+// a slow ack lane (servers stop while receivers are still draining).
+func OpenLoopLoad(cfg OpenLoopConfig) (OpenLoopResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return OpenLoopResult{}, err
+	}
+
+	members := make([]wire.ProcessID, 0, cfg.Servers)
+	for i := 1; i <= cfg.Servers; i++ {
+		members = append(members, wire.ProcessID(i))
+	}
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	srvs := make([]*core.Server, 0, cfg.Servers)
+	seps := make([]*transport.MemEndpoint, 0, cfg.Servers)
+	serversStopped := false
+	stopServers := func() {
+		if serversStopped {
+			return
+		}
+		serversStopped = true
+		for i, s := range srvs {
+			s.Stop()
+			_ = seps[i].Close()
+		}
+	}
+	defer stopServers()
+	for _, id := range members {
+		scfg := core.Config{ID: id, Members: members, DisableAckSharding: cfg.DisableAckSharding}
+		ep, err := net.RegisterSession(scfg.SessionHello())
+		if err != nil {
+			return OpenLoopResult{}, err
+		}
+		srv, err := core.NewServer(scfg, ep)
+		if err != nil {
+			_ = ep.Close()
+			return OpenLoopResult{}, err
+		}
+		srv.Start()
+		srvs = append(srvs, srv)
+		seps = append(seps, ep)
+	}
+	if err := seedObjects(net, members, cfg.Objects, cfg.ValueBytes); err != nil {
+		return OpenLoopResult{}, err
+	}
+
+	// Register the whole fleet before launching anything so client i=0
+	// is not already running while client i=1999 still waits on the
+	// registration lock.
+	eps := make([]*transport.MemEndpoint, 0, cfg.Clients)
+	closeClients := func() {
+		for _, ep := range eps {
+			_ = ep.Close()
+		}
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		ep, err := net.Register(wire.ProcessID(openLoopClientBase + i))
+		if err != nil {
+			closeClients()
+			return OpenLoopResult{}, err
+		}
+		eps = append(eps, ep)
+	}
+	defer closeClients()
+
+	hist := &stats.Histogram{}
+	var sent, completed atomic.Uint64
+	start := time.Now().Add(100 * time.Millisecond)
+	deadline := start.Add(cfg.Duration)
+	writeEvery := cfg.writeEvery()
+	value := make([]byte, cfg.ValueBytes)
+
+	if cfg.Window > 0 {
+		runWindowedFleet(cfg, eps, members, hist, &sent, &completed, deadline, writeEvery, value)
+		stopServers() // outstanding <= Window < inbox capacity: flush cannot block
+	} else {
+		runOpenLoopFleet(cfg, eps, members, hist, &sent, &completed, start, deadline, writeEvery, value, stopServers)
+	}
+	elapsed := time.Since(start)
+
+	res := OpenLoopResult{
+		Sent:      sent.Load(),
+		Completed: completed.Load(),
+		Elapsed:   elapsed,
+		Latency:   hist.Snapshot(),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.SentPerSec = float64(res.Sent) / secs
+		res.CompletedPerSec = float64(res.Completed) / secs
+	}
+	for _, s := range srvs {
+		f, q, l := s.AckPathStats()
+		res.AckFast += f
+		res.AckQueued += q
+		res.AckLanes += l
+		res.AckFailures += s.AckSendFailures()
+	}
+	return res, nil
+}
+
+// seedObjects writes one initial value to every object so fleet reads
+// hit published snapshots (and thus the ack fast path) from the first
+// request.
+func seedObjects(net *transport.MemNetwork, members []wire.ProcessID, objects, valueBytes int) error {
+	seed, err := net.Register(openLoopClientBase - 1)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = seed.Close() }()
+	value := make([]byte, valueBytes)
+	for obj := 0; obj < objects; obj++ {
+		env := wire.Envelope{
+			Kind:   wire.KindWriteRequest,
+			Object: wire.ObjectID(obj),
+			ReqID:  uint64(obj + 1),
+			Value:  value,
+		}
+		if err := seed.Send(members[obj%len(members)], wire.NewFrame(env)); err != nil {
+			return fmt.Errorf("bench: seed write %d: %w", obj, err)
+		}
+		select {
+		case <-seed.Inbox():
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("bench: seed write %d never acknowledged", obj)
+		}
+	}
+	return nil
+}
+
+// runOpenLoopFleet drives the absolute-schedule mode: a sender and a
+// receiver goroutine per client. Teardown order matters: senders finish
+// at the deadline, then the servers stop while every receiver is still
+// draining (so ack lanes can always flush), and only then do the
+// receivers wind down.
+func runOpenLoopFleet(cfg OpenLoopConfig, eps []*transport.MemEndpoint, members []wire.ProcessID, hist *stats.Histogram, sent, completed *atomic.Uint64, start, deadline time.Time, writeEvery int, value []byte, stopServers func()) {
+	period := time.Duration(float64(cfg.Clients) / cfg.OfferedPerSec * float64(time.Second))
+	if period <= 0 {
+		period = time.Nanosecond
+	}
+	maxOps := int(cfg.Duration/period) + 2
+
+	recvStop := make(chan struct{})
+	var sendWG, recvWG sync.WaitGroup
+	for i, ep := range eps {
+		target := members[i%len(members)]
+		// sched[k] is the scheduled (not actual) send time of request
+		// k+1 in unix nanos, written before the send; the channel
+		// send/receive pair through the transport orders it before the
+		// receiver's read.
+		sched := make([]int64, maxOps)
+
+		recvWG.Add(1)
+		go func(ep *transport.MemEndpoint) {
+			defer recvWG.Done()
+			observe := func(in transport.Inbound) {
+				if k := in.Frame.Env.ReqID; k >= 1 && k <= uint64(len(sched)) {
+					hist.Observe(time.Since(time.Unix(0, sched[k-1])))
+					completed.Add(1)
+				}
+			}
+			for {
+				select {
+				case in := <-ep.Inbox():
+					observe(in)
+				case <-recvStop:
+					for {
+						select {
+						case in := <-ep.Inbox():
+							observe(in)
+						default:
+							return
+						}
+					}
+				}
+			}
+		}(ep)
+
+		sendWG.Add(1)
+		go func(i int, ep *transport.MemEndpoint) {
+			defer sendWG.Done()
+			offset := time.Duration(float64(i) / cfg.OfferedPerSec * float64(time.Second))
+			for k := 0; k < maxOps; k++ {
+				t := start.Add(offset + time.Duration(k)*period)
+				if t.After(deadline) {
+					return
+				}
+				time.Sleep(time.Until(t))
+				env := wire.Envelope{
+					Kind:   wire.KindReadRequest,
+					Object: wire.ObjectID((i + k) % cfg.Objects),
+					ReqID:  uint64(k + 1),
+				}
+				if writeEvery > 0 && k%writeEvery == writeEvery-1 {
+					env.Kind = wire.KindWriteRequest
+					env.Value = value
+				}
+				sched[k] = t.UnixNano()
+				if ep.Send(target, wire.NewFrame(env)) != nil {
+					return
+				}
+				sent.Add(1)
+			}
+		}(i, ep)
+	}
+
+	sendWG.Wait()
+	// Give in-flight acks a moment, then stop the servers while the
+	// receivers still drain: lane flushes always find a live consumer.
+	time.Sleep(200 * time.Millisecond)
+	stopServers()
+	close(recvStop)
+	recvWG.Wait()
+}
+
+// runWindowedFleet drives the fixed-outstanding mode: one goroutine per
+// client both sends and receives, so request timestamps need no
+// cross-goroutine hand-off at all.
+func runWindowedFleet(cfg OpenLoopConfig, eps []*transport.MemEndpoint, members []wire.ProcessID, hist *stats.Histogram, sent, completed *atomic.Uint64, deadline time.Time, writeEvery int, value []byte) {
+	stopc := make(chan struct{})
+	timer := time.AfterFunc(time.Until(deadline), func() { close(stopc) })
+	defer timer.Stop()
+
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		target := members[i%len(members)]
+		wg.Add(1)
+		go func(i int, ep *transport.MemEndpoint) {
+			defer wg.Done()
+			pend := make(map[uint64]time.Time, cfg.Window)
+			reqID := uint64(0)
+			outstanding := 0
+			for {
+				select {
+				case <-stopc:
+					return
+				default:
+				}
+				for outstanding < cfg.Window {
+					reqID++
+					env := wire.Envelope{
+						Kind:   wire.KindReadRequest,
+						Object: wire.ObjectID((i + int(reqID)) % cfg.Objects),
+						ReqID:  reqID,
+					}
+					if writeEvery > 0 && reqID%uint64(writeEvery) == 0 {
+						env.Kind = wire.KindWriteRequest
+						env.Value = value
+					}
+					pend[reqID] = time.Now()
+					if ep.Send(target, wire.NewFrame(env)) != nil {
+						return
+					}
+					sent.Add(1)
+					outstanding++
+				}
+				select {
+				case in := <-ep.Inbox():
+					if t0, ok := pend[in.Frame.Env.ReqID]; ok {
+						hist.Observe(time.Since(t0))
+						completed.Add(1)
+						delete(pend, in.Frame.Env.ReqID)
+						outstanding--
+					}
+				case <-stopc:
+					return
+				}
+			}
+		}(i, ep)
+	}
+	wg.Wait()
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ackq"
 	"repro/internal/reqtab"
 	"repro/internal/shard"
 	"repro/internal/tag"
@@ -53,6 +54,17 @@ type Server struct {
 	// readc feeds tail reads to the worker pool; a full queue falls back
 	// to inline handling on the loop.
 	readc chan readReq
+
+	// acks is the sharded per-client ack sender (tail only in practice:
+	// the tail acknowledges writes and answers reads). The event loop
+	// and read workers never block on a client connection, and one slow
+	// client delays only its own acks — mirroring the main server so
+	// cross-protocol comparisons measure the single-tail bottleneck,
+	// not ack plumbing. Chain forwards keep the direct blocking Send:
+	// backpressure from the successor is the chain's pipelining model.
+	acks *ackq.Sharded[wire.ProcessID, wire.Envelope]
+	// ackFails counts client acks whose transport send failed.
+	ackFails atomic.Uint64
 
 	stopOnce sync.Once
 	stopc    chan struct{}
@@ -95,14 +107,32 @@ func NewServer(ep transport.Endpoint, chain []wire.ProcessID) (*Server, error) {
 	if pos < 0 {
 		return nil, fmt.Errorf("chainrep: %d not in chain %v", ep.ID(), chain)
 	}
-	return &Server{
+	s := &Server{
 		ep:      ep,
 		chain:   append([]wire.ProcessID(nil), chain...),
 		pos:     pos,
 		objects: shard.New[wire.ObjectID, *state](0),
 		stopc:   make(chan struct{}),
-	}, nil
+	}
+	var try func(wire.ProcessID, wire.Envelope) bool
+	if ts, ok := ep.(transport.TrySender); ok {
+		try = func(to wire.ProcessID, env wire.Envelope) bool {
+			return ts.TrySend(to, wire.NewFrame(env))
+		}
+	}
+	s.acks = ackq.NewSharded(
+		func(to wire.ProcessID, env wire.Envelope) error {
+			return s.ep.Send(to, wire.NewFrame(env))
+		},
+		try,
+		func(wire.ProcessID, error) { s.ackFails.Add(1) },
+	)
+	return s, nil
 }
+
+// AckSendFailures returns the number of client acks dropped because the
+// transport send failed; a happy-path cluster reads 0.
+func (s *Server) AckSendFailures() uint64 { return s.ackFails.Load() }
 
 // Start launches the server loop and, on the tail, the read workers.
 func (s *Server) Start() {
@@ -118,10 +148,11 @@ func (s *Server) Start() {
 	go s.loop()
 }
 
-// Stop terminates the server goroutines.
+// Stop terminates the server goroutines and the ack lanes.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { close(s.stopc) })
 	s.wg.Wait()
+	s.acks.Stop()
 }
 
 func (s *Server) isHead() bool { return s.pos == 0 }
@@ -161,7 +192,9 @@ func (s *Server) readWorker() {
 	}
 }
 
-// serveRead answers one tail read under the object's shard lock.
+// serveRead answers one tail read under the object's shard lock; the
+// ack leaves through the client's lane, so a blocked client connection
+// never wedges a read worker.
 func (s *Server) serveRead(rr readReq) {
 	sh, st := s.lockedState(rr.object)
 	ack := wire.Envelope{
@@ -172,7 +205,7 @@ func (s *Server) serveRead(rr readReq) {
 		Value:  st.value,
 	}
 	sh.Unlock()
-	_ = s.ep.Send(rr.from, wire.NewFrame(ack))
+	s.acks.Enqueue(rr.from, ack)
 }
 
 // handle dispatches one inbound frame.
@@ -223,16 +256,17 @@ func (s *Server) handle(in transport.Inbound) {
 }
 
 // deliverOrForward passes a write down the chain, or acknowledges the
-// client when this server is the tail.
+// client when this server is the tail (through the client's ack lane:
+// the event loop must keep applying chain forwards even when the
+// acknowledged client is slow).
 func (s *Server) deliverOrForward(env wire.Envelope) {
 	if s.isTail() {
-		ack := wire.Envelope{
+		s.acks.Enqueue(env.Origin, wire.Envelope{
 			Kind:   wire.KindWriteAck,
 			Object: env.Object,
 			Tag:    env.Tag,
 			ReqID:  env.ReqID,
-		}
-		_ = s.ep.Send(env.Origin, wire.NewFrame(ack))
+		})
 		return
 	}
 	_ = s.ep.Send(s.chain[s.pos+1], wire.NewFrame(env))

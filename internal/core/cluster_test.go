@@ -154,6 +154,7 @@ func TestWriteThenRead(t *testing.T) {
 	if rtag != wtag {
 		t.Fatalf("read tag %s, want %s", rtag, wtag)
 	}
+	assertNoAckFailures(t, c)
 }
 
 func TestReadUnwrittenObject(t *testing.T) {
@@ -189,6 +190,7 @@ func TestWriteVisibleAtEveryServer(t *testing.T) {
 			t.Fatalf("server %d returned %q", i, got)
 		}
 	}
+	assertNoAckFailures(t, c)
 }
 
 func TestSingleServerCluster(t *testing.T) {

@@ -59,6 +59,15 @@ type Config struct {
 	// multi_object section uses it to keep the inline baseline frozen at
 	// the pre-PR5 read path.
 	DisableReadSnapshots bool
+	// DisableAckSharding funnels every client-bound ack through one
+	// shared sender goroutine draining one queue — the pre-sharding
+	// behavior, a literal transcription of the paper's single dedicated
+	// client NIC. The default shards the ack sender per client (one
+	// FIFO lane and drain goroutine per destination, with a
+	// non-blocking transport fast path that bypasses the queue when the
+	// lane is idle), so one slow client delays only its own acks.
+	// Ablation knob for the ack_path benchmark section.
+	DisableAckSharding bool
 	// DisableValueElision makes write-phase ring messages carry the full
 	// value, as in the paper's pseudo-code. By default the value is
 	// elided: every server already stores it in its pending set from the

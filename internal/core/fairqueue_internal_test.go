@@ -263,21 +263,23 @@ func TestObjectStateReadableNow(t *testing.T) {
 
 // TestObjectStateParkAndRelease drives the in-place parked-read release
 // through applyAndRelease: the queued acks name the released clients and
-// the survivors stay parked in the same backing array.
+// the survivors stay parked in the same backing array. A zero Server has
+// a nil sharded sender, so enqueueAck falls back to the legacy queue,
+// whose zero value supports Enqueue — handy for inspecting acks here.
 func TestObjectStateParkAndRelease(t *testing.T) {
 	s := &Server{}
 	o := newObjectState()
 	o.park(100, 1, tag.Tag{TS: 3, ID: 1})
 	o.park(101, 2, tag.Tag{TS: 5, ID: 1})
 	s.applyAndRelease(7, o, tag.Tag{TS: 3, ID: 1}, []byte("x"), false)
-	if q := s.acks.Pending(); len(q) != 1 || q[0].to != 100 {
+	if q := s.legacyAcks.Pending(); len(q) != 1 || q[0].to != 100 {
 		t.Fatalf("acks after first apply = %+v", q)
 	}
 	if len(o.parked) != 1 || o.parked[0].client != 101 {
 		t.Fatalf("parked = %+v", o.parked)
 	}
 	s.applyAndRelease(7, o, tag.Tag{TS: 7, ID: 2}, []byte("y"), false)
-	q := s.acks.Pending()
+	q := s.legacyAcks.Pending()
 	if len(q) != 2 || q[1].to != 101 {
 		t.Fatalf("acks after second apply = %+v", q)
 	}

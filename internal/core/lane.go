@@ -419,15 +419,12 @@ func (ln *lane) onWrite(env *wire.Envelope) {
 		w, ok := ln.myWrites[key]
 		if ok && w.phase == phaseWrite {
 			delete(ln.myWrites, key)
-			s.acks.Enqueue(outFrame{
-				to: w.client,
-				f: wire.NewFrame(wire.Envelope{
-					Kind:   wire.KindWriteAck,
-					Object: env.Object,
-					Tag:    env.Tag,
-					ReqID:  w.reqID,
-				}),
-			})
+			s.enqueueAck(w.client, wire.NewFrame(wire.Envelope{
+				Kind:   wire.KindWriteAck,
+				Object: env.Object,
+				Tag:    env.Tag,
+				ReqID:  w.reqID,
+			}))
 		}
 		env.RetireValue()
 		return

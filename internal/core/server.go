@@ -79,8 +79,11 @@ type outFrame struct {
 // remains shared is the control plane — one goroutine owning the
 // authoritative ring view, consuming the failure detector and crash
 // gossip and fanning recovery out to every lane — and the ack sender,
-// one goroutine draining client acks from all lanes so no lane ever
-// blocks on a slow client.
+// sharded per client (DESIGN.md §11): each destination gets its own
+// FIFO ack lane and drain goroutine, and transports whose Send is
+// provably non-blocking right now are bypassed entirely, so no lane
+// ever blocks on a client and no client ever waits behind another
+// client's connection.
 type Server struct {
 	cfg Config
 	ep  transport.Endpoint
@@ -120,9 +123,23 @@ type Server struct {
 	// control-plane goroutine consumes it alongside ep.Failures().
 	ctrlc chan transport.Inbound
 
-	// acks hands client acks from all lanes and delivering goroutines to
-	// the ack-sender goroutine (non-blocking enqueue, unbounded).
-	acks ackq.Queue[outFrame]
+	// acks is the sharded per-client ack sender: every client-bound
+	// frame from the lanes, read workers, and delivering goroutines
+	// goes through it (non-blocking enqueue, one FIFO lane per client,
+	// transport fast path when Send provably cannot block). Nil when
+	// Config.DisableAckSharding pins the legacy single-goroutine path
+	// below.
+	acks *ackq.Sharded[wire.ProcessID, wire.Frame]
+
+	// legacyAcks is the pre-sharding shared ack queue, drained by one
+	// ackLoop goroutine. Only used when Config.DisableAckSharding is
+	// set (the ack_path benchmark baseline).
+	legacyAcks ackq.Queue[outFrame]
+
+	// ackFails counts client acks whose transport send failed; the
+	// client retries against another server, so the ack is dropped, but
+	// the drop must be observable (happy-path clusters read 0).
+	ackFails atomic.Uint64
 
 	// readc feeds client reads to the read-path workers; created by
 	// Start when the worker pool is enabled. When it is nil (pool
@@ -202,7 +219,17 @@ func NewServer(cfg Config, ep transport.Endpoint) (*Server, error) {
 		s.capser = pc
 	}
 	s.objIndex = make([]atomic.Pointer[map[wire.ObjectID]*objectState], s.objects.NumShards())
-	s.acks.Init()
+	if cfg.DisableAckSharding {
+		s.legacyAcks.Init()
+	} else {
+		var try func(wire.ProcessID, wire.Frame) bool
+		if ts, ok := ep.(transport.TrySender); ok {
+			try = ts.TrySend
+		}
+		s.acks = ackq.NewSharded(ep.Send, try, func(wire.ProcessID, error) {
+			s.ackFails.Add(1)
+		})
+	}
 	nLanes := cfg.writeLanes()
 	s.lanes = make([]*lane, nLanes)
 	for i := range s.lanes {
@@ -299,17 +326,27 @@ func (s *Server) serveReadFromSnapshot(from wire.ProcessID, env *wire.Envelope) 
 	if !ok {
 		return false
 	}
-	s.acks.Enqueue(outFrame{
-		to: from,
-		f: wire.NewFrame(wire.Envelope{
-			Kind:   wire.KindReadAck,
-			Object: env.Object,
-			Tag:    sn.tag,
-			ReqID:  env.ReqID,
-			Value:  sn.value,
-		}),
-	})
+	s.enqueueAck(from, wire.NewFrame(wire.Envelope{
+		Kind:   wire.KindReadAck,
+		Object: env.Object,
+		Tag:    sn.tag,
+		ReqID:  env.ReqID,
+		Value:  sn.value,
+	}))
 	return true
+}
+
+// enqueueAck hands one client-bound frame to the ack sender. It never
+// blocks, whichever path is configured: the sharded sender's per-client
+// lane (possibly delivering right here via the transport fast path when
+// the lane is idle and the transport's Send provably cannot block), or
+// the legacy shared queue under DisableAckSharding.
+func (s *Server) enqueueAck(to wire.ProcessID, f wire.Frame) {
+	if s.acks != nil {
+		s.acks.Enqueue(to, f)
+		return
+	}
+	s.legacyAcks.Enqueue(outFrame{to: to, f: f})
 }
 
 // LaneDrops returns the number of inbound ring frames dropped because
@@ -324,6 +361,23 @@ func (s *Server) LaneDrops() uint64 { return s.laneDrops.Load() }
 // recovery path failed to strike the buffer from the pool-ownership
 // books first — it should always read 0.
 func (s *Server) RecoveryBufferLeaks() uint64 { return s.recoveryLeaks.Load() }
+
+// AckSendFailures returns the number of client acks whose transport
+// send failed and was dropped (the client retries against another
+// server). A happy-path cluster reads 0; non-zero without client
+// crashes means acks are being lost.
+func (s *Server) AckSendFailures() uint64 { return s.ackFails.Load() }
+
+// AckPathStats returns how many client acks left via the non-blocking
+// transport fast path versus through a per-client lane queue, and how
+// many client lanes were ever created. All zeros when
+// Config.DisableAckSharding pins the legacy shared-queue path.
+func (s *Server) AckPathStats() (fast, queued, lanes uint64) {
+	if s.acks == nil {
+		return 0, 0, 0
+	}
+	return s.acks.Stats()
+}
 
 // RingFrameStats returns the number of ring frames this server has
 // committed to its successors and the total envelopes they carried.
@@ -342,7 +396,9 @@ func (s *Server) inboxAt(i int) chan transport.Inbound {
 }
 
 // Start launches the lane event loops and ring senders, the control
-// plane, the ack sender, the router, and the read-path workers.
+// plane, the router, and the read-path workers. The sharded ack sender
+// needs no launch — its per-client drain goroutines are created lazily
+// on first ack — but the legacy shared ackLoop does.
 func (s *Server) Start() {
 	workers := s.cfg.readWorkers()
 	if workers > 0 {
@@ -352,10 +408,13 @@ func (s *Server) Start() {
 			go s.readWorker()
 		}
 	}
-	s.wg.Add(3)
+	s.wg.Add(2)
 	go s.controlLoop()
-	go s.ackLoop()
 	go s.routerLoop()
+	if s.acks == nil {
+		s.wg.Add(1)
+		go s.ackLoop()
+	}
 	for _, ln := range s.lanes {
 		s.wg.Add(2)
 		go ln.loop()
@@ -364,10 +423,16 @@ func (s *Server) Start() {
 }
 
 // Stop terminates the server's goroutines. It does not close the
-// transport endpoint; the caller owns it.
+// transport endpoint; the caller owns it. The ack lanes are stopped
+// after the protocol goroutines so their final acks are not silently
+// dropped; transport delivering goroutines may still race an enqueue
+// past the stop, which the sender drops by design.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { close(s.stopc) })
 	s.wg.Wait()
+	if s.acks != nil {
+		s.acks.Stop()
+	}
 }
 
 // routerLoop drains the endpoint's shared inbox into the demux targets.
@@ -461,17 +526,16 @@ func (s *Server) noteCrash(crashed wire.ProcessID) {
 	}
 }
 
-// ackLoop drains client acks from all lanes and delivering goroutines
-// onto the client network (ackq.Queue: unbounded, non-blocking
-// enqueue), which is what keeps a slow or dead client from stalling
-// ring traffic; this goroutine serializes the actual Sends, like the
-// paper's dedicated client NIC. A send failure is logged and dropped:
+// ackLoop is the legacy shared ack sender (Config.DisableAckSharding):
+// one goroutine draining one queue, serializing every client's Sends,
+// like the paper's dedicated client NIC. Kept as the ablation baseline
+// the ack_path benchmarks pin. A send failure is counted and dropped:
 // the client retries against another server.
 func (s *Server) ackLoop() {
 	defer s.wg.Done()
-	s.acks.Drain(s.stopc, func(of outFrame) {
+	s.legacyAcks.Drain(s.stopc, func(of outFrame) {
 		if err := s.ep.Send(of.to, of.f); err != nil {
-			s.log.Debug("ack send failed", "to", of.to, "err", err)
+			s.ackFails.Add(1)
 		}
 	})
 }
@@ -571,11 +635,11 @@ func (s *Server) readWorker() {
 	}
 }
 
-// serveRead answers one client read, sending the ack directly on the
-// client network (a blocked client connection stalls one worker, never
-// a lane). The fast path serves straight from the published snapshot —
-// zero shard-lock acquisitions; only parking (the contended-write slow
-// path) and pooled values fall back to the lock.
+// serveRead answers one client read through the ack sender (a blocked
+// client connection wedges only that client's ack lane, never a worker
+// or a lane). The fast path serves straight from the published snapshot
+// — zero shard-lock acquisitions; only parking (the contended-write
+// slow path) and pooled values fall back to the lock.
 func (s *Server) serveRead(rr readReq) {
 	if sn, ok := s.loadSnapshot(rr.object); ok {
 		s.sendReadAck(rr, sn.tag, sn.value)
@@ -596,51 +660,44 @@ func (s *Server) serveRead(rr readReq) {
 		ReqID:  rr.reqID,
 		Value:  o.value,
 	}
-	// The ack aliases the stored value for an unbounded time — Send only
-	// enqueues on TCP, the per-peer writer encodes later — so the
+	// The ack aliases the stored value for an unbounded time — the ack
+	// sender (and on TCP the per-peer writer) encodes later — so the
 	// buffer's pool ownership dissolves here (see ackRead), and the
 	// republished snapshot (pooled=false) moves every later read of this
 	// value onto the lock-free fast path.
 	o.valuePooled = false
 	o.publish()
 	sh.Unlock()
-	if err := s.ep.Send(rr.from, wire.NewFrame(env)); err != nil {
-		s.log.Debug("read ack send failed", "to", rr.from, "err", err)
-	}
+	s.enqueueAck(rr.from, wire.NewFrame(env))
 }
 
-// sendReadAck sends a lock-free read ack built from snapshot state.
+// sendReadAck queues a lock-free read ack built from snapshot state.
 func (s *Server) sendReadAck(rr readReq, t tag.Tag, v []byte) {
-	env := wire.Envelope{
+	s.enqueueAck(rr.from, wire.NewFrame(wire.Envelope{
 		Kind:   wire.KindReadAck,
 		Object: rr.object,
 		Tag:    t,
 		ReqID:  rr.reqID,
 		Value:  v,
-	}
-	if err := s.ep.Send(rr.from, wire.NewFrame(env)); err != nil {
-		s.log.Debug("read ack send failed", "to", rr.from, "err", err)
-	}
+	}))
 }
 
 // ackRead queues a read_ack with the stored value. Handing the value to
 // an ack creates an alias whose lifetime the server cannot observe (the
-// transport's Send only enqueues; encoding happens later on the peer's
-// writer), so the buffer's pool ownership dissolves: a value that was
-// ever read is left to the GC when replaced, and only never-read values
-// recycle through the pool. The caller holds the object's shard lock.
+// ack sender and the transport encode at an unobservable later time),
+// so the buffer's pool ownership dissolves: a value that was ever read
+// is left to the GC when replaced, and only never-read values recycle
+// through the pool. The caller holds the object's shard lock; the
+// enqueue never blocks under it.
 func (s *Server) ackRead(to wire.ProcessID, reqID uint64, obj wire.ObjectID, o *objectState) {
 	o.valuePooled = false
-	s.acks.Enqueue(outFrame{
-		to: to,
-		f: wire.NewFrame(wire.Envelope{
-			Kind:   wire.KindReadAck,
-			Object: obj,
-			Tag:    o.tag,
-			ReqID:  reqID,
-			Value:  o.value,
-		}),
-	})
+	s.enqueueAck(to, wire.NewFrame(wire.Envelope{
+		Kind:   wire.KindReadAck,
+		Object: obj,
+		Tag:    o.tag,
+		ReqID:  reqID,
+		Value:  o.value,
+	}))
 }
 
 // applyAndRelease installs (t, v) if newer and releases any parked reads

@@ -187,6 +187,7 @@ var (
 	_ transport.LaneSender = (*Endpoint)(nil)
 	_ transport.Handshaker = (*Endpoint)(nil)
 	_ transport.PeerCapser = (*Endpoint)(nil)
+	_ transport.TrySender  = (*Endpoint)(nil)
 )
 
 // SetDemux implements transport.Demuxer: subsequent inbound frames are
@@ -336,6 +337,36 @@ func (e *Endpoint) SendLane(to wire.ProcessID, lane int, f wire.Frame) error {
 		lane = laneGeneral
 	}
 	return e.send(to, lane, f)
+}
+
+// TrySend implements transport.TrySender: the frame is pushed onto the
+// general link's outbound queue only if the link is already established
+// and its queue has room right now. It never dials — connection setup
+// can block for seconds — and never waits for queue space, so it is
+// safe on goroutines that must not stall on a slow client. A frame the
+// link would have to split (a train toward a trains-less peer) is
+// refused; acks are single-envelope, so in practice this never fires.
+func (e *Endpoint) TrySend(to wire.ProcessID, f wire.Frame) bool {
+	select {
+	case <-e.down:
+		return false
+	default:
+	}
+	e.mu.Lock()
+	p := e.peers[linkKey{id: to, lane: laneGeneral}]
+	e.mu.Unlock()
+	if p == nil {
+		return false
+	}
+	if !p.trains && f.EnvelopeCount() > 2 {
+		return false
+	}
+	select {
+	case p.out <- f:
+		return true
+	default:
+		return false
+	}
 }
 
 // Handshake implements transport.Handshaker: it eagerly opens (or

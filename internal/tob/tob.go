@@ -19,8 +19,8 @@
 // The sequenced execution is inherently serial — that is the point the
 // paper makes against building atomic storage this way — but nothing
 // else needs to ride the sequencing loop: client acknowledgments drain
-// through a dedicated sender goroutine (the ack captures the value at
-// its execution point, so the object map stays loop-confined), and the
+// through per-client ack lanes (the ack captures the value at its
+// execution point, so the object map stays loop-confined), and the
 // client stripes its in-flight table, so hot comparisons against this
 // baseline measure the total-order bottleneck itself rather than a slow
 // client or a client-side global mutex.
@@ -66,19 +66,17 @@ type Server struct {
 	myOps  map[uint64]clientRef
 	nextOp uint64
 
-	// acks hands client acks to the ack-sender goroutine: the
-	// sequencing loop never blocks on a client connection.
-	acks ackq.Queue[ackItem]
+	// acks is the sharded per-client ack sender: the sequencing loop
+	// never blocks on a client connection, and one slow client delays
+	// only its own acks (mirrors the main server, so cross-protocol
+	// comparisons measure the total-order bottleneck, not ack plumbing).
+	acks *ackq.Sharded[wire.ProcessID, wire.Envelope]
+	// ackFails counts client acks whose transport send failed.
+	ackFails atomic.Uint64
 
 	stopOnce sync.Once
 	stopc    chan struct{}
 	wg       sync.WaitGroup
-}
-
-// ackItem is one queued client acknowledgment.
-type ackItem struct {
-	to  wire.ProcessID
-	env wire.Envelope
 }
 
 // clientRef remembers whom to acknowledge.
@@ -109,22 +107,39 @@ func NewServer(ep transport.Endpoint, ring []wire.ProcessID) (*Server, error) {
 		myOps:    make(map[uint64]clientRef),
 		stopc:    make(chan struct{}),
 	}
-	s.acks.Init()
+	var try func(wire.ProcessID, wire.Envelope) bool
+	if ts, ok := ep.(transport.TrySender); ok {
+		try = func(to wire.ProcessID, env wire.Envelope) bool {
+			return ts.TrySend(to, wire.NewFrame(env))
+		}
+	}
+	s.acks = ackq.NewSharded(
+		func(to wire.ProcessID, env wire.Envelope) error {
+			return s.ep.Send(to, wire.NewFrame(env))
+		},
+		try,
+		func(wire.ProcessID, error) { s.ackFails.Add(1) },
+	)
 	return s, nil
 }
 
-// Start launches the server loop and the ack sender.
+// Start launches the server loop; the per-client ack lanes spin up
+// lazily on first ack.
 func (s *Server) Start() {
-	s.wg.Add(2)
+	s.wg.Add(1)
 	go s.loop()
-	go s.ackLoop()
 }
 
-// Stop terminates the server loop.
+// Stop terminates the server loop and the ack lanes.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { close(s.stopc) })
 	s.wg.Wait()
+	s.acks.Stop()
 }
+
+// AckSendFailures returns the number of client acks dropped because the
+// transport send failed; a happy-path cluster reads 0.
+func (s *Server) AckSendFailures() uint64 { return s.ackFails.Load() }
 
 // successor returns the ring successor.
 func (s *Server) successor() wire.ProcessID {
@@ -236,16 +251,7 @@ func (s *Server) ackClient(op wire.Envelope) {
 		ack.Kind = wire.KindReadAck
 		ack.Value = s.objects[op.Object]
 	}
-	s.acks.Enqueue(ackItem{to: ref.client, env: ack})
-}
-
-// ackLoop drains queued acknowledgments onto the client network, off the
-// sequencing loop.
-func (s *Server) ackLoop() {
-	defer s.wg.Done()
-	s.acks.Drain(s.stopc, func(a ackItem) {
-		_ = s.ep.Send(a.to, wire.NewFrame(a.env))
-	})
+	s.acks.Enqueue(ref.client, ack)
 }
 
 // Client issues operations against the TOB storage. It is safe for

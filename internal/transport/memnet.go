@@ -189,6 +189,7 @@ var (
 	_ LaneSender = (*MemEndpoint)(nil)
 	_ Handshaker = (*MemEndpoint)(nil)
 	_ PeerCapser = (*MemEndpoint)(nil)
+	_ TrySender  = (*MemEndpoint)(nil)
 )
 
 // SetDemux implements Demuxer: subsequent deliveries to this endpoint go
@@ -299,6 +300,50 @@ func (e *MemEndpoint) sendOne(to wire.ProcessID, lane int, dst *MemEndpoint, f w
 		return fmt.Errorf("%w: %d", ErrPeerDown, to)
 	case <-e.down:
 		return ErrClosed
+	}
+}
+
+// TrySend implements TrySender: the frame travels the general link only
+// if it can be accepted without blocking — a non-blocking push onto the
+// per-link queue in batching mode, or straight into the destination
+// inbox in direct mode. False (unknown peer, incompatible session, full
+// channel, a train the peer cannot decode) commits to nothing; the
+// caller falls back to Send on another goroutine.
+func (e *MemEndpoint) TrySend(to wire.ProcessID, f wire.Frame) bool {
+	select {
+	case <-e.down:
+		return false
+	default:
+	}
+	dst := e.net.lookup(to)
+	if dst == nil {
+		return false
+	}
+	if e.checkSession(to, dst) != nil {
+		return false
+	}
+	if f.EnvelopeCount() > 2 && !e.trainsWith(dst) {
+		return false // needs the legacy split; take the blocking path
+	}
+	if e.outqs != nil {
+		select {
+		case e.queueFor(to, laneGeneral) <- f:
+			return true
+		default:
+			return false
+		}
+	}
+	inb := Inbound{From: e.id, Frame: f, LinkLane: laneGeneral + 1}
+	ch := dst.inboxFor(&inb)
+	if ch == nil {
+		inb.Frame.Retire() // routed to RouteDrop: discarded by design
+		return true
+	}
+	select {
+	case ch <- inb:
+		return true
+	default:
+		return false
 	}
 }
 

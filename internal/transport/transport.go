@@ -127,6 +127,21 @@ type LaneSender interface {
 	SendLane(to wire.ProcessID, lane int, f wire.Frame) error
 }
 
+// TrySender is implemented by endpoints that can attempt a send which
+// provably cannot block: TrySend returns true only when the frame was
+// accepted without waiting — a non-blocking push onto an existing
+// link's queue or the destination's inbox. It never dials, never waits
+// for buffer space, and never blocks on a slow peer. False means "not
+// deliverable without blocking" (full queue, no established link,
+// incompatible session) and commits to nothing: the caller falls back
+// to a path that may block, typically a per-destination queue drained
+// off the hot goroutine. A true result gives the same delivery
+// guarantee as a nil-returning Send — accepted frames can still be
+// lost if the peer dies afterwards, exactly like Send.
+type TrySender interface {
+	TrySend(to wire.ProcessID, f wire.Frame) bool
+}
+
 // Handshaker is implemented by session endpoints that can eagerly open
 // and validate the session to a peer instead of waiting for the first
 // Send. A *wire.HandshakeError (via errors.As) means the peer is
