@@ -16,7 +16,20 @@ import (
 type Client struct {
 	cl *client.Client
 	ep transport.Endpoint
+	// pinned is the ring member this client is pinned to: the
+	// WithPinnedServer choice, or — for Dial — the member whose session
+	// handshake validated the connection. Zero for round-robin memnet
+	// clients, which contact no server until the first operation.
+	pinned ServerID
 }
+
+// PinnedServer reports which ring member this client is pinned to:
+// the WithPinnedServer option when one was given, otherwise (for Dial)
+// the member whose session handshake the dial validated. It returns 0
+// for an unpinned in-process client, which has no preferred member.
+// Bench harnesses record this as placement provenance next to their
+// measurements, the way the grid records GOMAXPROCS.
+func (c *Client) PinnedServer() ServerID { return c.pinned }
 
 // Write stores value in the given register, returning the version it
 // was ordered at. It returns once every available server stores the

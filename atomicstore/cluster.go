@@ -35,10 +35,32 @@ func (c config) clientOptions(members []ServerID) client.Options {
 		MaxAttempts:    c.maxAttempts,
 	}
 	if c.pinned != 0 {
-		opts.Servers = []ServerID{c.pinned}
 		opts.Policy = client.PolicyPinned
+		// Rotate the membership so the pinned server is contacted first
+		// but timeouts still fail over to the rest of the ring, as the
+		// option has always documented. A pin outside the membership
+		// (driving a lone server directly) keeps the strict single-entry
+		// list.
+		rotated := rotateToFront(members, c.pinned)
+		if rotated == nil {
+			rotated = []ServerID{c.pinned}
+		}
+		opts.Servers = rotated
 	}
 	return opts
+}
+
+// rotateToFront returns members rotated so id leads, or nil when id is
+// not a member.
+func rotateToFront(members []ServerID, id ServerID) []ServerID {
+	for i, m := range members {
+		if m == id {
+			out := make([]ServerID, 0, len(members))
+			out = append(out, members[i:]...)
+			return append(out, members[:i]...)
+		}
+	}
+	return nil
 }
 
 // clientHello is the session HELLO a client asserts: lane-unaware
@@ -138,7 +160,7 @@ func (c *Cluster) Client(opts ...Option) (*Client, error) {
 		_ = ep.Close()
 		return nil, err
 	}
-	return &Client{cl: cl, ep: ep}, nil
+	return &Client{cl: cl, ep: ep, pinned: cfg.pinned}, nil
 }
 
 // Crash kills one server abruptly: its endpoint stops delivering and

@@ -1,0 +1,474 @@
+package atomicstore_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/atomicstore"
+	"repro/internal/checker"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestParseFederation(t *testing.T) {
+	rings, err := atomicstore.ParseFederation("1=a:1,2=b:2;3=c:3,4=d:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rings) != 2 || len(rings[0]) != 2 || len(rings[1]) != 2 {
+		t.Fatalf("parsed shape %v", rings)
+	}
+	if rings[1][0].ID != 3 || rings[1][0].Addr != "c:3" {
+		t.Fatalf("ring 1 = %v", rings[1])
+	}
+	// Ids may repeat across rings (independent session domains) but not
+	// within one.
+	if _, err := atomicstore.ParseFederation("1=a:1;1=b:2"); err != nil {
+		t.Fatalf("cross-ring id reuse must parse: %v", err)
+	}
+	if _, err := atomicstore.ParseFederation("1=a:1,1=b:2"); err == nil {
+		t.Fatal("within-ring duplicate id must be rejected")
+	}
+	if _, err := atomicstore.ParseFederation(""); err == nil {
+		t.Fatal("empty spec must be rejected")
+	}
+	if _, err := atomicstore.ParseFederation(";;"); err == nil {
+		t.Fatal("spec naming no rings must be rejected")
+	}
+}
+
+// TestFederationRoundTrip: every object is served by exactly the ring
+// placement assigns it, through any federated client.
+func TestFederationRoundTrip(t *testing.T) {
+	f, err := atomicstore.StartFederation(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	ctx := ctxT(t)
+
+	fc, err := f.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = fc.Close() }()
+
+	const objects = 16
+	vers := make([]atomicstore.Version, objects)
+	for obj := 0; obj < objects; obj++ {
+		v, err := fc.Write(ctx, atomicstore.ObjectID(obj), []byte(fmt.Sprintf("obj-%d", obj)))
+		if err != nil {
+			t.Fatalf("write %d: %v", obj, err)
+		}
+		vers[obj] = v
+	}
+	// A second federated client routes identically and reads everything
+	// back at the written versions.
+	fc2, err := f.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = fc2.Close() }()
+	ringsSeen := map[int]int{}
+	for obj := 0; obj < objects; obj++ {
+		if r1, r2 := fc.RingOf(atomicstore.ObjectID(obj)), fc2.RingOf(atomicstore.ObjectID(obj)); r1 != r2 {
+			t.Fatalf("clients disagree on ring of object %d: %d vs %d", obj, r1, r2)
+		}
+		ringsSeen[fc.RingOf(atomicstore.ObjectID(obj))]++
+		v, ver, err := fc2.Read(ctx, atomicstore.ObjectID(obj))
+		if err != nil {
+			t.Fatalf("read %d: %v", obj, err)
+		}
+		if string(v) != fmt.Sprintf("obj-%d", obj) || ver != vers[obj] {
+			t.Fatalf("object %d reads %q at %s, want obj-%d at %s", obj, v, ver, obj, vers[obj])
+		}
+	}
+	if len(ringsSeen) != 2 {
+		t.Fatalf("16 objects landed on %d of 2 rings (%v)", len(ringsSeen), ringsSeen)
+	}
+	// Placement is real: the owning ring serves the object, and only
+	// the owning ring knows it (the other ring's registers are empty).
+	for obj := 0; obj < objects; obj++ {
+		owner := fc.RingOf(atomicstore.ObjectID(obj))
+		for r := 0; r < f.Rings(); r++ {
+			cl, err := f.Ring(r).Client()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, ver, err := cl.Read(ctx, atomicstore.ObjectID(obj))
+			_ = cl.Close()
+			if err != nil {
+				t.Fatalf("ring %d read %d: %v", r, obj, err)
+			}
+			if r == owner && string(v) != fmt.Sprintf("obj-%d", obj) {
+				t.Fatalf("owning ring %d serves %q for object %d", r, v, obj)
+			}
+			if r != owner && !ver.IsZero() {
+				t.Fatalf("non-owning ring %d holds object %d at %s", r, obj, ver)
+			}
+		}
+	}
+}
+
+// TestFederationKVAndPins: the key-value view composes over the
+// federation, and the client reports its per-ring pins.
+func TestFederationKVAndPins(t *testing.T) {
+	f, err := atomicstore.StartFederation(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	ctx := ctxT(t)
+
+	fc, err := f.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = fc.Close() }()
+	pins := fc.RingPins()
+	if len(pins) != 2 || pins[0] == 0 || pins[1] == 0 {
+		t.Fatalf("RingPins = %v, want one nonzero pin per ring", pins)
+	}
+	// Successive clients spread their pins over the ring members.
+	fc2, err := f.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = fc2.Close() }()
+	if pins2 := fc2.RingPins(); pins2[0] == pins[0] {
+		t.Fatalf("two clients pinned the same member %v / %v", pins, pins2)
+	}
+
+	kv, err := fc.KV(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("user:%d", i)
+		if _, err := kv.Put(ctx, key, []byte("v-"+key)); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("user:%d", i)
+		v, err := kv.Get(ctx, key)
+		if err != nil || string(v) != "v-"+key {
+			t.Fatalf("get %s: %q, %v", key, v, err)
+		}
+	}
+}
+
+// TestPinnedClientFailsOver: WithPinnedServer contacts its pin first
+// but fails over to the rest of the ring on timeout, as documented —
+// the pin is a preference, not a single point of failure.
+func TestPinnedClientFailsOver(t *testing.T) {
+	c, err := atomicstore.StartCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx := ctxT(t)
+	cl, err := c.Client(
+		atomicstore.WithPinnedServer(2),
+		atomicstore.WithAttemptTimeout(300*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	if got := cl.PinnedServer(); got != 2 {
+		t.Fatalf("PinnedServer = %d, want 2", got)
+	}
+	if _, err := cl.Write(ctx, 1, []byte("before")); err != nil {
+		t.Fatalf("write before crash: %v", err)
+	}
+	c.Crash(2)
+	if _, err := cl.Write(ctx, 1, []byte("after")); err != nil {
+		t.Fatalf("pinned client did not fail over after crash: %v", err)
+	}
+	v, _, err := cl.Read(ctx, 1)
+	if err != nil || string(v) != "after" {
+		t.Fatalf("read after failover: %q, %v", v, err)
+	}
+}
+
+// TestFederationCrashStormPerObjectLinearizability is the federation
+// fault test the issue asks for: mixed load over a 2-ring federation
+// while a server of ring 0 crashes mid-write. Every object's history
+// must stay atomic (checked per object — the paper's guarantee
+// composes per register), and the crash must stay confined: ring 1's
+// clients keep completing operations while ring 0 recovers.
+func TestFederationCrashStormPerObjectLinearizability(t *testing.T) {
+	const (
+		ringsN  = 2
+		servers = 3
+		objects = 16
+	)
+	f, err := atomicstore.StartFederation(ringsN, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	ctx := ctxT(t)
+
+	type rec struct {
+		mu  sync.Mutex
+		ops []checker.Op
+	}
+	add := func(r *rec, op checker.Op) {
+		r.mu.Lock()
+		op.ID = len(r.ops)
+		r.ops = append(r.ops, op)
+		r.mu.Unlock()
+	}
+	recs := make([]rec, objects)
+	// completedAfterCrash[r] counts ring-r operations that finished
+	// after the ring-0 crash was injected.
+	var completedAfterCrash [ringsN]int64
+	var crashedAt int64 // unix nanos, 0 until the crash
+	var crashMu sync.Mutex
+
+	probe, err := f.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringOf := make([]int, objects)
+	for obj := range ringOf {
+		ringOf[obj] = probe.RingOf(atomicstore.ObjectID(obj))
+	}
+	_ = probe.Close()
+
+	var wg sync.WaitGroup
+	stopc := make(chan struct{})
+	for obj := 0; obj < objects; obj++ {
+		wfc, err := f.Client(atomicstore.WithAttemptTimeout(500 * time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = wfc.Close() }()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopc:
+					return
+				default:
+				}
+				v := fmt.Sprintf("o%d-%d", obj, i)
+				start := time.Now().UnixNano()
+				tg, attempts, err := wfc.WriteDetailed(ctx, atomicstore.ObjectID(obj), []byte(v))
+				end := time.Now().UnixNano()
+				if err != nil || attempts > 1 {
+					// Failed or retried writes may have taken effect as
+					// unacknowledged ghost writes; record as incomplete.
+					add(&recs[obj], checker.Op{Kind: checker.KindWrite, Value: v, Start: start, Incomplete: true})
+					if err != nil {
+						continue
+					}
+				}
+				add(&recs[obj], checker.Op{Kind: checker.KindWrite, Value: v, Start: start, End: end, Tag: tg})
+				crashMu.Lock()
+				if crashedAt != 0 && start > crashedAt {
+					completedAfterCrash[ringOf[obj]]++
+				}
+				crashMu.Unlock()
+			}
+		}()
+		rfc, err := f.Client(atomicstore.WithAttemptTimeout(500 * time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = rfc.Close() }()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopc:
+					return
+				default:
+				}
+				start := time.Now().UnixNano()
+				v, tg, err := rfc.Read(ctx, atomicstore.ObjectID(obj))
+				end := time.Now().UnixNano()
+				if err != nil {
+					continue
+				}
+				add(&recs[obj], checker.Op{Kind: checker.KindRead, Value: string(v), Start: start, End: end, Tag: tg})
+				crashMu.Lock()
+				if crashedAt != 0 && start > crashedAt {
+					completedAfterCrash[ringOf[obj]]++
+				}
+				crashMu.Unlock()
+			}
+		}()
+	}
+
+	time.Sleep(150 * time.Millisecond)
+	crashMu.Lock()
+	crashedAt = time.Now().UnixNano()
+	crashMu.Unlock()
+	f.Crash(0, 2) // mid-write on whatever ring-0 lanes are in flight
+	time.Sleep(300 * time.Millisecond)
+	close(stopc)
+	wg.Wait()
+
+	total := 0
+	for obj := 0; obj < objects; obj++ {
+		h := recs[obj].ops
+		total += len(h)
+		if err := checker.CheckTagged(h); err != nil {
+			t.Fatalf("object %d (ring %d) history not atomic after crash: %v", obj, ringOf[obj], err)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no operations recorded")
+	}
+	// Confinement: the untouched ring kept serving through the crash
+	// window (operations *started* after the crash completed), and the
+	// crashed ring recovered too.
+	if completedAfterCrash[1] == 0 {
+		t.Fatal("ring 1 stalled during ring 0's crash — control planes are not isolated")
+	}
+	// Every object must still be writable and readable federation-wide.
+	fc, err := f.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = fc.Close() }()
+	for obj := 0; obj < objects; obj++ {
+		want := fmt.Sprintf("final-%d", obj)
+		if _, err := fc.Write(ctx, atomicstore.ObjectID(obj), []byte(want)); err != nil {
+			t.Fatalf("final write to object %d (ring %d): %v", obj, ringOf[obj], err)
+		}
+		got, _, err := fc.Read(ctx, atomicstore.ObjectID(obj))
+		if err != nil || string(got) != want {
+			t.Fatalf("object %d holds %q (%v), want %q", obj, got, err, want)
+		}
+	}
+}
+
+// TestDialFederationTCP: DialFederation against two real TCP rings —
+// eager per-ring validation, per-ring pins, and routed round trips.
+func TestDialFederationTCP(t *testing.T) {
+	ctx := ctxT(t)
+	var rings [][]atomicstore.Member
+	for r := 0; r < 2; r++ {
+		ring := reserveRing(t, 2)
+		for _, m := range ring {
+			srv, err := atomicstore.Join(m.ID, ring)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = srv.Close() }()
+		}
+		rings = append(rings, ring)
+	}
+	fc, err := atomicstore.DialFederation(rings, atomicstore.WithAttemptTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = fc.Close() }()
+	pins := fc.RingPins()
+	if len(pins) != 2 || pins[0] == 0 || pins[1] == 0 {
+		t.Fatalf("RingPins = %v, want one nonzero pin per ring", pins)
+	}
+	for obj := 0; obj < 8; obj++ {
+		want := fmt.Sprintf("tcp-%d", obj)
+		if _, err := fc.Write(ctx, atomicstore.ObjectID(obj), []byte(want)); err != nil {
+			t.Fatalf("write %d: %v", obj, err)
+		}
+		v, _, err := fc.Read(ctx, atomicstore.ObjectID(obj))
+		if err != nil || string(v) != want {
+			t.Fatalf("read %d: %q, %v", obj, v, err)
+		}
+	}
+}
+
+// TestMixedMemnetTCPFederation: a federated client over one in-process
+// ring and one TCP ring — NewFederatedClient accepts any transport mix,
+// since routing is entirely client-side.
+func TestMixedMemnetTCPFederation(t *testing.T) {
+	ctx := ctxT(t)
+	// Ring 0: in-process.
+	mem, err := atomicstore.StartCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mem.Close() }()
+	cl0, err := mem.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring 1: real TCP.
+	ring := reserveRing(t, 2)
+	for _, m := range ring {
+		srv, err := atomicstore.Join(m.ID, ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = srv.Close() }()
+	}
+	cl1, err := atomicstore.Dial(ring, atomicstore.WithAttemptTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl1.PinnedServer() == 0 {
+		t.Fatal("Dial did not report the member it validated")
+	}
+
+	fc, err := atomicstore.NewFederatedClient([]*atomicstore.Client{cl0, cl1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = fc.Close() }()
+
+	const objects = 12
+	for obj := 0; obj < objects; obj++ {
+		if _, err := fc.Write(ctx, atomicstore.ObjectID(obj), []byte(fmt.Sprintf("mix-%d", obj))); err != nil {
+			t.Fatalf("write %d: %v", obj, err)
+		}
+	}
+	// Each object is visible through an independent client of its
+	// owning ring — memnet objects via a fresh cluster client, TCP
+	// objects via a fresh dial.
+	memCl, err := mem.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = memCl.Close() }()
+	tcpCl, err := atomicstore.Dial(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tcpCl.Close() }()
+	seen := map[int]int{}
+	for obj := 0; obj < objects; obj++ {
+		owner := fc.RingOf(atomicstore.ObjectID(obj))
+		seen[owner]++
+		var via *atomicstore.Client
+		if owner == 0 {
+			via = memCl
+		} else {
+			via = tcpCl
+		}
+		v, _, err := via.Read(ctx, atomicstore.ObjectID(obj))
+		if err != nil {
+			t.Fatalf("read %d via ring %d: %v", obj, owner, err)
+		}
+		if string(v) != fmt.Sprintf("mix-%d", obj) {
+			t.Fatalf("object %d via ring %d reads %q", obj, owner, v)
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("objects landed on %d of 2 rings (%v)", len(seen), seen)
+	}
+}

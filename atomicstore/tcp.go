@@ -178,22 +178,26 @@ func Dial(ring []Member, opts ...Option) (*Client, error) {
 	}
 	ep := tcpnet.NewClient(id, book, cfg.tcpOptions(clientHello(id, members)))
 	// Probe the server(s) this client will actually talk to: the pinned
-	// server when one is configured, otherwise any member.
+	// server when one is configured, otherwise any member. The member
+	// whose handshake validates becomes the client's reported pin
+	// (PinnedServer), so callers and bench CSVs can record placement.
 	probe := members
 	if cfg.pinned != 0 {
 		probe = []ServerID{cfg.pinned}
 	}
+	var pinned ServerID
 	var lastErr error
-	for _, id := range probe {
-		err := ep.Handshake(id)
+	for _, sid := range probe {
+		err := ep.Handshake(sid)
 		if err == nil {
+			pinned = sid
 			lastErr = nil
 			break
 		}
 		var herr *wire.HandshakeError
 		if errors.As(err, &herr) {
 			_ = ep.Close()
-			return nil, fmt.Errorf("atomicstore: dial server %d: %w", id, err)
+			return nil, fmt.Errorf("atomicstore: dial server %d: %w", sid, err)
 		}
 		lastErr = err
 	}
@@ -206,5 +210,5 @@ func Dial(ring []Member, opts ...Option) (*Client, error) {
 		_ = ep.Close()
 		return nil, err
 	}
-	return &Client{cl: cl, ep: ep}, nil
+	return &Client{cl: cl, ep: ep, pinned: pinned}, nil
 }

@@ -324,6 +324,12 @@ func BenchmarkWireEncode(b *testing.B) { bench.WireEncodeLoop(b) }
 // request/ack path of the TCP transport — at 0 allocs/op.
 func BenchmarkWireEncodeDecodePooled(b *testing.B) { bench.WireRoundTripLoop(b) }
 
+// BenchmarkFederationRoute measures the federated client's per-
+// operation routing decision (placement.RingOf) at 0 allocs/op. The
+// loop lives in internal/bench so BENCH_hotpath.json measures the
+// identical thing.
+func BenchmarkFederationRoute(b *testing.B) { bench.RouteLoop(b) }
+
 // BenchmarkPendingSet measures the sorted pending set's steady-state
 // add/prune cycle — the per-committed-envelope churn of a saturated
 // lane — at several backlog depths, at 0 allocs/op (the old map pair

@@ -44,7 +44,7 @@ func run() error {
 		hotpathOut = flag.String("hotpath-out", "BENCH_hotpath.json", "where -hotpath writes its report")
 		echoMsgs   = flag.Int("hotpath-echo-msgs", 60000, "messages per TCP echo measurement")
 		moWindow   = flag.Duration("hotpath-window", time.Second, "measurement window per multi-object data point")
-		strict     = flag.Bool("hotpath-strict", false, "exit non-zero if a hot path allocates (codec encode/round trip, pending-set add/prune, the read fast path, or the ack enqueue/fast path > 0 allocs/op)")
+		strict     = flag.Bool("hotpath-strict", false, "exit non-zero if a hot path allocates (codec encode/round trip, pending-set add/prune, the read fast path, the ack enqueue/fast path, or the federation routing decision > 0 allocs/op)")
 		gridFile   = flag.String("grid", "", "run the experiment grid declared in this JSON file (see experiments.json)")
 		gridOut    = flag.String("grid-out", "paper_runs/latest", "output directory for -grid CSVs and summaries")
 		gridSmoke  = flag.Bool("grid-smoke", false, "scale the grid down to a seconds-long smoke configuration (1 repeat, short windows, capped fleets)")
@@ -147,6 +147,13 @@ func runHotpath(out string, echoMsgs int, window time.Duration, strict bool) err
 			row.Mode, row.OfferedPerSec, row.SentPerSec, row.CompletedPerSec,
 			row.P50Us, row.P95Us, row.P99Us)
 	}
+	for _, row := range rep.Federation.Rows {
+		fmt.Printf("federation:    R=%d (%dx%d servers) sent %6.0f/s done %6.0f/s  imbalance %.2f%%  p99 %.1fms\n",
+			row.Rings, row.Rings, row.ServersPerRing,
+			row.SentPerSec, row.CompletedPerSec, row.ImbalancePct, row.P99Ms)
+	}
+	fmt.Printf("               routing decision %.1f ns/op (%d allocs)\n",
+		rep.Federation.RouteNsPerOp, rep.Federation.RouteAllocsPerOp)
 	if err := rep.WriteJSON(out); err != nil {
 		return err
 	}
@@ -167,6 +174,10 @@ func runHotpath(out string, echoMsgs int, window time.Duration, strict bool) err
 		if rep.AckPath.EnqueueFastAllocsPerOp != 0 || rep.AckPath.EnqueueQueuedAllocsPerOp != 0 {
 			return fmt.Errorf("ack enqueue allocates: fast path %d allocs/op, queued path %d allocs/op (want 0)",
 				rep.AckPath.EnqueueFastAllocsPerOp, rep.AckPath.EnqueueQueuedAllocsPerOp)
+		}
+		if rep.Federation.RouteAllocsPerOp != 0 {
+			return fmt.Errorf("federation routing decision allocates: %d allocs/op (want 0)",
+				rep.Federation.RouteAllocsPerOp)
 		}
 	}
 	return nil

@@ -10,6 +10,13 @@
 //	atomicstore-server -id 1 -servers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
 //	atomicstore-server -id 2 -servers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
 //	atomicstore-server -id 3 -servers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
+//
+// In a federation, every server runs with the full federation map and
+// joins only its own ring (";" separates rings, in ring order; servers
+// of other rings are never contacted — rings share nothing):
+//
+//	atomicstore-server -federation 1=h:7001,2=h:7002;1=h:7003,2=h:7004 -ring-id 0 -id 1
+//	atomicstore-server -federation 1=h:7001,2=h:7002;1=h:7003,2=h:7004 -ring-id 1 -id 2
 package main
 
 import (
@@ -35,8 +42,10 @@ func main() {
 
 func run() error {
 	var (
-		id          = flag.Uint("id", 0, "this server's process id (must appear in -servers)")
+		id          = flag.Uint("id", 0, "this server's process id (must appear in -servers, or in ring -ring-id of -federation)")
 		serversFlag = flag.String("servers", "", "comma-separated id=host:port ring membership, in ring order")
+		fedFlag     = flag.String("federation", "", "full federation map, rings separated by \";\" (each ring in -servers notation); mutually exclusive with -servers")
+		ringID      = flag.Int("ring-id", 0, "which ring of -federation this server joins (0-based)")
 		verbose     = flag.Bool("v", false, "verbose logging")
 		noPiggy     = flag.Bool("no-piggyback", false, "disable write/pre-write piggybacking (ablation)")
 		noElide     = flag.Bool("no-elision", false, "ship full values in write-phase messages (ablation)")
@@ -48,9 +57,27 @@ func run() error {
 	)
 	flag.Parse()
 
-	ring, err := atomicstore.ParseRing(*serversFlag)
-	if err != nil {
-		return err
+	var ring []atomicstore.Member
+	switch {
+	case *fedFlag != "" && *serversFlag != "":
+		return fmt.Errorf("use either -servers or -federation, not both")
+	case *fedFlag != "":
+		rings, err := atomicstore.ParseFederation(*fedFlag)
+		if err != nil {
+			return err
+		}
+		if *ringID < 0 || *ringID >= len(rings) {
+			return fmt.Errorf("-ring-id %d out of range: federation has %d rings", *ringID, len(rings))
+		}
+		ring = rings[*ringID]
+	default:
+		if *ringID != 0 {
+			return fmt.Errorf("-ring-id needs -federation")
+		}
+		var err error
+		if ring, err = atomicstore.ParseRing(*serversFlag); err != nil {
+			return err
+		}
 	}
 	self := atomicstore.ServerID(*id)
 
@@ -87,7 +114,11 @@ func run() error {
 	}
 	defer func() { _ = srv.Close() }()
 	logger.Info("serving", "id", self, "addr", srv.Addr(), "ring", ring)
-	fmt.Printf("atomicstore-server %d listening on %s\n", self, srv.Addr())
+	if *fedFlag != "" {
+		fmt.Printf("atomicstore-server %d (federation ring %d) listening on %s\n", self, *ringID, srv.Addr())
+	} else {
+		fmt.Printf("atomicstore-server %d listening on %s\n", self, srv.Addr())
+	}
 
 	// Validate the session with the ring successor in the background:
 	// a handshake rejection means the cluster is misconfigured (wrong

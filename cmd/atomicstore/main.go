@@ -6,6 +6,12 @@
 //	atomicstore -servers 1=127.0.0.1:7001,... write -object 0 -value hello
 //	atomicstore -servers 1=127.0.0.1:7001,... read  -object 0
 //	atomicstore -servers 1=127.0.0.1:7001,... load  -readers 4 -writers 2 -duration 5s
+//
+// Against a federation, pass the full federation map instead (";"
+// separates rings); every operation is routed client-side to the ring
+// owning its object:
+//
+//	atomicstore -federation 1=h:7001,2=h:7002;1=h:7003,2=h:7004 read -object 0
 package main
 
 import (
@@ -26,9 +32,19 @@ func main() {
 	}
 }
 
+// storeClient is the operation surface the subcommands need; both the
+// single-ring *atomicstore.Client and the *atomicstore.FederatedClient
+// satisfy it (and, through the same methods, workload.Storage).
+type storeClient interface {
+	Write(ctx context.Context, object atomicstore.ObjectID, value []byte) (atomicstore.Version, error)
+	Read(ctx context.Context, object atomicstore.ObjectID) ([]byte, atomicstore.Version, error)
+	Close() error
+}
+
 func run() error {
 	var (
 		serversFlag = flag.String("servers", "", "comma-separated id=host:port list")
+		fedFlag     = flag.String("federation", "", "full federation map, rings separated by \";\" (each ring in -servers notation); mutually exclusive with -servers")
 		clientID    = flag.Uint("client-id", 0, "this client's process id (0 = random; ids must be unique across clients)")
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-attempt timeout")
 	)
@@ -37,17 +53,34 @@ func run() error {
 		return fmt.Errorf("missing subcommand: write | read | load")
 	}
 
-	ring, err := atomicstore.ParseRing(*serversFlag)
-	if err != nil {
-		return err
-	}
 	opts := []atomicstore.Option{atomicstore.WithAttemptTimeout(*timeout)}
 	if *clientID != 0 {
 		opts = append(opts, atomicstore.WithClientID(atomicstore.ServerID(*clientID)))
 	}
-	cl, err := atomicstore.Dial(ring, opts...)
-	if err != nil {
-		return err
+	var cl storeClient
+	switch {
+	case *fedFlag != "" && *serversFlag != "":
+		return fmt.Errorf("use either -servers or -federation, not both")
+	case *fedFlag != "":
+		rings, err := atomicstore.ParseFederation(*fedFlag)
+		if err != nil {
+			return err
+		}
+		fc, err := atomicstore.DialFederation(rings, opts...)
+		if err != nil {
+			return err
+		}
+		cl = fc
+	default:
+		ring, err := atomicstore.ParseRing(*serversFlag)
+		if err != nil {
+			return err
+		}
+		scl, err := atomicstore.Dial(ring, opts...)
+		if err != nil {
+			return err
+		}
+		cl = scl
 	}
 	defer func() { _ = cl.Close() }()
 
@@ -65,7 +98,7 @@ func run() error {
 }
 
 // doWrite performs one write.
-func doWrite(ctx context.Context, cl *atomicstore.Client, args []string) error {
+func doWrite(ctx context.Context, cl storeClient, args []string) error {
 	fs := flag.NewFlagSet("write", flag.ContinueOnError)
 	object := fs.Uint("object", 0, "register object id")
 	value := fs.String("value", "", "value to store")
@@ -81,7 +114,7 @@ func doWrite(ctx context.Context, cl *atomicstore.Client, args []string) error {
 }
 
 // doRead performs one read.
-func doRead(ctx context.Context, cl *atomicstore.Client, args []string) error {
+func doRead(ctx context.Context, cl storeClient, args []string) error {
 	fs := flag.NewFlagSet("read", flag.ContinueOnError)
 	object := fs.Uint("object", 0, "register object id")
 	if err := fs.Parse(args); err != nil {
@@ -96,7 +129,7 @@ func doRead(ctx context.Context, cl *atomicstore.Client, args []string) error {
 }
 
 // doLoad generates closed-loop load and reports throughput and latency.
-func doLoad(ctx context.Context, cl *atomicstore.Client, args []string) error {
+func doLoad(ctx context.Context, cl storeClient, args []string) error {
 	fs := flag.NewFlagSet("load", flag.ContinueOnError)
 	var (
 		readers  = fs.Int("readers", 2, "reader goroutine groups")

@@ -1,7 +1,10 @@
 // kvstore: the paper's motivating construction — many atomic registers
-// multiplexed over one server ring, composed into a sharded key-value
-// store. Concurrent clients update disjoint keys while readers observe
-// every acknowledged update.
+// multiplexed over server rings, composed into a sharded key-value
+// store. This example runs it over a two-ring federation: keys hash to
+// register shards, registers hash to rings (client-side, via the
+// placement tier), and concurrent clients update disjoint keys while
+// readers observe every acknowledged update — the per-key guarantee is
+// unchanged because every register lives on exactly one ring.
 package main
 
 import (
@@ -21,16 +24,17 @@ func main() {
 }
 
 func run() error {
-	cluster, err := atomicstore.StartCluster(4)
+	// Two rings of two servers each, every ring its own control plane.
+	fed, err := atomicstore.StartFederation(2, 2)
 	if err != nil {
 		return err
 	}
-	defer func() { _ = cluster.Close() }()
+	defer func() { _ = fed.Close() }()
 
 	// 64 register shards spread keys across objects; each worker gets
-	// its own client (and thus its own process id on the network).
-	newKV := func() (*atomicstore.KV, *atomicstore.Client, error) {
-		cl, err := cluster.Client(atomicstore.WithAttemptTimeout(5 * time.Second))
+	// its own federated client (one pinned client per ring).
+	newKV := func() (*atomicstore.KV, *atomicstore.FederatedClient, error) {
+		cl, err := fed.Client(atomicstore.WithAttemptTimeout(5 * time.Second))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -93,13 +97,15 @@ func run() error {
 		}
 	}
 
-	// A fresh reader sees everything.
+	// A fresh reader sees everything, whichever ring each register
+	// landed on.
 	kv, cl, err := newKV()
 	if err != nil {
 		return err
 	}
 	defer func() { _ = cl.Close() }()
 	total := 0
+	perRing := make([]int, fed.Rings())
 	for _, key := range allKeys {
 		v, err := kv.Get(ctx, key)
 		if err != nil {
@@ -108,10 +114,11 @@ func run() error {
 		if string(v) != "profile-"+key {
 			return fmt.Errorf("key %s holds %q", key, v)
 		}
+		perRing[cl.RingOf(kv.ObjectOf(key))]++
 		total++
 	}
-	fmt.Printf("stored and verified %d keys across %d register shards on %d servers\n",
-		total, kv.Objects(), len(cluster.Members()))
+	fmt.Printf("stored and verified %d keys across %d register shards on %d rings (keys per ring: %v)\n",
+		total, kv.Objects(), fed.Rings(), perRing)
 
 	// Deletes work too.
 	if err := kv.Delete(ctx, allKeys[0]); err != nil {

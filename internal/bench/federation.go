@@ -1,0 +1,488 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// FederationLoadConfig describes one open-loop fleet run against a
+// multi-ring federation on the in-memory transport: Rings independent
+// ring clusters (each its own MemNetwork — shared-nothing, like the
+// facade), with every fleet client holding one endpoint per ring and
+// routing each operation by placement.RingOf. It is the federation
+// analogue of OpenLoopConfig and inherits its open-loop semantics:
+// operations are offered on a fixed absolute schedule and latency is
+// measured from the scheduled send time, so coordinated omission
+// cannot hide a ring that falls behind.
+type FederationLoadConfig struct {
+	// Rings is the ring count R; ServersPerRing sizes each ring, so the
+	// scaling grid holds Rings*ServersPerRing constant while varying R.
+	Rings          int
+	ServersPerRing int
+	// Objects is the register space routed over the rings. Larger is
+	// smoother: jump-hash slices of 2048 objects put every ring within
+	// ~2% of its fair share up to R=4.
+	Objects int
+	Clients int
+	// OfferedPerSec is the aggregate arrival rate over the whole
+	// federation, spread evenly over the fleet.
+	OfferedPerSec float64
+	ReadFraction  float64
+	ValueBytes    int
+	Duration      time.Duration
+}
+
+// FederationLoadResult is one federated fleet run's measurement.
+type FederationLoadResult struct {
+	Sent, Completed uint64
+	Elapsed         time.Duration
+	SentPerSec      float64
+	// CompletedPerSec is the aggregate goodput over all rings — the
+	// scaling headline.
+	CompletedPerSec float64
+	Latency         stats.Summary
+	// PerRingCompleted splits the goodput by ring; ImbalancePct is the
+	// worst ring's relative deviation from the mean,
+	// max_r |done_r - mean| / mean, in percent. The acceptance bar for
+	// the placement tier is <= 10%.
+	PerRingCompleted []uint64
+	ImbalancePct     float64
+	// Pins records the first fleet client's per-ring targets (client i
+	// pins ring r to member (i+r) mod ServersPerRing, so successive
+	// clients rotate over every member) — placement provenance for the
+	// grid CSV, the federation analogue of Client.PinnedServer.
+	Pins []wire.ProcessID
+}
+
+func (cfg *FederationLoadConfig) normalize() error {
+	if cfg.Rings <= 0 {
+		cfg.Rings = 1
+	}
+	if cfg.ServersPerRing <= 0 {
+		cfg.ServersPerRing = 3
+	}
+	if cfg.Objects <= 0 {
+		cfg.Objects = 2048
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 600
+	}
+	if cfg.ReadFraction <= 0 {
+		cfg.ReadFraction = 0.9
+	}
+	if cfg.ReadFraction > 1 {
+		cfg.ReadFraction = 1
+	}
+	if cfg.ValueBytes <= 0 {
+		cfg.ValueBytes = 128
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.OfferedPerSec <= 0 {
+		return fmt.Errorf("bench: federation load needs OfferedPerSec > 0")
+	}
+	return nil
+}
+
+// writeEvery mirrors OpenLoopConfig.writeEvery.
+func (cfg *FederationLoadConfig) writeEvery() int {
+	if cfg.ReadFraction >= 1 {
+		return 0
+	}
+	n := int(1/(1-cfg.ReadFraction) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// federationRing is one ring's world: its private network, servers,
+// and membership.
+type federationRing struct {
+	net     *transport.MemNetwork
+	members []wire.ProcessID
+	srvs    []*core.Server
+	seps    []*transport.MemEndpoint
+}
+
+// FederationLoad runs one federated fleet measurement: R shared-nothing
+// ring clusters, per-ring seeding of exactly the objects placement
+// routes there, and an open-loop fleet whose every client routes by
+// placement.RingOf — the same single source of truth the facade's
+// FederatedClient uses, so the measured routing is the shipped routing.
+func FederationLoad(cfg FederationLoadConfig) (FederationLoadResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return FederationLoadResult{}, err
+	}
+
+	rings := make([]*federationRing, 0, cfg.Rings)
+	serversStopped := false
+	stopServers := func() {
+		if serversStopped {
+			return
+		}
+		serversStopped = true
+		for _, fr := range rings {
+			for i, s := range fr.srvs {
+				s.Stop()
+				_ = fr.seps[i].Close()
+			}
+		}
+	}
+	defer stopServers()
+	for r := 0; r < cfg.Rings; r++ {
+		fr := &federationRing{net: transport.NewMemNetwork(transport.MemNetworkOptions{})}
+		for i := 1; i <= cfg.ServersPerRing; i++ {
+			fr.members = append(fr.members, wire.ProcessID(i))
+		}
+		for _, id := range fr.members {
+			scfg := core.Config{ID: id, Members: fr.members}
+			ep, err := fr.net.RegisterSession(scfg.SessionHello())
+			if err != nil {
+				return FederationLoadResult{}, err
+			}
+			srv, err := core.NewServer(scfg, ep)
+			if err != nil {
+				_ = ep.Close()
+				return FederationLoadResult{}, err
+			}
+			srv.Start()
+			fr.srvs = append(fr.srvs, srv)
+			fr.seps = append(fr.seps, ep)
+		}
+		rings = append(rings, fr)
+	}
+
+	// Seed each ring with exactly its slice of the object space, so the
+	// fleet's reads hit published snapshots from the first request and a
+	// routing bug would surface as a read of a never-written register.
+	for r, fr := range rings {
+		if err := seedRingSlice(fr, r, cfg); err != nil {
+			return FederationLoadResult{}, err
+		}
+	}
+
+	// Fleet endpoints: one per client per ring. The networks are
+	// disjoint, so the same fleet id registers in each.
+	eps := make([][]*transport.MemEndpoint, cfg.Clients) // [client][ring]
+	closeClients := func() {
+		for _, ringEps := range eps {
+			for _, ep := range ringEps {
+				if ep != nil {
+					_ = ep.Close()
+				}
+			}
+		}
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		eps[i] = make([]*transport.MemEndpoint, cfg.Rings)
+		for r, fr := range rings {
+			ep, err := fr.net.Register(wire.ProcessID(openLoopClientBase + i))
+			if err != nil {
+				closeClients()
+				return FederationLoadResult{}, err
+			}
+			eps[i][r] = ep
+		}
+	}
+	defer closeClients()
+
+	hist := &stats.Histogram{}
+	var sent, completed atomic.Uint64
+	perRing := make([]atomic.Uint64, cfg.Rings)
+	start := time.Now().Add(100 * time.Millisecond)
+	deadline := start.Add(cfg.Duration)
+	writeEvery := cfg.writeEvery()
+	value := make([]byte, cfg.ValueBytes)
+	period := time.Duration(float64(cfg.Clients) / cfg.OfferedPerSec * float64(time.Second))
+	if period <= 0 {
+		period = time.Nanosecond
+	}
+	maxOps := int(cfg.Duration/period) + 2
+
+	// Stagger each client's walk through the object space so the fleet
+	// covers all of it even in short windows: client i starts at
+	// i*stride and advances one object per op. With the PR-6 scheme
+	// (start at i) a 600-client fleet sending ~30 ops each would touch
+	// only the first ~650 ids of a 2048-object space, and the measured
+	// per-ring imbalance would reflect that coverage skew rather than
+	// the placement function.
+	objStride := (cfg.Objects + cfg.Clients - 1) / cfg.Clients
+	if objStride < 1 {
+		objStride = 1
+	}
+
+	recvStop := make(chan struct{})
+	var sendWG, recvWG sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		// Client i pins ring r to member (i+r) mod S: every server of
+		// every ring carries an equal share of the fleet, and the r
+		// offset keeps a client's per-ring pins from aligning on the
+		// same index the way the facade's Federation.Client spread does.
+		targets := make([]wire.ProcessID, cfg.Rings)
+		for r, fr := range rings {
+			targets[r] = fr.members[(i+r)%len(fr.members)]
+		}
+		// sched[k] is the scheduled send time of request k+1; each op is
+		// routed to exactly one ring, and the transport's channel pair
+		// orders the write before that ring's receiver reads it.
+		sched := make([]int64, maxOps)
+
+		for r := 0; r < cfg.Rings; r++ {
+			recvWG.Add(1)
+			go func(r int, ep *transport.MemEndpoint) {
+				defer recvWG.Done()
+				observe := func(in transport.Inbound) {
+					if k := in.Frame.Env.ReqID; k >= 1 && k <= uint64(len(sched)) {
+						hist.Observe(time.Since(time.Unix(0, sched[k-1])))
+						completed.Add(1)
+						perRing[r].Add(1)
+					}
+				}
+				for {
+					select {
+					case in := <-ep.Inbox():
+						observe(in)
+					case <-recvStop:
+						for {
+							select {
+							case in := <-ep.Inbox():
+								observe(in)
+							default:
+								return
+							}
+						}
+					}
+				}
+			}(r, eps[i][r])
+		}
+
+		sendWG.Add(1)
+		go func(i int) {
+			defer sendWG.Done()
+			offset := time.Duration(float64(i) / cfg.OfferedPerSec * float64(time.Second))
+			for k := 0; k < maxOps; k++ {
+				t := start.Add(offset + time.Duration(k)*period)
+				if t.After(deadline) {
+					return
+				}
+				time.Sleep(time.Until(t))
+				obj := wire.ObjectID((i*objStride + k) % cfg.Objects)
+				ring := placement.RingOf(obj, cfg.Rings)
+				env := wire.Envelope{
+					Kind:   wire.KindReadRequest,
+					Object: obj,
+					ReqID:  uint64(k + 1),
+				}
+				if writeEvery > 0 && k%writeEvery == writeEvery-1 {
+					env.Kind = wire.KindWriteRequest
+					env.Value = value
+				}
+				sched[k] = t.UnixNano()
+				if eps[i][ring].Send(targets[ring], wire.NewFrame(env)) != nil {
+					return
+				}
+				sent.Add(1)
+			}
+		}(i)
+	}
+
+	sendWG.Wait()
+	time.Sleep(200 * time.Millisecond)
+	stopServers()
+	close(recvStop)
+	recvWG.Wait()
+	elapsed := time.Since(start)
+
+	res := FederationLoadResult{
+		Sent:             sent.Load(),
+		Completed:        completed.Load(),
+		Elapsed:          elapsed,
+		Latency:          hist.Snapshot(),
+		PerRingCompleted: make([]uint64, cfg.Rings),
+		Pins:             make([]wire.ProcessID, cfg.Rings),
+	}
+	for r := range perRing {
+		res.PerRingCompleted[r] = perRing[r].Load()
+		res.Pins[r] = rings[r].members[r%len(rings[r].members)]
+	}
+	res.ImbalancePct = ringImbalancePct(res.PerRingCompleted)
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.SentPerSec = float64(res.Sent) / secs
+		res.CompletedPerSec = float64(res.Completed) / secs
+	}
+	return res, nil
+}
+
+// seedRingSlice writes one initial value to every object placement
+// assigns to ring r, round-robining the seed writes over the ring's
+// members.
+func seedRingSlice(fr *federationRing, r int, cfg FederationLoadConfig) error {
+	seed, err := fr.net.Register(openLoopClientBase - 1)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = seed.Close() }()
+	value := make([]byte, cfg.ValueBytes)
+	reqID := uint64(0)
+	for obj := 0; obj < cfg.Objects; obj++ {
+		if placement.RingOf(wire.ObjectID(obj), cfg.Rings) != r {
+			continue
+		}
+		reqID++
+		env := wire.Envelope{
+			Kind:   wire.KindWriteRequest,
+			Object: wire.ObjectID(obj),
+			ReqID:  reqID,
+			Value:  value,
+		}
+		if err := seed.Send(fr.members[obj%len(fr.members)], wire.NewFrame(env)); err != nil {
+			return fmt.Errorf("bench: seed ring %d object %d: %w", r, obj, err)
+		}
+		select {
+		case <-seed.Inbox():
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("bench: seed ring %d object %d never acknowledged", r, obj)
+		}
+	}
+	return nil
+}
+
+// ringImbalancePct returns max_r |done_r - mean| / mean in percent
+// (0 for a single ring or an idle federation).
+func ringImbalancePct(perRing []uint64) float64 {
+	if len(perRing) <= 1 {
+		return 0
+	}
+	total := uint64(0)
+	for _, d := range perRing {
+		total += d
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(perRing))
+	worst := 0.0
+	for _, d := range perRing {
+		dev := float64(d) - mean
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > worst {
+			worst = dev
+		}
+	}
+	return worst / mean * 100
+}
+
+// routeSink keeps RouteLoop's routing decisions observable so the
+// compiler cannot elide the loop under test.
+var routeSink int
+
+// RouteLoop is the body of BenchmarkFederationRoute: the client-side
+// per-operation routing decision (placement.RingOf over a 4-ring
+// federation, cycling the 2048-object bench space). This is on the
+// fleet's per-op path, so -hotpath-strict requires 0 allocs/op.
+func RouteLoop(b *testing.B) {
+	b.ReportAllocs()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += placement.RingOf(wire.ObjectID(i&2047), 4)
+	}
+	routeSink = sink
+}
+
+// FederationRow is one ring-count point of the federation scaling
+// comparison: R rings of TotalServers/R servers each, same fleet, same
+// offered rate.
+type FederationRow struct {
+	Rings           int     `json:"rings"`
+	ServersPerRing  int     `json:"servers_per_ring"`
+	SentPerSec      float64 `json:"sent_per_sec"`
+	CompletedPerSec float64 `json:"completed_per_sec"`
+	// ImbalancePct is the worst ring's deviation from the mean per-ring
+	// goodput (acceptance bar: <= 10%).
+	ImbalancePct float64 `json:"imbalance_pct"`
+	P99Ms        float64 `json:"p99_ms"`
+}
+
+// FederationStats is the hot-path report's federation section: the
+// aggregate-throughput scaling rows (R in {1,2,4} at a fixed total
+// server count) plus the routing-decision microbenchmark. On a
+// single-core host the rows show federation *overhead* (R control
+// planes time-slicing one core), not scaling; the honest headline here
+// is that imbalance stays within the bar and routing stays free. The
+// scaling claim itself needs cores — see EXPERIMENTS.md.
+type FederationStats struct {
+	TotalServers  int     `json:"total_servers"`
+	Objects       int     `json:"objects"`
+	Clients       int     `json:"clients"`
+	OfferedPerSec float64 `json:"offered_per_sec"`
+	Seconds       float64 `json:"seconds"`
+
+	Rows []FederationRow `json:"rows"`
+
+	// RouteNsPerOp / RouteAllocsPerOp measure the per-operation routing
+	// decision in isolation; allocs must be 0 (-hotpath-strict).
+	RouteNsPerOp     float64 `json:"route_ns_per_op"`
+	RouteAllocsPerOp int64   `json:"route_allocs_per_op"`
+}
+
+// Fleet sizing for the federation section: the same fleet scale as the
+// ack-path sections, but a rate low enough that R=4's quadrupled
+// control-plane overhead still fits a single core — the rows compare
+// imbalance and delivery delay, not capacity.
+const (
+	federationTotalServers = 8
+	federationObjects      = 2048
+	federationFleetClients = 600
+	federationOfferedRate  = 20000
+)
+
+// MeasureFederation runs the federation scaling rows and the routing
+// microbenchmark for the hot-path report.
+func MeasureFederation(duration time.Duration) (FederationStats, error) {
+	st := FederationStats{
+		TotalServers:  federationTotalServers,
+		Objects:       federationObjects,
+		Clients:       federationFleetClients,
+		OfferedPerSec: federationOfferedRate,
+		Seconds:       duration.Seconds(),
+	}
+	for _, r := range []int{1, 2, 4} {
+		res, err := FederationLoad(FederationLoadConfig{
+			Rings:          r,
+			ServersPerRing: federationTotalServers / r,
+			Objects:        federationObjects,
+			Clients:        federationFleetClients,
+			OfferedPerSec:  federationOfferedRate,
+			Duration:       duration,
+		})
+		if err != nil {
+			return st, fmt.Errorf("bench: federation R=%d: %w", r, err)
+		}
+		st.Rows = append(st.Rows, FederationRow{
+			Rings:           r,
+			ServersPerRing:  federationTotalServers / r,
+			SentPerSec:      res.SentPerSec,
+			CompletedPerSec: res.CompletedPerSec,
+			ImbalancePct:    res.ImbalancePct,
+			P99Ms:           float64(res.Latency.P99) / float64(time.Millisecond),
+		})
+		settleBetweenSections()
+	}
+	route := testing.Benchmark(RouteLoop)
+	st.RouteNsPerOp = float64(route.NsPerOp())
+	st.RouteAllocsPerOp = route.AllocsPerOp()
+	return st, nil
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFederationLoadSmoke runs a small two-ring fleet end to end: the
+// harness must complete operations on both rings and account for every
+// completion in the per-ring split.
+func TestFederationLoadSmoke(t *testing.T) {
+	res, err := FederationLoad(FederationLoadConfig{
+		Rings:          2,
+		ServersPerRing: 2,
+		Objects:        64,
+		Clients:        60,
+		OfferedPerSec:  2000,
+		Duration:       300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("federated fleet completed nothing")
+	}
+	if len(res.PerRingCompleted) != 2 || len(res.Pins) != 2 {
+		t.Fatalf("per-ring split %v pins %v, want 2 rings", res.PerRingCompleted, res.Pins)
+	}
+	sum := uint64(0)
+	for r, d := range res.PerRingCompleted {
+		if d == 0 {
+			t.Fatalf("ring %d completed nothing (split %v)", r, res.PerRingCompleted)
+		}
+		sum += d
+	}
+	if sum != res.Completed {
+		t.Fatalf("per-ring split %v sums to %d, total says %d", res.PerRingCompleted, sum, res.Completed)
+	}
+}
+
+func TestRingImbalancePct(t *testing.T) {
+	if got := ringImbalancePct([]uint64{100}); got != 0 {
+		t.Fatalf("single ring imbalance = %f", got)
+	}
+	if got := ringImbalancePct([]uint64{100, 100}); got != 0 {
+		t.Fatalf("balanced imbalance = %f", got)
+	}
+	// Mean 100, worst deviation 50 -> 50%.
+	if got := ringImbalancePct([]uint64{50, 150}); got != 50 {
+		t.Fatalf("imbalance = %f, want 50", got)
+	}
+}
+
+// TestRepoGridDeclaresFederation keeps experiments.json and the grid
+// runner in sync: the checked-in grid must parse, include the
+// federation scaling rows at a fixed total server count, and survive
+// the smoke scaling CI applies.
+func TestRepoGridDeclaresFederation(t *testing.T) {
+	spec, err := LoadGrid(filepath.Join("..", "..", "experiments.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := map[int]GridExperiment{}
+	for _, e := range spec.Experiments {
+		if e.Mode == "federation" {
+			fed[e.Rings] = e
+		}
+	}
+	for _, r := range []int{1, 2, 4} {
+		e, ok := fed[r]
+		if !ok {
+			t.Fatalf("experiments.json lacks a federation row with rings=%d", r)
+		}
+		if e.Servers != 8 {
+			t.Fatalf("federation rings=%d uses %d servers; the scaling comparison needs a fixed total of 8", r, e.Servers)
+		}
+	}
+	smoke := spec.Smoke()
+	if smoke.Repeats != 1 {
+		t.Fatalf("smoke repeats = %d", smoke.Repeats)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/wire"
 )
 
 // GridExperiment is one named entry of the grid.
@@ -29,11 +30,16 @@ type GridExperiment struct {
 	// client fleet (OpenLoopLoad); "lane_scaling" re-runs the PR-2
 	// contended lane comparison (lane 4 vs lane 1), which exists in the
 	// grid so the multi-vCPU points can be reproduced by hosts that
-	// have the cores (the gomaxprocs knob).
+	// have the cores (the gomaxprocs knob); "federation" runs the
+	// multi-ring fleet (FederationLoad) with Servers total servers split
+	// over Rings rings.
 	Mode    string `json:"mode"`
 	Servers int    `json:"servers"`
 	Objects int    `json:"objects"`
 	Clients int    `json:"clients"`
+	// Rings splits the Servers total over a federation ("federation"
+	// mode only); Servers must divide evenly.
+	Rings int `json:"rings,omitempty"`
 	// RatePerSec is the open-loop aggregate arrival rate; Window the
 	// windowed mode's per-client outstanding ops.
 	RatePerSec   float64 `json:"rate_per_sec"`
@@ -81,6 +87,13 @@ func LoadGrid(path string) (GridSpec, error) {
 		seen[e.Name] = true
 		switch e.Mode {
 		case "open_loop", "windowed", "lane_scaling":
+		case "federation":
+			if e.Rings <= 0 {
+				return GridSpec{}, fmt.Errorf("bench: federation experiment %q needs rings > 0", e.Name)
+			}
+			if e.Servers > 0 && e.Servers%e.Rings != 0 {
+				return GridSpec{}, fmt.Errorf("bench: federation experiment %q: %d servers do not split over %d rings", e.Name, e.Servers, e.Rings)
+			}
 		default:
 			return GridSpec{}, fmt.Errorf("bench: experiment %q has unknown mode %q", e.Name, e.Mode)
 		}
@@ -120,33 +133,76 @@ type GridRunRow struct {
 	Repeat              int
 	EffectiveGoMaxProcs int
 	NumCPU              int
-	// Fleet results (open_loop / windowed modes).
+	// Fleet results (open_loop / windowed / federation modes; federation
+	// maps its aggregate onto the same fields).
 	Res OpenLoopResult
 	// Lane-scaling results (lane_scaling mode): contended writes/s at
 	// lane fanout 4 vs 1.
 	BaselinePerSec float64
 	Speedup        float64
+	// Federation results (federation mode): per-ring goodput split, the
+	// worst ring's deviation from the mean in percent, and the first
+	// fleet client's per-ring pins (placement provenance).
+	PerRingDone  []uint64
+	ImbalancePct float64
+	RingPins     []wire.ProcessID
 }
 
 // gridCSVHeader is the shared schema of every CSV the grid writes.
-const gridCSVHeader = "name,mode,repeat,servers,objects,clients,window,gomaxprocs_requested,gomaxprocs_effective,numcpu,ack_sharding,offered_per_sec,duration_s,sent,completed,sent_per_sec,completed_per_sec,mean_us,p50_us,p95_us,p99_us,max_us,ack_fast,ack_queued,ack_lanes,ack_failures,baseline_per_sec,speedup"
+const gridCSVHeader = "name,mode,repeat,servers,objects,clients,window,rings,gomaxprocs_requested,gomaxprocs_effective,numcpu,ack_sharding,offered_per_sec,duration_s,sent,completed,sent_per_sec,completed_per_sec,mean_us,p50_us,p95_us,p99_us,max_us,ack_fast,ack_queued,ack_lanes,ack_failures,baseline_per_sec,speedup,ring_imbalance_pct,per_ring_done,ring_pins"
 
-// csvLine renders one run as a CSV row.
+// csvLine renders one run as a CSV row. The federation columns use "|"
+// as the intra-cell separator so per-ring vectors stay one CSV field.
 func (r GridRunRow) csvLine() string {
 	e := r.Exp
 	sharding := "sharded"
 	if e.DisableAckSharding {
 		sharding = "legacy"
 	}
-	return fmt.Sprintf("%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%s,%.1f,%.3f,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%.1f,%.3f",
-		e.Name, e.Mode, r.Repeat, e.Servers, e.Objects, e.Clients, e.Window,
+	rings := e.Rings
+	if rings <= 0 {
+		rings = 1
+	}
+	return fmt.Sprintf("%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%.1f,%.3f,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%.1f,%.3f,%.2f,%s,%s",
+		e.Name, e.Mode, r.Repeat, e.Servers, e.Objects, e.Clients, e.Window, rings,
 		e.GoMaxProcs, r.EffectiveGoMaxProcs, r.NumCPU, sharding,
 		e.RatePerSec, float64(e.DurationMS)/1000,
 		r.Res.Sent, r.Res.Completed, r.Res.SentPerSec, r.Res.CompletedPerSec,
 		usOf(r.Res.Latency.Mean), usOf(r.Res.Latency.P50), usOf(r.Res.Latency.P95),
 		usOf(r.Res.Latency.P99), usOf(r.Res.Latency.Max),
 		r.Res.AckFast, r.Res.AckQueued, r.Res.AckLanes, r.Res.AckFailures,
-		r.BaselinePerSec, r.Speedup)
+		r.BaselinePerSec, r.Speedup,
+		r.ImbalancePct, joinUints(r.PerRingDone), joinPins(r.RingPins))
+}
+
+// joinUints renders a per-ring vector as a "|"-separated cell.
+func joinUints(xs []uint64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// joinPins renders the per-ring pin vector as a "|"-separated cell.
+func joinPins(pins []wire.ProcessID) string {
+	if len(pins) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, p := range pins {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d", p)
+	}
+	return b.String()
 }
 
 // runGridExperiment executes one repeat of one experiment, honoring its
@@ -183,6 +239,35 @@ func runGridExperiment(e GridExperiment, repeat int) (GridRunRow, error) {
 			return row, fmt.Errorf("bench: grid %s rep %d: %w", e.Name, repeat, err)
 		}
 		row.Res = res
+	case "federation":
+		servers := e.Servers
+		if servers <= 0 {
+			servers = 8
+		}
+		res, err := FederationLoad(FederationLoadConfig{
+			Rings:          e.Rings,
+			ServersPerRing: servers / e.Rings,
+			Objects:        e.Objects,
+			Clients:        e.Clients,
+			OfferedPerSec:  e.RatePerSec,
+			ReadFraction:   e.ReadFraction,
+			ValueBytes:     e.ValueBytes,
+			Duration:       duration,
+		})
+		if err != nil {
+			return row, fmt.Errorf("bench: grid %s rep %d: %w", e.Name, repeat, err)
+		}
+		row.Res = OpenLoopResult{
+			Sent:            res.Sent,
+			Completed:       res.Completed,
+			Elapsed:         res.Elapsed,
+			SentPerSec:      res.SentPerSec,
+			CompletedPerSec: res.CompletedPerSec,
+			Latency:         res.Latency,
+		}
+		row.PerRingDone = res.PerRingCompleted
+		row.ImbalancePct = res.ImbalancePct
+		row.RingPins = res.Pins
 	case "lane_scaling":
 		servers, objects := e.Servers, e.Objects
 		if servers <= 0 {
@@ -282,7 +367,7 @@ func meanStd(xs []float64) (mean, std float64) {
 // the headline metrics across repeats.
 func groupRows(rows []GridRunRow) string {
 	var b strings.Builder
-	b.WriteString("name,mode,runs,completed_per_sec_mean,completed_per_sec_std,p50_us_mean,p99_us_mean,p99_us_std,speedup_mean\n")
+	b.WriteString("name,mode,runs,completed_per_sec_mean,completed_per_sec_std,p50_us_mean,p99_us_mean,p99_us_std,speedup_mean,ring_imbalance_pct_mean\n")
 	byName := map[string][]GridRunRow{}
 	var order []string
 	for _, r := range rows {
@@ -293,19 +378,21 @@ func groupRows(rows []GridRunRow) string {
 	}
 	for _, name := range order {
 		group := byName[name]
-		var done, p50, p99, speed []float64
+		var done, p50, p99, speed, imb []float64
 		for _, r := range group {
 			done = append(done, r.Res.CompletedPerSec)
 			p50 = append(p50, usOf(r.Res.Latency.P50))
 			p99 = append(p99, usOf(r.Res.Latency.P99))
 			speed = append(speed, r.Speedup)
+			imb = append(imb, r.ImbalancePct)
 		}
 		doneM, doneS := meanStd(done)
 		p50M, _ := meanStd(p50)
 		p99M, p99S := meanStd(p99)
 		speedM, _ := meanStd(speed)
-		fmt.Fprintf(&b, "%s,%s,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.3f\n",
-			name, group[0].Exp.Mode, len(group), doneM, doneS, p50M, p99M, p99S, speedM)
+		imbM, _ := meanStd(imb)
+		fmt.Fprintf(&b, "%s,%s,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.3f,%.2f\n",
+			name, group[0].Exp.Mode, len(group), doneM, doneS, p50M, p99M, p99S, speedM, imbM)
 	}
 	return b.String()
 }
@@ -314,7 +401,7 @@ func groupRows(rows []GridRunRow) string {
 func gridTable(spec GridSpec, rows []GridRunRow) string {
 	t := stats.Table{
 		Title:   fmt.Sprintf("experiment grid (%d experiments x %d repeats)", len(spec.Experiments), spec.Repeats),
-		Columns: []string{"name", "mode", "procs", "done/s", "p50us", "p99us", "speedup"},
+		Columns: []string{"name", "mode", "procs", "done/s", "p50us", "p99us", "speedup", "imb%"},
 	}
 	seen := map[string]bool{}
 	byName := map[string][]GridRunRow{}
@@ -327,20 +414,23 @@ func gridTable(spec GridSpec, rows []GridRunRow) string {
 		}
 		seen[r.Exp.Name] = true
 		group := byName[r.Exp.Name]
-		var done, p50, p99, speed []float64
+		var done, p50, p99, speed, imb []float64
 		for _, g := range group {
 			done = append(done, g.Res.CompletedPerSec)
 			p50 = append(p50, usOf(g.Res.Latency.P50))
 			p99 = append(p99, usOf(g.Res.Latency.P99))
 			speed = append(speed, g.Speedup)
+			imb = append(imb, g.ImbalancePct)
 		}
 		doneM, _ := meanStd(done)
 		p50M, _ := meanStd(p50)
 		p99M, _ := meanStd(p99)
 		speedM, _ := meanStd(speed)
+		imbM, _ := meanStd(imb)
 		t.AddRow(r.Exp.Name, r.Exp.Mode, fmt.Sprintf("%d", r.EffectiveGoMaxProcs),
 			fmt.Sprintf("%.0f", doneM), fmt.Sprintf("%.0f", p50M),
-			fmt.Sprintf("%.0f", p99M), fmt.Sprintf("%.2f", speedM))
+			fmt.Sprintf("%.0f", p99M), fmt.Sprintf("%.2f", speedM),
+			fmt.Sprintf("%.1f", imbM))
 	}
 	return t.String()
 }

@@ -37,6 +37,7 @@ type HotpathReport struct {
 	TrainScaling TrainScalingStats `json:"train_scaling"`
 	AckPath      AckPathStats      `json:"ack_path"`
 	OpenLoop     OpenLoopStats     `json:"open_loop"`
+	Federation   FederationStats   `json:"federation"`
 }
 
 // Fleet sizing for the ack-path sections: large enough that the single
@@ -671,6 +672,12 @@ func RunHotpath(ctx context.Context, echoMsgs int, multiObjDuration time.Duratio
 		return rep, err
 	}
 	rep.OpenLoop = ol
+	settleBetweenSections()
+	fed, err := MeasureFederation(multiObjDuration)
+	if err != nil {
+		return rep, err
+	}
+	rep.Federation = fed
 	settleBetweenSections()
 	mo, err := MeasureMultiObject(ctx, multiObjDuration)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ackq"
+	"repro/internal/placement"
 	"repro/internal/ring"
 	"repro/internal/shard"
 	"repro/internal/tag"
@@ -261,12 +262,11 @@ func NewServer(cfg Config, ep transport.Endpoint) (*Server, error) {
 // ID returns the server's process id.
 func (s *Server) ID() wire.ProcessID { return s.cfg.ID }
 
-// laneFor returns the lane owning an object. Like the shard map, keys
-// are spread with a multiplicative hash so dense sequential object ids
-// do not pile into one lane.
+// laneFor returns the lane owning an object. The assignment lives in
+// internal/placement (shared with the façade and the bench harnesses)
+// so no layer can ever disagree with the server about lane ownership.
 func (s *Server) laneFor(obj wire.ObjectID) int {
-	h := uint32(obj) * 2654435761
-	return int((h>>16 ^ h) % uint32(len(s.lanes)))
+	return placement.LaneOf(obj, len(s.lanes))
 }
 
 // route maps an inbound frame to its inbox index: ring data frames go

@@ -12,8 +12,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 
+	"repro/internal/placement"
 	"repro/internal/tag"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -37,11 +37,11 @@ func New(storage workload.Storage, objects int) (*KV, error) {
 	return &KV{storage: storage, objects: uint32(objects)}, nil
 }
 
-// objectFor maps a key to its register.
+// objectFor maps a key to its register. The assignment lives in
+// internal/placement, shared with every other layer that places
+// objects, so a client and a tool partitioning keys can never disagree.
 func (kv *KV) objectFor(key string) wire.ObjectID {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return wire.ObjectID(h.Sum32() % kv.objects)
+	return placement.ObjectOfKey(key, int(kv.objects))
 }
 
 // ObjectOf exposes key placement: the register a key is stored in.
