@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/tag"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -75,6 +76,11 @@ type config struct {
 	noFairness      bool
 	maxBatchBytes   int
 	flushInterval   time.Duration
+	walDir          string
+	walSync         WALSyncMode
+	walAudit        bool
+	walBatchBytes   int
+	walLinger       time.Duration
 }
 
 func buildConfig(base config, opts []Option) config {
@@ -163,5 +169,61 @@ func WithBatchWindow(maxBytes int, flush time.Duration) Option {
 	return func(c *config) {
 		c.maxBatchBytes = maxBytes
 		c.flushInterval = flush
+	}
+}
+
+// WALSyncMode selects when write-ahead-log records reach stable
+// storage: WALSyncTrain (the default under WithDurability) gates every
+// outgoing ring frame on a sync covering its records, so acknowledged
+// writes are durable at every server; WALSyncInterval syncs on a timer
+// (bounded loss, no gating); WALSyncNone never syncs (the group-commit
+// ablation baseline).
+type WALSyncMode = wal.SyncMode
+
+// WAL sync modes for WithWALSyncMode.
+const (
+	WALSyncTrain    = wal.SyncTrain
+	WALSyncInterval = wal.SyncInterval
+	WALSyncNone     = wal.SyncNone
+)
+
+// WALStats is a snapshot of one server's write-ahead-log counters.
+type WALStats = wal.Stats
+
+// WithDurability gives each server a write-ahead log under dir (one
+// subdirectory per server id) in WALSyncTrain mode: committed ring
+// frames are appended as one batch and acknowledged only after one
+// fdatasync covers the whole train, and a restarted server replays its
+// log — before rejoining the ring — to serve every write it ever
+// acknowledged. A cluster (or Join) started without this option keeps
+// the in-memory-only behavior.
+func WithDurability(dir string) Option {
+	return func(c *config) {
+		c.walDir = dir
+		c.walSync = WALSyncTrain
+	}
+}
+
+// WithoutDurability removes a previously configured write-ahead log
+// (e.g. per-server overrides on a durable cluster's base options).
+func WithoutDurability() Option { return func(c *config) { c.walDir = "" } }
+
+// WithWALSyncMode overrides the durability policy of WithDurability.
+func WithWALSyncMode(m WALSyncMode) Option { return func(c *config) { c.walSync = m } }
+
+// WithWALAudit appends a chained Merkle batch-root record per WAL sync,
+// making each server's log tamper-evident (verify offline with the
+// atomicstore-server -wal-verify flag or wal.Verify).
+func WithWALAudit() Option { return func(c *config) { c.walAudit = true } }
+
+// WithWALBatch tunes the WAL's group commit, mirroring WithBatchWindow:
+// maxBytes kicks a sync once a lane has staged that much (zero keeps
+// the default, 256 KiB) and linger lets a kicked sync wait for
+// concurrent lanes to stage more before paying the fdatasync (zero
+// syncs immediately; in WALSyncInterval mode it is the sync period).
+func WithWALBatch(maxBytes int, linger time.Duration) Option {
+	return func(c *config) {
+		c.walBatchBytes = maxBytes
+		c.walLinger = linger
 	}
 }

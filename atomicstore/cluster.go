@@ -2,17 +2,19 @@ package atomicstore
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
 // coreConfig maps the façade options onto a server configuration.
 func (c config) coreConfig(id ServerID, members []ServerID) core.Config {
-	return core.Config{
+	cfg := core.Config{
 		ID:                  id,
 		Members:             members,
 		WriteLanes:          c.lanes,
@@ -25,6 +27,19 @@ func (c config) coreConfig(id ServerID, members []ServerID) core.Config {
 		DisableFairness:     c.noFairness,
 		Logger:              c.logger,
 	}
+	if c.walDir != "" {
+		cfg.WAL = wal.Config{
+			// One subdirectory per server: a shared dir hosts a whole
+			// in-process cluster, and on real hosts the extra level is
+			// harmless.
+			Dir:           filepath.Join(c.walDir, fmt.Sprintf("server-%d", id)),
+			Sync:          c.walSync,
+			BatchBytes:    c.walBatchBytes,
+			FlushInterval: c.walLinger,
+			MerkleRoots:   c.walAudit,
+		}
+	}
+	return cfg
 }
 
 // clientOptions maps the façade options onto client options.
@@ -163,9 +178,12 @@ func (c *Cluster) Client(opts ...Option) (*Client, error) {
 	return &Client{cl: cl, ep: ep, pinned: cfg.pinned}, nil
 }
 
-// Crash kills one server abruptly: its endpoint stops delivering and
+// Crash kills one server abruptly: its endpoint stops delivering,
 // every other process observes the failure through the perfect failure
-// detector, exercising the ring's splice-and-recover path.
+// detector, and — when the cluster is durable — WAL records staged
+// since the last covering sync are dropped on the floor, exactly as a
+// process crash would drop them. Exercises the ring's
+// splice-and-recover path; Restart exercises log recovery.
 func (c *Cluster) Crash(id ServerID) {
 	c.mu.Lock()
 	srv := c.servers[id]
@@ -177,8 +195,59 @@ func (c *Cluster) Crash(id ServerID) {
 		return
 	}
 	c.net.Crash(id)
-	srv.Stop()
+	srv.Kill()
 	_ = ep.Close()
+}
+
+// Restart brings a crashed (or freshly stopped) server back up on a
+// new endpoint. With durability configured the server replays its
+// write-ahead log — before rejoining the ring — and re-serves every
+// write it acknowledged before the crash. The durability guarantee is
+// scoped to restarts of the full membership alive at the crash: a
+// single server restarted into a ring that already spliced it out
+// stays spliced (peers' views have no rejoin transition; live state
+// transfer is future work), so crash-recovery tests kill and restart
+// every server. Restarting a running server is an error; Crash it
+// first.
+func (c *Cluster) Restart(id ServerID) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("atomicstore: cluster closed")
+	}
+	if _, running := c.servers[id]; running {
+		c.mu.Unlock()
+		return fmt.Errorf("atomicstore: server %d still running", id)
+	}
+	c.mu.Unlock()
+	coreCfg := c.cfg.coreConfig(id, c.members)
+	ep, err := c.net.RegisterSession(coreCfg.SessionHello())
+	if err != nil {
+		return err
+	}
+	srv, err := core.NewServer(coreCfg, ep)
+	if err != nil {
+		_ = ep.Close()
+		return err
+	}
+	srv.Start()
+	c.mu.Lock()
+	c.servers[id] = srv
+	c.eps[id] = ep
+	c.mu.Unlock()
+	return nil
+}
+
+// WALStats snapshots one server's write-ahead-log counters; zero when
+// the server is down or the cluster runs without durability.
+func (c *Cluster) WALStats(id ServerID) WALStats {
+	c.mu.Lock()
+	srv := c.servers[id]
+	c.mu.Unlock()
+	if srv == nil {
+		return WALStats{}
+	}
+	return srv.WALStats()
 }
 
 // Close stops every remaining server.

@@ -150,8 +150,14 @@ func (s *Server) successor() ServerID {
 	return s.id
 }
 
+// WALStats snapshots the server's write-ahead-log counters; zero when
+// it runs without durability.
+func (s *Server) WALStats() WALStats { return s.srv.WALStats() }
+
 // Close stops the server and tears down its connections. Peers observe
-// broken connections — in this model, a crash.
+// broken connections — in this model, a crash. A configured WAL is
+// flushed and synced before close, so a graceful shutdown (SIGINT in
+// the CLI) never leans on torn-tail repair at the next start.
 func (s *Server) Close() error {
 	s.srv.Stop()
 	return s.ep.Close()

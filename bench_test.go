@@ -340,6 +340,12 @@ func BenchmarkPendingSet(b *testing.B) {
 	}
 }
 
+// BenchmarkWALAppend measures staging one record into the write-ahead
+// log's lane buffer — encode, CRC, copy — the cost every committed
+// envelope pays on the commit path, at 0 allocs/op. The loop lives in
+// internal/bench so BENCH_hotpath.json measures the identical thing.
+func BenchmarkWALAppend(b *testing.B) { bench.WALAppendLoop(b) }
+
 // BenchmarkReadPathLockFree measures the snapshot-based read serve
 // decision (one atomic load, 0 allocs/op, no shard lock)...
 func BenchmarkReadPathLockFree(b *testing.B) { bench.ReadPathFastLoop(b) }

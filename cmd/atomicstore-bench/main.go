@@ -44,7 +44,7 @@ func run() error {
 		hotpathOut = flag.String("hotpath-out", "BENCH_hotpath.json", "where -hotpath writes its report")
 		echoMsgs   = flag.Int("hotpath-echo-msgs", 60000, "messages per TCP echo measurement")
 		moWindow   = flag.Duration("hotpath-window", time.Second, "measurement window per multi-object data point")
-		strict     = flag.Bool("hotpath-strict", false, "exit non-zero if a hot path allocates (codec encode/round trip, pending-set add/prune, the read fast path, the ack enqueue/fast path, or the federation routing decision > 0 allocs/op)")
+		strict     = flag.Bool("hotpath-strict", false, "exit non-zero if a hot path allocates (codec encode/round trip, pending-set add/prune, the read fast path, the ack enqueue/fast path, the federation routing decision, or the WAL append path > 0 allocs/op)")
 		gridFile   = flag.String("grid", "", "run the experiment grid declared in this JSON file (see experiments.json)")
 		gridOut    = flag.String("grid-out", "paper_runs/latest", "output directory for -grid CSVs and summaries")
 		gridSmoke  = flag.Bool("grid-smoke", false, "scale the grid down to a seconds-long smoke configuration (1 repeat, short windows, capped fleets)")
@@ -120,6 +120,10 @@ func runHotpath(out string, echoMsgs int, window time.Duration, strict bool) err
 		rep.ReadPath.LockedNsPerOp, rep.ReadPath.Speedup)
 	fmt.Printf("tcp echo:      coalesced %.0f msgs/s, unbatched %.0f msgs/s, speedup %.2fx\n",
 		rep.TCPEcho.CoalescedMsgsPerSec, rep.TCPEcho.UnbatchedMsgsPerSec, rep.TCPEcho.Speedup)
+	fmt.Printf("wal:           append %.1f ns/op (%d allocs); durable recs/s per-envelope %.0f, per-train %.0f (%.2fx), interval %.0f\n",
+		rep.WAL.AppendNsPerOp, rep.WAL.AppendAllocsPerOp,
+		rep.WAL.PerEnvelope.RecsPerSec, rep.WAL.PerTrain.RecsPerSec, rep.WAL.TrainSpeedup,
+		rep.WAL.Interval.RecsPerSec)
 	fmt.Printf("multi-object:  sharded %.0f reads/s (%.0f writes/s), inline %.0f reads/s, speedup %.2fx\n",
 		rep.MultiObject.ShardedReadsPerSec, rep.MultiObject.ShardedWritesPerSec,
 		rep.MultiObject.InlineReadsPerSec, rep.MultiObject.ReadSpeedup)
@@ -178,6 +182,10 @@ func runHotpath(out string, echoMsgs int, window time.Duration, strict bool) err
 		if rep.Federation.RouteAllocsPerOp != 0 {
 			return fmt.Errorf("federation routing decision allocates: %d allocs/op (want 0)",
 				rep.Federation.RouteAllocsPerOp)
+		}
+		if rep.WAL.AppendAllocsPerOp != 0 {
+			return fmt.Errorf("wal append path allocates: %d allocs/op (want 0)",
+				rep.WAL.AppendAllocsPerOp)
 		}
 	}
 	return nil

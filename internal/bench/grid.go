@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -52,6 +53,10 @@ type GridExperiment struct {
 	// per row, so a 1-vCPU host asking for 4 is visible in the data.
 	GoMaxProcs         int  `json:"gomaxprocs"`
 	DisableAckSharding bool `json:"disable_ack_sharding"`
+	// WALSync runs the fleet against a durable cluster in the named
+	// write-ahead-log sync mode ("train", "interval", "none"); empty
+	// runs without durability. open_loop/windowed modes only.
+	WALSync string `json:"wal_sync,omitempty"`
 }
 
 // GridSpec is the experiments.json schema.
@@ -96,6 +101,14 @@ func LoadGrid(path string) (GridSpec, error) {
 			}
 		default:
 			return GridSpec{}, fmt.Errorf("bench: experiment %q has unknown mode %q", e.Name, e.Mode)
+		}
+		if e.WALSync != "" {
+			if e.Mode != "open_loop" && e.Mode != "windowed" {
+				return GridSpec{}, fmt.Errorf("bench: experiment %q: wal_sync needs open_loop or windowed mode", e.Name)
+			}
+			if _, err := wal.ParseSyncMode(e.WALSync); err != nil {
+				return GridSpec{}, fmt.Errorf("bench: experiment %q: %w", e.Name, err)
+			}
 		}
 	}
 	return spec, nil
@@ -149,7 +162,7 @@ type GridRunRow struct {
 }
 
 // gridCSVHeader is the shared schema of every CSV the grid writes.
-const gridCSVHeader = "name,mode,repeat,servers,objects,clients,window,rings,gomaxprocs_requested,gomaxprocs_effective,numcpu,ack_sharding,offered_per_sec,duration_s,sent,completed,sent_per_sec,completed_per_sec,mean_us,p50_us,p95_us,p99_us,max_us,ack_fast,ack_queued,ack_lanes,ack_failures,baseline_per_sec,speedup,ring_imbalance_pct,per_ring_done,ring_pins"
+const gridCSVHeader = "name,mode,repeat,servers,objects,clients,window,rings,gomaxprocs_requested,gomaxprocs_effective,numcpu,ack_sharding,wal_sync,offered_per_sec,duration_s,sent,completed,sent_per_sec,completed_per_sec,mean_us,p50_us,p95_us,p99_us,max_us,ack_fast,ack_queued,ack_lanes,ack_failures,wal_syncs_per_sec,wal_bytes_per_sync,baseline_per_sec,speedup,ring_imbalance_pct,per_ring_done,ring_pins"
 
 // csvLine renders one run as a CSV row. The federation columns use "|"
 // as the intra-cell separator so per-ring vectors stay one CSV field.
@@ -163,14 +176,26 @@ func (r GridRunRow) csvLine() string {
 	if rings <= 0 {
 		rings = 1
 	}
-	return fmt.Sprintf("%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%.1f,%.3f,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%.1f,%.3f,%.2f,%s,%s",
+	walSync := e.WALSync
+	if walSync == "" {
+		walSync = "off"
+	}
+	var walSyncsPerSec, walBytesPerSync float64
+	if secs := r.Res.Elapsed.Seconds(); secs > 0 {
+		walSyncsPerSec = float64(r.Res.WALSyncs) / secs
+	}
+	if r.Res.WALSyncs > 0 {
+		walBytesPerSync = float64(r.Res.WALSyncBytes) / float64(r.Res.WALSyncs)
+	}
+	return fmt.Sprintf("%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%.1f,%.3f,%d,%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%.1f,%.1f,%.1f,%.3f,%.2f,%s,%s",
 		e.Name, e.Mode, r.Repeat, e.Servers, e.Objects, e.Clients, e.Window, rings,
-		e.GoMaxProcs, r.EffectiveGoMaxProcs, r.NumCPU, sharding,
+		e.GoMaxProcs, r.EffectiveGoMaxProcs, r.NumCPU, sharding, walSync,
 		e.RatePerSec, float64(e.DurationMS)/1000,
 		r.Res.Sent, r.Res.Completed, r.Res.SentPerSec, r.Res.CompletedPerSec,
 		usOf(r.Res.Latency.Mean), usOf(r.Res.Latency.P50), usOf(r.Res.Latency.P95),
 		usOf(r.Res.Latency.P99), usOf(r.Res.Latency.Max),
 		r.Res.AckFast, r.Res.AckQueued, r.Res.AckLanes, r.Res.AckFailures,
+		walSyncsPerSec, walBytesPerSync,
 		r.BaselinePerSec, r.Speedup,
 		r.ImbalancePct, joinUints(r.PerRingDone), joinPins(r.RingPins))
 }
@@ -226,6 +251,7 @@ func runGridExperiment(e GridExperiment, repeat int) (GridRunRow, error) {
 			ValueBytes:         e.ValueBytes,
 			Duration:           duration,
 			DisableAckSharding: e.DisableAckSharding,
+			WALSync:            e.WALSync,
 		}
 		if e.Mode == "windowed" {
 			cfg.Window = e.Window

@@ -38,7 +38,18 @@ type HotpathReport struct {
 	AckPath      AckPathStats      `json:"ack_path"`
 	OpenLoop     OpenLoopStats     `json:"open_loop"`
 	Federation   FederationStats   `json:"federation"`
+	WAL          WALHotStats       `json:"wal"`
 }
+
+// Sizing for the WAL group-commit sweep: enough records that the
+// per-envelope fsync column is a real measurement, few enough that a
+// slow CI disk finishes it in seconds. The train length matches the
+// ring's default frame train.
+const (
+	walSweepRecords  = 512
+	walSweepTrainLen = 8
+	walSweepValue    = 1024
+)
 
 // Fleet sizing for the ack-path sections: large enough that the single
 // shared ackLoop demonstrably serializes (>= 1k destinations), small
@@ -657,6 +668,11 @@ func RunHotpath(ctx context.Context, echoMsgs int, multiObjDuration time.Duratio
 		return rep, err
 	}
 	rep.TCPEcho = echo
+	w, err := MeasureWAL(walSweepRecords, walSweepTrainLen, walSweepValue)
+	if err != nil {
+		return rep, err
+	}
+	rep.WAL = w
 	// The fleet comparisons run before the closed-loop sections below:
 	// those spawn thousands of client goroutines whose teardown debris
 	// (stack growth, pacer state, lingering timers) skews anything

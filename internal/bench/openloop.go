@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -59,6 +62,12 @@ type OpenLoopConfig struct {
 	// DisableAckSharding pins the pre-sharding single ackLoop server —
 	// the ablation baseline.
 	DisableAckSharding bool
+	// WALSync runs every server with a write-ahead log in the named
+	// sync mode ("train", "interval", "none"); empty runs without
+	// durability. Logs live under WALDir (a fresh temp directory when
+	// empty, removed after the run).
+	WALSync string
+	WALDir  string
 }
 
 // OpenLoopResult is one fleet run's measurement.
@@ -78,6 +87,9 @@ type OpenLoopResult struct {
 	// cluster; AckFailures aggregates Server.AckSendFailures.
 	AckFast, AckQueued, AckLanes uint64
 	AckFailures                  uint64
+	// WALAppends/WALSyncs/WALSyncBytes aggregate Server.WALStats over
+	// the cluster (zero without WALSync).
+	WALAppends, WALSyncs, WALSyncBytes uint64
 }
 
 // normalize fills defaults and validates.
@@ -111,6 +123,11 @@ func (cfg *OpenLoopConfig) normalize() error {
 	}
 	if cfg.Window == 0 && cfg.OfferedPerSec <= 0 {
 		return fmt.Errorf("bench: open-loop mode needs OfferedPerSec > 0")
+	}
+	if cfg.WALSync != "" {
+		if _, err := wal.ParseSyncMode(cfg.WALSync); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -156,8 +173,21 @@ func OpenLoopLoad(cfg OpenLoopConfig) (OpenLoopResult, error) {
 		}
 	}
 	defer stopServers()
+	walDir := cfg.WALDir
+	if cfg.WALSync != "" && walDir == "" {
+		dir, err := os.MkdirTemp("", "openloop-wal-*")
+		if err != nil {
+			return OpenLoopResult{}, err
+		}
+		walDir = dir
+		defer os.RemoveAll(dir)
+	}
 	for _, id := range members {
 		scfg := core.Config{ID: id, Members: members, DisableAckSharding: cfg.DisableAckSharding}
+		if cfg.WALSync != "" {
+			mode, _ := wal.ParseSyncMode(cfg.WALSync) // validated by normalize
+			scfg.WAL = wal.Config{Dir: filepath.Join(walDir, fmt.Sprintf("server-%d", id)), Sync: mode}
+		}
 		ep, err := net.RegisterSession(scfg.SessionHello())
 		if err != nil {
 			return OpenLoopResult{}, err
@@ -225,6 +255,10 @@ func OpenLoopLoad(cfg OpenLoopConfig) (OpenLoopResult, error) {
 		res.AckQueued += q
 		res.AckLanes += l
 		res.AckFailures += s.AckSendFailures()
+		w := s.WALStats()
+		res.WALAppends += w.Appends
+		res.WALSyncs += w.Syncs
+		res.WALSyncBytes += w.SyncBytes
 	}
 	return res, nil
 }

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/tag"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// WALSyncRow is one policy of the group-commit sweep: how fast records
+// become durable when every envelope pays its own fdatasync, when a
+// whole frame train shares one, and when syncs run on a timer.
+type WALSyncRow struct {
+	RecsPerSec   float64 `json:"recs_per_sec"`
+	SyncsPerSec  float64 `json:"syncs_per_sec"`
+	BytesPerSync float64 `json:"bytes_per_sync"`
+}
+
+// WALHotStats reports the write-ahead log's hot path: the append
+// (stage-into-buffer) cost, which must not allocate, and the
+// group-commit sweep that motivates train-batched syncs. The sweep runs
+// on the host filesystem, so absolute numbers vary wildly with the disk
+// (tmpfs makes fsync nearly free); the per-envelope vs per-train ratio
+// is the tracked signal.
+type WALHotStats struct {
+	ValueBytes int `json:"value_bytes"`
+	// Append path: encode + CRC + copy into the lane's staging buffer.
+	AppendNsPerOp     float64 `json:"append_ns_per_op"`
+	AppendAllocsPerOp int64   `json:"append_allocs_per_op"`
+	// Group-commit sweep over the same record count.
+	Records     int        `json:"records"`
+	TrainLen    int        `json:"train_len"`
+	PerEnvelope WALSyncRow `json:"sync_per_envelope"`
+	PerTrain    WALSyncRow `json:"sync_per_train"`
+	Interval    WALSyncRow `json:"sync_interval"`
+	// TrainSpeedup is per-train / per-envelope durable records/s: what
+	// amortizing the sync over a frame train buys.
+	TrainSpeedup float64 `json:"train_speedup"`
+}
+
+// walBenchRecord is the staged shape of the hot path: a forwarded
+// pre-write with a full value attached.
+func walBenchRecord(valueBytes int) *wal.Record {
+	return &wal.Record{
+		Type:   wal.RecPreWrite,
+		Object: 7,
+		Tag:    tag.Tag{TS: 42, ID: 2},
+		Origin: wire.ProcessID(2),
+		Flags:  wal.FlagHasValue,
+		Value:  make([]byte, valueBytes),
+	}
+}
+
+// WALAppendLoop is the body of BenchmarkWALAppend: the staging path in
+// isolation via wal.AppendBench (syncer parked, growth bounded by
+// periodic unsynced flushes), amortized 0 allocs/op. Shared between
+// `go test -bench` and the JSON report.
+func WALAppendLoop(b *testing.B) {
+	ab, err := wal.NewAppendBench(b.TempDir(), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ab.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	ab.Append(b.N)
+}
+
+// walSyncSweep measures one durability policy: stage `records` records
+// and make them durable `perSync` at a time (0 = never wait; the timer
+// and the final Close sync them).
+func walSyncSweep(mode wal.SyncMode, records, perSync, valueBytes int) (WALSyncRow, error) {
+	dir, err := os.MkdirTemp("", "walbench-*")
+	if err != nil {
+		return WALSyncRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.Open(wal.Config{Dir: dir, Lanes: 1, Sync: mode}, nil)
+	if err != nil {
+		return WALSyncRow{}, err
+	}
+	l.Start()
+	rec := walBenchRecord(valueBytes)
+	start := time.Now()
+	var seq uint64
+	for i := 0; i < records; i++ {
+		seq = l.Append(0, rec)
+		if perSync > 0 && (i+1)%perSync == 0 {
+			if err := l.WaitLane(0, seq, nil); err != nil {
+				l.Kill()
+				return WALSyncRow{}, err
+			}
+		}
+	}
+	if err := l.Close(); err != nil { // flushes and syncs the remainder
+		return WALSyncRow{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+	st := l.Stats()
+	if st.Appends != uint64(records) {
+		return WALSyncRow{}, fmt.Errorf("wal sweep staged %d/%d records", st.Appends, records)
+	}
+	row := WALSyncRow{RecsPerSec: float64(records) / elapsed}
+	if st.Syncs > 0 {
+		row.SyncsPerSec = float64(st.Syncs) / elapsed
+		row.BytesPerSync = float64(st.SyncBytes) / float64(st.Syncs)
+	}
+	return row, nil
+}
+
+// MeasureWAL runs the append microbenchmark and the group-commit sweep.
+func MeasureWAL(records, trainLen, valueBytes int) (WALHotStats, error) {
+	app := testing.Benchmark(WALAppendLoop)
+	st := WALHotStats{
+		ValueBytes:        valueBytes,
+		AppendNsPerOp:     float64(app.NsPerOp()),
+		AppendAllocsPerOp: app.AllocsPerOp(),
+		Records:           records,
+		TrainLen:          trainLen,
+	}
+	var err error
+	if st.PerEnvelope, err = walSyncSweep(wal.SyncTrain, records, 1, valueBytes); err != nil {
+		return st, err
+	}
+	if st.PerTrain, err = walSyncSweep(wal.SyncTrain, records, trainLen, valueBytes); err != nil {
+		return st, err
+	}
+	if st.Interval, err = walSyncSweep(wal.SyncInterval, records, 0, valueBytes); err != nil {
+		return st, err
+	}
+	if st.PerEnvelope.RecsPerSec > 0 {
+		st.TrainSpeedup = st.PerTrain.RecsPerSec / st.PerEnvelope.RecsPerSec
+	}
+	return st, nil
+}

@@ -33,6 +33,7 @@ import (
 	"log/slog"
 	"runtime"
 
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -109,6 +110,15 @@ type Config struct {
 	// advertises wire.CapFrameTrains in its HELLO nor plans trains,
 	// whatever TrainLength says. Used to exercise mixed-version rings.
 	DisableFrameTrains bool
+
+	// WAL configures the durable write-ahead log (DESIGN.md §13). An
+	// empty WAL.Dir disables durability entirely — the pre-WAL behavior.
+	// WAL.Lanes is ignored: the server pins it to its resolved WriteLanes
+	// (the WAL is sharded exactly like the write path). With
+	// wal.SyncTrain (the default mode) every outgoing ring frame is
+	// gated on a sync covering the records its envelopes staged, so an
+	// acknowledged write is durable at every server that applied it.
+	WAL wal.Config
 
 	// Logger receives debug events; nil discards them.
 	Logger *slog.Logger

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/tag"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -42,6 +43,19 @@ type lane struct {
 	// locally, and backpressure reaches the queue handler. Lanes
 	// pipeline the ring independently — that is the point.
 	ringOut chan outFrame
+	// gatec pairs each committed ring frame with the WAL sequence its
+	// envelopes staged (capacity 1; nil unless wal.SyncTrain gates the
+	// sender). The pairing is structural: ringOut is unbuffered, so the
+	// event loop's commit — which pushes here — runs strictly between
+	// the sender's ringOut receive and its next one.
+	gatec chan uint64
+	// walSeq is the highest WAL sequence this lane has staged; event-
+	// loop-confined like the rest of the lane state.
+	walSeq uint64
+	// replayVals holds the client values of replayed in-flight own
+	// writes (keyed like myWrites) between WAL replay and the startup
+	// retransmission; nil afterwards and during normal operation.
+	replayVals map[writeKey][]byte
 
 	// writeQueue holds client writes for this lane's objects not yet
 	// initiated (paper: write_queue).
@@ -198,6 +212,14 @@ func (ln *lane) loop() {
 // other on one shared successor connection. A send failure is logged
 // and dropped: the failure detector will report the peer and recovery
 // retransmits whatever mattered.
+//
+// With a train-gated WAL the sender is also the durability gate: after
+// each frame handoff it receives the frame's covering WAL sequence
+// (pushed by the event loop's commit) and blocks in WaitLane until one
+// group-commit sync covers it. The gate lives here, off the event
+// loop, so the lane keeps draining its inbox and planning the next
+// train while the sync is in flight — the fsync is amortized per
+// train, not paid per envelope.
 func (ln *lane) senderLoop() {
 	s := ln.srv
 	defer s.wg.Done()
@@ -205,6 +227,24 @@ func (ln *lane) senderLoop() {
 	for {
 		select {
 		case of := <-ln.ringOut:
+			if ln.gatec != nil {
+				var seq uint64
+				select {
+				case seq = <-ln.gatec:
+				case <-s.stopc:
+					return
+				}
+				if err := s.wal.WaitLane(ln.idx, seq, s.stopc); err != nil {
+					if err == wal.ErrAborted || err == wal.ErrClosed {
+						return // stopping; the unsent frame dies with us
+					}
+					// Disk failure: keep the ring alive (availability
+					// over durability), loudly and once.
+					s.walFailOnce.Do(func() {
+						s.log.Error("wal failed; ring continues without durability", "err", err)
+					})
+				}
+			}
 			var err error
 			if ls != nil {
 				err = ls.SendLane(of.to, ln.idx, of.f)
@@ -360,6 +400,14 @@ func (ln *lane) onPreWrite(env *wire.Envelope) {
 		o.prune(env.Tag)
 		o.publish()
 		sh.Unlock()
+		// Value elided like the wire message: replay resolves it from
+		// the pending entry the covering RecInit re-creates.
+		ln.walStage(&wal.Record{
+			Type:   wal.RecWrite,
+			Object: env.Object,
+			Tag:    env.Tag,
+			Origin: s.cfg.ID,
+		})
 		ln.fq.push(wenv)
 		return
 	}
@@ -379,6 +427,18 @@ func (ln *lane) onPreWrite(env *wire.Envelope) {
 		o.prune(env.Tag)
 		o.publish()
 		sh.Unlock()
+		// The adopted write carries its value: the originator's log died
+		// with it, so this server's own RecPreWrite may be the only
+		// covering record — and a restart mid-adoption must not depend
+		// on it having existed.
+		ln.walStage(&wal.Record{
+			Type:   wal.RecWrite,
+			Object: env.Object,
+			Tag:    env.Tag,
+			Origin: env.Origin,
+			Flags:  wal.FlagHasValue,
+			Value:  env.Value,
+		})
 		ln.requeue(wire.Envelope{
 			Kind:   wire.KindWrite,
 			Object: env.Object,
@@ -397,9 +457,23 @@ func (ln *lane) onPreWrite(env *wire.Envelope) {
 	// ownership rule is untouched: the entry retires only when a write
 	// for its exact tag arrives, which cannot happen before this lane's
 	// forward has been encoded (DESIGN.md §10).
-	o.addPending(env.Tag, env.Value, env.ValuePooled())
+	added := o.addPending(env.Tag, env.Value, env.ValuePooled())
 	o.publish()
 	sh.Unlock()
+	if added {
+		// Staged before the forward leaves (the train gate waits on it),
+		// so a restart re-erects exactly the read barriers this server
+		// may have told the ring about. Refused duplicates stage
+		// nothing: replaying one would resurrect a pruned entry.
+		ln.walStage(&wal.Record{
+			Type:   wal.RecPreWrite,
+			Object: env.Object,
+			Tag:    env.Tag,
+			Origin: env.Origin,
+			Flags:  wal.FlagHasValue,
+			Value:  env.Value,
+		})
+	}
 	ln.fq.push(*env)
 }
 
@@ -419,6 +493,17 @@ func (ln *lane) onWrite(env *wire.Envelope) {
 		w, ok := ln.myWrites[key]
 		if ok && w.phase == phaseWrite {
 			delete(ln.myWrites, key)
+			// RecAck only trims replayed retransmission; it is not sync-
+			// gated (the ack itself is not a ring frame) and losing it
+			// costs one duplicate ack after a restart, never atomicity.
+			ln.walStage(&wal.Record{
+				Type:   wal.RecAck,
+				Object: env.Object,
+				Tag:    env.Tag,
+				Origin: s.cfg.ID,
+				Client: w.client,
+				ReqID:  w.reqID,
+			})
 			s.enqueueAck(w.client, wire.NewFrame(wire.Envelope{
 				Kind:   wire.KindWriteAck,
 				Object: env.Object,
@@ -452,6 +537,21 @@ func (ln *lane) onWrite(env *wire.Envelope) {
 	o.prune(env.Tag)
 	o.publish()
 	sh.Unlock()
+	if applied {
+		rec := wal.Record{
+			Type:   wal.RecWrite,
+			Object: env.Object,
+			Tag:    env.Tag,
+			Origin: env.Origin,
+		}
+		if !elided {
+			// A full-value write (recovery retransmission) may have no
+			// covering pre-write record in this lane's log.
+			rec.Flags = wal.FlagHasValue
+			rec.Value = env.Value
+		}
+		ln.walStage(&rec)
+	}
 	if absorb {
 		// Absorb: the originator is gone, the ring is covered. A stale
 		// full value that was not installed ends here.

@@ -107,21 +107,23 @@ func (o *objectState) maxPending() tag.Tag {
 	return o.pending.max()
 }
 
-// addPending records a pre-write in the pending set. The first copy of a
-// tag wins: a recovery-retransmitted duplicate must not replace the
-// entry (its buffer would then be aliased by the duplicate's queued
-// forward, breaking the sole-reference rule above); the duplicate's
-// identical bytes simply fall to the GC. Entries at or below the stored
-// tag are skipped outright — their write already circulated, the stored
-// value's retransmission prefix-covers them (DESIGN.md §3.3), and
-// skipping keeps a straggling duplicate from resurrecting a pruned
-// entry whose buffer could then be recycled under the duplicate's
-// in-flight forward.
-func (o *objectState) addPending(t tag.Tag, v []byte, pooled bool) {
+// addPending records a pre-write in the pending set, reporting whether
+// the entry was actually inserted. The first copy of a tag wins: a
+// recovery-retransmitted duplicate must not replace the entry (its
+// buffer would then be aliased by the duplicate's queued forward,
+// breaking the sole-reference rule above); the duplicate's identical
+// bytes simply fall to the GC. Entries at or below the stored tag are
+// skipped outright — their write already circulated, the stored value's
+// retransmission prefix-covers them (DESIGN.md §3.3), and skipping
+// keeps a straggling duplicate from resurrecting a pruned entry whose
+// buffer could then be recycled under the duplicate's in-flight
+// forward. The WAL stages a pre-write record only on true — a refused
+// duplicate logged again would replay into a ghost entry.
+func (o *objectState) addPending(t tag.Tag, v []byte, pooled bool) bool {
 	if t.LessEq(o.tag) {
-		return
+		return false
 	}
-	o.pending.add(t, v, pooled)
+	return o.pending.add(t, v, pooled)
 }
 
 // pendingPooled reports whether the pending entry for t owns a pooled

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/tag"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -321,6 +322,15 @@ func (ln *lane) commitRingSend(plan sendPlan) {
 	if ln.fq.empty() {
 		ln.fq.resetCounts()
 	}
+	if ln.gatec != nil {
+		// Hand the sender the frame's durability watermark: the highest
+		// WAL sequence this lane has staged covers every record implied
+		// by the frame's envelopes (initiations staged above, forwards
+		// staged at receive time). Never blocks: gatec has capacity 1
+		// and the unbuffered ringOut handoff strictly alternates one
+		// commit per sender receive.
+		ln.gatec <- ln.walSeq
+	}
 }
 
 // initAdd is one initiation's deferred pending-set insertion, batched by
@@ -356,6 +366,20 @@ func (ln *lane) commitItem(it planItem) {
 			object: w.object,
 			phase:  phasePreWrite,
 		}
+		// The initiation record carries the client's value; synced (in
+		// train mode) before the pre-write leaves, so a restart can
+		// re-circulate it instead of leaving ghost barriers at peers
+		// that logged the pre-write this frame is about to create.
+		ln.walStage(&wal.Record{
+			Type:   wal.RecInit,
+			Object: it.env.Object,
+			Tag:    it.env.Tag,
+			Origin: s.cfg.ID,
+			Client: w.client,
+			ReqID:  w.reqID,
+			Flags:  wal.FlagHasValue,
+			Value:  it.env.Value,
+		})
 		ln.fq.charge(s.cfg.ID) // paper line 26
 		return
 	}

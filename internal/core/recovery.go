@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -130,6 +131,17 @@ func (ln *lane) adoptOrphans() {
 			o.dropPending(env.Tag)
 			o.publish()
 			sh.Unlock()
+			// Same rule as the receive-time adoption in onPreWrite: the
+			// turned-around write is logged with its value, because the
+			// crashed originator's RecInit no longer exists anywhere.
+			ln.walStage(&wal.Record{
+				Type:   wal.RecWrite,
+				Object: env.Object,
+				Tag:    env.Tag,
+				Origin: env.Origin,
+				Flags:  wal.FlagHasValue,
+				Value:  env.Value,
+			})
 			ln.requeue(wire.Envelope{
 				Kind:   wire.KindWrite,
 				Object: env.Object,

@@ -13,6 +13,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/tag"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -168,6 +169,18 @@ type Server struct {
 	// trainLen is the resolved Config.TrainLength.
 	trainLen int
 
+	// wal is the durable write-ahead log, nil when Config.WAL.Dir is
+	// empty. Opened — and replayed, compacted, and its interrupted ring
+	// traversals re-queued — inside NewServer, so recovery strictly
+	// precedes Start and any ring adoption traffic (DESIGN.md §13).
+	wal *wal.Log
+	// walGated marks wal.SyncTrain mode: each lane's sender gates every
+	// outgoing ring frame on a sync covering the records it staged.
+	walGated bool
+	// walFailOnce rate-limits the log line when a disk error fails the
+	// WAL mid-run; the ring keeps serving (availability wins), undurable.
+	walFailOnce sync.Once
+
 	// ringFrames/ringEnvs count committed outbound ring frames and the
 	// envelopes they carried: ringEnvs/ringFrames is the achieved train
 	// length, the observable behind the train_scaling benchmark.
@@ -246,6 +259,14 @@ func NewServer(cfg Config, ep transport.Endpoint) (*Server, error) {
 			cursor:   newTrainCursor(),
 			planTags: make(map[wire.ObjectID]tag.Tag),
 			log:      s.log.With("lane", i),
+		}
+	}
+	if cfg.WAL.Dir != "" {
+		// Open replays the log into the lanes and objects built above;
+		// the interrupted ring traversals it re-queues sit in the lanes'
+		// forward queues until Start — recovery before adoption.
+		if err := s.openWAL(); err != nil {
+			return nil, fmt.Errorf("core: wal: %w", err)
 		}
 	}
 	if d, ok := ep.(transport.Demuxer); ok {
@@ -400,6 +421,9 @@ func (s *Server) inboxAt(i int) chan transport.Inbound {
 // needs no launch — its per-client drain goroutines are created lazily
 // on first ack — but the legacy shared ackLoop does.
 func (s *Server) Start() {
+	if s.wal != nil {
+		s.wal.Start()
+	}
 	workers := s.cfg.readWorkers()
 	if workers > 0 {
 		s.readc = make(chan readReq, 4*workers)
@@ -426,12 +450,29 @@ func (s *Server) Start() {
 // transport endpoint; the caller owns it. The ack lanes are stopped
 // after the protocol goroutines so their final acks are not silently
 // dropped; transport delivering goroutines may still race an enqueue
-// past the stop, which the sender drops by design.
-func (s *Server) Stop() {
+// past the stop, which the sender drops by design. The WAL is closed
+// last with a full flush and sync, so a graceful stop never leans on
+// torn-tail repair.
+func (s *Server) Stop() { s.stop(false) }
+
+// Kill terminates the server like Stop but drops WAL records staged
+// since the last covering sync — the process-crash simulation behind
+// the restart tests: what survives on disk is exactly what a real
+// crash at this instant would leave.
+func (s *Server) Kill() { s.stop(true) }
+
+func (s *Server) stop(abrupt bool) {
 	s.stopOnce.Do(func() { close(s.stopc) })
 	s.wg.Wait()
 	if s.acks != nil {
 		s.acks.Stop()
+	}
+	if s.wal != nil {
+		if abrupt {
+			s.wal.Kill()
+		} else if err := s.wal.Close(); err != nil {
+			s.log.Error("wal close failed", "err", err)
+		}
 	}
 }
 

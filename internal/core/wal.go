@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// This file is the ring server's side of the write-ahead log
+// (DESIGN.md §13). The wal package owns framing, group commit, and
+// recovery mechanics; this file decides WHAT is logged and how a
+// replayed log folds back into protocol state.
+//
+// Staging sites mirror the state transitions of the §3 algorithm:
+//
+//   - RecInit at ring-commit of a local initiation (the pre-write's
+//     tag, client, and value);
+//   - RecPreWrite when a forwarded pre-write enters the pending set;
+//   - RecWrite when a write-phase message applies (value elided when a
+//     covering RecInit/RecPreWrite already carries it, mirroring wire
+//     elision) — own-returns, forwards, and orphan adoptions alike;
+//   - RecAck when the client ack for an own write is issued.
+//
+// In wal.SyncTrain mode the lane's sender gates every outgoing ring
+// frame on WaitLane for the highest sequence the lane has staged, so a
+// frame (and transitively the ack its full traversal produces) exists
+// on the wire only after the state it implies is on disk. Replay runs
+// inside wal.Open — before NewServer returns, hence strictly before
+// Start spins up lanes, the control plane, or any ring adoption.
+
+// openWAL opens the configured log, replays it into protocol state,
+// compacts each lane to a snapshot, and queues the retransmissions
+// that resume interrupted ring traversals. Called by NewServer after
+// lane construction; single-threaded, nothing is running yet.
+func (s *Server) openWAL() error {
+	wcfg := s.cfg.WAL
+	wcfg.Lanes = len(s.lanes)
+	wlog, err := wal.Open(wcfg, s.replayRecord)
+	if err != nil {
+		return err
+	}
+	s.wal = wlog
+	s.walGated = wcfg.Sync == wal.SyncTrain
+	if err := s.compactWAL(); err != nil {
+		wlog.Close()
+		s.wal = nil
+		return fmt.Errorf("compact: %w", err)
+	}
+	s.requeueReplayedState()
+	if s.walGated {
+		for _, ln := range s.lanes {
+			ln.gatec = make(chan uint64, 1)
+		}
+	}
+	return nil
+}
+
+// replayRecord folds one replayed WAL record into protocol state. The
+// fold re-runs the handlers' state transitions in the order the lane
+// originally performed them, so it is idempotent over the
+// history-plus-partial-snapshot a crash mid-compaction leaves behind:
+// addPending refuses duplicates and tags at or below the stored tag,
+// apply refuses stale tags, and myWrites upserts.
+func (s *Server) replayRecord(laneIdx int, r *wal.Record) error {
+	ln := s.lanes[laneIdx]
+	switch r.Type {
+	case wal.RecInit:
+		key := writeKey{object: r.Object, tag: r.Tag}
+		phase := phasePreWrite
+		if r.Flags&wal.FlagPhaseWrite != 0 {
+			phase = phaseWrite
+		}
+		ln.myWrites[key] = ownWrite{
+			client: r.Client,
+			reqID:  r.ReqID,
+			object: r.Object,
+			phase:  phase,
+		}
+		if r.Flags&wal.FlagHasValue != 0 {
+			// Keep the client's value reachable for the startup
+			// retransmission even if a newer write prunes the pending
+			// entry before this pre-write completes its ring traversal.
+			if ln.replayVals == nil {
+				ln.replayVals = make(map[writeKey][]byte)
+			}
+			ln.replayVals[key] = r.Value
+			s.obj(r.Object).addPending(r.Tag, r.Value, false)
+		}
+	case wal.RecPreWrite:
+		s.obj(r.Object).addPending(r.Tag, r.Value, false)
+	case wal.RecWrite:
+		o := s.obj(r.Object)
+		v, haveV := r.Value, r.Flags&wal.FlagHasValue != 0
+		if !haveV {
+			// Elided, like the wire message it logged: the value lives in
+			// the pending set from the covering RecInit/RecPreWrite. An
+			// absent entry means the tag was stale when logged (nothing
+			// was applied); the prune below is all that remains.
+			v, haveV = o.pending.get(r.Tag)
+		}
+		if haveV {
+			o.apply(r.Tag, v)
+		}
+		o.prune(r.Tag)
+		if r.Origin == s.cfg.ID {
+			key := writeKey{object: r.Object, tag: r.Tag}
+			if w, ok := ln.myWrites[key]; ok && w.phase == phasePreWrite {
+				w.phase = phaseWrite
+				ln.myWrites[key] = w
+				delete(ln.replayVals, key)
+			}
+		}
+	case wal.RecAck:
+		key := writeKey{object: r.Object, tag: r.Tag}
+		delete(ln.myWrites, key)
+		delete(ln.replayVals, key)
+	}
+	return nil
+}
+
+// compactWAL rewrites each lane of the log as a snapshot of the live
+// state the replay produced: stored values, pending pre-writes, and
+// in-flight own writes. History the snapshot supersedes is deleted
+// (beyond Config.WAL.KeepSegments), bounding restart replay work by
+// live state instead of log age.
+func (s *Server) compactWAL() error {
+	for _, ln := range s.lanes {
+		err := s.wal.Compact(ln.idx, func(add func(*wal.Record)) {
+			s.objects.Range(func(objID wire.ObjectID, o *objectState) bool {
+				if s.laneFor(objID) != ln.idx {
+					return true
+				}
+				if !o.tag.IsZero() {
+					add(&wal.Record{
+						Type:   wal.RecWrite,
+						Object: objID,
+						Tag:    o.tag,
+						Origin: wire.ProcessID(o.tag.ID),
+						Flags:  wal.FlagHasValue,
+						Value:  o.value,
+					})
+				}
+				for i := range o.pending.entries {
+					e := &o.pending.entries[i]
+					add(&wal.Record{
+						Type:   wal.RecPreWrite,
+						Object: objID,
+						Tag:    e.tag,
+						Origin: wire.ProcessID(e.tag.ID),
+						Flags:  wal.FlagHasValue,
+						Value:  e.value,
+					})
+				}
+				return true
+			})
+			for key, w := range ln.myWrites {
+				rec := wal.Record{
+					Type:   wal.RecInit,
+					Object: key.object,
+					Tag:    key.tag,
+					Origin: s.cfg.ID,
+					Client: w.client,
+					ReqID:  w.reqID,
+				}
+				if w.phase == phaseWrite {
+					rec.Flags = wal.FlagPhaseWrite
+				} else if v, ok := ln.replayVals[key]; ok {
+					rec.Flags = wal.FlagHasValue
+					rec.Value = v
+				}
+				add(&rec)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("lane %d: %w", ln.idx, err)
+		}
+	}
+	return nil
+}
+
+// requeueReplayedState resumes the ring traversals the crash
+// interrupted, mirroring retransmitAfterSuccessorCrash: the stored
+// value re-circulates as a write, every pending pre-write re-circulates
+// as a pre-write (each with its original origin, so it terminates at
+// its originator or adopter), and this server's own in-flight writes
+// restart their current phase. Prefix pruning at the receivers absorbs
+// whatever is stale; completed traversals re-ack, and a duplicate ack
+// to a client that already moved on is harmless (and, after a full-
+// cluster restart, expected — restart tests must not assert
+// AckSendFailures == 0).
+func (s *Server) requeueReplayedState() {
+	s.objects.Range(func(objID wire.ObjectID, o *objectState) bool {
+		ln := s.lanes[s.laneFor(objID)]
+		if !o.tag.IsZero() {
+			o.valuePooled = false
+			ln.requeue(wire.Envelope{
+				Kind:   wire.KindWrite,
+				Object: objID,
+				Tag:    o.tag,
+				Origin: wire.ProcessID(o.tag.ID),
+				Value:  o.value,
+			})
+		}
+		for i := range o.pending.entries {
+			e := &o.pending.entries[i]
+			e.pooled = false
+			ln.requeue(wire.Envelope{
+				Kind:   wire.KindPreWrite,
+				Object: objID,
+				Tag:    e.tag,
+				Origin: wire.ProcessID(e.tag.ID),
+				Value:  e.value,
+			})
+		}
+		o.publish()
+		return true
+	})
+	for _, ln := range s.lanes {
+		for key, w := range ln.myWrites {
+			switch w.phase {
+			case phasePreWrite:
+				// Restart the pre-write phase with the logged value. A
+				// write that already installed a newer tag may have
+				// pruned the pending entry; the RecInit side copy in
+				// replayVals still holds the client's bytes.
+				v, ok := ln.replayVals[key]
+				if !ok {
+					v, _ = s.obj(key.object).pending.get(key.tag)
+				}
+				ln.requeue(wire.Envelope{
+					Kind:   wire.KindPreWrite,
+					Object: key.object,
+					Tag:    key.tag,
+					Origin: s.cfg.ID,
+					Value:  v,
+				})
+			case phaseWrite:
+				if o := s.obj(key.object); o.tag == key.tag {
+					continue // the stored-value requeue above re-circulates it
+				}
+				// Elided, like the live write phase: any server whose
+				// stored tag is still below this one holds the value in
+				// its pending set (the pre-write completed the full ring
+				// and only a write at or above this tag could have pruned
+				// it); everyone else absorbs the tag-only message.
+				ln.requeue(wire.Envelope{
+					Kind:   wire.KindWrite,
+					Object: key.object,
+					Tag:    key.tag,
+					Origin: s.cfg.ID,
+					Flags:  wire.FlagValueElided,
+				})
+			}
+		}
+		ln.replayVals = nil
+		ln.noteStateChange()
+	}
+}
+
+// walStage appends one record to the lane's slice of the WAL, tracking
+// the highest staged sequence for the sender gate. Called only from
+// the lane's event-loop goroutine (handlers and ring commit), so
+// walSeq needs no synchronization. No-op without a WAL.
+func (ln *lane) walStage(r *wal.Record) {
+	if w := ln.srv.wal; w != nil {
+		ln.walSeq = w.Append(ln.idx, r)
+	}
+}
+
+// WALStats snapshots the write-ahead log's counters; zero when the
+// server runs without a WAL.
+func (s *Server) WALStats() wal.Stats {
+	if s.wal == nil {
+		return wal.Stats{}
+	}
+	return s.wal.Stats()
+}
+
+// WALTornTails returns how many torn or corrupt segment tails recovery
+// truncated at startup. Non-zero after a kill is expected (the tail
+// past the last sync is exactly what a crash loses); non-zero after a
+// graceful Stop means a sync was skipped on the shutdown path and
+// should fail the happy-path tests that assert it.
+func (s *Server) WALTornTails() uint64 {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.Stats().TornTails
+}

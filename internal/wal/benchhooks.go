@@ -1,0 +1,63 @@
+// Bench hooks: exported entry points for the hot-path microbenchmarks
+// in internal/bench and the repo-root bench_test.go, so the JSON report
+// and `go test -bench` measure identical loops. They expose internal
+// mechanics (the unsynced lane flush) no production caller needs.
+
+package wal
+
+import (
+	"time"
+
+	"repro/internal/tag"
+)
+
+// AppendBench measures the append path — encode, CRC, copy into the
+// lane's staging buffer — in isolation: the log is opened with the
+// syncer parked (hour-long interval, unbounded batch), and the staged
+// bytes are discarded every few thousand records to bound growth. In
+// production the disk write and sync are paid by the syncer goroutine
+// (the group-commit sweep measures those); this is the cost a lane's
+// event loop pays per committed envelope. Amortized 0 allocs/op.
+type AppendBench struct {
+	l   *Log
+	rec Record
+	n   uint64
+}
+
+// NewAppendBench opens the harness over dir with valueBytes-sized
+// record values.
+func NewAppendBench(dir string, valueBytes int) (*AppendBench, error) {
+	l, err := Open(Config{
+		Dir:           dir,
+		Lanes:         1,
+		Sync:          SyncInterval,
+		FlushInterval: time.Hour,
+		BatchBytes:    1 << 30,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &AppendBench{
+		l:   l,
+		rec: Record{Type: RecPreWrite, Object: 7, Origin: 2, Flags: FlagHasValue, Value: make([]byte, valueBytes)},
+	}, nil
+}
+
+// Append stages n records on lane 0.
+func (ab *AppendBench) Append(n int) {
+	for i := 0; i < n; i++ {
+		ab.n++
+		ab.rec.Tag = tag.Tag{TS: ab.n, ID: 2}
+		ab.l.Append(0, &ab.rec)
+		if ab.n%8192 == 0 {
+			ll := &ab.l.lanes[0]
+			ll.mu.Lock()
+			ll.buf = ll.buf[:0]
+			ll.leaves = ll.leaves[:0]
+			ll.mu.Unlock()
+		}
+	}
+}
+
+// Close discards the harness.
+func (ab *AppendBench) Close() { ab.l.Kill() }

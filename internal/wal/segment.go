@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// On-disk layout: one MANIFEST per log directory pinning the format
+// version and lane count, plus per-lane segment files named
+// wal-<lane>-<segment>.log. Lane count is fixed at first open — a WAL
+// directory belongs to one server with one lane configuration.
+const (
+	segMagic      = 0x4757414c // "LAWG" little-endian on disk
+	segVersion    = 1
+	segHeaderSize = 16 // magic u32, version u16, lane u16, segment u32, reserved u32
+
+	manifestName  = "MANIFEST"
+	manifestMagic = 0x4d57414c // "LAWM"
+	manifestSize  = 8          // magic u32, version u16, lanes u16
+)
+
+func segName(lane int, seg uint32) string {
+	return fmt.Sprintf("wal-%03d-%08d.log", lane, seg)
+}
+
+func segPath(dir string, lane int, seg uint32) string {
+	return filepath.Join(dir, segName(lane, seg))
+}
+
+// listSegments returns the lane's segment indices, oldest first.
+func listSegments(dir string, lane int) ([]uint32, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := fmt.Sprintf("wal-%03d-", lane)
+	var segs []uint32
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".log")
+		v, err := strconv.ParseUint(num, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("wal: unparseable segment file %s", name)
+		}
+		segs = append(segs, uint32(v))
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// createSegment creates a fresh segment file with its header written
+// and synced, and the directory entry synced so the file survives a
+// crash that immediately follows (records acked against this segment
+// must not lose the segment itself).
+func createSegment(dir string, lane int, seg uint32) (*os.File, error) {
+	f, err := os.OpenFile(segPath(dir, lane, seg), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [segHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], segMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], segVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(lane))
+	binary.LittleEndian.PutUint32(hdr[8:], seg)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// checkSegHeader validates a segment file's 16-byte header against the
+// lane and index its name promised.
+func checkSegHeader(hdr []byte, lane int, seg uint32) error {
+	if len(hdr) < segHeaderSize {
+		return fmt.Errorf("wal: segment header truncated (%d bytes)", len(hdr))
+	}
+	if binary.LittleEndian.Uint32(hdr) != segMagic {
+		return fmt.Errorf("wal: bad segment magic")
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != segVersion {
+		return fmt.Errorf("wal: unsupported segment version %d", v)
+	}
+	if l := binary.LittleEndian.Uint16(hdr[6:]); int(l) != lane {
+		return fmt.Errorf("wal: segment header lane %d, file named for lane %d", l, lane)
+	}
+	if s := binary.LittleEndian.Uint32(hdr[8:]); s != seg {
+		return fmt.Errorf("wal: segment header index %d, file named %d", s, seg)
+	}
+	return nil
+}
+
+// loadManifest reads or creates the directory manifest, erroring when
+// an existing one disagrees on the lane count: the lane fanout decides
+// which file each record lives in, so it is fixed at first open.
+func loadManifest(dir string, lanes int) error {
+	path := filepath.Join(dir, manifestName)
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		var m [manifestSize]byte
+		binary.LittleEndian.PutUint32(m[0:], manifestMagic)
+		binary.LittleEndian.PutUint16(m[4:], 1)
+		binary.LittleEndian.PutUint16(m[6:], uint16(lanes))
+		if err := os.WriteFile(path, m[:], 0o644); err != nil {
+			return err
+		}
+		return syncDir(dir)
+	}
+	if err != nil {
+		return err
+	}
+	if len(b) != manifestSize || binary.LittleEndian.Uint32(b) != manifestMagic {
+		return fmt.Errorf("wal: %s is not a WAL manifest", path)
+	}
+	if v := binary.LittleEndian.Uint16(b[4:]); v != 1 {
+		return fmt.Errorf("wal: unsupported manifest version %d", v)
+	}
+	if l := int(binary.LittleEndian.Uint16(b[6:])); l != lanes {
+		return fmt.Errorf("wal: directory was created with %d lanes, server configured for %d (lane count is fixed per WAL directory)", l, lanes)
+	}
+	return nil
+}
+
+// manifestLanes reads the lane count of an existing manifest (offline
+// verification does not know the server configuration).
+func manifestLanes(dir string) (int, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != manifestSize || binary.LittleEndian.Uint32(b) != manifestMagic {
+		return 0, fmt.Errorf("wal: %s does not hold a WAL manifest", dir)
+	}
+	return int(binary.LittleEndian.Uint16(b[6:])), nil
+}
+
+// syncDir fsyncs a directory so entry creation/removal is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
