@@ -76,6 +76,7 @@ type config struct {
 	noFairness      bool
 	maxBatchBytes   int
 	flushInterval   time.Duration
+	noWritev        bool
 	walDir          string
 	walSync         WALSyncMode
 	walAudit        bool
@@ -160,6 +161,13 @@ func WithoutValueElision() Option { return func(c *config) { c.noElision = true 
 // WithoutFairness replaces the nb_msg fairness rule with plain FIFO
 // forwarding (ablation).
 func WithoutFairness() Option { return func(c *config) { c.noFairness = true } }
+
+// WithoutVectoredWrites forces the TCP egress back to the
+// copy-everything writer (ablation): every encoded frame is memcpy'd
+// into one batch buffer and shipped with a single write instead of the
+// hybrid slab+iovec writev. Frames are still encoded at enqueue time
+// either way.
+func WithoutVectoredWrites() Option { return func(c *config) { c.noWritev = true } }
 
 // WithBatchWindow tunes the TCP writer's coalescing: maxBytes caps one
 // flushed batch (zero keeps the default) and flush lets a non-full

@@ -44,7 +44,7 @@ func run() error {
 		hotpathOut = flag.String("hotpath-out", "BENCH_hotpath.json", "where -hotpath writes its report")
 		echoMsgs   = flag.Int("hotpath-echo-msgs", 60000, "messages per TCP echo measurement")
 		moWindow   = flag.Duration("hotpath-window", time.Second, "measurement window per multi-object data point")
-		strict     = flag.Bool("hotpath-strict", false, "exit non-zero if a hot path allocates (codec encode/round trip, pending-set add/prune, the read fast path, the ack enqueue/fast path, the federation routing decision, or the WAL append path > 0 allocs/op)")
+		strict     = flag.Bool("hotpath-strict", false, "exit non-zero if a hot path allocates (codec encode/round trip, pending-set add/prune, the read fast path, the ack enqueue/fast path, the federation routing decision, the WAL append path, or the egress enqueue/flush > 0 allocs/op) or the vectored egress loses its 256 B speedup floor")
 		gridFile   = flag.String("grid", "", "run the experiment grid declared in this JSON file (see experiments.json)")
 		gridOut    = flag.String("grid-out", "paper_runs/latest", "output directory for -grid CSVs and summaries")
 		gridSmoke  = flag.Bool("grid-smoke", false, "scale the grid down to a seconds-long smoke configuration (1 repeat, short windows, capped fleets)")
@@ -111,6 +111,14 @@ func runHotpath(out string, echoMsgs int, window time.Duration, strict bool) err
 	fmt.Printf("wire codec:    encode %.1f ns/op (%d allocs), round trip %.1f ns/op (%d allocs), %.0f MB/s\n",
 		rep.Wire.EncodeNsPerOp, rep.Wire.EncodeAllocsPerOp,
 		rep.Wire.RoundTripNsPerOp, rep.Wire.RoundTripAllocsPerOp, rep.Wire.MBPerSec)
+	fmt.Printf("egress:        enqueue encode %.1f ns/op (%d allocs)\n",
+		rep.Egress.EnqueueNsPerOp, rep.Egress.EnqueueAllocsPerOp)
+	for _, row := range rep.Egress.Rows {
+		fmt.Printf("               %4dB x%-3d writev %5.1f ns/frame %8.0f msgs/s (%d allocs) vs copy %5.1f ns/frame %8.0f msgs/s (%d allocs) -> %.2fx\n",
+			row.PayloadBytes, row.FramesPerBatch,
+			row.WritevNsPerFrame, row.WritevMsgsPerSec, row.WritevAllocsPerOp,
+			row.CopyNsPerFrame, row.CopyMsgsPerSec, row.CopyAllocsPerOp, row.Speedup)
+	}
 	fmt.Printf("pending set:   add/prune %.1f/%.1f/%.1f ns/op at depth 1/8/64 (%d allocs), maxPending %.1f ns/op\n",
 		rep.PendingSet.AddPruneNsPerOpDepth1, rep.PendingSet.AddPruneNsPerOpDepth8,
 		rep.PendingSet.AddPruneNsPerOpDepth64, rep.PendingSet.AddPruneAllocsPerOp,
@@ -186,6 +194,20 @@ func runHotpath(out string, echoMsgs int, window time.Duration, strict bool) err
 		if rep.WAL.AppendAllocsPerOp != 0 {
 			return fmt.Errorf("wal append path allocates: %d allocs/op (want 0)",
 				rep.WAL.AppendAllocsPerOp)
+		}
+		if rep.Egress.EnqueueAllocsPerOp != 0 {
+			return fmt.Errorf("egress enqueue encode allocates: %d allocs/op (want 0)",
+				rep.Egress.EnqueueAllocsPerOp)
+		}
+		for _, row := range rep.Egress.Rows {
+			if row.WritevAllocsPerOp != 0 || row.CopyAllocsPerOp != 0 {
+				return fmt.Errorf("egress flush allocates at %d B: writev %d allocs/op, copy %d allocs/op (want 0)",
+					row.PayloadBytes, row.WritevAllocsPerOp, row.CopyAllocsPerOp)
+			}
+			if row.PayloadBytes == 256 && row.Speedup < 1.15 {
+				return fmt.Errorf("vectored egress regressed: %.2fx msgs/s over the copy pipeline at 256 B (want >= 1.15x)",
+					row.Speedup)
+			}
 		}
 	}
 	return nil

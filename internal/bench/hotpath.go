@@ -29,6 +29,7 @@ type HotpathReport struct {
 	GoMaxProcs int    `json:"gomaxprocs"`
 
 	Wire         WireCodecStats    `json:"wire_codec"`
+	Egress       EgressStats       `json:"egress"`
 	TCPEcho      TCPEchoStats      `json:"tcp_echo"`
 	PendingSet   PendingSetStats   `json:"pending_set"`
 	ReadPath     ReadPathStats     `json:"read_path"`
@@ -659,6 +660,11 @@ func RunHotpath(ctx context.Context, echoMsgs int, multiObjDuration time.Duratio
 		PendingSet: MeasurePendingSet(),
 		ReadPath:   MeasureReadPath(),
 	}
+	eg, err := MeasureEgress()
+	if err != nil {
+		return rep, err
+	}
+	rep.Egress = eg
 	// 256-byte payloads sit between the ring's tiny elided-write frames
 	// and full 1 KiB values; at this size the echo is syscall-bound, so
 	// it isolates what coalescing actually buys. (At 1 KiB loopback

@@ -33,9 +33,16 @@ type configMod func(*core.Config)
 // newCluster starts servers 1..n on a fresh in-memory network.
 func newCluster(t *testing.T, n int, mods ...configMod) *cluster {
 	t.Helper()
+	return newClusterNet(t, n, transport.MemNetworkOptions{}, mods...)
+}
+
+// newClusterNet is newCluster with explicit transport options (queued
+// delivery, encode-at-enqueue, …).
+func newClusterNet(t *testing.T, n int, netOpts transport.MemNetworkOptions, mods ...configMod) *cluster {
+	t.Helper()
 	c := &cluster{
 		t:          t,
-		net:        transport.NewMemNetwork(transport.MemNetworkOptions{}),
+		net:        transport.NewMemNetwork(netOpts),
 		servers:    make(map[wire.ProcessID]*core.Server),
 		eps:        make(map[wire.ProcessID]*transport.MemEndpoint),
 		nextClient: 1000,

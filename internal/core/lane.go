@@ -220,6 +220,14 @@ func (ln *lane) loop() {
 // loop, so the lane keeps draining its inbox and planning the next
 // train while the sync is in flight — the fsync is amortized per
 // train, not paid per envelope.
+//
+// The transport's zero-copy egress (DESIGN.md §14) encodes frames at
+// enqueue time — inside SendLane/Send, on this goroutine. That keeps
+// the gate sound by construction: the gate runs strictly before the
+// SendLane call, so a train is encoded and queued for the wire only
+// after the fdatasync covering its records has completed. No encoded
+// byte of a gated train exists anywhere (pool, queue, iovec, kernel)
+// before its durability is settled — acks still imply durability.
 func (ln *lane) senderLoop() {
 	s := ln.srv
 	defer s.wg.Done()

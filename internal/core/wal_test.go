@@ -10,6 +10,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/transport"
 	"repro/internal/wal"
 	"repro/internal/wire"
 )
@@ -77,6 +78,61 @@ func TestAckedWriteDurableAfterKill(t *testing.T) {
 		if st := re.servers[wire.ProcessID(i)].WALStats(); st.Replayed == 0 {
 			t.Fatalf("server %d replayed no WAL records", i)
 		}
+	}
+}
+
+// TestAckedWriteDurableAfterKillEncodedEgress re-runs the durability
+// contract over the §14 egress semantics: a queued transport that
+// encodes every frame at enqueue time into pooled refcounted buffers —
+// the memnet mirror of the vectored TCP egress. The WAL send gate runs
+// strictly before SendLane, so no encoded byte of a gated train may
+// exist before its covering fdatasync; killing every server mid-stream
+// must neither lose an acked write nor strand a pooled encode buffer.
+func TestAckedWriteDurableAfterKillEncodedEgress(t *testing.T) {
+	liveBase := wire.EncodedFramesLive()
+	base := t.TempDir()
+	ctx := ctxT(t)
+	netOpts := transport.MemNetworkOptions{
+		SendQueueCapacity: 64,
+		EncodeAtEnqueue:   true,
+	}
+
+	c := newClusterNet(t, 3, netOpts, walMod(base, wal.SyncTrain))
+	cl := c.newClient(client.Options{})
+	const writes = 20
+	tags := make(map[int]string)
+	for i := 0; i < writes; i++ {
+		obj := i % 4
+		v := fmt.Sprintf("durable-enc-%d", i)
+		if _, err := cl.Write(ctx, wire.ObjectID(obj), []byte(v)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		tags[obj] = v
+	}
+	c.killAll()
+
+	re := newClusterNet(t, 3, netOpts, walMod(base, wal.SyncTrain))
+	for i := 1; i <= 3; i++ {
+		pinned := re.pinnedClient(wire.ProcessID(i))
+		for obj, want := range tags {
+			got, _, err := pinned.Read(ctx, wire.ObjectID(obj))
+			if err != nil {
+				t.Fatalf("server %d read obj %d: %v", i, obj, err)
+			}
+			if string(got) != want {
+				t.Fatalf("server %d obj %d: %q after restart, want %q", i, obj, got, want)
+			}
+		}
+	}
+	re.shutdown()
+	// Every pooled encode buffer must be back: the killed cluster's
+	// queues drained on close, the restarted one's on shutdown.
+	deadline := time.Now().Add(5 * time.Second)
+	for wire.EncodedFramesLive() != liveBase && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := wire.EncodedFramesLive(); got != liveBase {
+		t.Fatalf("encoded frames leaked across kill/restart: live = %d, started at %d", got, liveBase)
 	}
 }
 

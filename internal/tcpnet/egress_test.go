@@ -1,0 +1,229 @@
+package tcpnet
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// shortWriteConn forces 1-byte writes, violating the io.Writer contract
+// (progress without an error). The egress flush must advance past such
+// partial writes itself — net.Buffers' generic fallback does not — so
+// frames stay intact byte for byte.
+type shortWriteConn struct {
+	net.Conn
+}
+
+func (c shortWriteConn) Write(b []byte) (int, error) {
+	if len(b) > 1 {
+		b = b[:1]
+	}
+	return c.Conn.Write(b)
+}
+
+// leakCheck asserts the global encoded-frame counter returns to its
+// starting value once the endpoints under test have shut down.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	base := wire.EncodedFramesLive()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for wire.EncodedFramesLive() != base && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if got := wire.EncodedFramesLive(); got != base {
+			t.Errorf("encoded frames leaked: live = %d, started at %d", got, base)
+		}
+	})
+}
+
+// TestEgressShortWritePartialWrites drives the writer's manual gather
+// loop over a connection that only ever accepts one byte per Write,
+// with a cutoff that interleaves slab runs and zero-copy iovec entries.
+// Every frame must arrive intact and in order, and every pooled encode
+// buffer must return to the pool.
+func TestEgressShortWritePartialWrites(t *testing.T) {
+	leakCheck(t)
+	e := newEndpoint(1, nil, Options{VectoredCutoffBytes: 128})
+	t.Cleanup(func() { _ = e.Close() })
+	near, far := net.Pipe()
+	p := e.adoptConn(linkKey{id: 2, lane: laneGeneral}, shortWriteConn{Conn: near})
+
+	const total = 40
+	small := []byte("tiny")
+	big := make([]byte, 600)
+	for i := range big {
+		big[i] = byte(i)
+	}
+
+	type got struct {
+		f   wire.Frame
+		err error
+	}
+	results := make(chan got, total)
+	go func() {
+		r := wire.NewReaderSize(far, 32<<10)
+		defer r.Close()
+		for i := 0; i < total; i++ {
+			f, err := r.ReadFrame()
+			results <- got{f: f, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < total; i++ {
+		v := small
+		if i%2 == 1 {
+			v = big // above the cutoff: its own zero-copy iovec entry
+		}
+		f := wire.NewFrame(wire.Envelope{Kind: wire.KindWriteRequest, ReqID: uint64(i), Value: v})
+		if err := e.enqueueFrame(p, 2, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < total; i++ {
+		select {
+		case g := <-results:
+			if g.err != nil {
+				t.Fatalf("frame %d: read error: %v", i, g.err)
+			}
+			if g.f.Env.ReqID != uint64(i) {
+				t.Fatalf("frame %d arrived with req %d", i, g.f.Env.ReqID)
+			}
+			want := small
+			if i%2 == 1 {
+				want = big
+			}
+			if len(g.f.Env.Value) != len(want) {
+				t.Fatalf("frame %d: |v|=%d want %d", i, len(g.f.Env.Value), len(want))
+			}
+			for j := range want {
+				if g.f.Env.Value[j] != want[j] {
+					t.Fatalf("frame %d corrupted at byte %d", i, j)
+				}
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("frame %d never arrived", i)
+		}
+	}
+	_ = e.Close()
+	_ = far.Close()
+}
+
+// TestEgressVectoredPaths runs the ordered-delivery invariant over real
+// TCP under every egress configuration: the default hybrid, pure
+// zero-copy (negative cutoff vectorizes every frame), the
+// copy-everything ablation, and unbatched writes. Each run also proves
+// pooled-buffer accounting: no encoded frame outlives its endpoints.
+func TestEgressVectoredPaths(t *testing.T) {
+	for name, opts := range map[string]Options{
+		"hybridDefault": {},
+		"allVectored":   {VectoredCutoffBytes: -1},
+		"copyAblation":  {DisableVectoredWrites: true},
+		"vectoredUnbatched": {
+			VectoredCutoffBytes: -1,
+			DisableCoalescing:   true,
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			leakCheck(t)
+			eps, _ := newClusterOpts(t, 2, opts)
+			sendReceiveMany(t, eps, 300)
+			for _, ep := range eps {
+				_ = ep.Close()
+			}
+		})
+	}
+}
+
+// TestEgressVectoredMixedSizes crosses the slab cutoff in both
+// directions within single coalesced batches — values from empty to
+// well past the cutoff — and checks content integrity end to end over
+// real TCP with every frame class interleaved.
+func TestEgressVectoredMixedSizes(t *testing.T) {
+	leakCheck(t)
+	eps, _ := newClusterOpts(t, 2, Options{
+		VectoredCutoffBytes: 256,
+		MaxBatchBytes:       8 << 10,
+		FlushInterval:       time.Millisecond,
+	})
+	vals := [][]byte{nil, make([]byte, 16), make([]byte, 255), make([]byte, 257), make([]byte, 4096), make([]byte, 64<<10)}
+	for i, v := range vals {
+		for j := range v {
+			v[j] = byte(i*31 + j)
+		}
+	}
+	const total = 120
+	go func() {
+		for i := 0; i < total; i++ {
+			v := vals[i%len(vals)]
+			env := wire.Envelope{Kind: wire.KindWriteRequest, ReqID: uint64(i), Value: v}
+			if err := eps[0].Send(2, wire.NewFrame(env)); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		in := recvOne(t, eps[1])
+		want := vals[i%len(vals)]
+		if in.Frame.Env.ReqID != uint64(i) || len(in.Frame.Env.Value) != len(want) {
+			t.Fatalf("frame %d: req=%d |v|=%d want |v|=%d", i, in.Frame.Env.ReqID, len(in.Frame.Env.Value), len(want))
+		}
+		for j := range want {
+			if in.Frame.Env.Value[j] != want[j] {
+				t.Fatalf("frame %d corrupted at byte %d", i, j)
+			}
+		}
+	}
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+}
+
+// TestEgressLegacyPeerInterop pins the mixed-fleet contract under
+// vectored egress: a train-capable sender talking to a v3 session peer
+// without CapFrameTrains must split trains before encoding, so the
+// iovec carries only frames the peer's decoder accepts — in order,
+// with values intact, and with all pooled buffers returned.
+func TestEgressLegacyPeerInterop(t *testing.T) {
+	leakCheck(t)
+	members := []wire.ProcessID{1, 2}
+	ha, hb := sessionHello(1, 4, members), sessionHello(2, 4, members)
+	ha.Capabilities |= wire.CapFrameTrains // b stays train-less
+	a, b := listenPair(t,
+		Options{Hello: ha, VectoredCutoffBytes: -1},
+		Options{Hello: hb, VectoredCutoffBytes: -1})
+	if err := a.Handshake(2); err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 5
+	const rounds = 30
+	go func() {
+		for r := 0; r < rounds; r++ {
+			if err := a.Send(2, tcpTrainFrame(k)); err != nil {
+				return
+			}
+		}
+	}()
+	var got int
+	deadline := time.After(10 * time.Second)
+	for got < rounds*k {
+		select {
+		case in := <-b.Inbox():
+			if n := in.Frame.EnvelopeCount(); n > 2 {
+				t.Fatalf("v4 frame (%d envelopes) reached a no-train session", n)
+			}
+			got += in.Frame.EnvelopeCount()
+		case <-deadline:
+			t.Fatalf("only %d of %d envelopes arrived", got, rounds*k)
+		}
+	}
+	_ = a.Close()
+	_ = b.Close()
+}

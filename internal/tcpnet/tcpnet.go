@@ -23,19 +23,26 @@
 // in-memory transport. Acks to clients travel back on the connection the
 // client opened, so clients need no listener.
 //
-// The writer goroutine coalesces: after encoding one frame it keeps
-// draining the per-peer queue into the same buffered writer — up to
+// Outbound frames are encoded at enqueue time, on the goroutine that
+// produced them, into pooled refcounted wire.EncodedFrame buffers; the
+// per-peer queue carries those buffers, and the writer goroutine only
+// gathers them. Each wakeup drains the queue into one iovec — up to
 // MaxBatchBytes, optionally waiting FlushInterval for stragglers — and
-// issues a single flush (one syscall) for the whole batch. Under load
-// this amortizes the write syscall over dozens of frames; an idle
-// connection still flushes every frame immediately, so latency is only
-// traded away when FlushInterval is set. Encode scratch space and inbound
-// frame bodies come from the wire package's buffer pool, keeping the
-// per-message path allocation-free in steady state.
+// hands the whole batch to the kernel with a single vectored write
+// (writev), returning each buffer to the pool once the kernel has
+// consumed it. Frames below a size cutoff are coalesced into a pooled
+// slab entry of the same iovec instead, because the kernel's per-iovec
+// cost exceeds a tiny memcpy; large frames ship zero-copy. Under load
+// this amortizes the write syscall over dozens of frames with no
+// intermediate copy and no encoding work serialized on the writer; an
+// idle connection still flushes every frame immediately, so latency is
+// only traded away when FlushInterval is set. Encode buffers, the slab,
+// and inbound frame bodies come from the wire package's buffer pool,
+// keeping the per-message path allocation-free in steady state.
+// DESIGN.md §14 states the buffer-ownership rules end to end.
 package tcpnet
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -112,11 +119,34 @@ type Options struct {
 	// DisableCoalescing restores the flush-per-frame writer. Used as the
 	// benchmark baseline; never an optimization.
 	DisableCoalescing bool
+	// DisableVectoredWrites makes the writer copy every encoded frame
+	// into the batch slab and issue one plain write per batch, instead
+	// of handing pooled frame buffers to the kernel as iovec entries of
+	// a vectored write. Ablation baseline (the `egress` section of
+	// BENCH_hotpath.json compares the two); never an optimization.
+	DisableVectoredWrites bool
+	// VectoredCutoffBytes is the hybrid egress threshold: encoded
+	// frames at least this large become their own zero-copy iovec
+	// entry, smaller ones are coalesced into the batch slab (the
+	// kernel's per-iovec bookkeeping costs more than a tiny memcpy —
+	// see EXPERIMENTS.md PR 9). Zero means DefaultVectoredCutoff;
+	// negative vectorizes every frame regardless of size.
+	VectoredCutoffBytes int
+	// ReadBufferBytes sizes the per-connection inbound read buffer.
+	// Zero means max(32 KiB, MaxBatchBytes), so one ingest slab can
+	// absorb a peer's largest egress batch in one read syscall.
+	ReadBufferBytes int
 }
 
 // DefaultMaxBatchBytes is the coalescing cap used when
 // Options.MaxBatchBytes is zero: one socket-buffer-sized flush.
 const DefaultMaxBatchBytes = 64 << 10
+
+// DefaultVectoredCutoff is the hybrid egress threshold used when
+// Options.VectoredCutoffBytes is zero. 1 KiB sits at the measured
+// crossover on loopback (EXPERIMENTS.md PR 9): below it a slab memcpy
+// beats the kernel's per-iovec cost, above it zero-copy wins.
+const DefaultVectoredCutoff = 1 << 10
 
 func (o Options) withDefaults() Options {
 	if o.SendQueueCapacity <= 0 {
@@ -136,6 +166,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBatchBytes <= 0 {
 		o.MaxBatchBytes = DefaultMaxBatchBytes
+	}
+	switch {
+	case o.VectoredCutoffBytes == 0:
+		o.VectoredCutoffBytes = DefaultVectoredCutoff
+	case o.VectoredCutoffBytes < 0:
+		o.VectoredCutoffBytes = 0 // every frame vectored
+	}
+	if o.ReadBufferBytes <= 0 {
+		o.ReadBufferBytes = 32 << 10
+		if o.MaxBatchBytes > o.ReadBufferBytes {
+			o.ReadBufferBytes = o.MaxBatchBytes
+		}
 	}
 	return o
 }
@@ -339,13 +381,15 @@ func (e *Endpoint) SendLane(to wire.ProcessID, lane int, f wire.Frame) error {
 	return e.send(to, lane, f)
 }
 
-// TrySend implements transport.TrySender: the frame is pushed onto the
-// general link's outbound queue only if the link is already established
-// and its queue has room right now. It never dials — connection setup
-// can block for seconds — and never waits for queue space, so it is
-// safe on goroutines that must not stall on a slow client. A frame the
-// link would have to split (a train toward a trains-less peer) is
-// refused; acks are single-envelope, so in practice this never fires.
+// TrySend implements transport.TrySender: the frame is encoded on this
+// goroutine (the ack fast path's whole point is that the producing
+// goroutine does the work) and pushed onto the general link's outbound
+// queue only if the link is already established and its queue has room
+// right now. It never dials — connection setup can block for seconds —
+// and never waits for queue space, so it is safe on goroutines that
+// must not stall on a slow client. A frame the link would have to
+// split (a train toward a trains-less peer) is refused; acks are
+// single-envelope, so in practice this never fires.
 func (e *Endpoint) TrySend(to wire.ProcessID, f wire.Frame) bool {
 	select {
 	case <-e.down:
@@ -361,10 +405,21 @@ func (e *Endpoint) TrySend(to wire.ProcessID, f wire.Frame) bool {
 	if !p.trains && f.EnvelopeCount() > 2 {
 		return false
 	}
+	if len(p.out) == cap(p.out) {
+		return false // full right now; skip the encode work
+	}
+	ef, err := wire.EncodeFrame(&f)
+	if err != nil {
+		return false
+	}
 	select {
-	case p.out <- f:
+	case p.out <- ef:
+		if reclaimIfClosed(p) {
+			return false // link raced shutdown; caller takes the slow path
+		}
 		return true
 	default:
+		ef.Release()
 		return false
 	}
 }
@@ -439,15 +494,51 @@ func (e *Endpoint) PeerCaps(to wire.ProcessID) (uint32, bool) {
 	return caps & local, true
 }
 
-// enqueue hands the frame to a live link's writer.
+// enqueue encodes the frame on the calling goroutine and hands the
+// pooled encoded buffer to the link's writer. The encode snapshots the
+// frame's value bytes, so any pooled value the frame aliases is free
+// the moment enqueue returns — the §10 alias lifetime now ends at a
+// point the producer can see, instead of at some later encode on the
+// writer goroutine (DESIGN.md §14).
 func (e *Endpoint) enqueue(p *peer, to wire.ProcessID, f wire.Frame) error {
+	ef, err := wire.EncodeFrame(&f)
+	if err != nil {
+		return err
+	}
 	select {
-	case p.out <- f:
+	case p.out <- ef:
+		if reclaimIfClosed(p) {
+			return fmt.Errorf("%w: %d", transport.ErrPeerDown, to)
+		}
 		return nil
 	case <-p.closed:
+		ef.Release()
 		return fmt.Errorf("%w: %d", transport.ErrPeerDown, to)
 	case <-e.down:
+		ef.Release()
 		return transport.ErrClosed
+	}
+}
+
+// reclaimIfClosed handles the push-vs-shutdown race: a send that lands
+// in the queue buffer just as the link closes can slip in after the
+// writer's final drain, stranding a pooled buffer. After a successful
+// push the producer re-checks the link; if it shut down meanwhile, the
+// producer pulls one queued frame back out and releases it. Between
+// the writer's post-close drain and every racing producer reclaiming
+// one frame each, no encoded buffer is left stranded — see the
+// accounting in DESIGN.md §14.
+func reclaimIfClosed(p *peer) bool {
+	select {
+	case <-p.closed:
+		select {
+		case ef := <-p.out:
+			ef.Release()
+		default:
+		}
+		return true
+	default:
+		return false
 	}
 }
 
@@ -525,7 +616,7 @@ func (e *Endpoint) adoptConn(key linkKey, conn net.Conn) *peer {
 	p := &peer{
 		key:    key,
 		conn:   conn,
-		out:    make(chan wire.Frame, e.opts.SendQueueCapacity),
+		out:    make(chan *wire.EncodedFrame, e.opts.SendQueueCapacity),
 		closed: make(chan struct{}),
 		trains: e.trainsNegotiated(key.id),
 	}
@@ -626,7 +717,7 @@ func (e *Endpoint) acceptLoop() {
 // pool-sized buffer per message.
 func (e *Endpoint) readLoop(p *peer) {
 	defer e.wg.Done()
-	r := wire.NewReaderSize(p.conn, 32<<10)
+	r := wire.NewReaderSize(p.conn, e.opts.ReadBufferBytes)
 	defer r.Close()
 	pooled := false
 	for {
@@ -655,19 +746,23 @@ func (e *Endpoint) readLoop(p *peer) {
 	}
 }
 
-// writeLoop drains queued frames onto the connection. Each wakeup
-// encodes the first frame, keeps draining the queue into the buffered
-// writer up to MaxBatchBytes (waiting FlushInterval for more when
-// configured), then flushes once for the whole batch.
+// writeLoop drains queued encoded frames onto the connection. Each
+// wakeup gathers the first frame plus whatever else the queue holds
+// into one iovec batch — up to MaxBatchBytes, waiting FlushInterval
+// for more when configured — and flushes it with a single vectored
+// write. When the loop exits the link is closed (every exit path runs
+// through shutdown), so the deferred drain releases whatever producers
+// managed to queue; racing late pushes reclaim themselves
+// (reclaimIfClosed).
 func (e *Endpoint) writeLoop(p *peer) {
 	defer e.wg.Done()
-	bw := bufio.NewWriterSize(p.conn, e.opts.MaxBatchBytes)
-	scratch := wire.GetBuffer()
-	defer func() { wire.PutBuffer(scratch) }()
+	w := newEgressWriter(p.conn, !e.opts.DisableVectoredWrites, e.opts.VectoredCutoffBytes)
+	defer w.close()
+	defer drainOut(p)
 	for {
 		select {
-		case f := <-p.out:
-			if err := e.writeBatch(p, bw, scratch, f); err != nil {
+		case ef := <-p.out:
+			if err := e.writeBatch(p, w, ef); err != nil {
 				e.dropPeer(p)
 				return
 			}
@@ -680,8 +775,24 @@ func (e *Endpoint) writeLoop(p *peer) {
 	}
 }
 
-// writeBatch writes first plus any coalesced followers and flushes once.
-func (e *Endpoint) writeBatch(p *peer, bw *bufio.Writer, scratch *[]byte, first wire.Frame) error {
+// drainOut releases encoded frames stranded in a closed link's queue.
+func drainOut(p *peer) {
+	for {
+		select {
+		case ef := <-p.out:
+			ef.Release()
+		default:
+			return
+		}
+	}
+}
+
+// writeBatch gathers first plus any coalesced followers and flushes
+// the batch with one vectored write. Frames arrive already encoded, so
+// the only per-frame work here is an iovec append (or a slab memcpy
+// below the cutoff) — the writer goroutine no longer serializes the
+// encoding of every producer behind one scratch buffer.
+func (e *Endpoint) writeBatch(p *peer, w *egressWriter, first *wire.EncodedFrame) error {
 	var (
 		timer    *time.Timer
 		deadline <-chan time.Time
@@ -691,32 +802,24 @@ func (e *Endpoint) writeBatch(p *peer, bw *bufio.Writer, scratch *[]byte, first 
 		defer timer.Stop()
 		deadline = timer.C
 	}
-	f, batched := first, 0
+	ef := first
 	for {
-		buf, err := f.AppendTo((*scratch)[:0])
-		if err != nil {
-			return err
-		}
-		*scratch = buf
-		if _, err := bw.Write(buf); err != nil {
-			return err
-		}
-		batched += len(buf)
-		if e.opts.DisableCoalescing || batched >= e.opts.MaxBatchBytes {
+		w.add(ef)
+		if e.opts.DisableCoalescing || w.batched >= e.opts.MaxBatchBytes {
 			break
 		}
 		if deadline == nil {
 			// No flush timer: coalesce whatever is already queued and
 			// flush the moment the queue runs dry.
 			select {
-			case f = <-p.out:
+			case ef = <-p.out:
 				continue
 			default:
 			}
 			break
 		}
 		select {
-		case f = <-p.out:
+		case ef = <-p.out:
 			continue
 		case <-deadline:
 		case <-p.closed:
@@ -724,14 +827,15 @@ func (e *Endpoint) writeBatch(p *peer, bw *bufio.Writer, scratch *[]byte, first 
 		}
 		break
 	}
-	return bw.Flush()
+	return w.flush()
 }
 
-// peer is one live TCP connection with its outbound queue.
+// peer is one live TCP connection with its outbound queue of encoded
+// frames.
 type peer struct {
 	key    linkKey
 	conn   net.Conn
-	out    chan wire.Frame
+	out    chan *wire.EncodedFrame
 	once   sync.Once
 	closed chan struct{}
 	// trains records whether the session with this peer negotiated
@@ -768,9 +872,17 @@ func (e *Endpoint) dialHandshake(conn net.Conn, to wire.ProcessID, lane int) err
 	if lane >= 0 {
 		h.Link = uint16(lane)
 	}
-	buf := append([]byte(magicV3), byte(wire.HelloWireSize()))
-	buf = wire.AppendHello(buf, &h)
-	if _, err := conn.Write(buf); err != nil {
+	// Assemble magic + length + HELLO in one pooled buffer and one
+	// write: the whole preamble leaves in a single segment instead of
+	// trickling out (and allocating) per field.
+	buf := wire.GetBuffer()
+	b := append((*buf)[:0], magicV3...)
+	b = append(b, byte(wire.HelloWireSize()))
+	b = wire.AppendHello(b, &h)
+	*buf = b
+	_, err := conn.Write(b)
+	wire.PutBuffer(buf)
+	if err != nil {
 		return err
 	}
 	if err := conn.SetReadDeadline(time.Now().Add(handshakeTimeout)); err != nil {
@@ -868,9 +980,15 @@ func (e *Endpoint) acceptHandshake(conn net.Conn) (linkKey, error) {
 		if cerr != nil {
 			status = 1
 		}
-		buf := append([]byte{status}, byte(wire.HelloWireSize()))
-		buf = wire.AppendHello(buf, &reply)
-		if _, werr := conn.Write(buf); werr != nil {
+		// Status + length + HELLO assembled in one pooled buffer, one
+		// write — the dialer's single read deadline covers one segment.
+		buf := wire.GetBuffer()
+		b := append((*buf)[:0], status, byte(wire.HelloWireSize()))
+		b = wire.AppendHello(b, &reply)
+		*buf = b
+		_, werr := conn.Write(b)
+		wire.PutBuffer(buf)
+		if werr != nil {
 			return linkKey{}, werr
 		}
 		if cerr != nil {
@@ -894,9 +1012,11 @@ func readHelloBody(conn net.Conn) (wire.Hello, error) {
 	if _, err := io.ReadFull(conn, n[:]); err != nil {
 		return wire.Hello{}, fmt.Errorf("tcpnet: reading hello length: %w", err)
 	}
-	body := make([]byte, n[0])
-	if _, err := io.ReadFull(conn, body); err != nil {
+	// The length prefix is one byte, so a stack buffer always fits and
+	// the handshake reads without allocating (DecodeHello copies).
+	var body [255]byte
+	if _, err := io.ReadFull(conn, body[:n[0]]); err != nil {
 		return wire.Hello{}, fmt.Errorf("tcpnet: reading hello body: %w", err)
 	}
-	return wire.DecodeHello(body)
+	return wire.DecodeHello(body[:n[0]])
 }

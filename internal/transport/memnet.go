@@ -35,6 +35,19 @@ type MemNetworkOptions struct {
 	// goroutine, mirroring tcpnet's MaxBatchBytes. Zero means 32. Only
 	// meaningful with SendQueueCapacity > 0.
 	MaxBatchFrames int
+	// EncodeAtEnqueue mirrors tcpnet's zero-copy egress semantics
+	// (DESIGN.md §14): the producing goroutine encodes each queued
+	// frame into a pooled wire.EncodedFrame at enqueue time, the queue
+	// carries the encoded buffer alongside the frame value, and the
+	// sender goroutine releases the buffer at delivery — the in-memory
+	// stand-in for "the kernel consumed the iovec". Delivery itself
+	// still hands over the frame value (memnet never decodes; that is
+	// what makes it a shared-memory transport), so the option's effect
+	// is to charge the producer the same encode cost, surface encode
+	// errors at the same call site, and hold pooled buffers over the
+	// same window as the TCP path, keeping cross-transport benches
+	// comparable. Only meaningful with SendQueueCapacity > 0.
+	EncodeAtEnqueue bool
 }
 
 func (o MemNetworkOptions) withDefaults() MemNetworkOptions {
@@ -104,7 +117,7 @@ func (n *MemNetwork) register(id wire.ProcessID, hello *wire.Hello) (*MemEndpoin
 		down:     make(chan struct{}),
 	}
 	if n.opts.SendQueueCapacity > 0 {
-		ep.outqs = make(map[outKey]chan wire.Frame)
+		ep.outqs = make(map[outKey]chan memOut)
 	}
 	n.endpoints[id] = ep
 	return ep, nil
@@ -155,6 +168,15 @@ type outKey struct {
 	lane int
 }
 
+// memOut is one queued outbound frame. enc is non-nil only in
+// EncodeAtEnqueue mode: the pooled encoded form produced on the
+// sending goroutine, released when the frame is delivered (or when the
+// queue drains on shutdown).
+type memOut struct {
+	f   wire.Frame
+	enc *wire.EncodedFrame
+}
+
 // laneGeneral is the outKey lane of the unpinned link.
 const laneGeneral = -1
 
@@ -173,7 +195,7 @@ type MemEndpoint struct {
 	// connections, so a slow destination or a saturated lane never
 	// holds up frames bound elsewhere.
 	outmu sync.Mutex
-	outqs map[outKey]chan wire.Frame
+	outqs map[outKey]chan memOut
 
 	// demux, when set, routes inbound frames to per-lane inboxes
 	// instead of the shared inbox (Demuxer).
@@ -274,13 +296,28 @@ func (e *MemEndpoint) sendLane(to wire.ProcessID, lane int, f wire.Frame) error 
 }
 
 // sendOne moves one frame toward the destination: onto the per-link
-// queue in batching mode, straight into the destination inbox otherwise.
+// queue in batching mode (encoding it first when the network mirrors
+// tcpnet's encode-at-enqueue semantics), straight into the destination
+// inbox otherwise.
 func (e *MemEndpoint) sendOne(to wire.ProcessID, lane int, dst *MemEndpoint, f wire.Frame) error {
 	if e.outqs != nil {
+		m := memOut{f: f}
+		if e.net.opts.EncodeAtEnqueue {
+			enc, err := wire.EncodeFrame(&f)
+			if err != nil {
+				return err
+			}
+			m.enc = enc
+		}
+		q := e.queueFor(to, lane)
 		select {
-		case e.queueFor(to, lane) <- f:
+		case q <- m:
+			e.reclaimIfDown(q)
 			return nil
 		case <-e.down:
+			if m.enc != nil {
+				m.enc.Release()
+			}
 			return ErrClosed
 		}
 	}
@@ -326,8 +363,28 @@ func (e *MemEndpoint) TrySend(to wire.ProcessID, f wire.Frame) bool {
 		return false // needs the legacy split; take the blocking path
 	}
 	if e.outqs != nil {
+		m := memOut{f: f}
+		if e.net.opts.EncodeAtEnqueue {
+			q := e.queueFor(to, laneGeneral)
+			if len(q) == cap(q) {
+				return false // full right now; skip the encode work
+			}
+			enc, err := wire.EncodeFrame(&f)
+			if err != nil {
+				return false
+			}
+			m.enc = enc
+			select {
+			case q <- m:
+				e.reclaimIfDown(q)
+				return true
+			default:
+				enc.Release()
+				return false
+			}
+		}
 		select {
-		case e.queueFor(to, laneGeneral) <- f:
+		case e.queueFor(to, laneGeneral) <- m:
 			return true
 		default:
 			return false
@@ -405,53 +462,89 @@ func (e *MemEndpoint) laneLinksWith(dst *MemEndpoint) bool {
 
 // queueFor returns the outbound queue for a link, creating it and its
 // sender goroutine on first use (tcpnet's lazily dialed per-lane peer).
-func (e *MemEndpoint) queueFor(to wire.ProcessID, lane int) chan wire.Frame {
+func (e *MemEndpoint) queueFor(to wire.ProcessID, lane int) chan memOut {
 	key := outKey{to: to, lane: lane}
 	e.outmu.Lock()
 	defer e.outmu.Unlock()
 	q, ok := e.outqs[key]
 	if !ok {
-		q = make(chan wire.Frame, e.net.opts.SendQueueCapacity)
+		q = make(chan memOut, e.net.opts.SendQueueCapacity)
 		e.outqs[key] = q
 		go e.senderLoop(key, q, e.net.opts.MaxBatchFrames)
 	}
 	return q
 }
 
+// reclaimIfDown handles the push-vs-shutdown race of EncodeAtEnqueue
+// mode, mirroring tcpnet: a send landing in the queue buffer just as
+// the endpoint goes down can slip in after the sender goroutine's
+// final drain, stranding a pooled encoded buffer. After a successful
+// push the producer re-checks; if the endpoint went down meanwhile, it
+// pulls one queued entry back out and releases it.
+func (e *MemEndpoint) reclaimIfDown(q chan memOut) {
+	select {
+	case <-e.down:
+		select {
+		case m := <-q:
+			if m.enc != nil {
+				m.enc.Release()
+			}
+		default:
+		}
+	default:
+	}
+}
+
 // senderLoop drains one link's queue in coalesced runs, mirroring the
 // TCP per-link writer: wake up for one frame, keep delivering
-// already-queued frames up to the batch cap, then block again.
-func (e *MemEndpoint) senderLoop(key outKey, q chan wire.Frame, maxBatch int) {
+// already-queued frames up to the batch cap, then block again. On
+// shutdown it drains the queue once more so no encoded buffer stays
+// stranded (racing late pushes reclaim themselves, reclaimIfDown).
+func (e *MemEndpoint) senderLoop(key outKey, q chan memOut, maxBatch int) {
 	for {
 		select {
-		case f := <-q:
-			e.deliver(key, f)
+		case m := <-q:
+			e.deliver(key, m)
 			for i := 1; i < maxBatch; i++ {
 				select {
-				case f2 := <-q:
-					e.deliver(key, f2)
+				case m2 := <-q:
+					e.deliver(key, m2)
 					continue
 				default:
 				}
 				break
 			}
 		case <-e.down:
-			return
+			for {
+				select {
+				case m := <-q:
+					if m.enc != nil {
+						m.enc.Release()
+					}
+				default:
+					return
+				}
+			}
 		}
 	}
 }
 
 // deliver pushes one queued frame into its destination inbox, tagged
-// with the link's negotiated lane. A vanished or crashed destination
-// drops the frame silently — the same fate a TCP-queued frame meets
-// when the connection breaks after Send accepted it; the failure
-// detector carries the news.
-func (e *MemEndpoint) deliver(key outKey, f wire.Frame) {
+// with the link's negotiated lane, then releases the encoded form (if
+// any) — delivery is the in-memory analogue of the kernel consuming
+// the iovec. A vanished or crashed destination drops the frame
+// silently — the same fate a TCP-queued frame meets when the
+// connection breaks after Send accepted it; the failure detector
+// carries the news.
+func (e *MemEndpoint) deliver(key outKey, m memOut) {
+	if m.enc != nil {
+		defer m.enc.Release()
+	}
 	dst := e.net.lookup(key.to)
 	if dst == nil {
 		return
 	}
-	inb := Inbound{From: e.id, Frame: f, LinkLane: key.lane + 1}
+	inb := Inbound{From: e.id, Frame: m.f, LinkLane: key.lane + 1}
 	ch := dst.inboxFor(&inb)
 	if ch == nil {
 		inb.Frame.Retire() // routed to RouteDrop

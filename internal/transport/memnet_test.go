@@ -311,3 +311,71 @@ func TestBatchedModeNoCrossDestinationBlocking(t *testing.T) {
 		t.Fatal("frame to idle destination stuck behind a wedged peer")
 	}
 }
+
+// TestBatchedModeEncodeAtEnqueue pins the tcpnet-mirroring egress
+// semantics: with EncodeAtEnqueue the producing goroutine encodes each
+// queued frame into a pooled buffer, delivery still hands over the
+// frame value unchanged (order and content intact), and every pooled
+// buffer is back in the pool once the network quiesces — including the
+// ones stranded in queues when an endpoint closes.
+func TestBatchedModeEncodeAtEnqueue(t *testing.T) {
+	base := wire.EncodedFramesLive()
+	n := NewMemNetwork(MemNetworkOptions{SendQueueCapacity: 16, MaxBatchFrames: 8, InboxCapacity: 1, EncodeAtEnqueue: true})
+	a, _ := n.Register(1)
+	b, _ := n.Register(2)
+	const total = 300
+	go func() {
+		for i := 0; i < total; i++ {
+			f := newFrame(uint64(i))
+			f.Env.Value = []byte("payload")
+			if err := a.Send(2, f); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		select {
+		case got := <-b.Inbox():
+			if got.Frame.Env.ReqID != uint64(i) || string(got.Frame.Env.Value) != "payload" {
+				t.Fatalf("frame %d arrived as req %d value %q", i, got.Frame.Env.ReqID, got.Frame.Env.Value)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stalled at frame %d", i)
+		}
+	}
+	// TrySend takes the same encode-at-enqueue path.
+	if !a.TrySend(2, newFrame(999)) {
+		t.Fatal("TrySend refused an established, empty queue")
+	}
+	select {
+	case got := <-b.Inbox():
+		if got.Frame.Env.ReqID != 999 {
+			t.Fatalf("TrySend frame arrived as req %d", got.Frame.Env.ReqID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("TrySend frame never arrived")
+	}
+	// Strand frames: stop reading b, push a burst until the queue backs
+	// up, and close a mid-flight. The blocked Send's error path and the
+	// sender goroutine's final drain must release every encoded buffer.
+	burst := make(chan struct{})
+	go func() {
+		defer close(burst)
+		for i := 0; i < 50; i++ {
+			if a.Send(2, newFrame(uint64(i))) != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the queue fill behind the unread inbox
+	_ = a.Close()
+	<-burst
+	deadline := time.Now().Add(5 * time.Second)
+	for wire.EncodedFramesLive() != base && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := wire.EncodedFramesLive(); got != base {
+		t.Fatalf("encoded frames leaked: live = %d, started at %d", got, base)
+	}
+}

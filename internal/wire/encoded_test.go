@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncodeFrameMatchesAppendTo(t *testing.T) {
+	f := Frame{
+		Env:       Envelope{Kind: KindWriteRequest, ReqID: 7, Value: []byte("payload")},
+		Piggyback: &Envelope{Kind: KindWrite, Origin: 3},
+	}
+	want, err := f.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := EncodeFrame(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Release()
+	if !bytes.Equal(ef.Bytes(), want) {
+		t.Fatalf("encoded bytes differ: %d vs %d", len(ef.Bytes()), len(want))
+	}
+	if ef.Len() != len(want) {
+		t.Fatalf("Len() = %d, want %d", ef.Len(), len(want))
+	}
+}
+
+func TestEncodeFrameSnapshotsValue(t *testing.T) {
+	val := []byte("original")
+	f := NewFrame(Envelope{Kind: KindWriteRequest, ReqID: 1, Value: val})
+	ef, err := EncodeFrame(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Release()
+	// Mutating the producer's value after encode must not reach the
+	// encoded bytes: the enqueue-time snapshot is the whole point of
+	// the §14 ownership rules.
+	copy(val, "XXXXXXXX")
+	if !bytes.Contains(ef.Bytes(), []byte("original")) {
+		t.Fatal("encoded frame aliases the producer's value buffer")
+	}
+}
+
+func TestEncodedFrameRefcountAndLiveCounter(t *testing.T) {
+	base := EncodedFramesLive()
+	f := NewFrame(Envelope{Kind: KindReadRequest, ReqID: 2})
+	ef, err := EncodeFrame(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EncodedFramesLive(); got != base+1 {
+		t.Fatalf("live = %d, want %d", got, base+1)
+	}
+	ef.Retain()
+	ef.Release()
+	if got := EncodedFramesLive(); got != base+1 {
+		t.Fatalf("live after retain+release = %d, want %d", got, base+1)
+	}
+	ef.Release()
+	if got := EncodedFramesLive(); got != base {
+		t.Fatalf("live after final release = %d, want %d", got, base)
+	}
+}
+
+func TestEncodedFrameOverReleasePanics(t *testing.T) {
+	f := NewFrame(Envelope{Kind: KindReadRequest, ReqID: 3})
+	ef, err := EncodeFrame(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	ef.Release()
+}
+
+func TestEncodeFrameInvalid(t *testing.T) {
+	// An oversized value is rejected by the encoder; the pooled buffer
+	// must not leak on the error path.
+	base := EncodedFramesLive()
+	f := NewFrame(Envelope{Kind: KindWriteRequest, Value: make([]byte, MaxValueSize+1)})
+	if _, err := EncodeFrame(&f); err == nil {
+		t.Fatal("want encode error for oversized value")
+	}
+	if got := EncodedFramesLive(); got != base {
+		t.Fatalf("live after failed encode = %d, want %d", got, base)
+	}
+}
