@@ -82,6 +82,9 @@ type config struct {
 	walAudit        bool
 	walBatchBytes   int
 	walLinger       time.Duration
+	retryBackoff    time.Duration
+	retryBackoffMax time.Duration
+	serverOverrides map[ServerID][]Option
 }
 
 func buildConfig(base config, opts []Option) config {
@@ -130,6 +133,33 @@ func WithAttemptTimeout(d time.Duration) Option { return func(c *config) { c.att
 
 // WithMaxAttempts bounds the servers tried per client operation.
 func WithMaxAttempts(n int) Option { return func(c *config) { c.maxAttempts = n } }
+
+// WithRetryBackoff tunes the client's failover backoff: base is the
+// delay before the first retry, growing exponentially with the client's
+// consecutive-failure streak (jittered, reset by any success) up to
+// max. Zero keeps the defaults (2ms base, 250ms cap); a negative base
+// disables backoff so retries fire immediately.
+func WithRetryBackoff(base, max time.Duration) Option {
+	return func(c *config) {
+		c.retryBackoff = base
+		c.retryBackoffMax = max
+	}
+}
+
+// WithServerOptions overlays opts on one server's configuration when an
+// in-process cluster builds (or restarts) that server — the way to
+// stage heterogeneous rings, e.g. one pre-train server in a train
+// cluster (WithoutFrameTrains) or one server without a WAL. Repeated
+// uses for the same id accumulate; call-site options passed to
+// RestartWith still win over these.
+func WithServerOptions(id ServerID, opts ...Option) Option {
+	return func(c *config) {
+		if c.serverOverrides == nil {
+			c.serverOverrides = make(map[ServerID][]Option)
+		}
+		c.serverOverrides[id] = append(c.serverOverrides[id], opts...)
+	}
+}
 
 // WithPinnedServer makes a client contact the given server first for
 // every request (failing over on timeout like any client). Useful to

@@ -42,12 +42,28 @@ func (c config) coreConfig(id ServerID, members []ServerID) core.Config {
 	return cfg
 }
 
+// serverConfig resolves the effective façade config for one server:
+// the cluster-wide base, then any WithServerOptions overrides for that
+// id, then call-site extras (RestartWith) — later wins.
+func (c config) serverConfig(id ServerID, extra ...Option) config {
+	out := c
+	if opts := c.serverOverrides[id]; len(opts) != 0 {
+		out = buildConfig(out, opts)
+	}
+	if len(extra) != 0 {
+		out = buildConfig(out, extra)
+	}
+	return out
+}
+
 // clientOptions maps the façade options onto client options.
 func (c config) clientOptions(members []ServerID) client.Options {
 	opts := client.Options{
-		Servers:        members,
-		AttemptTimeout: c.attemptTimeout,
-		MaxAttempts:    c.maxAttempts,
+		Servers:         members,
+		AttemptTimeout:  c.attemptTimeout,
+		MaxAttempts:     c.maxAttempts,
+		RetryBackoff:    c.retryBackoff,
+		RetryBackoffMax: c.retryBackoffMax,
 	}
 	if c.pinned != 0 {
 		opts.Policy = client.PolicyPinned
@@ -125,7 +141,7 @@ func StartCluster(n int, opts ...Option) (*Cluster, error) {
 		c.members = append(c.members, ServerID(i))
 	}
 	for _, id := range c.members {
-		coreCfg := cfg.coreConfig(id, c.members)
+		coreCfg := cfg.serverConfig(id).coreConfig(id, c.members)
 		hello := coreCfg.SessionHello()
 		ep, err := c.net.RegisterSession(hello)
 		if err != nil {
@@ -210,6 +226,15 @@ func (c *Cluster) Crash(id ServerID) {
 // every server. Restarting a running server is an error; Crash it
 // first.
 func (c *Cluster) Restart(id ServerID) error {
+	return c.RestartWith(id)
+}
+
+// RestartWith is Restart with extra options overlaid on the server's
+// configuration for this incarnation — e.g. WithoutFrameTrains to bring
+// a server back pre-train, or WithoutDurability to drop its WAL. The
+// options win over both the cluster base and any WithServerOptions
+// overrides, and last only until the next restart.
+func (c *Cluster) RestartWith(id ServerID, opts ...Option) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -220,7 +245,7 @@ func (c *Cluster) Restart(id ServerID) error {
 		return fmt.Errorf("atomicstore: server %d still running", id)
 	}
 	c.mu.Unlock()
-	coreCfg := c.cfg.coreConfig(id, c.members)
+	coreCfg := c.cfg.serverConfig(id, opts...).coreConfig(id, c.members)
 	ep, err := c.net.RegisterSession(coreCfg.SessionHello())
 	if err != nil {
 		return err
@@ -236,6 +261,31 @@ func (c *Cluster) Restart(id ServerID) error {
 	c.eps[id] = ep
 	c.mu.Unlock()
 	return nil
+}
+
+// Counters is one sampling of every robustness counter a server keeps;
+// see core.CounterSnapshot for the field-by-field invariants.
+type Counters = core.CounterSnapshot
+
+// Counters snapshots one server's robustness counters; zero when the
+// server is down.
+func (c *Cluster) Counters(id ServerID) Counters {
+	c.mu.Lock()
+	srv := c.servers[id]
+	c.mu.Unlock()
+	if srv == nil {
+		return Counters{}
+	}
+	return srv.CounterSnapshot()
+}
+
+// Network exposes the cluster's in-memory network — the seam scenario
+// harnesses use to install fault injectors (transport.FaultInjector)
+// between the real servers. Returns the live network, not a copy;
+// callers must not Crash processes through it directly (use
+// Cluster.Crash, which also stops the server).
+func (c *Cluster) Network() *transport.MemNetwork {
+	return c.net
 }
 
 // WALStats snapshots one server's write-ahead-log counters; zero when
@@ -263,5 +313,8 @@ func (c *Cluster) Close() error {
 		srv.Stop()
 		_ = eps[id].Close()
 	}
+	// Stop the network's delay line (if a fault injector ever parked
+	// frames on it) and retire anything still undelivered.
+	c.net.Close()
 	return nil
 }

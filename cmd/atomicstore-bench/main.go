@@ -15,6 +15,11 @@
 //	                             # run the reproducible experiment grid
 //	                             # (add -grid-smoke for the seconds-long
 //	                             # CI configuration)
+//	atomicstore-bench -scenarios # run the canonical fault-injection
+//	                             # scenario library through the checker
+//	                             # (-scenario <name> for one, -scenario-seed
+//	                             # to replay a failure, -scenario-out for
+//	                             # dump artifacts)
 package main
 
 import (
@@ -48,8 +53,16 @@ func run() error {
 		gridFile   = flag.String("grid", "", "run the experiment grid declared in this JSON file (see experiments.json)")
 		gridOut    = flag.String("grid-out", "paper_runs/latest", "output directory for -grid CSVs and summaries")
 		gridSmoke  = flag.Bool("grid-smoke", false, "scale the grid down to a seconds-long smoke configuration (1 repeat, short windows, capped fleets)")
+		scenarios  = flag.Bool("scenarios", false, "run the canonical fault-injection scenario library against the real server stack")
+		scenName   = flag.String("scenario", "", "run a single canonical scenario by name (implies -scenarios)")
+		scenSeed   = flag.Int64("scenario-seed", 0, "override the scripted seed (use the seed from a failure dump to replay it)")
+		scenOut    = flag.String("scenario-out", "", "directory for replay dumps of failed scenarios")
 	)
 	flag.Parse()
+
+	if *scenarios || *scenName != "" {
+		return runScenarios(*scenName, *scenSeed, *scenOut)
+	}
 
 	if *gridFile != "" {
 		return runGrid(*gridFile, *gridOut, *gridSmoke)

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// runScenarios executes the canonical fault-injection scenario library
+// (or a single named scenario) against the real server stack. Every run
+// ends in the linearizability checker; a failing scenario prints its
+// replay dump (seed + script + schedule + history) and, when out is
+// set, writes it to <out>/<name>.dump. seed overrides each scenario's
+// scripted seed — pass the seed from a failure dump to replay it.
+func runScenarios(name string, seed int64, out string) error {
+	walDir, err := os.MkdirTemp("", "scenario-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+
+	scenarios := scenario.Canonical(walDir)
+	if name != "" {
+		var picked []scenario.Scenario
+		for _, sc := range scenarios {
+			if sc.Name == name {
+				picked = append(picked, sc)
+			}
+		}
+		if len(picked) == 0 {
+			var names []string
+			for _, sc := range scenarios {
+				names = append(names, sc.Name)
+			}
+			return fmt.Errorf("unknown scenario %q (have: %s)", name, strings.Join(names, ", "))
+		}
+		scenarios = picked
+	}
+
+	failed := 0
+	for _, sc := range scenarios {
+		if seed != 0 {
+			sc.Seed = seed
+		}
+		res := scenario.Run(sc)
+		if res.Failure == nil {
+			fmt.Printf("ok   %-28s seed=%d ops=%d\n", sc.Name, res.Scenario.Seed, len(res.Schedule))
+			continue
+		}
+		failed++
+		dump := res.Dump()
+		fmt.Printf("FAIL %-28s %v\n%s\n", sc.Name, res.Failure, dump)
+		if out != "" {
+			if err := os.MkdirAll(out, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(out, res.Scenario.Name+".dump")
+			if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("replay dump written to %s\n", path)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(scenarios))
+	}
+	fmt.Printf("\nall %d scenarios passed\n", len(scenarios))
+	return nil
+}

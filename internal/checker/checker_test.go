@@ -355,3 +355,23 @@ func corruptSomeRead(rng *rand.Rand, h []Op) bool {
 	}
 	return false
 }
+
+func TestCheckersRejectInjectedScenarioHistory(t *testing.T) {
+	// The exact falsification the scenario harness's injected-bug
+	// self-test plants: after two writes complete in sequence, a read
+	// placed strictly after both returns the *older* value and tag.
+	// Both checkers must reject it — if either starts accepting this
+	// shape, the scenario harness's end-of-run gate has gone vacuous.
+	h := []Op{
+		{ID: 1, Kind: KindWrite, Value: "v1", Start: 0, End: 10, Tag: tg(1)},
+		{ID: 2, Kind: KindWrite, Value: "v2", Start: 20, End: 30, Tag: tg(2)},
+		{ID: 3, Kind: KindRead, Value: "v2", Start: 40, End: 50, Tag: tg(2)},
+		{ID: 4, Kind: KindRead, Value: "v1", Start: 60, End: 70, Tag: tg(1)},
+	}
+	if err := CheckTagged(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Errorf("CheckTagged accepted the injected stale read (err=%v)", err)
+	}
+	if err := CheckLinearizable(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Errorf("CheckLinearizable accepted the injected stale read (err=%v)", err)
+	}
+}

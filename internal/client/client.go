@@ -59,6 +59,16 @@ type Options struct {
 	// Seed seeds the PolicyRandom generator; zero uses a fixed seed
 	// (determinism is worth more than entropy in a test harness).
 	Seed int64
+	// RetryBackoff is the base delay inserted before a failover retry.
+	// It grows exponentially with the client's consecutive-failure
+	// streak (which spans operations), is jittered into [d/2, d] to
+	// de-synchronize clients hammering the same dead server, is capped
+	// by RetryBackoffMax, and resets on any success. Zero means 2ms;
+	// negative disables backoff (retries fire immediately, the
+	// pre-backoff behavior some latency-sensitive tests rely on).
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the grown backoff delay. Zero means 250ms.
+	RetryBackoffMax time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +80,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 2 * len(o.Servers)
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	} else if o.RetryBackoff < 0 {
+		o.RetryBackoff = 0 // disabled
+	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = 250 * time.Millisecond
 	}
 	return o
 }
@@ -85,12 +103,16 @@ type Client struct {
 	ep   transport.Endpoint
 	opts Options
 
-	mu       sync.Mutex
-	nextReq  uint64
-	rrIndex  int
-	rng      *rand.Rand
-	inflight map[uint64]chan result
-	closed   bool
+	mu         sync.Mutex
+	nextReq    uint64
+	rrIndex    int
+	rng        *rand.Rand
+	inflight   map[uint64]chan result
+	failStreak int // consecutive failed attempts, spans operations
+	closed     bool
+
+	// sleep, when non-nil, replaces the real backoff wait (test hook).
+	sleep func(time.Duration)
 
 	stopOnce sync.Once
 	stopc    chan struct{}
@@ -185,6 +207,9 @@ func (c *Client) do(ctx context.Context, env wire.Envelope) (result, int, error)
 		server := c.pickServer(attempt)
 		res, err := c.attempt(ctx, server, env)
 		if err == nil {
+			c.mu.Lock()
+			c.failStreak = 0
+			c.mu.Unlock()
 			return res, attempt + 1, nil
 		}
 		lastErr = err
@@ -193,6 +218,12 @@ func (c *Client) do(ctx context.Context, env wire.Envelope) (result, int, error)
 		}
 		if errors.Is(err, ErrClosed) {
 			return result{}, attempt + 1, err
+		}
+		d := c.nextBackoff()
+		if d > 0 && attempt+1 < c.opts.MaxAttempts {
+			if err := c.backoffWait(ctx, d); err != nil {
+				return result{}, attempt + 1, err
+			}
 		}
 	}
 	return result{}, c.opts.MaxAttempts, fmt.Errorf("%w (last: %v)", ErrExhausted, lastErr)
@@ -221,6 +252,46 @@ func (c *Client) attempt(ctx context.Context, server wire.ProcessID, env wire.En
 		return result{}, ctx.Err()
 	case <-c.stopc:
 		return result{}, ErrClosed
+	}
+}
+
+// nextBackoff records one more failed attempt and returns the jittered
+// delay to wait before the next one: the base backoff doubled per prior
+// consecutive failure, capped, then drawn uniformly from [d/2, d].
+// Returns 0 when backoff is disabled.
+func (c *Client) nextBackoff() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failStreak++
+	base := c.opts.RetryBackoff
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < c.failStreak && d < c.opts.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.opts.RetryBackoffMax {
+		d = c.opts.RetryBackoffMax
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// backoffWait sleeps for d, honoring cancellation and Close.
+func (c *Client) backoffWait(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		c.sleep(d)
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.stopc:
+		return ErrClosed
 	}
 }
 

@@ -278,3 +278,108 @@ func TestClientOptionsValidation(t *testing.T) {
 		t.Fatal("client without servers accepted")
 	}
 }
+
+// TestClientBackoffFlappingServer drives the client against a flapping
+// deployment: every server down (attempts fail fast with ErrPeerDown),
+// then one heals, then the primary stays dead. The recorded backoff
+// delays must grow exponentially from the base, stay inside the jitter
+// window [d/2, d], respect the cap, carry the failure streak across
+// operations, and reset to the base after a success.
+func TestClientBackoffFlappingServer(t *testing.T) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	for _, id := range []wire.ProcessID{1, 2} {
+		if _, err := net.Register(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Crash(1)
+	net.Crash(2)
+
+	const (
+		base = time.Millisecond
+		cap  = 8 * time.Millisecond
+	)
+	cl := newTestClient(t, net, Options{
+		Servers:         []wire.ProcessID{1, 2},
+		Policy:          PolicyPinned,
+		AttemptTimeout:  50 * time.Millisecond,
+		MaxAttempts:     6,
+		RetryBackoff:    base,
+		RetryBackoffMax: cap,
+	})
+	var mu sync.Mutex
+	var delays []time.Duration
+	cl.sleep = func(d time.Duration) {
+		mu.Lock()
+		delays = append(delays, d)
+		mu.Unlock()
+	}
+	take := func() []time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		out := delays
+		delays = nil
+		return out
+	}
+	inWindow := func(got, unjittered time.Duration) bool {
+		return got >= unjittered/2 && got <= unjittered
+	}
+
+	ctx := context.Background()
+
+	// Phase 1: both servers dead. Six attempts mean five backoffs whose
+	// un-jittered envelope doubles from the base and clips at the cap.
+	if _, err := cl.Write(ctx, 1, []byte("x")); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("write against dead ring: %v, want ErrExhausted", err)
+	}
+	got := take()
+	envelope := []time.Duration{base, 2 * base, 4 * base, cap, cap}
+	if len(got) != len(envelope) {
+		t.Fatalf("recorded %d backoffs (%v), want %d", len(got), got, len(envelope))
+	}
+	for i, d := range got {
+		if !inWindow(d, envelope[i]) {
+			t.Fatalf("backoff %d = %v, want within [%v, %v]", i, d, envelope[i]/2, envelope[i])
+		}
+	}
+
+	// Phase 2: server 2 heals. The streak carried over from phase 1, so
+	// the single backoff (after the dead-primary attempt) sits at the
+	// cap — then the success resets it.
+	startEchoServer(t, net, 2, 0)
+	if _, err := cl.Write(ctx, 1, []byte("y")); err != nil {
+		t.Fatalf("write with one healed server: %v", err)
+	}
+	got = take()
+	if len(got) != 1 || !inWindow(got[0], cap) {
+		t.Fatalf("carried-streak backoff = %v, want one delay within [%v, %v]", got, cap/2, cap)
+	}
+
+	// Phase 3: primary still dead, but the last success reset the
+	// streak: the next backoff is back at the base.
+	if _, err := cl.Write(ctx, 1, []byte("z")); err != nil {
+		t.Fatalf("write after reset: %v", err)
+	}
+	got = take()
+	if len(got) != 1 || !inWindow(got[0], base) {
+		t.Fatalf("post-reset backoff = %v, want one delay within [%v, %v]", got, base/2, base)
+	}
+}
+
+// TestClientBackoffDisabled pins the opt-out: a negative RetryBackoff
+// retries immediately, never touching the sleep hook.
+func TestClientBackoffDisabled(t *testing.T) {
+	net := transport.NewMemNetwork(transport.MemNetworkOptions{})
+	cl := newTestClient(t, net, Options{
+		Servers:        []wire.ProcessID{1}, // never registered
+		AttemptTimeout: 30 * time.Millisecond,
+		MaxAttempts:    3,
+		RetryBackoff:   -1,
+	})
+	cl.sleep = func(d time.Duration) {
+		t.Errorf("backoff slept %v with backoff disabled", d)
+	}
+	if _, err := cl.Write(context.Background(), 0, []byte("x")); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}

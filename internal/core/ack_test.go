@@ -13,13 +13,15 @@ import (
 )
 
 // assertNoAckFailures checks every live server dropped zero client
-// acks — the happy-path invariant behind Server.AckSendFailures.
+// acks — the happy-path invariant behind Server.AckSendFailures — along
+// with the unconditional counter invariants, all from one snapshot.
 func assertNoAckFailures(t *testing.T, c *cluster) {
 	t.Helper()
 	for id, srv := range c.servers {
-		if n := srv.AckSendFailures(); n != 0 {
+		if n := srv.CounterSnapshot().AckSendFailures; n != 0 {
 			t.Errorf("server %d dropped %d acks", id, n)
 		}
+		assertCleanCounters(t, id, srv)
 	}
 }
 
@@ -35,8 +37,8 @@ func TestAckPathHappyPath(t *testing.T) {
 	assertNoAckFailures(t, c)
 	var total uint64
 	for _, srv := range c.servers {
-		fast, queued, _ := srv.AckPathStats()
-		total += fast + queued
+		snap := srv.CounterSnapshot()
+		total += snap.AckFastPath + snap.AckQueued
 	}
 	if total == 0 {
 		t.Fatal("no acks flowed through the sharded sender")

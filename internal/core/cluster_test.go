@@ -30,6 +30,23 @@ type cluster struct {
 // configMod tweaks the per-server configuration before start.
 type configMod func(*core.Config)
 
+// assertCleanCounters takes one CounterSnapshot and fails on the
+// robustness invariants no test run should ever violate: recovery
+// buffer leaks (forbidden always) and lane-fanout drops (forbidden
+// unless a test deliberately mixes WriteLanes capabilities). Tests with
+// fault-specific expectations (ack failures under stalls, torn WAL
+// tails after kills) layer their own checks on the same snapshot.
+func assertCleanCounters(t *testing.T, id wire.ProcessID, srv *core.Server) {
+	t.Helper()
+	snap := srv.CounterSnapshot()
+	if snap.RecoveryBufferLeaks != 0 {
+		t.Errorf("server %d RecoveryBufferLeaks = %d, want 0", id, snap.RecoveryBufferLeaks)
+	}
+	if snap.LaneDrops != 0 {
+		t.Errorf("server %d LaneDrops = %d, want 0", id, snap.LaneDrops)
+	}
+}
+
 // newCluster starts servers 1..n on a fresh in-memory network.
 func newCluster(t *testing.T, n int, mods ...configMod) *cluster {
 	t.Helper()

@@ -289,9 +289,7 @@ func TestCrashDuringMultiObjectLoadPreservesAtomicity(t *testing.T) {
 	// been struck from the pool-ownership books before reaching the
 	// forward queue (the requeue choke point counts violations).
 	for id, srv := range c.servers {
-		if n := srv.RecoveryBufferLeaks(); n != 0 {
-			t.Fatalf("server %d RecoveryBufferLeaks = %d, want 0", id, n)
-		}
+		assertCleanCounters(t, id, srv)
 	}
 }
 

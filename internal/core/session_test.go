@@ -141,9 +141,7 @@ func TestSessionTCPCluster(t *testing.T) {
 	// some of them on the survivors: the requeue choke point must have
 	// seen only already-unpooled copies.
 	for id, srv := range c.servers {
-		if n := srv.RecoveryBufferLeaks(); n != 0 {
-			t.Fatalf("server %d RecoveryBufferLeaks = %d, want 0", id, n)
-		}
+		assertCleanCounters(t, id, srv)
 	}
 }
 

@@ -128,9 +128,7 @@ func TestTrainLengthsLinearizableMem(t *testing.T) {
 			}
 			runTrainWorkload(t, mk, mk, c.members, 8, 250*time.Millisecond)
 			for id, srv := range c.servers {
-				if n := srv.RecoveryBufferLeaks(); n != 0 {
-					t.Fatalf("server %d RecoveryBufferLeaks = %d, want 0", id, n)
-				}
+				assertCleanCounters(t, id, srv)
 			}
 		})
 	}
@@ -171,9 +169,7 @@ func TestMixedTrainClusterMem(t *testing.T) {
 	}
 	runTrainWorkload(t, mk, mk, c.members, 8, 250*time.Millisecond)
 	for id, srv := range c.servers {
-		if n := srv.LaneDrops(); n != 0 {
-			t.Fatalf("server %d dropped %d ring frames in the mixed cluster", id, n)
-		}
+		assertCleanCounters(t, id, srv)
 	}
 }
 
@@ -206,11 +202,6 @@ func TestMixedTrainClusterTCP(t *testing.T) {
 		}
 	}
 	for _, srv := range servers {
-		if n := srv.RecoveryBufferLeaks(); n != 0 {
-			t.Fatalf("server %d RecoveryBufferLeaks = %d, want 0", srv.ID(), n)
-		}
-		if n := srv.LaneDrops(); n != 0 {
-			t.Fatalf("server %d dropped %d ring frames in the mixed cluster", srv.ID(), n)
-		}
+		assertCleanCounters(t, srv.ID(), srv)
 	}
 }

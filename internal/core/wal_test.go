@@ -221,7 +221,7 @@ func TestGracefulRestartNoTornTails(t *testing.T) {
 		}
 	}
 	for i := 1; i <= 3; i++ {
-		if torn := c.servers[wire.ProcessID(i)].WALTornTails(); torn != 0 {
+		if torn := c.servers[wire.ProcessID(i)].CounterSnapshot().WALTornTails; torn != 0 {
 			t.Fatalf("server %d repaired %d torn tails on a fresh log", i, torn)
 		}
 	}

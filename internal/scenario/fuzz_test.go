@@ -1,0 +1,33 @@
+package scenario
+
+import "testing"
+
+// FuzzParseScenario hammers the fault-script parser: arbitrary input
+// must never panic, and every accepted script must format to a fixed
+// point (ParseScript ∘ String is the identity on formatted scripts) —
+// the property a failed run's dump relies on for byte-for-byte replay.
+func FuzzParseScenario(f *testing.F) {
+	f.Add("at 10ms partition 1,2 | 3\nat 30ms heal")
+	f.Add("every 20ms until 80ms crash random")
+	f.Add("at 0s drop 40% 1->2\nat 0s delay 2ms jitter 3ms ring")
+	f.Add("at 5ms drop 100% clients->1\nat 50ms clear 1<->2")
+	f.Add("at 1ms crash all\nat 2ms restart all")
+	f.Add("# comment\n\n  at 1h delay 1ns servers<->servers")
+	f.Add("at 10ms partition 1 | 1")
+	f.Add("every 1ns drop 101% *")
+	f.Add("at 10ms heal")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseScript(src)
+		if err != nil {
+			return
+		}
+		text := s.String()
+		s2, err := ParseScript(text)
+		if err != nil {
+			t.Fatalf("formatted script rejected: %v\n%s", err, text)
+		}
+		if got := s2.String(); got != text {
+			t.Fatalf("format not a fixed point:\n%q\nvs\n%q", text, got)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestParseScriptRoundTrip(t *testing.T) {
+	src := `
+		# faults of every flavor
+		at 10ms partition 1,2 | 3
+		at 30ms heal
+		at 12ms crash 2
+		at 14ms crash random
+		at 40ms restart all
+		every 20ms until 80ms crash random
+		every 5ms drop 40% 1->2
+		at 0s drop 100% clients->1
+		at 0s delay 2ms jitter 3ms ring
+		at 0s delay 1ms servers<->servers
+		at 0s drop 10% *
+		at 50ms clear
+		at 55ms clear 1->2
+	`
+	s, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 13 {
+		t.Fatalf("parsed %d events, want 13", len(s.Events))
+	}
+	text := s.String()
+	s2, err := ParseScript(text)
+	if err != nil {
+		t.Fatalf("re-parse of formatted script: %v\n%s", err, text)
+	}
+	if got := s2.String(); got != text {
+		t.Fatalf("format not a fixed point:\n%s\nvs\n%s", text, got)
+	}
+}
+
+func TestParseScriptEvents(t *testing.T) {
+	s, err := ParseScript("at 10ms partition 1,2 | 3\nevery 20ms until 80ms crash random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Events[0]
+	if p.At != 10*time.Millisecond || p.Act.Kind != ActPartition {
+		t.Fatalf("event 0 = %+v", p)
+	}
+	if len(p.Act.Groups) != 2 || len(p.Act.Groups[0]) != 2 || p.Act.Groups[1][0] != 3 {
+		t.Fatalf("groups = %v", p.Act.Groups)
+	}
+	e := s.Events[1]
+	if e.Every != 20*time.Millisecond || e.Until != 80*time.Millisecond || !e.Act.Target.Random {
+		t.Fatalf("event 1 = %+v", e)
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	cases := []string{
+		"partition 1 | 2",           // missing at/every
+		"at 10ms",                   // missing action
+		"at abc heal",               // bad duration
+		"at 10ms partition 1,2",     // single group
+		"at 10ms partition 1 | 1",   // duplicate id
+		"at 10ms drop 40 1->2",      // missing %
+		"at 10ms drop 140% 1->2",    // out of range
+		"at 10ms drop 40% 1=>2",     // bad link
+		"at 10ms delay 0s ring",     // non-positive delay
+		"at 10ms crash",             // missing target
+		"at 10ms crash 0",           // zero id
+		"at 10ms restart random",    // unsupported
+		"every 0s crash random",     // non-positive period
+		"every 20ms until 5ms heal", // until before first firing
+		"at 10ms frobnicate",        // unknown action
+		"at 10ms heal now",          // excess args
+	}
+	for _, src := range cases {
+		if _, err := ParseScript(src); err == nil {
+			t.Errorf("ParseScript(%q) accepted invalid input", src)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("ParseScript(%q) error lacks line number: %v", src, err)
+		}
+	}
+}
+
+func TestLinkSpecMatching(t *testing.T) {
+	member := func(id wire.ProcessID) bool { return id <= 3 }
+	parse := func(s string) LinkSpec {
+		t.Helper()
+		l, err := parseLink(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	cases := []struct {
+		link     string
+		from, to wire.ProcessID
+		want     bool
+	}{
+		{"1->2", 1, 2, true},
+		{"1->2", 2, 1, false},
+		{"1<->2", 2, 1, true},
+		{"ring", 1, 3, true},
+		{"ring", 1, 100, false},
+		{"clients", 100, 2, true},
+		{"clients", 2, 100, true},
+		{"clients", 1, 2, false},
+		{"clients->1", 100, 1, true},
+		{"clients->1", 1, 100, false},
+		{"*", 7, 9, true},
+		{"*->3", 100, 3, true},
+		{"*->3", 3, 100, false},
+	}
+	for _, c := range cases {
+		if got := parse(c.link).matches(c.from, c.to, member); got != c.want {
+			t.Errorf("%s matches(%d,%d) = %v, want %v", c.link, c.from, c.to, got, c.want)
+		}
+	}
+}

@@ -68,16 +68,26 @@ func (o MemNetworkOptions) withDefaults() MemNetworkOptions {
 type MemNetwork struct {
 	opts MemNetworkOptions
 
+	// faults, when set, decides the fate of every frame crossing the
+	// network (drop, delay, deliver) — the scenario runner's seam. See
+	// faults.go; nil means every frame is delivered.
+	faults atomic.Pointer[injectorBox]
+	// dline parks frames a verdict delayed; its goroutine starts on the
+	// first delayed frame.
+	dline delayLine
+
 	mu        sync.Mutex
 	endpoints map[wire.ProcessID]*MemEndpoint
 }
 
 // NewMemNetwork returns an empty in-memory network.
 func NewMemNetwork(opts MemNetworkOptions) *MemNetwork {
-	return &MemNetwork{
+	n := &MemNetwork{
 		opts:      opts.withDefaults(),
 		endpoints: make(map[wire.ProcessID]*MemEndpoint),
 	}
+	n.dline.net = n
+	return n
 }
 
 // Register attaches a new endpoint for the given process id. The
@@ -321,6 +331,17 @@ func (e *MemEndpoint) sendOne(to wire.ProcessID, lane int, dst *MemEndpoint, f w
 			return ErrClosed
 		}
 	}
+	// The injected-fault verdict sits at the network edge, after the
+	// frame was accepted: a dropped frame is a successful Send whose
+	// bytes died on the wire, a delayed one parks on the delay line.
+	switch v := e.net.verdict(e.id, to, lane, &f); {
+	case v.Drop:
+		f.Retire()
+		return nil
+	case v.Delay > 0:
+		e.net.dline.push(e.id, to, lane, f, v.Delay)
+		return nil
+	}
 	inb := Inbound{From: e.id, Frame: f, LinkLane: lane + 1}
 	ch := dst.inboxFor(&inb)
 	if ch == nil {
@@ -389,6 +410,16 @@ func (e *MemEndpoint) TrySend(to wire.ProcessID, f wire.Frame) bool {
 		default:
 			return false
 		}
+	}
+	// Same fault seam as sendOne: a Drop or Delay verdict counts as an
+	// accepted send (the frame left this process without blocking).
+	switch v := e.net.verdict(e.id, to, laneGeneral, &f); {
+	case v.Drop:
+		f.Retire()
+		return true
+	case v.Delay > 0:
+		e.net.dline.push(e.id, to, laneGeneral, f, v.Delay)
+		return true
 	}
 	inb := Inbound{From: e.id, Frame: f, LinkLane: laneGeneral + 1}
 	ch := dst.inboxFor(&inb)
@@ -539,6 +570,17 @@ func (e *MemEndpoint) senderLoop(key outKey, q chan memOut, maxBatch int) {
 func (e *MemEndpoint) deliver(key outKey, m memOut) {
 	if m.enc != nil {
 		defer m.enc.Release()
+	}
+	// Batching mode applies the fault verdict here, at the network edge
+	// where the per-link writer hands the frame to the wire — the same
+	// point the direct path intercepts in sendOne.
+	switch v := e.net.verdict(e.id, key.to, key.lane, &m.f); {
+	case v.Drop:
+		m.f.Retire()
+		return
+	case v.Delay > 0:
+		e.net.dline.push(e.id, key.to, key.lane, m.f, v.Delay)
+		return
 	}
 	dst := e.net.lookup(key.to)
 	if dst == nil {
